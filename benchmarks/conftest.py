@@ -1,0 +1,30 @@
+"""Shared benchmark utilities.
+
+Every benchmark prints its experiment table through ``report`` so the
+rows appear on the terminal (outside pytest's capture) and are appended
+to ``benchmarks/results/<experiment>.txt`` for later diffing against
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report(capsys):
+    """Print text to the real terminal and persist it under results/."""
+
+    def _report(experiment: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{experiment}.txt"
+        path.write_text(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _report

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is configured in pyproject.toml; this file exists so that
+``pip install -e .`` works on environments whose setuptools predates
+PEP 660 editable installs (and offline environments without the ``wheel``
+package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""repro — Constraint Satisfaction as a Basis for Designing Nonmasking
+Fault-Tolerance (Arora, Gouda, Varghese 1994).
+
+A library for designing, validating and simulating nonmasking
+fault-tolerant (including self-stabilizing) programs:
+
+- :mod:`repro.core` — guarded-command programs, invariants and
+  fault-spans, constraints, constraint graphs, and machine-checked
+  validators for the paper's Theorems 1–3.
+- :mod:`repro.scheduler` — daemons: random, round-robin, queue-fair,
+  synchronous, distributed, and adversarial.
+- :mod:`repro.faults` — faults as state-changing actions; injection
+  scenarios.
+- :mod:`repro.verification` — exhaustive model checking of closure,
+  convergence (with and without fairness), full T-tolerance, and
+  convergence stairs.
+- :mod:`repro.simulation` — run loops, stabilization metrics, replicated
+  experiments.
+- :mod:`repro.protocols` — the paper's three designs plus extension
+  protocols built with the same method.
+- :mod:`repro.topology` — trees, rings, graphs and generators.
+- :mod:`repro.analysis` — summary statistics and result tables.
+
+Quickstart::
+
+    from repro.protocols import build_diffusing_design
+    from repro.topology import balanced_tree
+
+    design = build_diffusing_design(balanced_tree(2, 2))
+    states = list(design.program.state_space())
+    report = design.validate(states)       # Theorem 1 certificate
+    assert report.ok
+"""
+
+from repro.core import (
+    Action,
+    Assignment,
+    CandidateTriple,
+    Constraint,
+    ConstraintGraph,
+    ConvergenceBinding,
+    NonmaskingDesign,
+    Predicate,
+    Program,
+    State,
+    Variable,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Action",
+    "Assignment",
+    "CandidateTriple",
+    "Constraint",
+    "ConstraintGraph",
+    "ConvergenceBinding",
+    "NonmaskingDesign",
+    "Predicate",
+    "Program",
+    "State",
+    "Variable",
+    "__version__",
+]

@@ -1,0 +1,80 @@
+"""Graphviz DOT exporters.
+
+Render constraint graphs and (small) transition systems as DOT text for
+inspection with any Graphviz viewer. Pure text generation — no Graphviz
+dependency; the output is also stable, so tests can assert on it.
+"""
+
+from __future__ import annotations
+
+from repro.core.constraint_graph import ConstraintGraph
+from repro.core.predicates import Predicate
+from repro.verification.explorer import TransitionSystem
+
+__all__ = ["constraint_graph_dot", "transition_system_dot"]
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def constraint_graph_dot(graph: ConstraintGraph, *, title: str = "constraints") -> str:
+    """Render a constraint graph.
+
+    Nodes are labeled with their name and variable set; each edge with
+    its constraint name. The graph's classification is included as a
+    caption, so a rendered figure is self-describing.
+    """
+    lines = [f"digraph {_quote(title)} {{"]
+    lines.append(f"  label={_quote(f'{title} [{graph.classification()}]')};")
+    lines.append("  rankdir=LR;")
+    lines.append("  node [shape=box, fontname=monospace];")
+    for node in graph.nodes:
+        variables = ", ".join(sorted(node.variables))
+        lines.append(
+            f"  {_quote(node.name)} [label={_quote(f'{node.name}|{variables}')}];"
+        )
+    for edge in graph.edges:
+        lines.append(
+            f"  {_quote(edge.source.name)} -> {_quote(edge.target.name)} "
+            f"[label={_quote(edge.binding.constraint.name)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def transition_system_dot(
+    system: TransitionSystem,
+    *,
+    highlight: Predicate | None = None,
+    title: str = "transitions",
+    max_states: int = 200,
+) -> str:
+    """Render a transition system; states satisfying ``highlight`` (the
+    invariant, typically) are drawn filled.
+
+    Raises:
+        ValueError: if the system exceeds ``max_states`` (DOT renderings
+            beyond a couple hundred nodes are unreadable; raise early).
+    """
+    if len(system) > max_states:
+        raise ValueError(
+            f"transition system has {len(system)} states; refusing to render "
+            f"more than {max_states}"
+        )
+    lines = [f"digraph {_quote(title)} {{"]
+    lines.append("  node [shape=ellipse, fontname=monospace, fontsize=9];")
+    for index, state in enumerate(system.states):
+        label = ",".join(f"{k}={state[k]}" for k in sorted(state))
+        style = ""
+        if highlight is not None and highlight(state):
+            style = ", style=filled, fillcolor=lightgrey"
+        lines.append(f"  s{index} [label={_quote(label)}{style}];")
+    for index in range(len(system)):
+        for action_name, destination in system.edges[index]:
+            lines.append(
+                f"  s{index} -> s{destination} [label={_quote(action_name)}];"
+            )
+    lines.append("}")
+    return "\n".join(lines)

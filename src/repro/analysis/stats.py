@@ -1,0 +1,63 @@
+"""Summary statistics for experiment results.
+
+Small, dependency-free helpers: the experiments report means, medians,
+percentiles and maxima over replicated trials.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = ["percentile", "Summary", "summarize"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) with linear interpolation."""
+    if not values:
+        raise ValueError("cannot take a percentile of no values")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be between 0 and 100")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    weight = rank - low
+    return float(ordered[low] * (1.0 - weight) + ordered[high] * weight)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.1f} median={self.median:.1f} "
+            f"p95={self.p95:.1f} max={self.maximum:.0f}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarize a nonempty sample."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        count=len(values),
+        mean=sum(values) / len(values),
+        median=percentile(values, 50.0),
+        p95=percentile(values, 95.0),
+        minimum=float(min(values)),
+        maximum=float(max(values)),
+    )

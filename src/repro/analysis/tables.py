@@ -1,0 +1,65 @@
+"""ASCII result tables.
+
+The benchmark harness prints tables whose rows mirror EXPERIMENTS.md.
+``render_table`` right-aligns numbers, left-aligns text, and keeps the
+output stable so recorded results can be diffed across runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+__all__ = ["render_table", "print_table"]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    text_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for position, cell in enumerate(row):
+            widths[position] = max(widths[position], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for position, cell in enumerate(cells):
+            parts.append(cell.ljust(widths[position]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(list(headers)))
+    lines.append(render_row(["-" * width for width in widths]))
+    lines.extend(render_row(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+) -> None:
+    """Print :func:`render_table` output followed by a blank line."""
+    print(render_table(headers, rows, title=title))
+    print()

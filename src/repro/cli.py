@@ -1,0 +1,325 @@
+"""Command-line interface.
+
+Exposes the library's protocol registry for quick exploration::
+
+    python -m repro list
+    python -m repro verify diffusing --size 4
+    python -m repro verify token-ring --fairness none
+    python -m repro simulate dijkstra-ring --size 10 --trials 20
+    python -m repro render token-ring --size 5
+
+``verify`` runs exhaustive T-tolerance checking on a small instance of
+the chosen protocol; ``simulate`` measures stabilization from random
+corruption; ``render`` prints the paper-style guarded-command listing.
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.core import TRUE, Predicate, Program, render_program
+from repro.scheduler import RandomScheduler
+from repro.simulation import stabilization_trials
+from repro.verification import check_tolerance
+
+__all__ = ["main", "PROTOCOLS"]
+
+
+@dataclass(frozen=True)
+class RegisteredProtocol:
+    """A protocol the CLI can build at a parameterized size."""
+
+    name: str
+    description: str
+    #: size -> (program, invariant). ``size`` means nodes/machines.
+    build: Callable[[int], tuple[Program, Predicate]]
+    default_size: int
+    #: Largest size safe for exhaustive verification.
+    max_verify_size: int
+
+
+def _build_diffusing(size: int):
+    from repro.protocols.diffusing import build_diffusing_design, diffusing_invariant
+    from repro.topology import random_tree
+
+    tree = random_tree(size, seed=1)
+    design = build_diffusing_design(tree)
+    return design.program, diffusing_invariant(tree)
+
+
+def _build_token_ring(size: int):
+    from repro.protocols.token_ring import build_token_ring_design, ring_invariant
+    from repro.topology import Ring
+
+    design = build_token_ring_design(size)
+    return design.program, ring_invariant(Ring(size))
+
+
+def _build_dijkstra(size: int):
+    from repro.protocols.token_ring import build_dijkstra_ring
+
+    return build_dijkstra_ring(size, k=size + 1)
+
+
+def _build_mp_ring(size: int):
+    from repro.protocols.mp_token_ring import build_mp_token_ring
+
+    return build_mp_token_ring(size, k=max(3, size - 1))
+
+
+def _build_coloring(size: int):
+    from repro.protocols.coloring import build_coloring_design, coloring_invariant
+    from repro.topology import random_tree
+
+    tree = random_tree(size, seed=1)
+    design = build_coloring_design(tree, k=3)
+    return design.program, coloring_invariant(tree)
+
+
+def _build_leader(size: int):
+    from repro.protocols.leader_election import (
+        build_leader_election_design,
+        election_invariant,
+    )
+    from repro.topology import random_tree
+
+    tree = random_tree(size, seed=1)
+    design = build_leader_election_design(tree)
+    return design.program, election_invariant(tree)
+
+
+def _build_spanning(size: int):
+    from repro.protocols.spanning_tree import (
+        build_spanning_tree_program,
+        spanning_tree_invariant,
+    )
+    from repro.topology import random_connected_graph
+
+    graph = random_connected_graph(size, size // 2, seed=1)
+    return build_spanning_tree_program(graph, 0), spanning_tree_invariant(graph, 0)
+
+
+def _build_matching(size: int):
+    from repro.protocols.matching import build_matching_program, matching_invariant
+    from repro.topology import random_connected_graph
+
+    graph = random_connected_graph(size, size // 2, seed=1)
+    return build_matching_program(graph), matching_invariant(graph)
+
+
+def _build_mis(size: int):
+    from repro.protocols.independent_set import build_mis_program, mis_invariant
+    from repro.topology import random_connected_graph
+
+    graph = random_connected_graph(size, size // 2, seed=1)
+    return build_mis_program(graph), mis_invariant(graph)
+
+
+def _build_graph_coloring(size: int):
+    from repro.protocols.graph_coloring import (
+        build_graph_coloring_program,
+        graph_coloring_invariant,
+    )
+    from repro.topology import random_connected_graph
+
+    graph = random_connected_graph(size, size // 2, seed=1)
+    return build_graph_coloring_program(graph), graph_coloring_invariant(graph)
+
+
+def _build_four_state(size: int):
+    from repro.protocols.four_state_ring import (
+        build_four_state_line,
+        four_state_invariant,
+    )
+
+    program = build_four_state_line(size)
+    return program, four_state_invariant(program)
+
+
+def _build_reset(size: int):
+    from repro.protocols.reset import build_reset_program, reset_target
+    from repro.topology import random_tree
+
+    tree = random_tree(size, seed=1)
+    return build_reset_program(tree, app_values=2), reset_target(tree)
+
+
+PROTOCOLS: dict[str, RegisteredProtocol] = {
+    p.name: p
+    for p in [
+        RegisteredProtocol(
+            "diffusing", "stabilizing diffusing computation (paper S5.1)",
+            _build_diffusing, 7, 7,
+        ),
+        RegisteredProtocol(
+            "token-ring", "the paper's token ring over unbounded counters (S7.1)",
+            _build_token_ring, 5, 0,  # unbounded domain: no exhaustive check
+        ),
+        RegisteredProtocol(
+            "dijkstra-ring", "Dijkstra's K-state ring (K = size + 1)",
+            _build_dijkstra, 5, 5,
+        ),
+        RegisteredProtocol(
+            "mp-ring", "message-passing token ring (S7.1 reader exercise)",
+            _build_mp_ring, 4, 4,
+        ),
+        RegisteredProtocol(
+            "coloring", "stabilizing tree coloring", _build_coloring, 6, 6,
+        ),
+        RegisteredProtocol(
+            "leader-election", "stabilizing leader election on a tree",
+            _build_leader, 5, 5,
+        ),
+        RegisteredProtocol(
+            "spanning-tree", "stabilizing BFS spanning tree",
+            _build_spanning, 4, 4,
+        ),
+        RegisteredProtocol(
+            "matching", "Hsu-Huang maximal matching", _build_matching, 5, 5,
+        ),
+        RegisteredProtocol(
+            "mis", "maximal independent set", _build_mis, 6, 6,
+        ),
+        RegisteredProtocol(
+            "graph-coloring", "greedy graph coloring", _build_graph_coloring, 5, 5,
+        ),
+        RegisteredProtocol(
+            "four-state", "Dijkstra's four-state line", _build_four_state, 5, 6,
+        ),
+        RegisteredProtocol(
+            "reset", "distributed reset on diffusing waves", _build_reset, 4, 4,
+        ),
+    ]
+}
+
+
+def _command_list(_args: argparse.Namespace) -> int:
+    width = max(len(name) for name in PROTOCOLS)
+    for name, entry in PROTOCOLS.items():
+        print(f"{name.ljust(width)}  {entry.description}")
+    return 0
+
+
+def _resolve(name: str) -> RegisteredProtocol:
+    try:
+        return PROTOCOLS[name]
+    except KeyError:
+        known = ", ".join(PROTOCOLS)
+        raise SystemExit(f"unknown protocol {name!r}; known: {known}")
+
+
+def _command_verify(args: argparse.Namespace) -> int:
+    entry = _resolve(args.protocol)
+    size = args.size if args.size is not None else min(
+        entry.default_size, entry.max_verify_size or entry.default_size
+    )
+    if entry.max_verify_size == 0:
+        print(
+            f"{entry.name} uses unbounded domains; exhaustive verification "
+            "is unavailable — use `simulate`, or verify `dijkstra-ring`."
+        )
+        return 2
+    if size > entry.max_verify_size:
+        print(
+            f"size {size} exceeds the exhaustive budget for {entry.name} "
+            f"(max {entry.max_verify_size})"
+        )
+        return 2
+    program, invariant = entry.build(size)
+    report = check_tolerance(
+        program, invariant, TRUE, program.state_space(), fairness=args.fairness
+    )
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    entry = _resolve(args.protocol)
+    size = args.size if args.size is not None else entry.default_size
+    program, invariant = entry.build(size)
+    stats = stabilization_trials(
+        program,
+        invariant,
+        lambda seed: RandomScheduler(seed),
+        trials=args.trials,
+        max_steps=args.max_steps,
+        base_seed=args.seed,
+    )
+    print(
+        f"{entry.name} (size {size}): {stats.stabilized_count}/{args.trials} "
+        f"trials stabilized"
+    )
+    if stats.steps is not None:
+        print(f"steps to stabilize: {stats.steps}")
+    return 0 if stats.all_stabilized else 1
+
+
+def _command_render(args: argparse.Namespace) -> int:
+    entry = _resolve(args.protocol)
+    size = args.size if args.size is not None else entry.default_size
+    program, _ = entry.build(size)
+    print(render_program(program))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Nonmasking fault-tolerance toolkit (Arora-Gouda-Varghese 1994)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list registered protocols").set_defaults(
+        handler=_command_list
+    )
+
+    verify = commands.add_parser(
+        "verify", help="exhaustively verify T-tolerance on a small instance"
+    )
+    verify.add_argument("protocol")
+    verify.add_argument("--size", type=int, default=None)
+    verify.add_argument(
+        "--fairness", choices=("weak", "none"), default="weak",
+        help="computation model for convergence",
+    )
+    verify.set_defaults(handler=_command_verify)
+
+    simulate = commands.add_parser(
+        "simulate", help="measure stabilization from random corruption"
+    )
+    simulate.add_argument("protocol")
+    simulate.add_argument("--size", type=int, default=None)
+    simulate.add_argument("--trials", type=int, default=20)
+    simulate.add_argument("--max-steps", type=int, default=200_000)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(handler=_command_simulate)
+
+    render = commands.add_parser(
+        "render", help="print the paper-style program listing"
+    )
+    render.add_argument("protocol")
+    render.add_argument("--size", type=int, default=None)
+    render.set_defaults(handler=_command_render)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piped into `head`); exit quietly.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

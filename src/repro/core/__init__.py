@@ -1,0 +1,114 @@
+"""Core formal model and design method.
+
+This package implements the paper's program model (Section 2), the
+design method and fault-tolerance definitions (Section 3), constraint
+graphs (Section 4), and the three theorems (Sections 5–7).
+"""
+
+from repro.core.actions import Action, Assignment
+from repro.core.candidate import CandidateTriple, DecompositionReport
+from repro.core.composition import parallel, superpose
+from repro.core.constraint_graph import ConstraintGraph, GraphEdge, GraphNode
+from repro.core.constraints import Constraint, ConvergenceBinding, conjunction
+from repro.core.design import DesignReport, NonmaskingDesign, augment
+from repro.core.domains import (
+    BooleanDomain,
+    Domain,
+    EnumDomain,
+    FiniteDomain,
+    IntegerDomain,
+    IntegerRangeDomain,
+    ModularDomain,
+)
+from repro.core.errors import (
+    ActionNotEnabledError,
+    DesignError,
+    DomainError,
+    IllFormedGraphError,
+    ReproError,
+    StateSpaceTooLargeError,
+    UnknownVariableError,
+    ValidationError,
+)
+from repro.core.predicates import FALSE, TRUE, Predicate, all_of, any_of, var_equals
+from repro.core.pretty import render_program
+from repro.core.preservation import (
+    PreservationResult,
+    PreservationViolation,
+    preserves,
+)
+from repro.core.program import Program
+from repro.core.state import State, count_states, enumerate_states, random_state
+from repro.core.theorems import (
+    ConditionResult,
+    TheoremCertificate,
+    find_linear_order,
+    validate_theorem1,
+    validate_theorem2,
+    validate_theorem3,
+)
+from repro.core.variables import Variable, var_name
+from repro.core.variant import (
+    VariantReport,
+    check_variant_strict,
+    check_variant_weak,
+)
+
+__all__ = [
+    "Action",
+    "ActionNotEnabledError",
+    "Assignment",
+    "BooleanDomain",
+    "CandidateTriple",
+    "ConditionResult",
+    "Constraint",
+    "ConstraintGraph",
+    "ConvergenceBinding",
+    "DecompositionReport",
+    "DesignError",
+    "DesignReport",
+    "Domain",
+    "DomainError",
+    "EnumDomain",
+    "FALSE",
+    "FiniteDomain",
+    "GraphEdge",
+    "GraphNode",
+    "IllFormedGraphError",
+    "IntegerDomain",
+    "IntegerRangeDomain",
+    "ModularDomain",
+    "NonmaskingDesign",
+    "Predicate",
+    "PreservationResult",
+    "PreservationViolation",
+    "Program",
+    "ReproError",
+    "State",
+    "StateSpaceTooLargeError",
+    "TheoremCertificate",
+    "TRUE",
+    "UnknownVariableError",
+    "ValidationError",
+    "Variable",
+    "VariantReport",
+    "all_of",
+    "any_of",
+    "augment",
+    "check_variant_strict",
+    "check_variant_weak",
+    "conjunction",
+    "count_states",
+    "enumerate_states",
+    "find_linear_order",
+    "parallel",
+    "preserves",
+    "random_state",
+    "render_program",
+    "superpose",
+    "validate_theorem1",
+    "validate_theorem2",
+    "validate_theorem3",
+    "var_equals",
+    "var_name",
+]

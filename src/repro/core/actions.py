@@ -1,0 +1,134 @@
+"""Guarded actions.
+
+An action has the form ``guard -> statement`` (Section 2). The guard is a
+:class:`~repro.core.predicates.Predicate`; the statement is an
+:class:`Assignment` mapping written variables to new values. Statements
+always terminate — an assignment evaluates each right-hand side against
+the *old* state and applies all writes simultaneously, which matches the
+paper's multiple-assignment notation ``c.j, sn.j := c.(P.j), sn.(P.j)``.
+
+Every action declares its exact read set and write set. The constraint
+graph (Section 4) is defined in terms of these sets, so they are explicit
+rather than inferred: an action constructor rejects a read set that does
+not cover its guard's support, which catches the most common mistake.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Mapping
+from typing import Any, Hashable
+
+from repro.core.errors import ActionNotEnabledError
+from repro.core.predicates import Predicate
+from repro.core.state import State
+
+__all__ = ["Assignment", "Action"]
+
+
+class Assignment:
+    """A simultaneous multiple assignment.
+
+    Maps variable names to either constants or callables of the old state::
+
+        Assignment({
+            "c.3": lambda s: s["c.2"],   # copy parent's color
+            "sn.3": lambda s: s["sn.2"],  # copy parent's session number
+        })
+
+    All right-hand sides are evaluated against the old state before any
+    write is applied.
+    """
+
+    __slots__ = ("_updates",)
+
+    def __init__(self, updates: Mapping[str, Callable[[State], Any] | Any]) -> None:
+        if not updates:
+            raise ValueError("an assignment must write at least one variable")
+        self._updates = dict(updates)
+
+    @property
+    def writes(self) -> frozenset[str]:
+        """The names of the variables this assignment writes."""
+        return frozenset(self._updates)
+
+    def evaluate(self, state: Mapping[str, Any]) -> dict[str, Any]:
+        """Evaluate every right-hand side against ``state`` without applying.
+
+        Accepts any mapping (not just :class:`State`), which lets
+        refinement tools evaluate an assignment against a *view* of a
+        state with some variables redirected.
+        """
+        return {
+            name: (rhs(state) if callable(rhs) else rhs)
+            for name, rhs in self._updates.items()
+        }
+
+    def apply(self, state: State) -> State:
+        """Apply the assignment to ``state``, returning the new state."""
+        return state.update(self.evaluate(state))
+
+    def __repr__(self) -> str:
+        targets = ", ".join(sorted(self._updates))
+        return f"Assignment({targets})"
+
+
+class Action:
+    """A guarded action ``guard -> statement``.
+
+    Attributes:
+        name: Unique, human-readable identifier (appears in traces,
+            constraint graphs, and counterexamples).
+        guard: Enabling predicate.
+        effect: The statement, an :class:`Assignment`.
+        reads: Exact set of variables the action may read — the union of
+            the guard's support and every variable a right-hand side
+            consults. Must be declared explicitly because right-hand sides
+            are opaque callables.
+        writes: Derived from ``effect``.
+        process: Optional owning process, for distributed designs and
+            per-process daemons.
+    """
+
+    __slots__ = ("name", "guard", "effect", "reads", "writes", "process")
+
+    def __init__(
+        self,
+        name: str,
+        guard: Predicate,
+        effect: Assignment,
+        *,
+        reads: Iterable[str],
+        process: Hashable = None,
+    ) -> None:
+        self.name = name
+        self.guard = guard
+        self.effect = effect
+        self.reads = frozenset(reads)
+        self.writes = effect.writes
+        self.process = process
+        if guard.support is not None and not guard.support <= self.reads:
+            missing = sorted(guard.support - self.reads)
+            raise ValueError(
+                f"action {name!r} declares reads that omit guard variables "
+                f"{missing}; declare every variable the action consults"
+            )
+
+    def enabled(self, state: State) -> bool:
+        """Whether the guard holds at ``state``."""
+        return self.guard(state)
+
+    def execute(self, state: State) -> State:
+        """Execute the action at ``state``.
+
+        Raises:
+            ActionNotEnabledError: if the guard does not hold — executing
+                a disabled action has no meaning in the model.
+        """
+        if not self.guard(state):
+            raise ActionNotEnabledError(
+                f"action {self.name!r} is not enabled at {state!r}"
+            )
+        return self.effect.apply(state)
+
+    def __repr__(self) -> str:
+        return f"Action({self.name!r})"

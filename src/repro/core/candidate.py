@@ -1,0 +1,130 @@
+"""Candidate triples.
+
+The design problem (Section 3) starts from a candidate triple ``(p, S, T)``
+where ``p`` consists solely of closure actions that preserve both the
+invariant ``S`` and the fault-span ``T``. The designer then supplies
+convergence actions so that the augmented program is T-tolerant for S.
+
+:class:`CandidateTriple` bundles the three pieces together with the
+constraint decomposition of ``S`` and provides exhaustive sanity checks
+on finite instances:
+
+- the decomposition property ``(and of constraints) and T == S``;
+- closure of ``S`` and ``T`` under the candidate's actions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.constraints import Constraint, conjunction
+from repro.core.errors import DesignError
+from repro.core.predicates import TRUE, Predicate
+from repro.core.program import Program
+from repro.core.state import State
+
+__all__ = ["CandidateTriple", "DecompositionReport"]
+
+
+@dataclass(frozen=True)
+class DecompositionReport:
+    """Outcome of checking the constraint decomposition over states.
+
+    The design method requires ``(and constraints) and T  =>  S`` —
+    convergence drives the program into the constraints' conjunction, and
+    that must land inside the invariant. The paper states the stronger
+    "equivales" for the general method, but its own token-ring design
+    (Section 7.1) deliberately picks constraints *stronger* than ``S``
+    ("we propose to satisfy the second conjunct by satisfying the
+    constraints ``x.j = x.(j+1)``"), so implication is the binding
+    requirement and ``equivalent`` is reported separately.
+    """
+
+    ok: bool
+    equivalent: bool
+    checked: int
+    #: States where ``(and constraints) and T`` holds but ``S`` does not.
+    mismatches: tuple[State, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+@dataclass(frozen=True)
+class CandidateTriple:
+    """A program of closure actions, its invariant, and its fault-span.
+
+    Attributes:
+        program: The closure actions only (``p`` in the paper).
+        invariant: ``S`` — states from which every computation meets the
+            specification.
+        constraints: The decomposition of ``S`` into locally checkable
+            conjuncts. Together with ``fault_span`` their conjunction must
+            equal ``S``.
+        fault_span: ``T`` — the set of states reachable in the presence of
+            the tolerated faults. ``TRUE`` for stabilizing programs.
+    """
+
+    program: Program
+    invariant: Predicate
+    constraints: tuple[Constraint, ...]
+    fault_span: Predicate = TRUE
+
+    def __post_init__(self) -> None:
+        if not self.constraints:
+            raise DesignError("a candidate triple needs at least one constraint")
+        names = [c.name for c in self.constraints]
+        if len(set(names)) != len(names):
+            raise DesignError(f"duplicate constraint names in {names}")
+        unknown = frozenset().union(*(c.support for c in self.constraints))
+        unknown -= self.program.variable_names
+        if unknown:
+            raise DesignError(
+                f"constraints reference undeclared variables {sorted(unknown)}"
+            )
+
+    def constraint(self, name: str) -> Constraint:
+        """The constraint with the given name."""
+        for c in self.constraints:
+            if c.name == name:
+                return c
+        raise KeyError(f"no constraint named {name!r}")
+
+    def constraints_conjunction(self) -> Predicate:
+        """The conjunction of all constraints (without ``T``)."""
+        return conjunction(self.constraints, name="and(constraints)")
+
+    def check_decomposition(
+        self, states: Iterable[State], *, max_mismatches: int = 5
+    ) -> DecompositionReport:
+        """Exhaustively check the decomposition over ``states``.
+
+        ``ok`` requires ``(and constraints) and T => S``; ``equivalent``
+        additionally reports whether the reverse implication held too.
+        """
+        conj = self.constraints_conjunction()
+        mismatches: list[State] = []
+        equivalent = True
+        checked = 0
+        for state in states:
+            checked += 1
+            lhs = conj(state) and self.fault_span(state)
+            rhs = self.invariant(state)
+            if lhs and not rhs:
+                if len(mismatches) < max_mismatches:
+                    mismatches.append(state)
+            if lhs != rhs:
+                equivalent = False
+        return DecompositionReport(
+            ok=not mismatches,
+            equivalent=equivalent,
+            checked=checked,
+            mismatches=tuple(mismatches),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CandidateTriple({self.program.name!r}, S={self.invariant.name!r}, "
+            f"T={self.fault_span.name!r}, {len(self.constraints)} constraints)"
+        )

@@ -1,0 +1,85 @@
+"""Program composition.
+
+Distributed systems are built by composing protocols — the paper's
+Section 5.1 applications (snapshot, termination detection, distributed
+reset) all ride on a diffusing computation. This module provides the two
+composition forms the library's protocols use:
+
+- :func:`parallel` — the union of two programs. Shared variables must
+  agree on their domains; action names must not collide. The composite's
+  computations interleave both programs' actions; a predicate closed in
+  both components is closed in the composite.
+- :func:`superpose` — layered composition: the *base* program is
+  untouched (its variables are read-only to the superposed layer) and
+  the layer's actions may read base variables but write only its own.
+  Superposition preserves every property of the base program by
+  construction — the checker-friendly way to add monitors, counters, or
+  application payloads on top of a stabilizing protocol.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import DesignError
+from repro.core.program import Program
+
+__all__ = ["parallel", "superpose"]
+
+
+def parallel(first: Program, second: Program, *, name: str | None = None) -> Program:
+    """The union composition ``first || second``.
+
+    Raises:
+        DesignError: on action-name collisions or on shared variables
+            with different domains (ownership must agree too).
+    """
+    variables = dict(first.variables)
+    for var_name, variable in second.variables.items():
+        if var_name in variables:
+            existing = variables[var_name]
+            if existing.domain != variable.domain:
+                raise DesignError(
+                    f"shared variable {var_name!r} has different domains in "
+                    "the two components"
+                )
+            if existing.process != variable.process:
+                raise DesignError(
+                    f"shared variable {var_name!r} has different owners in "
+                    "the two components"
+                )
+        else:
+            variables[var_name] = variable
+    first_names = {action.name for action in first.actions}
+    for action in second.actions:
+        if action.name in first_names:
+            raise DesignError(
+                f"action name {action.name!r} appears in both components; "
+                "rename one side"
+            )
+    return Program(
+        name if name is not None else f"({first.name} || {second.name})",
+        variables.values(),
+        (*first.actions, *second.actions),
+    )
+
+
+def superpose(base: Program, layer: Program, *, name: str | None = None) -> Program:
+    """Layered composition: ``layer`` observes ``base`` but cannot write it.
+
+    Raises:
+        DesignError: if any layer action writes a base variable (that
+            would be interference, not superposition), or on name
+            collisions.
+    """
+    base_variables = set(base.variables)
+    for action in layer.actions:
+        touched = action.writes & base_variables
+        if touched:
+            raise DesignError(
+                f"layer action {action.name!r} writes base variables "
+                f"{sorted(touched)}; superposition must be write-disjoint"
+            )
+    return parallel(
+        base,
+        layer,
+        name=name if name is not None else f"{base.name}+{layer.name}",
+    )

@@ -1,0 +1,124 @@
+"""Constraints and convergence bindings.
+
+The design method (Section 3) partitions the invariant ``S`` into
+*constraints* — predicates that can each be independently checked and
+established by some program action — such that::
+
+    (conjunction of all constraints) and T   ==   S
+
+For each constraint ``c`` the designer supplies one *convergence action*
+of the form ``not c -> "establish c while preserving T"``. The pairing of
+a constraint with its convergence action is a :class:`ConvergenceBinding`.
+
+The paper also merges convergence actions with closure actions that share
+a statement (the diffusing computation merges the propagation action with
+the convergence action for ``R.j``). A binding therefore only requires the
+action's guard to be *implied by* ``not c`` — i.e. the action must fire
+whenever the constraint is violated — rather than to equal it; strictness
+is checked separately, see :meth:`ConvergenceBinding.guard_is_strict`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.actions import Action
+from repro.core.errors import DesignError
+from repro.core.predicates import Predicate, all_of
+from repro.core.state import State
+
+__all__ = ["Constraint", "ConvergenceBinding", "conjunction"]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One conjunct of the invariant that can be locally checked.
+
+    Attributes:
+        name: Identifier used in constraint graphs and reports,
+            e.g. ``"R.3"`` in the diffusing computation.
+        predicate: The constraint itself. Its support must be declared —
+            the constraint graph is defined in terms of which variables a
+            constraint (and its convergence action) touches.
+    """
+
+    name: str
+    predicate: Predicate
+
+    def __post_init__(self) -> None:
+        if self.predicate.support is None:
+            raise DesignError(
+                f"constraint {self.name!r} has a predicate without a declared "
+                "support; the constraint graph requires exact variable sets"
+            )
+
+    def holds(self, state: State) -> bool:
+        return self.predicate(state)
+
+    @property
+    def support(self) -> frozenset[str]:
+        assert self.predicate.support is not None  # enforced in __post_init__
+        return self.predicate.support
+
+    def __repr__(self) -> str:
+        return f"Constraint({self.name!r}: {self.predicate.name})"
+
+
+@dataclass(frozen=True)
+class ConvergenceBinding:
+    """A constraint paired with the convergence action that establishes it.
+
+    The binding is the unit the constraint graph is built from: the edge
+    for this binding ends at the node containing ``action.writes`` and
+    starts at the node contributing the remaining reads.
+    """
+
+    constraint: Constraint
+    action: Action
+
+    def violated_implies_enabled(self, states: Iterable[State]) -> bool:
+        """Check ``not c => guard`` over ``states``.
+
+        A convergence action must be enabled whenever its constraint is
+        violated, otherwise a violated constraint could persist forever.
+        This is an exhaustive check over the supplied states (typically
+        the full space of a finite instance).
+        """
+        return all(
+            self.action.enabled(state)
+            for state in states
+            if not self.constraint.holds(state)
+        )
+
+    def establishes_constraint(self, states: Iterable[State]) -> bool:
+        """Check that executing the action yields a state satisfying ``c``.
+
+        Exhaustive over the supplied states where the action is enabled.
+        """
+        return all(
+            self.constraint.holds(self.action.execute(state))
+            for state in states
+            if self.action.enabled(state)
+        )
+
+    def guard_is_strict(self, states: Iterable[State]) -> bool:
+        """Whether the guard equals ``not c`` exactly over ``states``.
+
+        Pure convergence actions (enabled only when the constraint is
+        violated) trivially preserve ``S``; merged closure/convergence
+        actions are not strict and must be validated as closure actions
+        too.
+        """
+        return all(
+            self.action.enabled(state) == (not self.constraint.holds(state))
+            for state in states
+        )
+
+    def __repr__(self) -> str:
+        return f"ConvergenceBinding({self.constraint.name!r} <- {self.action.name!r})"
+
+
+def conjunction(constraints: Iterable[Constraint], *, name: str = "S") -> Predicate:
+    """The conjunction of the constraints' predicates, as one predicate."""
+    return all_of([c.predicate for c in constraints], name=name)

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class. Each subclass corresponds to one misuse mode of
+the formal model: values outside a variable's domain, references to unknown
+variables, actions executed while disabled, ill-formed constraint graphs,
+and state spaces too large to enumerate exhaustively.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DomainError",
+    "UnknownVariableError",
+    "ActionNotEnabledError",
+    "IllFormedGraphError",
+    "StateSpaceTooLargeError",
+    "ValidationError",
+    "DesignError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class DomainError(ReproError):
+    """A value was assigned to a variable but lies outside its domain."""
+
+
+class UnknownVariableError(ReproError):
+    """A variable name was referenced that the program does not declare."""
+
+
+class ActionNotEnabledError(ReproError):
+    """An action was executed in a state where its guard does not hold."""
+
+
+class IllFormedGraphError(ReproError):
+    """A constraint graph violates the paper's well-formedness rules.
+
+    The rules (Section 4 of the paper): node labels are mutually exclusive
+    variable sets; the action on an edge ``v -> w`` reads only variables in
+    ``vars(v) | vars(w)`` and writes only variables in ``vars(w)``.
+    """
+
+
+class StateSpaceTooLargeError(ReproError):
+    """Exhaustive enumeration was requested over an infinite or huge space."""
+
+
+class ValidationError(ReproError):
+    """A verification step failed in a way that is a usage error.
+
+    Used for misconfigured checks (for example asking for a fairness mode
+    that does not exist), not for the legitimate "property does not hold"
+    outcome, which is reported through result objects.
+    """
+
+
+class DesignError(ReproError):
+    """A design-method precondition was violated.
+
+    For example: a convergence binding whose action guard is not implied by
+    the negation of its constraint, or a layer partition that does not cover
+    all convergence actions.
+    """

@@ -1,0 +1,290 @@
+"""A small expression DSL for guards and assignments.
+
+The core model takes guards and right-hand sides as opaque callables,
+which forces every action to declare its read set by hand and to carry a
+hand-written display name. This module provides symbolic expressions
+that carry their own variable support and render themselves::
+
+    from repro.core.expr import V, C
+
+    x, y, z = V("x"), V("y"), V("z")
+    guard = (x == y)                     # BoolExpr
+    action = expr_action("lower-y", guard, {"y": x - 1}, process="y")
+
+    action.reads == frozenset({"x", "y"})   # inferred
+    action.guard.name == "(x = y)"          # rendered
+
+Expressions evaluate against states via ``__call__``; boolean
+expressions convert to :class:`~repro.core.predicates.Predicate` with
+:meth:`BoolExpr.predicate`. The DSL is sugar — everything lowers to the
+same :class:`~repro.core.actions.Action` objects the rest of the library
+consumes — so hand-written and DSL-built protocols mix freely.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from typing import Any
+
+from repro.core.actions import Action, Assignment
+from repro.core.predicates import Predicate
+
+__all__ = ["Expr", "BoolExpr", "V", "C", "ite", "min_", "max_", "expr_action"]
+
+
+class Expr:
+    """A symbolic expression over program variables."""
+
+    def variables(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def __call__(self, state: Mapping[str, Any]) -> Any:
+        raise NotImplementedError
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.render()
+
+    # -- arithmetic ----------------------------------------------------
+    def __add__(self, other: Any) -> "Expr":
+        return _Binary(self, _lift(other), "+", lambda a, b: a + b)
+
+    def __radd__(self, other: Any) -> "Expr":
+        return _Binary(_lift(other), self, "+", lambda a, b: a + b)
+
+    def __sub__(self, other: Any) -> "Expr":
+        return _Binary(self, _lift(other), "-", lambda a, b: a - b)
+
+    def __rsub__(self, other: Any) -> "Expr":
+        return _Binary(_lift(other), self, "-", lambda a, b: a - b)
+
+    def __mul__(self, other: Any) -> "Expr":
+        return _Binary(self, _lift(other), "*", lambda a, b: a * b)
+
+    def __rmul__(self, other: Any) -> "Expr":
+        return _Binary(_lift(other), self, "*", lambda a, b: a * b)
+
+    def __mod__(self, other: Any) -> "Expr":
+        return _Binary(self, _lift(other), "mod", lambda a, b: a % b)
+
+    # -- comparisons (produce BoolExpr) --------------------------------
+    def __eq__(self, other: Any) -> "BoolExpr":  # type: ignore[override]
+        return BoolExpr(self, _lift(other), "=", lambda a, b: a == b)
+
+    def __ne__(self, other: Any) -> "BoolExpr":  # type: ignore[override]
+        return BoolExpr(self, _lift(other), "!=", lambda a, b: a != b)
+
+    def __lt__(self, other: Any) -> "BoolExpr":
+        return BoolExpr(self, _lift(other), "<", lambda a, b: a < b)
+
+    def __le__(self, other: Any) -> "BoolExpr":
+        return BoolExpr(self, _lift(other), "<=", lambda a, b: a <= b)
+
+    def __gt__(self, other: Any) -> "BoolExpr":
+        return BoolExpr(self, _lift(other), ">", lambda a, b: a > b)
+
+    def __ge__(self, other: Any) -> "BoolExpr":
+        return BoolExpr(self, _lift(other), ">=", lambda a, b: a >= b)
+
+    __hash__ = object.__hash__  # identity; == is overloaded symbolically
+
+
+class _Var(Expr):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def __call__(self, state: Mapping[str, Any]) -> Any:
+        return state[self.name]
+
+    def render(self) -> str:
+        return self.name
+
+
+class _Const(Expr):
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def __call__(self, state: Mapping[str, Any]) -> Any:
+        return self.value
+
+    def render(self) -> str:
+        return repr(self.value) if isinstance(self.value, str) else str(self.value)
+
+
+class _Binary(Expr):
+    __slots__ = ("left", "right", "symbol", "op")
+
+    def __init__(self, left: Expr, right: Expr, symbol: str,
+                 op: Callable[[Any, Any], Any]) -> None:
+        self.left = left
+        self.right = right
+        self.symbol = symbol
+        self.op = op
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __call__(self, state: Mapping[str, Any]) -> Any:
+        return self.op(self.left(state), self.right(state))
+
+    def render(self) -> str:
+        return f"({self.left.render()} {self.symbol} {self.right.render()})"
+
+
+class BoolExpr(_Binary):
+    """A boolean-valued expression; supports ``&``, ``|``, ``~``."""
+
+    def __and__(self, other: "BoolExpr") -> "BoolExpr":
+        return BoolExpr(self, other, "and", lambda a, b: a and b)
+
+    def __or__(self, other: "BoolExpr") -> "BoolExpr":
+        return BoolExpr(self, other, "or", lambda a, b: a or b)
+
+    def __invert__(self) -> "BoolExpr":
+        return _Not(self)
+
+    def predicate(self, *, name: str | None = None) -> Predicate:
+        """Lower to a :class:`Predicate` with inferred support."""
+        return Predicate(
+            lambda state: bool(self(state)),
+            name=name if name is not None else self.render(),
+            support=self.variables(),
+        )
+
+
+class _Not(BoolExpr):
+    def __init__(self, inner: BoolExpr) -> None:
+        # A unary node wearing the binary interface: both sides inner.
+        super().__init__(inner, inner, "not", lambda a, b: not a)
+        self.inner = inner
+
+    def variables(self) -> frozenset[str]:
+        return self.inner.variables()
+
+    def __call__(self, state: Mapping[str, Any]) -> Any:
+        return not self.inner(state)
+
+    def render(self) -> str:
+        return f"not {self.inner.render()}"
+
+
+class _Ite(Expr):
+    __slots__ = ("condition", "then", "otherwise")
+
+    def __init__(self, condition: BoolExpr, then: Expr, otherwise: Expr) -> None:
+        self.condition = condition
+        self.then = then
+        self.otherwise = otherwise
+
+    def variables(self) -> frozenset[str]:
+        return (
+            self.condition.variables()
+            | self.then.variables()
+            | self.otherwise.variables()
+        )
+
+    def __call__(self, state: Mapping[str, Any]) -> Any:
+        return self.then(state) if self.condition(state) else self.otherwise(state)
+
+    def render(self) -> str:
+        return (
+            f"(if {self.condition.render()} then {self.then.render()} "
+            f"else {self.otherwise.render()})"
+        )
+
+
+class _Fold(Expr):
+    __slots__ = ("items", "op", "label")
+
+    def __init__(self, items: tuple[Expr, ...], op: Callable, label: str) -> None:
+        if not items:
+            raise ValueError(f"{label} needs at least one operand")
+        self.items = items
+        self.op = op
+        self.label = label
+
+    def variables(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for item in self.items:
+            out |= item.variables()
+        return out
+
+    def __call__(self, state: Mapping[str, Any]) -> Any:
+        return self.op(item(state) for item in self.items)
+
+    def render(self) -> str:
+        inner = ", ".join(item.render() for item in self.items)
+        return f"{self.label}({inner})"
+
+
+def V(name: str) -> Expr:
+    """A variable reference."""
+    return _Var(name)
+
+
+def C(value: Any) -> Expr:
+    """A constant."""
+    return _Const(value)
+
+
+def _lift(value: Any) -> Expr:
+    return value if isinstance(value, Expr) else _Const(value)
+
+
+def ite(condition: BoolExpr, then: Any, otherwise: Any) -> Expr:
+    """If-then-else expression."""
+    return _Ite(condition, _lift(then), _lift(otherwise))
+
+
+def min_(*items: Any) -> Expr:
+    """Minimum of the operands."""
+    return _Fold(tuple(_lift(item) for item in items), min, "min")
+
+
+def max_(*items: Any) -> Expr:
+    """Maximum of the operands."""
+    return _Fold(tuple(_lift(item) for item in items), max, "max")
+
+
+def expr_action(
+    name: str,
+    guard: BoolExpr,
+    updates: Mapping[str, Any],
+    *,
+    process: Any = None,
+) -> Action:
+    """Build an :class:`Action` from symbolic guard and updates.
+
+    Read set, write set, and the guard's display name are all inferred
+    from the expressions.
+    """
+    lifted = {target: _lift(rhs) for target, rhs in updates.items()}
+    reads = set(guard.variables())
+    for rhs in lifted.values():
+        reads |= rhs.variables()
+    reads |= set(lifted)  # written variables count as read-write state
+    effect = Assignment(
+        {
+            target: (lambda state, rhs=rhs: rhs(state))
+            for target, rhs in lifted.items()
+        }
+    )
+    return Action(
+        name,
+        guard.predicate(),
+        effect,
+        reads=reads,
+        process=process,
+    )

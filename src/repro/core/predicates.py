@@ -1,0 +1,159 @@
+"""State predicates.
+
+A state predicate is a boolean expression over program variables
+(Section 2). :class:`Predicate` wraps an evaluation function together with
+a *support* — the set of variable names the predicate reads. Supports are
+what connect predicates to the constraint graph: a constraint whose support
+is contained in ``vars(v) | vars(w)`` can label the edge ``v -> w``.
+
+Predicates form a small algebra::
+
+    inside = Predicate(lambda s: s["x"] <= s["z"], name="x<=z", support={"x", "z"})
+    both = inside & distinct          # conjunction
+    either = inside | distinct       # disjunction
+    outside = ~inside                 # negation
+    weaker = inside.implies(other)    # implication
+
+Combinators union the supports and build readable names, so diagnostics
+from verification tools stay legible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from typing import Any
+
+from repro.core.state import State
+
+__all__ = ["Predicate", "TRUE", "FALSE", "all_of", "any_of", "var_equals"]
+
+
+class Predicate:
+    """A named boolean function of states with a declared support.
+
+    Attributes:
+        name: Human-readable description, used in reports and traces.
+        support: The variable names the predicate may read, or ``None``
+            when unknown. Tools that need a support (the constraint graph
+            builder) reject predicates without one.
+    """
+
+    __slots__ = ("_fn", "name", "support")
+
+    def __init__(
+        self,
+        fn: Callable[[State], bool],
+        *,
+        name: str | None = None,
+        support: Iterable[str] | None = None,
+    ) -> None:
+        self._fn = fn
+        self.name = name if name is not None else getattr(fn, "__name__", "<predicate>")
+        self.support = frozenset(support) if support is not None else None
+
+    def __call__(self, state: State) -> bool:
+        return bool(self._fn(state))
+
+    def holds(self, state: State) -> bool:
+        """Whether the predicate is true at ``state`` (alias of call)."""
+        return self(state)
+
+    def holds_everywhere(self, states: Iterable[State]) -> bool:
+        """Whether the predicate is true at every state in ``states``."""
+        return all(self(state) for state in states)
+
+    def _merged_support(self, other: "Predicate") -> frozenset[str] | None:
+        if self.support is None or other.support is None:
+            return None
+        return self.support | other.support
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return Predicate(
+            lambda state: self(state) and other(state),
+            name=f"({self.name} and {other.name})",
+            support=self._merged_support(other),
+        )
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Predicate(
+            lambda state: self(state) or other(state),
+            name=f"({self.name} or {other.name})",
+            support=self._merged_support(other),
+        )
+
+    def __invert__(self) -> "Predicate":
+        return Predicate(
+            lambda state: not self(state),
+            name=f"not ({self.name})",
+            support=self.support,
+        )
+
+    def implies(self, other: "Predicate") -> "Predicate":
+        """The predicate ``self => other``."""
+        return Predicate(
+            lambda state: (not self(state)) or other(state),
+            name=f"({self.name} => {other.name})",
+            support=self._merged_support(other),
+        )
+
+    def renamed(self, name: str) -> "Predicate":
+        """A copy of this predicate carrying a new display name."""
+        return Predicate(self._fn, name=name, support=self.support)
+
+    def __repr__(self) -> str:
+        return f"Predicate({self.name!r})"
+
+
+#: The predicate that holds at every state. This is the fault-span ``T``
+#: of a *stabilizing* program (Section 5).
+TRUE = Predicate(lambda state: True, name="true", support=())
+
+#: The predicate that holds at no state.
+FALSE = Predicate(lambda state: False, name="false", support=())
+
+
+def all_of(predicates: Iterable[Predicate], *, name: str | None = None) -> Predicate:
+    """Conjunction of ``predicates``; of an empty iterable, ``TRUE``.
+
+    This is how an invariant ``S`` is recovered from its constraint
+    decomposition: ``S == all_of(constraint predicates) & T``.
+    """
+    preds = list(predicates)
+    if not preds:
+        return TRUE if name is None else TRUE.renamed(name)
+    supports = [p.support for p in preds]
+    support = None
+    if all(s is not None for s in supports):
+        support = frozenset().union(*supports)  # type: ignore[arg-type]
+    display = name if name is not None else " and ".join(p.name for p in preds)
+    return Predicate(
+        lambda state: all(p(state) for p in preds),
+        name=display,
+        support=support,
+    )
+
+
+def any_of(predicates: Iterable[Predicate], *, name: str | None = None) -> Predicate:
+    """Disjunction of ``predicates``; of an empty iterable, ``FALSE``."""
+    preds = list(predicates)
+    if not preds:
+        return FALSE if name is None else FALSE.renamed(name)
+    supports = [p.support for p in preds]
+    support = None
+    if all(s is not None for s in supports):
+        support = frozenset().union(*supports)  # type: ignore[arg-type]
+    display = name if name is not None else " or ".join(p.name for p in preds)
+    return Predicate(
+        lambda state: any(p(state) for p in preds),
+        name=display,
+        support=support,
+    )
+
+
+def var_equals(name: str, value: Any) -> Predicate:
+    """The predicate ``name == value``."""
+    return Predicate(
+        lambda state: state[name] == value,
+        name=f"{name} == {value!r}",
+        support=(name,),
+    )

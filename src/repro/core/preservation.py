@@ -1,0 +1,111 @@
+"""Exhaustive preservation checking.
+
+The paper's theorems are stated in terms of *preservation*: an action
+preserves a predicate iff executing it from any state where it is enabled
+and the predicate holds yields a state where the predicate still holds
+(Section 2). The theorems also use *conditional* preservation ("preserves
+each constraint in that partition whenever all constraints in lower
+numbered partitions hold", Theorem 3) — preservation checked only at
+states satisfying a context predicate.
+
+The paper discharges these obligations by hand proof; this module
+discharges them by exhaustive checking over finite instances, reporting
+concrete witness states on failure. That substitution is recorded in
+DESIGN.md: the antecedents are decidable on finite instances and the
+witnesses are exactly the case analysis a hand proof would perform.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.core.actions import Action
+from repro.core.predicates import Predicate
+from repro.core.state import State
+
+__all__ = ["PreservationViolation", "PreservationResult", "preserves"]
+
+
+@dataclass(frozen=True)
+class PreservationViolation:
+    """A concrete witness that an action fails to preserve a predicate."""
+
+    action: Action
+    predicate: Predicate
+    before: State
+    after: State
+
+    def describe(self) -> str:
+        return (
+            f"action {self.action.name!r} breaks {self.predicate.name!r}: "
+            f"{self.before!r} -> {self.after!r}"
+        )
+
+
+@dataclass(frozen=True)
+class PreservationResult:
+    """Outcome of an exhaustive preservation check.
+
+    ``ok`` is true iff no violation was found among the ``checked``
+    relevant states (those where the action was enabled, the predicate
+    held, and the context held).
+    """
+
+    ok: bool
+    checked: int
+    violations: tuple[PreservationViolation, ...] = field(default_factory=tuple)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def preserves(
+    action: Action,
+    predicate: Predicate,
+    states: Iterable[State],
+    *,
+    given: Predicate | None = None,
+    max_violations: int = 3,
+) -> PreservationResult:
+    """Exhaustively check that ``action`` preserves ``predicate``.
+
+    Args:
+        action: The action under test.
+        predicate: The predicate that must be preserved.
+        states: The states to check — typically every state of a finite
+            instance, or every state of the fault-span.
+        given: Optional context predicate; states where it fails are
+            skipped. This implements Theorem 3's "whenever all constraints
+            in lower numbered partitions hold".
+        max_violations: Stop collecting witnesses after this many (the
+            check still reports ``ok=False`` from the first).
+
+    Returns:
+        A :class:`PreservationResult` with witnesses on failure.
+    """
+    checked = 0
+    violations: list[PreservationViolation] = []
+    for state in states:
+        if not action.enabled(state):
+            continue
+        if not predicate(state):
+            continue
+        if given is not None and not given(state):
+            continue
+        checked += 1
+        successor = action.execute(state)
+        if not predicate(successor):
+            violations.append(
+                PreservationViolation(
+                    action=action,
+                    predicate=predicate,
+                    before=state,
+                    after=successor,
+                )
+            )
+            if len(violations) >= max_violations:
+                break
+    return PreservationResult(
+        ok=not violations, checked=checked, violations=tuple(violations)
+    )

@@ -1,0 +1,159 @@
+"""Program states.
+
+A state assigns a value to every variable of a program (Section 2 of the
+paper). States are immutable and hashable so they can serve as vertices of
+transition graphs during exhaustive verification, keys of visited-sets, and
+members of invariant/fault-span extensions.
+
+The module also provides state-space enumeration over finite domains,
+random-state sampling (used to model transient fault corruption of the
+whole state), and a size guard so exhaustive tools fail fast on spaces that
+are too large rather than looping for hours.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Iterator, Mapping
+from typing import Any
+
+from repro.core.errors import StateSpaceTooLargeError, UnknownVariableError
+from repro.core.variables import Variable
+
+__all__ = [
+    "State",
+    "enumerate_states",
+    "count_states",
+    "random_state",
+]
+
+#: Default ceiling on exhaustively enumerated state spaces. Large enough
+#: for every instance used in the paper's experiments, small enough that a
+#: misconfigured call fails in milliseconds instead of running for hours.
+DEFAULT_MAX_STATES = 5_000_000
+
+
+class State(Mapping[str, Any]):
+    """An immutable assignment of values to variable names.
+
+    ``State`` implements the ``Mapping`` protocol, so ``state["c.3"]``
+    reads a variable and ``dict(state)`` converts back to a plain dict.
+    Updates return new states::
+
+        s2 = s1.update({"c.3": "red", "sn.3": True})
+
+    Equality and hashing are by content, independent of insertion order.
+    """
+
+    __slots__ = ("_values", "_hash")
+
+    def __init__(self, values: Mapping[str, Any]) -> None:
+        self._values = dict(values)
+        self._hash: int | None = None
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self._values[name]
+        except KeyError:
+            raise UnknownVariableError(f"state has no variable {name!r}") from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._values
+
+    def update(self, changes: Mapping[str, Any]) -> "State":
+        """Return a new state with ``changes`` applied.
+
+        Every changed variable must already exist in the state; a state's
+        variable set is fixed by its program.
+        """
+        for name in changes:
+            if name not in self._values:
+                raise UnknownVariableError(
+                    f"cannot update unknown variable {name!r}"
+                )
+        merged = dict(self._values)
+        merged.update(changes)
+        return State(merged)
+
+    def project(self, names: Iterable[str]) -> "State":
+        """Return the restriction of this state to ``names``.
+
+        Useful for reasoning about the local state of one process or one
+        constraint-graph node.
+        """
+        return State({name: self[name] for name in names})
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, State):
+            return self._values == other._values
+        if isinstance(other, Mapping):
+            return self._values == dict(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._values.items()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}={self._values[name]!r}" for name in sorted(self._values)
+        )
+        return f"State({inner})"
+
+
+def count_states(variables: Iterable[Variable]) -> int:
+    """The number of states over ``variables``.
+
+    Raises:
+        StateSpaceTooLargeError: if any variable's domain is infinite.
+    """
+    total = 1
+    for variable in variables:
+        size = variable.domain.size()
+        if size is None:
+            raise StateSpaceTooLargeError(
+                f"variable {variable.name!r} has an infinite domain"
+            )
+        total *= size
+    return total
+
+
+def enumerate_states(
+    variables: Iterable[Variable],
+    *,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> Iterator[State]:
+    """Yield every state over ``variables`` in deterministic order.
+
+    Args:
+        variables: The program variables; all domains must be finite.
+        max_states: Guard against runaway enumeration; exceeding it raises
+            :class:`StateSpaceTooLargeError` before any state is yielded.
+    """
+    ordered = list(variables)
+    total = count_states(ordered)
+    if total > max_states:
+        raise StateSpaceTooLargeError(
+            f"state space has {total} states, above the limit of {max_states}"
+        )
+    names = [variable.name for variable in ordered]
+    domains = [tuple(variable.domain.values()) for variable in ordered]
+    for combo in itertools.product(*domains):
+        yield State(dict(zip(names, combo)))
+
+
+def random_state(variables: Iterable[Variable], rng: Any) -> State:
+    """Draw an independent uniform value for every variable.
+
+    This models the paper's strongest fault class: transient faults that
+    "arbitrarily corrupt the state of any number of nodes". Infinite
+    domains draw from their declared sampling window.
+    """
+    return State({v.name: v.domain.sample(rng) for v in variables})

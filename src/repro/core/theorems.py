@@ -1,0 +1,710 @@
+"""Machine-checked validators for the paper's three theorems.
+
+Each validator takes a candidate triple, the convergence design, and a
+finite set of states over which the preservation obligations are
+discharged exhaustively (see :mod:`repro.core.preservation` for the
+substitution of hand proofs by exhaustive checks). It returns a
+:class:`TheoremCertificate` listing every condition with a pass/fail
+verdict and concrete witnesses on failure.
+
+The certificates check the theorems' antecedents *plus* the standing
+design-method obligations from Section 3 that the theorems assume:
+
+- each convergence action is enabled whenever its constraint is violated
+  (otherwise a violation could persist forever);
+- each convergence action establishes its constraint in one step;
+- each convergence action preserves the fault-span ``T``;
+- a *merged* convergence action (one whose guard is weaker than the
+  negation of its constraint, like the paper's combined propagate action
+  in Section 5.1) behaves as a closure action when its constraint already
+  holds: it preserves every constraint from such states.
+
+When a certificate is valid, the corresponding theorem guarantees the
+augmented program is T-tolerant for S — a guarantee the verification
+subsystem (:mod:`repro.verification`) can independently confirm by model
+checking.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.actions import Action
+from repro.core.candidate import CandidateTriple
+from repro.core.constraint_graph import ConstraintGraph, GraphNode
+from repro.core.constraints import Constraint, ConvergenceBinding
+from repro.core.errors import DesignError
+from repro.core.predicates import Predicate, all_of
+from repro.core.preservation import PreservationViolation, preserves
+from repro.core.state import State
+
+__all__ = [
+    "ConditionResult",
+    "TheoremCertificate",
+    "find_linear_order",
+    "validate_theorem1",
+    "validate_theorem2",
+    "validate_theorem3",
+]
+
+
+@dataclass(frozen=True)
+class ConditionResult:
+    """One checked condition of a theorem's antecedent."""
+
+    name: str
+    ok: bool
+    detail: str = ""
+    violations: tuple[PreservationViolation, ...] = field(default_factory=tuple)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+@dataclass(frozen=True)
+class TheoremCertificate:
+    """The outcome of validating one theorem's sufficient conditions.
+
+    ``ok`` is true iff every condition passed, in which case the theorem
+    guarantees that the augmented program is T-tolerant for S.
+    """
+
+    theorem: str
+    ok: bool
+    conditions: tuple[ConditionResult, ...]
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def failures(self) -> list[ConditionResult]:
+        return [condition for condition in self.conditions if not condition.ok]
+
+    def describe(self) -> str:
+        lines = [f"{self.theorem}: {'VALID' if self.ok else 'INVALID'}"]
+        for condition in self.conditions:
+            mark = "ok " if condition.ok else "FAIL"
+            lines.append(f"  [{mark}] {condition.name}")
+            if condition.detail and not condition.ok:
+                lines.append(f"         {condition.detail}")
+            for violation in condition.violations:
+                lines.append(f"         witness: {violation.describe()}")
+        return "\n".join(lines)
+
+
+class _PreservationCache:
+    """Memoizes preservation checks keyed by (action, predicate, context).
+
+    The theorem validators re-check the same (action, constraint) pairs in
+    several conditions; over large state sets the memoization matters.
+    """
+
+    def __init__(self, states: Sequence[State]) -> None:
+        self._states = states
+        self._cache: dict[tuple[int, int, int | None], bool] = {}
+        self._witnesses: dict[tuple[int, int, int | None], tuple] = {}
+
+    def preserves(
+        self,
+        action: Action,
+        predicate: Predicate,
+        given: Predicate | None,
+    ) -> tuple[bool, tuple[PreservationViolation, ...]]:
+        key = (id(action), id(predicate), id(given) if given is not None else None)
+        if key not in self._cache:
+            result = preserves(action, predicate, self._states, given=given)
+            self._cache[key] = result.ok
+            self._witnesses[key] = result.violations
+        return self._cache[key], self._witnesses[key]
+
+
+def find_linear_order(
+    bindings: Sequence[ConvergenceBinding],
+    states: Sequence[State],
+    *,
+    given: Predicate | None = None,
+    cache: _PreservationCache | None = None,
+) -> list[ConvergenceBinding] | None:
+    """Find a linear order in which each action preserves the constraints
+    of the preceding actions (the third antecedent of Theorem 2).
+
+    Greedy and complete: any binding whose constraint is preserved by all
+    other bindings' actions can safely go first, and removing it leaves a
+    set that still admits a valid order iff one existed. Returns the order
+    or ``None`` when none exists.
+    """
+    cache = cache if cache is not None else _PreservationCache(states)
+    remaining = list(bindings)
+    order: list[ConvergenceBinding] = []
+    while remaining:
+        pick = None
+        for candidate_binding in remaining:
+            others = [b for b in remaining if b is not candidate_binding]
+            if all(
+                cache.preserves(
+                    other.action, candidate_binding.constraint.predicate, given
+                )[0]
+                for other in others
+            ):
+                pick = candidate_binding
+                break
+        if pick is None:
+            return None
+        order.append(pick)
+        remaining.remove(pick)
+    return order
+
+
+# ---------------------------------------------------------------------------
+# Shared design-method obligations
+# ---------------------------------------------------------------------------
+
+
+def _closure_preserves_constraints(
+    candidate: CandidateTriple,
+    constraints: Sequence[Constraint],
+    states: Sequence[State],
+    given: Predicate | None,
+    cache: _PreservationCache,
+    *,
+    label: str,
+    exempt_names: frozenset[str] = frozenset(),
+) -> ConditionResult:
+    """Check that closure actions preserve the given constraints.
+
+    ``exempt_names`` skips closure actions that are *identified with* one
+    of the layer's own convergence actions (the paper's Section 7.1: "the
+    second closure action is identical to the convergence action of the
+    second layer; hence execution of the one has the same effect as that
+    of the other") — those executions are covered by the layer's
+    linear-order and rank structure instead.
+    """
+    all_witnesses: list[PreservationViolation] = []
+    failed: list[str] = []
+    for action in candidate.program.actions:
+        if action.name in exempt_names:
+            continue
+        for constraint in constraints:
+            ok, witnesses = cache.preserves(action, constraint.predicate, given)
+            if not ok:
+                failed.append(f"{action.name} breaks {constraint.name}")
+                all_witnesses.extend(witnesses[:1])
+    return ConditionResult(
+        name=label,
+        ok=not failed,
+        detail="; ".join(failed),
+        violations=tuple(all_witnesses[:5]),
+    )
+
+
+def _binding_obligations(
+    candidate: CandidateTriple,
+    bindings: Sequence[ConvergenceBinding],
+    states: Sequence[State],
+    given: Predicate | None,
+    cache: _PreservationCache,
+) -> list[ConditionResult]:
+    """The standing Section 3 obligations on each convergence binding."""
+    span = candidate.fault_span
+
+    def context(state: State) -> bool:
+        return span(state) and (given is None or given(state))
+
+    enabled_fail: list[str] = []
+    establish_fail: list[str] = []
+    for binding in bindings:
+        for state in states:
+            if not context(state):
+                continue
+            if not binding.constraint.holds(state) and not binding.action.enabled(state):
+                enabled_fail.append(
+                    f"{binding.action.name} disabled while {binding.constraint.name} "
+                    f"violated at {state!r}"
+                )
+                break
+        for state in states:
+            if not context(state):
+                continue
+            if binding.action.enabled(state):
+                successor = binding.action.execute(state)
+                if not binding.constraint.holds(successor):
+                    establish_fail.append(
+                        f"{binding.action.name} leaves {binding.constraint.name} "
+                        f"violated from {state!r}"
+                    )
+                    break
+
+    span_witnesses: list[PreservationViolation] = []
+    span_fail: list[str] = []
+    for binding in bindings:
+        ok, witnesses = cache.preserves(binding.action, span, given)
+        if not ok:
+            span_fail.append(binding.action.name)
+            span_witnesses.extend(witnesses[:1])
+
+    merged_fail: list[str] = []
+    merged_witnesses: list[PreservationViolation] = []
+    all_constraints = candidate.constraints
+    for binding in bindings:
+        own = binding.constraint.predicate
+        context_pred = own if given is None else (own & given)
+        for constraint in all_constraints:
+            ok, witnesses = cache.preserves(
+                binding.action, constraint.predicate, context_pred
+            )
+            if not ok:
+                merged_fail.append(
+                    f"{binding.action.name} breaks {constraint.name} when "
+                    f"{binding.constraint.name} already holds"
+                )
+                merged_witnesses.extend(witnesses[:1])
+
+    return [
+        ConditionResult(
+            name="each convergence action is enabled whenever its constraint is violated",
+            ok=not enabled_fail,
+            detail="; ".join(enabled_fail[:3]),
+        ),
+        ConditionResult(
+            name="each convergence action establishes its constraint in one step",
+            ok=not establish_fail,
+            detail="; ".join(establish_fail[:3]),
+        ),
+        ConditionResult(
+            name="each convergence action preserves the fault-span T",
+            ok=not span_fail,
+            detail="; ".join(span_fail[:5]),
+            violations=tuple(span_witnesses[:5]),
+        ),
+        ConditionResult(
+            name=(
+                "merged convergence actions behave as closure actions when their "
+                "constraint holds (preserve every constraint)"
+            ),
+            ok=not merged_fail,
+            detail="; ".join(merged_fail[:3]),
+            violations=tuple(merged_witnesses[:5]),
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Theorem 1
+# ---------------------------------------------------------------------------
+
+
+def validate_theorem1(
+    candidate: CandidateTriple,
+    graph: ConstraintGraph,
+    states: Sequence[State],
+) -> TheoremCertificate:
+    """Validate Theorem 1: out-tree constraint graph.
+
+    Antecedents: every closure action preserves each constraint in ``S``,
+    and the constraint graph of the convergence actions is an out-tree.
+    """
+    states = list(states)
+    cache = _PreservationCache(states)
+    span = candidate.fault_span
+
+    conditions = [
+        ConditionResult(
+            name="constraint graph is an out-tree",
+            ok=graph.is_out_tree(),
+            detail=f"graph classified as {graph.classification()!r}",
+        ),
+        _closure_preserves_constraints(
+            candidate,
+            candidate.constraints,
+            states,
+            span,
+            cache,
+            label="every closure action preserves each constraint in S",
+        ),
+    ]
+    conditions.extend(
+        _binding_obligations(candidate, graph.bindings, states, None, cache)
+    )
+    return TheoremCertificate(
+        theorem="Theorem 1 (out-tree constraint graph)",
+        ok=all(condition.ok for condition in conditions),
+        conditions=tuple(conditions),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 2
+# ---------------------------------------------------------------------------
+
+
+def _per_node_orders(
+    graph: ConstraintGraph,
+    states: Sequence[State],
+    given: Predicate | None,
+    cache: _PreservationCache,
+) -> ConditionResult:
+    failures: list[str] = []
+    for node in graph.active_nodes():
+        incoming = [edge.binding for edge in graph.incoming(node)]
+        if len(incoming) <= 1:
+            continue
+        order = find_linear_order(incoming, states, given=given, cache=cache)
+        if order is None:
+            names = [binding.constraint.name for binding in incoming]
+            failures.append(
+                f"node {node.name!r}: no linear order among {names} in which "
+                "each action preserves the constraints of its predecessors"
+            )
+    return ConditionResult(
+        name=(
+            "per target node, incoming convergence actions admit a linear order "
+            "where each action preserves the preceding constraints"
+        ),
+        ok=not failures,
+        detail="; ".join(failures),
+    )
+
+
+def validate_theorem2(
+    candidate: CandidateTriple,
+    graph: ConstraintGraph,
+    states: Sequence[State],
+) -> TheoremCertificate:
+    """Validate Theorem 2: self-looping constraint graph plus linear orders."""
+    states = list(states)
+    cache = _PreservationCache(states)
+    span = candidate.fault_span
+
+    conditions = [
+        ConditionResult(
+            name="constraint graph is self-looping (no cycle of length > 1)",
+            ok=graph.is_self_looping(),
+            detail=f"graph classified as {graph.classification()!r}",
+        ),
+        _closure_preserves_constraints(
+            candidate,
+            candidate.constraints,
+            states,
+            span,
+            cache,
+            label="every closure action preserves each constraint in S",
+        ),
+        _per_node_orders(graph, states, span, cache),
+    ]
+    conditions.extend(
+        _binding_obligations(candidate, graph.bindings, states, None, cache)
+    )
+    return TheoremCertificate(
+        theorem="Theorem 2 (self-looping constraint graph)",
+        ok=all(condition.ok for condition in conditions),
+        conditions=tuple(conditions),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 3
+# ---------------------------------------------------------------------------
+
+
+def _per_node_adjacent_orders(
+    graph: ConstraintGraph,
+    states: Sequence[State],
+    given: Predicate | None,
+    cache: _PreservationCache,
+) -> ConditionResult:
+    """Theorem 3's per-node condition, over edges *adjacent* to each node.
+
+    The theorem's statement orders "the convergence actions of edges
+    adjacent to each node" — both incoming and outgoing, unlike
+    Theorem 2's incoming-only condition. For the token ring this is what
+    lets the propagation chain validate: at node ``j+1`` the order
+    ``[action of x.j-edge, action of x.(j+1)-edge]`` works because the
+    downstream action does not read the upstream constraint's variables.
+    """
+    failures: list[str] = []
+    for node in graph.active_nodes():
+        adjacent_edges = graph.incoming(node) + [
+            edge for edge in graph.outgoing(node) if not edge.is_self_loop
+        ]
+        bindings = []
+        seen: set[int] = set()
+        for edge in adjacent_edges:
+            if id(edge.binding) not in seen:
+                seen.add(id(edge.binding))
+                bindings.append(edge.binding)
+        if len(bindings) <= 1:
+            continue
+        order = find_linear_order(bindings, states, given=given, cache=cache)
+        if order is None:
+            names = [binding.constraint.name for binding in bindings]
+            failures.append(
+                f"node {node.name!r}: no linear order among adjacent-edge "
+                f"actions for {names}"
+            )
+    return ConditionResult(
+        name=(
+            "per node, actions of adjacent edges admit a linear order where "
+            "each action preserves the preceding constraints"
+        ),
+        ok=not failures,
+        detail="; ".join(failures),
+    )
+
+
+def validate_theorem3(
+    candidate: CandidateTriple,
+    layers: Sequence[Sequence[ConvergenceBinding]],
+    nodes: Sequence[GraphNode],
+    states: Sequence[State],
+) -> TheoremCertificate:
+    """Validate Theorem 3: hierarchically layered convergence actions.
+
+    The conditions follow the paper's statement with the refinement the
+    paper itself applies when verifying its token-ring design. The
+    extended abstract states "each closure action of p preserves each
+    constraint in that partition whenever all constraints in lower
+    numbered partitions hold", but its own Section 7.1 verification
+    argues the weaker: "the first closure action is not enabled when the
+    first conjunct holds but the second does not" — i.e. preservation is
+    only needed *while the layer is still converging*. Indeed the
+    token-ring initiation action does break the second-layer constraint
+    ``x.0 = x.1`` from the all-equal state, yet the program is correct
+    because the invariant ``S`` itself is closed. Accordingly, per layer
+    ``i`` with ``lower = and(layers < i)``:
+
+    1. the layer's constraint graph is self-looping;
+    2. every closure action preserves each layer-``i`` constraint
+       whenever ``lower`` holds *and the layer's conjunction does not yet
+       hold* (the refinement);
+    3. every convergence action serving no layer-``i`` binding preserves
+       each layer-``i`` constraint under the same context (this covers
+       the paper's "higher numbered partitions" condition and, for merged
+       actions, lower-layer actions still executing in closure capacity);
+    4. the layer-``i`` actions on edges adjacent to each node admit a
+       linear order in which each action preserves the constraints of the
+       preceding actions (the theorem's adjacency condition, checked
+       whenever ``lower`` holds);
+    5. each layer-``i`` binding is enabled whenever its constraint is
+       violated, establishes it in one step, and preserves the fault-span
+       — all whenever ``lower`` holds;
+    6. globally, the invariant ``S`` is closed under every closure and
+       convergence action (the escape hatch that condition 2's refinement
+       relies on: once every constraint holds, ``S`` holds forever even
+       if steady-state closure activity breaks individual constraints).
+
+    Args:
+        candidate: The candidate triple.
+        layers: The partition of the convergence bindings into layers
+            ``0 .. M-1`` (lower layers converge first). A single action
+            object may serve bindings in several layers (the token ring's
+            merged propagation action serves both).
+        nodes: The shared node partition; each layer's constraint graph is
+            built over these nodes from that layer's bindings.
+        states: The states over which obligations are checked.
+    """
+    states = list(states)
+    cache = _PreservationCache(states)
+    span = candidate.fault_span
+
+    flat: list[ConvergenceBinding] = [b for layer in layers for b in layer]
+    if len({id(b) for b in flat}) != len(flat):
+        raise DesignError("layers must partition the bindings without overlap")
+
+    conditions: list[ConditionResult] = []
+    for index, layer in enumerate(layers):
+        lower_constraints = [
+            binding.constraint.predicate
+            for earlier in layers[:index]
+            for binding in earlier
+        ]
+        lower = all_of(lower_constraints, name=f"layers<{index}")
+        layer_conj = all_of(
+            [binding.constraint.predicate for binding in layer],
+            name=f"layer{index}",
+        )
+        converging = lower & ~layer_conj & span
+        standing = lower & span
+        layer_constraints = [binding.constraint for binding in layer]
+        layer_action_ids = {id(binding.action) for binding in layer}
+
+        graph = ConstraintGraph.from_bindings(nodes, layer)
+        conditions.append(
+            ConditionResult(
+                name=f"layer {index}: constraint graph is self-looping",
+                ok=graph.is_self_looping(),
+                detail=f"classified as {graph.classification()!r}",
+            )
+        )
+        layer_action_names = frozenset(binding.action.name for binding in layer)
+        conditions.append(
+            _closure_preserves_constraints(
+                candidate,
+                layer_constraints,
+                states,
+                converging,
+                cache,
+                label=(
+                    f"layer {index}: closure actions (other than those identified "
+                    "with the layer's own convergence actions) preserve its "
+                    "constraints whenever lower layers hold and the layer is "
+                    "converging"
+                ),
+                exempt_names=layer_action_names,
+            )
+        )
+
+        outside = [
+            binding for binding in flat if id(binding.action) not in layer_action_ids
+        ]
+        outside_fail: list[str] = []
+        outside_witnesses: list[PreservationViolation] = []
+        checked_action_ids: set[int] = set()
+        for binding in outside:
+            if id(binding.action) in checked_action_ids:
+                continue
+            checked_action_ids.add(id(binding.action))
+            for constraint in layer_constraints:
+                ok, witnesses = cache.preserves(
+                    binding.action, constraint.predicate, converging
+                )
+                if not ok:
+                    outside_fail.append(
+                        f"{binding.action.name} breaks {constraint.name}"
+                    )
+                    outside_witnesses.extend(witnesses[:1])
+        conditions.append(
+            ConditionResult(
+                name=(
+                    f"layer {index}: other layers' convergence actions preserve "
+                    "its constraints whenever lower layers hold and the layer "
+                    "is converging"
+                ),
+                ok=not outside_fail,
+                detail="; ".join(outside_fail[:3]),
+                violations=tuple(outside_witnesses[:5]),
+            )
+        )
+
+        order_result = _per_node_adjacent_orders(graph, states, standing, cache)
+        conditions.append(
+            ConditionResult(
+                name=f"layer {index}: {order_result.name}",
+                ok=order_result.ok,
+                detail=order_result.detail,
+            )
+        )
+        for obligation in _layer_binding_obligations(
+            candidate, layer, states, lower, span, cache
+        ):
+            conditions.append(
+                ConditionResult(
+                    name=f"layer {index}: {obligation.name}",
+                    ok=obligation.ok,
+                    detail=obligation.detail,
+                    violations=obligation.violations,
+                )
+            )
+
+    invariant = candidate.invariant
+    closure_fail: list[str] = []
+    closure_witnesses: list[PreservationViolation] = []
+    checked_ids: set[int] = set()
+    all_actions = list(candidate.program.actions) + [b.action for b in flat]
+    for action in all_actions:
+        if id(action) in checked_ids:
+            continue
+        checked_ids.add(id(action))
+        ok, witnesses = cache.preserves(action, invariant, span)
+        if not ok:
+            closure_fail.append(action.name)
+            closure_witnesses.extend(witnesses[:1])
+    conditions.append(
+        ConditionResult(
+            name="the invariant S is closed under every closure and convergence action",
+            ok=not closure_fail,
+            detail="; ".join(closure_fail[:5]),
+            violations=tuple(closure_witnesses[:5]),
+        )
+    )
+
+    return TheoremCertificate(
+        theorem=f"Theorem 3 ({len(layers)} layers)",
+        ok=all(condition.ok for condition in conditions),
+        conditions=tuple(conditions),
+    )
+
+
+def _layer_binding_obligations(
+    candidate: CandidateTriple,
+    layer: Sequence[ConvergenceBinding],
+    states: Sequence[State],
+    lower: Predicate,
+    span: Predicate,
+    cache: _PreservationCache,
+) -> list[ConditionResult]:
+    """Theorem 3's per-binding standing obligations, relative to ``lower``.
+
+    Unlike Theorems 1 and 2, there is no merged-behaviour condition here:
+    an action serving bindings in several layers is covered by the
+    per-layer conditions 3 and 4 and the global S-closure condition.
+    """
+
+    def context(state: State) -> bool:
+        return span(state) and lower(state)
+
+    enabled_fail: list[str] = []
+    establish_fail: list[str] = []
+    for binding in layer:
+        for state in states:
+            if not context(state):
+                continue
+            if not binding.constraint.holds(state) and not binding.action.enabled(state):
+                enabled_fail.append(
+                    f"{binding.action.name} disabled while {binding.constraint.name} "
+                    f"violated at {state!r}"
+                )
+                break
+        for state in states:
+            if not context(state):
+                continue
+            if binding.action.enabled(state):
+                successor = binding.action.execute(state)
+                if not binding.constraint.holds(successor):
+                    establish_fail.append(
+                        f"{binding.action.name} leaves {binding.constraint.name} "
+                        f"violated from {state!r}"
+                    )
+                    break
+
+    span_fail: list[str] = []
+    span_witnesses: list[PreservationViolation] = []
+    for binding in layer:
+        ok, witnesses = cache.preserves(binding.action, span, lower)
+        if not ok:
+            span_fail.append(binding.action.name)
+            span_witnesses.extend(witnesses[:1])
+
+    return [
+        ConditionResult(
+            name=(
+                "each convergence action is enabled whenever its constraint is "
+                "violated (lower layers holding)"
+            ),
+            ok=not enabled_fail,
+            detail="; ".join(enabled_fail[:3]),
+        ),
+        ConditionResult(
+            name=(
+                "each convergence action establishes its constraint in one step "
+                "(lower layers holding)"
+            ),
+            ok=not establish_fail,
+            detail="; ".join(establish_fail[:3]),
+        ),
+        ConditionResult(
+            name="each convergence action preserves the fault-span T",
+            ok=not span_fail,
+            detail="; ".join(span_fail[:5]),
+            violations=tuple(span_witnesses[:5]),
+        ),
+    ]

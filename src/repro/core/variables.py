@@ -1,0 +1,54 @@
+"""Program variables.
+
+A variable has a name, a domain, and optionally an owning process. Process
+ownership is not part of the paper's core model, but the paper's designs
+are distributed programs where each variable belongs to one node (``c.j``
+and ``sn.j`` belong to node ``j``); recording the owner lets the library
+derive per-process read/write locality and default constraint-graph node
+labels automatically.
+
+Variable names follow the paper's dotted convention, e.g. ``"c.3"`` is the
+color variable of node 3 and ``"x.0"`` the counter of ring node 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.core.domains import Domain
+
+__all__ = ["Variable", "var_name"]
+
+
+def var_name(base: str, process: Hashable) -> str:
+    """Build a dotted variable name, ``var_name("c", 3) == "c.3"``."""
+    return f"{base}.{process}"
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A program variable.
+
+    Attributes:
+        name: Unique name within a program, e.g. ``"sn.2"``.
+        domain: The set of values the variable may take.
+        process: The process (node) that owns the variable, or ``None``
+            for a shared/global variable.
+    """
+
+    name: str
+    domain: Domain = field(compare=False)
+    process: Hashable = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be nonempty")
+
+    def accepts(self, value: Any) -> bool:
+        """Whether ``value`` lies in this variable's domain."""
+        return value in self.domain
+
+    def __repr__(self) -> str:
+        owner = f", process={self.process!r}" if self.process is not None else ""
+        return f"Variable({self.name!r}, {self.domain!r}{owner})"

@@ -1,0 +1,137 @@
+"""Variant (ranking) functions.
+
+Section 8 of the paper relates the constraint-graph method to the standard
+approach for proving progress: exhibit a *variant function* — a mapping
+from states into a well-founded set that never increases along a step and
+eventually decreases, until the target predicate holds.
+
+This module makes that notion executable on finite instances. A variant
+function is any callable from states to a totally ordered value (ints or
+tuples of ints). Two check strengths are provided:
+
+- :func:`check_variant_strict` — every step from a non-target state
+  strictly decreases the variant. Sufficient for convergence under *any*
+  daemon, fair or not (the Section 8 fairness remark).
+- :func:`check_variant_weak` — no step increases the variant, from every
+  non-target state some enabled step exists, and from every non-target
+  state at least one enabled step strictly decreases it. Sufficient for
+  convergence under weak fairness when combined with finiteness of
+  plateaus; the exact convergence decision lives in
+  :mod:`repro.verification.convergence`, this check is the designer-facing
+  diagnostic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.predicates import Predicate
+from repro.core.program import Program
+from repro.core.state import State
+
+__all__ = ["VariantReport", "check_variant_strict", "check_variant_weak"]
+
+VariantFunction = Callable[[State], Any]
+
+
+@dataclass(frozen=True)
+class VariantReport:
+    """Outcome of a variant-function check.
+
+    Attributes:
+        ok: Whether the required conditions held at every checked state.
+        checked: Number of non-target states examined.
+        problems: Human-readable descriptions of the first few failures.
+    """
+
+    ok: bool
+    checked: int
+    problems: tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def check_variant_strict(
+    program: Program,
+    variant: VariantFunction,
+    target: Predicate,
+    states: Iterable[State],
+    *,
+    max_problems: int = 5,
+) -> VariantReport:
+    """Check that every step outside ``target`` strictly decreases ``variant``.
+
+    Also requires that no non-target state is terminal (a computation must
+    not end outside the target). Passing this check proves convergence to
+    ``target`` under an arbitrary (possibly unfair) daemon.
+    """
+    problems: list[str] = []
+    checked = 0
+    for state in states:
+        if target(state):
+            continue
+        checked += 1
+        successors = program.successors(state)
+        if not successors:
+            problems.append(f"deadlock outside target at {state!r}")
+        value = variant(state)
+        for action, successor in successors:
+            next_value = variant(successor)
+            if not next_value < value:
+                problems.append(
+                    f"action {action.name!r} does not decrease the variant at "
+                    f"{state!r}: {value!r} -> {next_value!r}"
+                )
+        if len(problems) >= max_problems:
+            break
+    return VariantReport(ok=not problems, checked=checked, problems=tuple(problems))
+
+
+def check_variant_weak(
+    program: Program,
+    variant: VariantFunction,
+    target: Predicate,
+    states: Iterable[State],
+    *,
+    max_problems: int = 5,
+) -> VariantReport:
+    """Check the weak variant conditions outside ``target``.
+
+    No enabled step increases the variant; every non-target state has an
+    enabled step; and from every non-target state some enabled step
+    strictly decreases the variant.
+    """
+    problems: list[str] = []
+    checked = 0
+    for state in states:
+        if target(state):
+            continue
+        checked += 1
+        successors = program.successors(state)
+        if not successors:
+            problems.append(f"deadlock outside target at {state!r}")
+            if len(problems) >= max_problems:
+                break
+            continue
+        value = variant(state)
+        decreases = False
+        for action, successor in successors:
+            next_value = variant(successor)
+            if next_value > value:
+                problems.append(
+                    f"action {action.name!r} increases the variant at "
+                    f"{state!r}: {value!r} -> {next_value!r}"
+                )
+            if next_value < value:
+                decreases = True
+        if not decreases:
+            problems.append(
+                f"no enabled action decreases the variant at {state!r} "
+                f"(value {value!r})"
+            )
+        if len(problems) >= max_problems:
+            break
+    return VariantReport(ok=not problems, checked=checked, problems=tuple(problems))

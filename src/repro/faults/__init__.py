@@ -1,0 +1,35 @@
+"""Faults as state-changing actions (the paper's Section 3 view)."""
+
+from repro.faults.injectors import (
+    corrupt_everything,
+    corrupt_processes,
+    corrupt_random_processes,
+    corrupt_variables,
+)
+from repro.faults.model import (
+    Fault,
+    LambdaFault,
+    ProcessCorruption,
+    TransientCorruption,
+)
+from repro.faults.scenarios import (
+    FaultScenario,
+    NoFaults,
+    ProbabilisticFaults,
+    ScheduledFaults,
+)
+
+__all__ = [
+    "Fault",
+    "FaultScenario",
+    "LambdaFault",
+    "NoFaults",
+    "ProbabilisticFaults",
+    "ProcessCorruption",
+    "ScheduledFaults",
+    "TransientCorruption",
+    "corrupt_everything",
+    "corrupt_processes",
+    "corrupt_random_processes",
+    "corrupt_variables",
+]

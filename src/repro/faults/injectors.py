@@ -1,0 +1,67 @@
+"""Convenience fault constructors.
+
+Builders for the fault patterns the experiments use repeatedly: corrupt
+the whole state, corrupt a random subset of processes, or apply a
+protocol-specific perturbation.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from typing import Hashable
+
+from repro.core.program import Program
+from repro.core.state import State
+from repro.faults.model import Fault, LambdaFault, ProcessCorruption, TransientCorruption
+
+__all__ = [
+    "corrupt_everything",
+    "corrupt_variables",
+    "corrupt_processes",
+    "corrupt_random_processes",
+]
+
+
+def corrupt_everything(program: Program) -> Fault:
+    """A fault that randomizes the entire program state.
+
+    This is the strongest transient fault — the one stabilizing programs
+    (fault-span ``T = true``) are designed to tolerate.
+    """
+    return TransientCorruption(
+        program.variables.values(), name="corrupt-everything"
+    )
+
+
+def corrupt_variables(program: Program, names: Sequence[str]) -> Fault:
+    """A fault that randomizes the named variables."""
+    return TransientCorruption([program.variables[name] for name in names])
+
+
+def corrupt_processes(program: Program, processes: Sequence[Hashable]) -> list[Fault]:
+    """One :class:`ProcessCorruption` fault per listed process."""
+    return [ProcessCorruption(program, process) for process in processes]
+
+
+def corrupt_random_processes(program: Program, count: int) -> Fault:
+    """A fault that corrupts ``count`` processes chosen anew at each firing."""
+    processes = program.processes()
+    if count < 1 or count > len(processes):
+        raise ValueError(
+            f"count must be between 1 and {len(processes)}, got {count}"
+        )
+    by_process: dict[Hashable, list] = {}
+    for variable in program.variables.values():
+        if variable.process is not None:
+            by_process.setdefault(variable.process, []).append(variable)
+
+    def strike(state: State, rng: random.Random) -> State:
+        victims = rng.sample(processes, count)
+        changes = {}
+        for process in victims:
+            for variable in by_process[process]:
+                changes[variable.name] = variable.domain.sample(rng)
+        return state.update(changes)
+
+    return LambdaFault(f"corrupt-{count}-random-processes", strike)

@@ -1,0 +1,94 @@
+"""Fault model.
+
+The paper (Section 3) adopts the view that *all classes of faults can be
+represented as actions that change the program state*. A :class:`Fault`
+is therefore a state transformer like an action, except that it is not
+required to preserve the invariant — only the fault-span ``T`` is closed
+under program actions *and* fault actions.
+
+Concrete fault classes:
+
+- :class:`TransientCorruption` — sets chosen variables to random values
+  from their domains, the fault class of the paper's stabilizing designs
+  ("faults that arbitrarily corrupt the state of any number of nodes").
+- :class:`ProcessCorruption` — corrupts every variable owned by one
+  process (a crash-and-arbitrary-recovery of one node).
+- :class:`LambdaFault` — an arbitrary named transformer, for modeling
+  protocol-specific faults such as "a node spontaneously becomes
+  privileged" in the token ring (which is a specific corruption of
+  ``x``-values).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterable
+from typing import Hashable
+
+from repro.core.program import Program
+from repro.core.state import State
+from repro.core.variables import Variable
+
+__all__ = [
+    "Fault",
+    "TransientCorruption",
+    "ProcessCorruption",
+    "LambdaFault",
+]
+
+
+class Fault:
+    """Base class: a named, possibly randomized state transformer."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def apply(self, state: State, rng: random.Random) -> State:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class TransientCorruption(Fault):
+    """Set each of the given variables to a random value from its domain."""
+
+    def __init__(self, variables: Iterable[Variable], *, name: str | None = None) -> None:
+        self.variables = tuple(variables)
+        if not self.variables:
+            raise ValueError("a corruption fault must target at least one variable")
+        display = name if name is not None else (
+            f"corrupt({', '.join(v.name for v in self.variables)})"
+        )
+        super().__init__(display)
+
+    def apply(self, state: State, rng: random.Random) -> State:
+        return state.update(
+            {variable.name: variable.domain.sample(rng) for variable in self.variables}
+        )
+
+
+class ProcessCorruption(TransientCorruption):
+    """Corrupt every variable owned by one process."""
+
+    def __init__(self, program: Program, process: Hashable) -> None:
+        owned = [
+            variable
+            for variable in program.variables.values()
+            if variable.process == process
+        ]
+        if not owned:
+            raise ValueError(f"process {process!r} owns no variables")
+        super().__init__(owned, name=f"corrupt-process({process!r})")
+        self.process = process
+
+
+class LambdaFault(Fault):
+    """A named arbitrary transformer ``fn(state, rng) -> state``."""
+
+    def __init__(self, name: str, fn: Callable[[State, random.Random], State]) -> None:
+        super().__init__(name)
+        self._fn = fn
+
+    def apply(self, state: State, rng: random.Random) -> State:
+        return self._fn(state, rng)

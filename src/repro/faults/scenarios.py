@@ -1,0 +1,99 @@
+"""Fault scenarios: when faults strike during a run.
+
+A scenario decides, for each step of a simulation, which faults (if any)
+to apply before the program takes its step. Three shapes cover the
+experiments:
+
+- :class:`ScheduledFaults` — a fixed map from step indices to faults, for
+  controlled "inject at step k, watch recovery" experiments.
+- :class:`ProbabilisticFaults` — each step, each registered fault fires
+  independently with a given rate, modeling a background fault process.
+- :class:`NoFaults` — the fault-free baseline.
+
+Scenarios are stateless with respect to randomness: the engine passes its
+seeded RNG in, keeping the whole run reproducible from one seed.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.faults.model import Fault
+
+__all__ = ["FaultScenario", "NoFaults", "ScheduledFaults", "ProbabilisticFaults"]
+
+
+class FaultScenario:
+    """Base class: yields the faults to apply at a given step index."""
+
+    def faults_for_step(self, step: int, rng: random.Random) -> Sequence[Fault]:
+        raise NotImplementedError
+
+    def last_scheduled_step(self) -> int | None:
+        """The last step at which a fault can fire, when known.
+
+        Metrics use this to measure recovery time from the final fault;
+        probabilistic scenarios return ``None``.
+        """
+        return None
+
+
+class NoFaults(FaultScenario):
+    """The fault-free baseline scenario."""
+
+    def faults_for_step(self, step: int, rng: random.Random) -> Sequence[Fault]:
+        return ()
+
+    def last_scheduled_step(self) -> int | None:
+        return -1
+
+
+class ScheduledFaults(FaultScenario):
+    """Faults injected at fixed step indices.
+
+    Args:
+        schedule: Map from step index to the fault(s) applied just before
+            the program's step at that index.
+    """
+
+    def __init__(self, schedule: Mapping[int, Fault | Iterable[Fault]]) -> None:
+        normalized: dict[int, tuple[Fault, ...]] = {}
+        for step, entry in schedule.items():
+            if isinstance(entry, Fault):
+                normalized[step] = (entry,)
+            else:
+                normalized[step] = tuple(entry)
+        self._schedule = normalized
+
+    def faults_for_step(self, step: int, rng: random.Random) -> Sequence[Fault]:
+        return self._schedule.get(step, ())
+
+    def last_scheduled_step(self) -> int | None:
+        return max(self._schedule, default=-1)
+
+
+class ProbabilisticFaults(FaultScenario):
+    """Each registered fault fires independently with probability ``rate``
+    at every step, optionally only until ``until_step``."""
+
+    def __init__(
+        self,
+        faults: Iterable[Fault],
+        rate: float,
+        *,
+        until_step: int | None = None,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be a probability")
+        self.faults = tuple(faults)
+        self.rate = rate
+        self.until_step = until_step
+
+    def faults_for_step(self, step: int, rng: random.Random) -> Sequence[Fault]:
+        if self.until_step is not None and step > self.until_step:
+            return ()
+        return tuple(fault for fault in self.faults if rng.random() < self.rate)
+
+    def last_scheduled_step(self) -> int | None:
+        return self.until_step

@@ -1,0 +1,5 @@
+"""Message-passing substrate: bounded lossy channels as program variables."""
+
+from repro.messaging.channels import FifoChannel, SlotChannel
+
+__all__ = ["FifoChannel", "SlotChannel"]

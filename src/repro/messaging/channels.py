@@ -1,0 +1,127 @@
+"""Channels for message-passing refinements.
+
+The paper's programs communicate through shared variables; Section 7.1
+leaves "refinement of this program into one where the neighboring
+processes communicate via message passing ... as an exercise to the
+reader". This module provides the channel substrate for that exercise,
+staying inside the library's guarded-command model so every verification
+and simulation tool keeps working:
+
+- :class:`SlotChannel` — a single-slot link. The slot holds one message
+  or ``None``; a send *overwrites* the slot. Overwrite-on-send models a
+  lossy bounded link, which is both realistic and the right fault model
+  for stabilization (messages in transit are state like any other, and
+  the paper's transient faults may corrupt them).
+- :class:`FifoChannel` — a bounded FIFO, each possible queue content one
+  domain value. Sends to a full queue drop the message (again: bounded
+  lossy links). Used where ordering depth matters.
+
+Both channel kinds expose their variable plus guard/effect helpers so
+protocol builders read naturally.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Sequence
+from typing import Any, Hashable
+
+from repro.core.domains import FiniteDomain
+from repro.core.state import State
+from repro.core.variables import Variable
+
+__all__ = ["SlotChannel", "FifoChannel"]
+
+
+class SlotChannel:
+    """A single-slot, overwrite-on-send, lossy channel.
+
+    The slot is one program variable whose domain is ``{None} ∪
+    message_values``. ``None`` means the channel is empty.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        message_values: Sequence[Any],
+        *,
+        process: Hashable = None,
+    ) -> None:
+        self.name = name
+        self.variable = Variable(
+            name, FiniteDomain([None, *message_values]), process=process
+        )
+
+    def is_empty(self, state: State) -> bool:
+        return state[self.name] is None
+
+    def head(self, state: State) -> Any:
+        """The message in the slot (``None`` when empty)."""
+        return state[self.name]
+
+    def send_value(self, compute: Callable[[State], Any]) -> Callable[[State], Any]:
+        """An assignment right-hand side that (over)writes the slot."""
+        return compute
+
+    def receive_effect(self) -> Any:
+        """The right-hand side that empties the slot."""
+        return None
+
+    def __repr__(self) -> str:
+        return f"SlotChannel({self.name!r})"
+
+
+class FifoChannel:
+    """A bounded FIFO channel; the whole queue is one variable.
+
+    The domain enumerates every tuple of messages up to ``capacity``
+    long, so instances stay small: with ``m`` message values and capacity
+    ``c`` the domain has ``(m^(c+1) - 1) / (m - 1)`` values.
+
+    Sends append; a send to a full queue drops the message (bounded lossy
+    link). Receives pop the head.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        message_values: Sequence[Any],
+        capacity: int,
+        *,
+        process: Hashable = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.name = name
+        self.capacity = capacity
+        contents: list[tuple[Any, ...]] = []
+        for length in range(capacity + 1):
+            contents.extend(itertools.product(message_values, repeat=length))
+        self.variable = Variable(name, FiniteDomain(contents), process=process)
+
+    def is_empty(self, state: State) -> bool:
+        return len(state[self.name]) == 0
+
+    def is_full(self, state: State) -> bool:
+        return len(state[self.name]) >= self.capacity
+
+    def head(self, state: State) -> Any:
+        queue = state[self.name]
+        return queue[0] if queue else None
+
+    def after_send(self, state: State, message: Any) -> tuple[Any, ...]:
+        """The queue after appending ``message`` (dropped when full)."""
+        queue = state[self.name]
+        if len(queue) >= self.capacity:
+            return queue
+        return (*queue, message)
+
+    def after_receive(self, state: State) -> tuple[Any, ...]:
+        """The queue after popping the head."""
+        queue = state[self.name]
+        if not queue:
+            raise ValueError(f"receive from empty channel {self.name!r}")
+        return queue[1:]
+
+    def __repr__(self) -> str:
+        return f"FifoChannel({self.name!r}, capacity={self.capacity})"

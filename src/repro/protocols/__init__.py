@@ -1,0 +1,144 @@
+"""The protocol library.
+
+The three designs worked in the paper:
+
+- :mod:`repro.protocols.three_constraint` — the x/y/z example of
+  Sections 4 and 6 (out-tree, ordered self-looping, and oscillating
+  designs).
+- :mod:`repro.protocols.diffusing` — the stabilizing diffusing
+  computation of Section 5.1 (Theorem 1).
+- :mod:`repro.protocols.token_ring` — the stabilizing token ring of
+  Section 7.1 (Theorem 3), plus Dijkstra's finite K-state variant.
+
+Refinements and applications from the paper's own margins:
+
+- :mod:`repro.protocols.mp_token_ring` — the message-passing token ring
+  (Section 7.1's "exercise to the reader"), over lossy slot channels.
+- :mod:`repro.protocols.reset` — distributed reset riding the diffusing
+  wave (the first of Section 5.1's listed applications).
+
+Extensions built with the same method or verified by the library:
+
+- :mod:`repro.protocols.coloring` — tree coloring (Theorem 1).
+- :mod:`repro.protocols.leader_election` — leader election (Theorem 2).
+- :mod:`repro.protocols.spanning_tree` — BFS spanning tree (convergence
+  stair, the paper's Section 7 refinement).
+- :mod:`repro.protocols.matching` — Hsu–Huang maximal matching
+  (model-checked; no theorem certificate applies).
+- :mod:`repro.protocols.independent_set` — maximal independent set
+  (model-checked).
+- :mod:`repro.protocols.graph_coloring` — greedy graph coloring
+  (central-daemon correct; the synchronous-oscillation showcase, E14).
+- :mod:`repro.protocols.four_state_ring` — Dijkstra's four-state
+  bidirectional line, reconstructed and validated by the model checker.
+"""
+
+from repro.protocols.base import process_nodes, variables_of_process
+from repro.protocols.four_state_ring import (
+    build_four_state_line,
+    four_state_invariant,
+    privileged_machines,
+)
+from repro.protocols.coloring import (
+    build_coloring_design,
+    coloring_invariant,
+    is_proper_coloring,
+)
+from repro.protocols.diffusing import (
+    GREEN,
+    RED,
+    all_green_state,
+    build_diffusing_design,
+    diffusing_invariant,
+    wave_complete,
+)
+from repro.protocols.graph_coloring import (
+    build_graph_coloring_program,
+    conflicted_nodes,
+    graph_coloring_invariant,
+)
+from repro.protocols.independent_set import (
+    build_mis_program,
+    members,
+    mis_invariant,
+)
+from repro.protocols.leader_election import (
+    build_leader_election_design,
+    election_invariant,
+)
+from repro.protocols.mp_token_ring import (
+    build_mp_token_ring,
+    messages_in_flight,
+    mp_ring_invariant,
+)
+from repro.protocols.reset import build_reset_program, reset_target
+from repro.protocols.matching import (
+    build_matching_program,
+    matched_pairs,
+    matching_invariant,
+)
+from repro.protocols.spanning_tree import (
+    build_spanning_tree_program,
+    derived_parent,
+    spanning_tree_invariant,
+    spanning_tree_stair,
+)
+from repro.protocols.three_constraint import (
+    build_ordered_design,
+    build_oscillating_design,
+    build_out_tree_design,
+    xyz_invariant,
+)
+from repro.protocols.token_ring import (
+    build_dijkstra_ring,
+    build_token_ring_design,
+    exactly_one_privilege,
+    privileged_nodes,
+    ring_invariant,
+)
+
+__all__ = [
+    "GREEN",
+    "RED",
+    "all_green_state",
+    "build_coloring_design",
+    "build_diffusing_design",
+    "build_dijkstra_ring",
+    "build_four_state_line",
+    "build_graph_coloring_program",
+    "four_state_invariant",
+    "privileged_machines",
+    "conflicted_nodes",
+    "graph_coloring_invariant",
+    "build_leader_election_design",
+    "build_matching_program",
+    "build_mis_program",
+    "build_mp_token_ring",
+    "build_ordered_design",
+    "build_oscillating_design",
+    "build_out_tree_design",
+    "build_reset_program",
+    "build_spanning_tree_program",
+    "build_token_ring_design",
+    "coloring_invariant",
+    "derived_parent",
+    "diffusing_invariant",
+    "election_invariant",
+    "exactly_one_privilege",
+    "is_proper_coloring",
+    "matched_pairs",
+    "matching_invariant",
+    "members",
+    "messages_in_flight",
+    "mis_invariant",
+    "mp_ring_invariant",
+    "privileged_nodes",
+    "reset_target",
+    "process_nodes",
+    "ring_invariant",
+    "spanning_tree_invariant",
+    "spanning_tree_stair",
+    "variables_of_process",
+    "wave_complete",
+    "xyz_invariant",
+]

@@ -1,0 +1,51 @@
+"""Shared protocol scaffolding.
+
+Every protocol module exposes a builder returning either a
+:class:`~repro.core.design.NonmaskingDesign` (when the protocol was
+derived with the paper's method and carries a theorem certificate) or a
+plain :class:`~repro.core.program.Program` plus its invariant (for
+extension protocols verified by model checking or convergence stairs).
+
+Helpers here build the per-process constraint-graph node partition and
+small guard/statement utilities used across the protocol files.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from repro.core.constraint_graph import GraphNode
+from repro.core.program import Program
+from repro.core.variables import Variable
+
+__all__ = ["process_nodes", "variables_of_process"]
+
+
+def variables_of_process(
+    variables: Iterable[Variable], process: Hashable
+) -> frozenset[str]:
+    """Names of the variables owned by ``process``."""
+    return frozenset(v.name for v in variables if v.process == process)
+
+
+def process_nodes(program: Program) -> list[GraphNode]:
+    """One constraint-graph node per process, labeled with its variables.
+
+    This is the natural node partition for the paper's distributed
+    designs: node ``j`` of the constraint graph is process ``j`` and its
+    label is the set of variables process ``j`` owns.
+    """
+    by_process: dict[Hashable, set[str]] = {}
+    for variable in program.variables.values():
+        if variable.process is None:
+            raise ValueError(
+                f"variable {variable.name!r} has no owning process; supply an "
+                "explicit node partition instead"
+            )
+        by_process.setdefault(variable.process, set()).add(variable.name)
+    return [
+        GraphNode(name=str(process), variables=frozenset(names))
+        for process, names in sorted(
+            by_process.items(), key=lambda item: str(item[0])
+        )
+    ]

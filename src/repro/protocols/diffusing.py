@@ -1,0 +1,298 @@
+"""Stabilizing diffusing computations (Section 5.1 of the paper).
+
+A diffusing computation on a finite rooted tree: starting from all-green,
+the root initiates a wave that colors nodes red from the root to the
+leaves, is reflected at the leaves, and colors nodes green back up to the
+root — and the cycle repeats. The program tolerates faults that
+arbitrarily corrupt the state of any number of nodes (fault-span
+``T = true``; the design is *stabilizing*).
+
+Per node ``j`` the state is a color ``c.j ∈ {green, red}`` and a boolean
+session number ``sn.j``. The invariant is ``S = (∀j :: R.j)`` over the
+non-root nodes, with::
+
+    R.j  =  (c.j = c.(P.j)  and  sn.j ≡ sn.(P.j))
+            or  (c.j = green  and  c.(P.j) = red)
+
+Each ``R.j`` is independently checkable and establishable by node ``j``,
+so each is one constraint; the convergence action for ``R.j`` writes only
+node ``j``'s variables and reads only ``j``'s and its parent's, making the
+constraint graph exactly the tree — an out-tree — so Theorem 1 applies.
+
+Three convergence-statement variants are provided (the paper discusses
+the first two; the ablation experiment E8 compares them):
+
+- ``"merged"`` — the paper's final program: the convergence action uses
+  the same statement as the propagation closure action and the two are
+  combined into ``sn.j ≠ sn.(P.j) or (c.j = red and c.(P.j) = green)
+  -> c.j, sn.j := c.(P.j), sn.(P.j)``.
+- ``"copy-parent"`` — a pure convergence action ``not R.j -> c.j, sn.j :=
+  c.(P.j), sn.(P.j)`` kept separate from the propagation action.
+- ``"conditional-green"`` — the paper's alternative statement: ``not R.j
+  -> if c.(P.j) = red then c.j := green else c.j, sn.j := green,
+  sn.(P.j)``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.actions import Action, Assignment
+from repro.core.candidate import CandidateTriple
+from repro.core.constraints import Constraint, ConvergenceBinding
+from repro.core.design import NonmaskingDesign
+from repro.core.domains import BooleanDomain, EnumDomain
+from repro.core.predicates import Predicate, all_of
+from repro.core.program import Program
+from repro.core.state import State
+from repro.core.variables import Variable
+from repro.protocols.base import process_nodes
+from repro.topology.tree import RootedTree
+
+__all__ = [
+    "GREEN",
+    "RED",
+    "VARIANTS",
+    "color_var",
+    "session_var",
+    "diffusing_variables",
+    "diffusing_closure_program",
+    "diffusing_constraint",
+    "diffusing_invariant",
+    "build_diffusing_design",
+    "all_green_state",
+    "wave_complete",
+]
+
+GREEN = "green"
+RED = "red"
+
+#: Supported convergence-statement variants.
+VARIANTS = ("merged", "copy-parent", "conditional-green")
+
+
+def color_var(j: Hashable) -> str:
+    """The name of node ``j``'s color variable, ``c.j``."""
+    return f"c.{j}"
+
+
+def session_var(j: Hashable) -> str:
+    """The name of node ``j``'s session-number variable, ``sn.j``."""
+    return f"sn.{j}"
+
+
+def diffusing_variables(tree: RootedTree) -> list[Variable]:
+    """The program variables: a color and a session number per node."""
+    variables: list[Variable] = []
+    for j in tree.nodes:
+        variables.append(Variable(color_var(j), EnumDomain(GREEN, RED), process=j))
+        variables.append(Variable(session_var(j), BooleanDomain(), process=j))
+    return variables
+
+
+def _initiate_action(tree: RootedTree) -> Action:
+    root = tree.root
+    c_root, sn_root = color_var(root), session_var(root)
+    return Action(
+        "initiate",
+        Predicate(
+            lambda s: s[c_root] == GREEN,
+            name=f"c.{root} = green",
+            support=(c_root,),
+        ),
+        Assignment({c_root: RED, sn_root: lambda s: not s[sn_root]}),
+        reads=(c_root, sn_root),
+        process=root,
+    )
+
+
+def _propagate_guard(tree: RootedTree, j: Hashable) -> Predicate:
+    parent = tree.parent(j)
+    c_j, sn_j = color_var(j), session_var(j)
+    c_p, sn_p = color_var(parent), session_var(parent)
+    return Predicate(
+        lambda s: s[c_j] == GREEN and s[c_p] == RED and s[sn_j] != s[sn_p],
+        name=f"c.{j} = green and c.{parent} = red and sn.{j} != sn.{parent}",
+        support=(c_j, c_p, sn_j, sn_p),
+    )
+
+
+def _copy_parent_effect(tree: RootedTree, j: Hashable) -> Assignment:
+    parent = tree.parent(j)
+    c_j, sn_j = color_var(j), session_var(j)
+    c_p, sn_p = color_var(parent), session_var(parent)
+    return Assignment({c_j: lambda s: s[c_p], sn_j: lambda s: s[sn_p]})
+
+
+def _propagate_action(tree: RootedTree, j: Hashable, *, name: str) -> Action:
+    parent = tree.parent(j)
+    reads = (color_var(j), session_var(j), color_var(parent), session_var(parent))
+    return Action(
+        name,
+        _propagate_guard(tree, j),
+        _copy_parent_effect(tree, j),
+        reads=reads,
+        process=j,
+    )
+
+
+def _reflect_action(tree: RootedTree, j: Hashable) -> Action:
+    c_j, sn_j = color_var(j), session_var(j)
+    children = tree.children(j)
+    child_vars = [(color_var(k), session_var(k)) for k in children]
+
+    def guard_fn(s: State) -> bool:
+        if s[c_j] != RED:
+            return False
+        return all(s[c_k] == GREEN and s[sn_k] == s[sn_j] for c_k, sn_k in child_vars)
+
+    reads = [c_j, sn_j]
+    for c_k, sn_k in child_vars:
+        reads.extend((c_k, sn_k))
+    return Action(
+        f"reflect.{j}",
+        Predicate(
+            guard_fn,
+            name=f"c.{j} = red and all children of {j} green with matching sn",
+            support=reads,
+        ),
+        Assignment({c_j: GREEN}),
+        reads=reads,
+        process=j,
+    )
+
+
+def diffusing_closure_program(tree: RootedTree) -> Program:
+    """The candidate program of closure actions: initiate, propagate, reflect."""
+    actions: list[Action] = [_initiate_action(tree)]
+    for j in tree.non_root_nodes():
+        actions.append(_propagate_action(tree, j, name=f"propagate.{j}"))
+    for j in tree.nodes:
+        actions.append(_reflect_action(tree, j))
+    return Program("diffusing-closure", diffusing_variables(tree), actions)
+
+
+def diffusing_constraint(tree: RootedTree, j: Hashable) -> Constraint:
+    """The constraint ``R.j`` of a non-root node ``j``."""
+    if j == tree.root:
+        raise ValueError("the root has no constraint R.j (P.root = root)")
+    parent = tree.parent(j)
+    c_j, sn_j = color_var(j), session_var(j)
+    c_p, sn_p = color_var(parent), session_var(parent)
+    predicate = Predicate(
+        lambda s: (s[c_j] == s[c_p] and s[sn_j] == s[sn_p])
+        or (s[c_j] == GREEN and s[c_p] == RED),
+        name=(
+            f"(c.{j} = c.{parent} and sn.{j} ≡ sn.{parent}) or "
+            f"(c.{j} = green and c.{parent} = red)"
+        ),
+        support=(c_j, sn_j, c_p, sn_p),
+    )
+    return Constraint(name=f"R.{j}", predicate=predicate)
+
+
+def diffusing_invariant(tree: RootedTree) -> Predicate:
+    """``S = (for all non-root j :: R.j)``."""
+    return all_of(
+        [diffusing_constraint(tree, j).predicate for j in tree.non_root_nodes()],
+        name="S(diffusing)",
+    )
+
+
+def _convergence_action(tree: RootedTree, j: Hashable, variant: str) -> Action:
+    parent = tree.parent(j)
+    c_j, sn_j = color_var(j), session_var(j)
+    c_p, sn_p = color_var(parent), session_var(parent)
+    reads = (c_j, sn_j, c_p, sn_p)
+    constraint = diffusing_constraint(tree, j)
+
+    if variant == "merged":
+        guard = Predicate(
+            lambda s: s[sn_j] != s[sn_p] or (s[c_j] == RED and s[c_p] == GREEN),
+            name=f"sn.{j} != sn.{parent} or (c.{j} = red and c.{parent} = green)",
+            support=reads,
+        )
+        return Action(
+            f"propagate.{j}",
+            guard,
+            _copy_parent_effect(tree, j),
+            reads=reads,
+            process=j,
+        )
+
+    guard = (~constraint.predicate).renamed(f"not R.{j}")
+    if variant == "copy-parent":
+        effect = _copy_parent_effect(tree, j)
+    elif variant == "conditional-green":
+        effect = Assignment(
+            {
+                c_j: GREEN,
+                sn_j: lambda s: s[sn_j] if s[c_p] == RED else s[sn_p],
+            }
+        )
+    else:
+        raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
+    return Action(f"converge.{j}", guard, effect, reads=reads, process=j)
+
+
+def build_diffusing_design(
+    tree: RootedTree, *, variant: str = "merged"
+) -> NonmaskingDesign:
+    """The complete nonmasking design for the diffusing computation.
+
+    Args:
+        tree: The rooted tree the computation diffuses over (at least two
+            nodes, since a single node carries no constraint).
+        variant: Convergence-statement variant, one of :data:`VARIANTS`.
+
+    Returns:
+        A design whose constraint graph is the tree itself (an out-tree),
+        validating under Theorem 1; its ``program`` property is the
+        deployed program — with ``variant="merged"`` exactly the paper's
+        three-action program listing.
+    """
+    if len(tree) < 2:
+        raise ValueError("the diffusing computation needs at least two nodes")
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
+    closure = diffusing_closure_program(tree)
+    constraints = tuple(
+        diffusing_constraint(tree, j) for j in tree.non_root_nodes()
+    )
+    candidate = CandidateTriple(
+        program=closure,
+        invariant=diffusing_invariant(tree),
+        constraints=constraints,
+    )
+    bindings = tuple(
+        ConvergenceBinding(
+            constraint=constraints[index],
+            action=_convergence_action(tree, j, variant),
+        )
+        for index, j in enumerate(tree.non_root_nodes())
+    )
+    return NonmaskingDesign(
+        name=f"diffusing[{variant}]",
+        candidate=candidate,
+        bindings=bindings,
+        nodes=process_nodes(closure),
+    )
+
+
+def all_green_state(tree: RootedTree, *, session: bool = False) -> dict[str, object]:
+    """The canonical initial state: every node green with equal sessions."""
+    values: dict[str, object] = {}
+    for j in tree.nodes:
+        values[color_var(j)] = GREEN
+        values[session_var(j)] = session
+    return values
+
+
+def wave_complete(tree: RootedTree) -> Predicate:
+    """Holds when a wave has fully collapsed: every node is green again."""
+    color_names = [color_var(j) for j in tree.nodes]
+    return Predicate(
+        lambda s: all(s[name] == GREEN for name in color_names),
+        name="all nodes green",
+        support=color_names,
+    )

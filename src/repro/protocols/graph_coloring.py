@@ -1,0 +1,118 @@
+"""Stabilizing greedy coloring of arbitrary graphs (extension protocol).
+
+Each node of an undirected graph holds a color in ``0 .. k-1``; a node in
+conflict with some neighbor recolors itself to the *smallest free* color::
+
+    exists neighbor with my color  ->  color.j := min(colors unused by neighbors)
+
+With ``k >= max degree + 1`` a free color always exists, and the protocol
+converges under **any central daemon** with no fairness assumption: a
+move leaves the mover conflict-free and removes conflicts only, so the
+number of conflicted nodes strictly decreases — a textbook variant
+function (Section 8's preferred proof shape).
+
+Under the **synchronous daemon** the protocol is the canonical failure
+case of daemon strengthening: two adjacent same-colored nodes compute the
+same smallest free color and move *together*, staying in conflict — an
+oscillation the synchronous checker (experiment E14) exhibits on any
+graph with a symmetric conflicted pair. This is why the distributed
+graph-coloring literature adds randomization or locking; the tree
+variant (:mod:`repro.protocols.coloring`) avoids it because a child's
+parent never moves.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.actions import Action, Assignment
+from repro.core.domains import ModularDomain
+from repro.core.predicates import Predicate
+from repro.core.program import Program
+from repro.core.state import State
+from repro.core.variables import Variable
+from repro.topology.graph import Graph
+
+__all__ = [
+    "color_var",
+    "build_graph_coloring_program",
+    "graph_coloring_invariant",
+    "conflicted_nodes",
+]
+
+
+def color_var(j: Hashable) -> str:
+    """Node ``j``'s color variable."""
+    return f"gc.{j}"
+
+
+def build_graph_coloring_program(graph: Graph, k: int | None = None) -> Program:
+    """The greedy coloring program on ``graph``.
+
+    Args:
+        graph: Any undirected graph.
+        k: Number of colors; defaults to ``max degree + 1`` (the smallest
+            bound guaranteeing a free color always exists).
+    """
+    if len(graph) < 1:
+        raise ValueError("need at least one node")
+    colors = k if k is not None else graph.max_degree() + 1
+    if colors < graph.max_degree() + 1:
+        raise ValueError(
+            f"need at least {graph.max_degree() + 1} colors for max degree "
+            f"{graph.max_degree()}"
+        )
+    domain = ModularDomain(colors)
+    variables = [Variable(color_var(j), domain, process=j) for j in graph.nodes]
+
+    actions: list[Action] = []
+    for j in graph.nodes:
+        mine = color_var(j)
+        neighbor_names = [color_var(n) for n in graph.neighbors(j)]
+        reads = [mine, *neighbor_names]
+
+        def in_conflict(s: State, mine=mine, neighbor_names=neighbor_names) -> bool:
+            return any(s[name] == s[mine] for name in neighbor_names)
+
+        def smallest_free(s: State, neighbor_names=neighbor_names,
+                          colors=colors) -> int:
+            used = {s[name] for name in neighbor_names}
+            for candidate in range(colors):
+                if candidate not in used:
+                    return candidate
+            raise AssertionError("no free color despite k >= degree + 1")
+
+        actions.append(
+            Action(
+                f"recolor.{j}",
+                Predicate(
+                    in_conflict,
+                    name=f"node {j} shares a color with a neighbor",
+                    support=reads,
+                ),
+                Assignment({mine: smallest_free}),
+                reads=reads,
+                process=j,
+            )
+        )
+    return Program(f"greedy-coloring[k={colors}]", variables, actions)
+
+
+def graph_coloring_invariant(graph: Graph) -> Predicate:
+    """``S``: a proper coloring — no edge joins equal colors."""
+    support = [color_var(j) for j in graph.nodes]
+    edges = list(graph.edges())
+    return Predicate(
+        lambda s: all(s[color_var(u)] != s[color_var(v)] for u, v in edges),
+        name="S(graph-coloring)",
+        support=support,
+    )
+
+
+def conflicted_nodes(graph: Graph, state: State) -> set[Hashable]:
+    """Nodes currently sharing a color with some neighbor."""
+    return {
+        j
+        for j in graph.nodes
+        if any(state[color_var(j)] == state[color_var(n)] for n in graph.neighbors(j))
+    }

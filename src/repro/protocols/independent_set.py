@@ -1,0 +1,113 @@
+"""Stabilizing maximal independent set (extension protocol).
+
+A classic self-stabilizing algorithm (Shukla–Rosenkrantz–Ravi style):
+each node of an undirected graph holds a flag ``in.j``; the target is an
+independent set (no two adjacent members) that is maximal (every
+non-member has a member neighbor). Rules, for nodes with totally ordered
+identifiers:
+
+- **enter.j** — ``j`` is out and no neighbor is in: join.
+- **leave.j** — ``j`` is in and some *smaller-id* neighbor is in: defer.
+
+The id-based tie-break is what makes the protocol converge under a
+central daemon: the smallest inconsistent node always wins, giving a
+lexicographic variant function. Without it, two adjacent nodes could
+enter and leave in lockstep forever.
+
+Like the matching protocol, the constraint structure is non-local (a
+node's constraint reads all neighbors), so the certification route is
+exhaustive model checking (E9) rather than a constraint-graph theorem.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.actions import Action, Assignment
+from repro.core.domains import BooleanDomain
+from repro.core.predicates import Predicate
+from repro.core.program import Program
+from repro.core.state import State
+from repro.core.variables import Variable
+from repro.topology.graph import Graph
+
+__all__ = ["member_var", "build_mis_program", "mis_invariant", "members"]
+
+
+def member_var(j: Hashable) -> str:
+    """Node ``j``'s membership flag."""
+    return f"in.{j}"
+
+
+def members(graph: Graph, state: State) -> set[Hashable]:
+    """The nodes currently in the set."""
+    return {j for j in graph.nodes if state[member_var(j)]}
+
+
+def build_mis_program(graph: Graph) -> Program:
+    """The MIS program on ``graph`` (nodes must be sortable by ``str``)."""
+    if len(graph) < 1:
+        raise ValueError("need at least one node")
+    variables = [
+        Variable(member_var(j), BooleanDomain(), process=j) for j in graph.nodes
+    ]
+    actions: list[Action] = []
+    for j in graph.nodes:
+        mine = member_var(j)
+        neighbor_names = [member_var(k) for k in graph.neighbors(j)]
+        smaller_names = [
+            member_var(k) for k in graph.neighbors(j) if str(k) < str(j)
+        ]
+        reads = [mine, *neighbor_names]
+        actions.append(
+            Action(
+                f"enter.{j}",
+                Predicate(
+                    lambda s, mine=mine, neighbor_names=neighbor_names: (
+                        not s[mine] and not any(s[n] for n in neighbor_names)
+                    ),
+                    name=f"node {j} out, no neighbor in",
+                    support=reads,
+                ),
+                Assignment({mine: True}),
+                reads=reads,
+                process=j,
+            )
+        )
+        if smaller_names:
+            leave_reads = [mine, *smaller_names]
+            actions.append(
+                Action(
+                    f"leave.{j}",
+                    Predicate(
+                        lambda s, mine=mine, smaller_names=smaller_names: (
+                            s[mine] and any(s[n] for n in smaller_names)
+                        ),
+                        name=f"node {j} in, a smaller neighbor also in",
+                        support=leave_reads,
+                    ),
+                    Assignment({mine: False}),
+                    reads=leave_reads,
+                    process=j,
+                )
+            )
+    return Program("stabilizing-mis", variables, actions)
+
+
+def mis_invariant(graph: Graph) -> Predicate:
+    """``S``: independent and maximal."""
+    support = [member_var(j) for j in graph.nodes]
+    edges = list(graph.edges())
+
+    def holds(state: State) -> bool:
+        for u, v in edges:
+            if state[member_var(u)] and state[member_var(v)]:
+                return False
+        for j in graph.nodes:
+            if not state[member_var(j)] and not any(
+                state[member_var(k)] for k in graph.neighbors(j)
+            ):
+                return False
+        return True
+
+    return Predicate(holds, name="S(mis)", support=support)

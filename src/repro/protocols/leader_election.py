@@ -1,0 +1,124 @@
+"""Stabilizing leader election on a rooted tree (extension, Theorem 2).
+
+Every node holds a ``ldr.j`` value; the invariant requires all nodes to
+agree on the root's identity::
+
+    S = (ldr.root = root)  ∧  (∀ non-root j :: ldr.j = ldr.(P.j))
+
+The root's constraint is established by a convergence action that reads
+and writes only the root's own variable — a *self-loop* in the constraint
+graph — while each other node copies its parent. The graph is therefore
+self-looping but not an out-tree (no node has indegree zero), which makes
+this the natural minimal showcase of **Theorem 2**: per node the incoming
+edge is unique, so the linear-order condition is trivial, and the
+self-loop is exactly what the theorem's shape permits beyond Theorem 1.
+
+Like the coloring protocol the design is silent: there are no closure
+actions, and once ``S`` holds nothing is enabled.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.actions import Action, Assignment
+from repro.core.candidate import CandidateTriple
+from repro.core.constraints import Constraint, ConvergenceBinding
+from repro.core.design import NonmaskingDesign
+from repro.core.domains import FiniteDomain
+from repro.core.predicates import Predicate, all_of
+from repro.core.program import Program
+from repro.core.variables import Variable
+from repro.protocols.base import process_nodes
+from repro.topology.tree import RootedTree
+
+__all__ = ["leader_var", "election_invariant", "build_leader_election_design"]
+
+
+def leader_var(j: Hashable) -> str:
+    """The name of node ``j``'s leader variable."""
+    return f"ldr.{j}"
+
+
+def election_invariant(tree: RootedTree) -> Predicate:
+    """``S``: the root names itself and every node agrees with its parent."""
+    root_name = leader_var(tree.root)
+    root = tree.root
+    parts = [
+        Predicate(
+            lambda s: s[root_name] == root,
+            name=f"ldr.{root} = {root}",
+            support=(root_name,),
+        )
+    ]
+    for j in tree.non_root_nodes():
+        mine, theirs = leader_var(j), leader_var(tree.parent(j))
+        parts.append(
+            Predicate(
+                lambda s, mine=mine, theirs=theirs: s[mine] == s[theirs],
+                name=f"{mine} = {theirs}",
+                support=(mine, theirs),
+            )
+        )
+    return all_of(parts, name="S(leader-election)")
+
+
+def build_leader_election_design(tree: RootedTree) -> NonmaskingDesign:
+    """The nonmasking leader-election design for ``tree``."""
+    if len(tree) < 2:
+        raise ValueError("leader election needs at least two nodes")
+    domain = FiniteDomain(tree.nodes)
+    variables = [Variable(leader_var(j), domain, process=j) for j in tree.nodes]
+    closure = Program("leader-election-closure", variables, [])
+
+    root = tree.root
+    root_name = leader_var(root)
+    root_constraint = Constraint(
+        name=f"L.{root}",
+        predicate=Predicate(
+            lambda s: s[root_name] == root,
+            name=f"ldr.{root} = {root}",
+            support=(root_name,),
+        ),
+    )
+    root_action = Action(
+        f"claim.{root}",
+        (~root_constraint.predicate).renamed(f"ldr.{root} != {root}"),
+        Assignment({root_name: root}),
+        reads=(root_name,),
+        process=root,
+    )
+    constraints = [root_constraint]
+    bindings = [ConvergenceBinding(constraint=root_constraint, action=root_action)]
+
+    for j in tree.non_root_nodes():
+        mine, theirs = leader_var(j), leader_var(tree.parent(j))
+        constraint = Constraint(
+            name=f"L.{j}",
+            predicate=Predicate(
+                lambda s, mine=mine, theirs=theirs: s[mine] == s[theirs],
+                name=f"{mine} = {theirs}",
+                support=(mine, theirs),
+            ),
+        )
+        action = Action(
+            f"adopt.{j}",
+            (~constraint.predicate).renamed(f"{mine} != {theirs}"),
+            Assignment({mine: lambda s, theirs=theirs: s[theirs]}),
+            reads=(mine, theirs),
+            process=j,
+        )
+        constraints.append(constraint)
+        bindings.append(ConvergenceBinding(constraint=constraint, action=action))
+
+    candidate = CandidateTriple(
+        program=closure,
+        invariant=election_invariant(tree),
+        constraints=tuple(constraints),
+    )
+    return NonmaskingDesign(
+        name="leader-election",
+        candidate=candidate,
+        bindings=tuple(bindings),
+        nodes=process_nodes(closure),
+    )

@@ -1,0 +1,168 @@
+"""Stabilizing maximal matching (Hsu–Huang 1992; extension protocol).
+
+Each node of an undirected graph holds a pointer ``p.j`` to a neighbor or
+``None``. Three rules per node, executed under a central daemon:
+
+- **accept** — unmatched and some neighbor proposes to me: point back.
+- **propose** — unmatched, nobody proposes to me, and some neighbor is
+  unmatched: point at one.
+- **retract** — I point at a neighbor who points at some third node:
+  withdraw.
+
+The invariant: pointers are symmetric (``p.j = k ⇒ p.k = j``) and the
+matching is maximal (no edge joins two unmatched nodes). Under the
+invariant every rule is disabled — the protocol is silent.
+
+The constraint structure here is genuinely cyclic and not locally
+repairable in the paper's one-action-per-constraint sense, so no theorem
+certificate is attached; the protocol demonstrates the *verification*
+side of the library instead: exhaustive model checking on small graphs
+(experiment E9) and simulation at scale. Hsu and Huang's variant-function
+proof guarantees convergence under any central daemon, which the model
+checker confirms with ``fairness="none"``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.actions import Action, Assignment
+from repro.core.domains import FiniteDomain
+from repro.core.predicates import Predicate
+from repro.core.program import Program
+from repro.core.state import State
+from repro.core.variables import Variable
+from repro.topology.graph import Graph
+
+__all__ = [
+    "pointer_var",
+    "build_matching_program",
+    "matching_invariant",
+    "matched_pairs",
+]
+
+
+def pointer_var(j: Hashable) -> str:
+    """The name of node ``j``'s pointer variable."""
+    return f"p.{j}"
+
+
+def _sorted_neighbors(graph: Graph, j: Hashable) -> list[Hashable]:
+    return sorted(graph.neighbors(j), key=str)
+
+
+def build_matching_program(graph: Graph) -> Program:
+    """The Hsu–Huang matching program on ``graph``."""
+    if len(graph) < 2:
+        raise ValueError("matching needs at least two nodes")
+    variables = [
+        Variable(
+            pointer_var(j),
+            FiniteDomain([None, *_sorted_neighbors(graph, j)]),
+            process=j,
+        )
+        for j in graph.nodes
+    ]
+
+    actions: list[Action] = []
+    for j in graph.nodes:
+        mine = pointer_var(j)
+        neighbors = _sorted_neighbors(graph, j)
+        neighbor_names = [pointer_var(k) for k in neighbors]
+        reads = [mine, *neighbor_names]
+
+        def proposers(s: State, j=j, neighbors=neighbors) -> list[Hashable]:
+            return [k for k in neighbors if s[pointer_var(k)] == j]
+
+        def unmatched_neighbors(s: State, neighbors=neighbors) -> list[Hashable]:
+            return [k for k in neighbors if s[pointer_var(k)] is None]
+
+        actions.append(
+            Action(
+                f"accept.{j}",
+                Predicate(
+                    lambda s, mine=mine, proposers=proposers: s[mine] is None
+                    and bool(proposers(s)),
+                    name=f"p.{j} = None and some neighbor points at {j}",
+                    support=reads,
+                ),
+                Assignment({mine: lambda s, proposers=proposers: proposers(s)[0]}),
+                reads=reads,
+                process=j,
+            )
+        )
+        actions.append(
+            Action(
+                f"propose.{j}",
+                Predicate(
+                    lambda s, mine=mine, proposers=proposers,
+                    unmatched_neighbors=unmatched_neighbors: s[mine] is None
+                    and not proposers(s)
+                    and bool(unmatched_neighbors(s)),
+                    name=(
+                        f"p.{j} = None, nobody points at {j}, some neighbor "
+                        "unmatched"
+                    ),
+                    support=reads,
+                ),
+                Assignment(
+                    {
+                        mine: lambda s, unmatched_neighbors=unmatched_neighbors: (
+                            unmatched_neighbors(s)[0]
+                        )
+                    }
+                ),
+                reads=reads,
+                process=j,
+            )
+        )
+
+        def points_at_taken(s: State, mine=mine, j=j) -> bool:
+            k = s[mine]
+            if k is None:
+                return False
+            other = s[pointer_var(k)]
+            return other is not None and other != j
+
+        actions.append(
+            Action(
+                f"retract.{j}",
+                Predicate(
+                    points_at_taken,
+                    name=f"p.{j} points at a neighbor engaged elsewhere",
+                    support=reads,
+                ),
+                Assignment({mine: None}),
+                reads=reads,
+                process=j,
+            )
+        )
+    return Program("hsu-huang-matching", variables, actions)
+
+
+def matching_invariant(graph: Graph) -> Predicate:
+    """``S``: pointers symmetric and the matching maximal."""
+    support = [pointer_var(j) for j in graph.nodes]
+    edges = list(graph.edges())
+
+    def holds(s: State) -> bool:
+        for j in graph.nodes:
+            k = s[pointer_var(j)]
+            if k is not None and s[pointer_var(k)] != j:
+                return False
+        for u, v in edges:
+            if s[pointer_var(u)] is None and s[pointer_var(v)] is None:
+                return False
+        return True
+
+    return Predicate(holds, name="S(matching)", support=support)
+
+
+def matched_pairs(graph: Graph, state: State) -> set[frozenset[Hashable]]:
+    """The mutually pointing pairs in ``state``."""
+    pairs: set[frozenset[Hashable]] = set()
+    for j in graph.nodes:
+        k = state[pointer_var(j)]
+        if k is not None and state[pointer_var(k)] == j:
+            pairs.add(frozenset((j, k)))
+    return pairs

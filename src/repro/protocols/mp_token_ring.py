@@ -1,0 +1,230 @@
+"""Message-passing token ring — the paper's Section 7.1 reader exercise.
+
+"Refinement of this program into one where the neighboring processes
+communicate via message passing is left as an exercise to the reader."
+
+Here is the exercise, solved in the counter-flushing style: ``N+1`` nodes
+``0 .. N``; node ``j`` keeps a counter ``x.j ∈ 0..K-1`` and a single-slot
+lossy channel ``ch.j`` carries messages (counter values) from ``j`` to
+``j+1 mod N+1``. Actions:
+
+- **relay.j** (``j ≠ 0``): a message ``v ≠ x.j`` is waiting — adopt it
+  and forward: ``x.j := v``, move the message to ``ch.j``. Adopting the
+  token is the privilege: this is when node ``j`` may use the resource.
+- **absorb.j** (``j ≠ 0``): a message ``v = x.j`` is waiting — a stale
+  duplicate; drop it.
+- **advance.0**: a message ``v = x.0`` arrived home — the token completed
+  a round trip; start the next one: ``x.0 := x.0+1 mod K``, send the new
+  value.
+- **drop.0**: a message ``v ≠ x.0`` arrived at node 0 — stale; drop it.
+- **timeout.0**: *no message anywhere in the ring* — the token was lost
+  (or the initial state had none); regenerate with a fresh number:
+  ``x.0 := x.0+1 mod K``, send it. The global-emptiness guard is the
+  standard abstraction of a timeout that outlives every in-flight
+  message; it is node 0's only non-local read, and implementations
+  realize it with a conservative timer.
+
+Legitimate states (``S``): exactly one message in flight, carrying
+``v = x.0``, with every node up to the message's position already at
+``v`` and every node past it still at ``v - 1 mod K``.
+
+Faults: transient corruption of any counters and channel slots — which
+subsumes token loss (empty a slot), token duplication (fill a second
+slot) and counter corruption. Stabilization requires ``K`` large enough
+that a fresh number is distinguishable from every stale value in the
+system; the E12 experiment locates the exact threshold by model checking.
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import Action, Assignment
+from repro.core.domains import ModularDomain
+from repro.core.predicates import Predicate
+from repro.core.program import Program
+from repro.core.state import State
+from repro.core.variables import Variable
+from repro.messaging.channels import SlotChannel
+from repro.topology import Ring
+
+__all__ = [
+    "x_var",
+    "channel_var",
+    "build_mp_token_ring",
+    "mp_ring_invariant",
+    "messages_in_flight",
+]
+
+
+def x_var(j: int) -> str:
+    """Node ``j``'s counter variable."""
+    return f"x.{j}"
+
+
+def channel_var(j: int) -> str:
+    """The channel from node ``j`` to its successor."""
+    return f"ch.{j}"
+
+
+def messages_in_flight(ring: Ring, state: State) -> list[tuple[int, int]]:
+    """The ``(channel index, value)`` pairs of all in-flight messages."""
+    found = []
+    for j in ring.nodes:
+        value = state[channel_var(j)]
+        if value is not None:
+            found.append((j, value))
+    return found
+
+
+def build_mp_token_ring(n_nodes: int, k: int) -> tuple[Program, Predicate]:
+    """Build the message-passing ring.
+
+    Args:
+        n_nodes: Ring size (the paper's ``N+1``); at least 2.
+        k: Counter modulus. Experiment E12 shows stabilization holds for
+            ``k >= n_nodes + 1`` and fails below.
+
+    Returns:
+        The program and its invariant ``S``.
+    """
+    if n_nodes < 2:
+        raise ValueError("a ring needs at least 2 nodes")
+    if k < 2:
+        raise ValueError("need at least 2 counter values")
+    ring = Ring(n_nodes)
+    counter = ModularDomain(k)
+    values = list(range(k))
+
+    variables: list[Variable] = []
+    channels: list[SlotChannel] = []
+    for j in ring.nodes:
+        variables.append(Variable(x_var(j), counter, process=j))
+        channel = SlotChannel(channel_var(j), values, process=j)
+        channels.append(channel)
+        variables.append(channel.variable)
+
+    all_channel_names = [channel_var(j) for j in ring.nodes]
+    actions: list[Action] = []
+
+    # Node 0.
+    x0 = x_var(0)
+    incoming0 = channel_var(ring.predecessor(0))
+    out0 = channel_var(0)
+    actions.append(
+        Action(
+            "advance.0",
+            Predicate(
+                lambda s: s[incoming0] is not None and s[incoming0] == s[x0],
+                name="token returned home with the current number",
+                support=(incoming0, x0),
+            ),
+            Assignment(
+                {
+                    x0: lambda s: (s[x0] + 1) % k,
+                    incoming0: None,
+                    out0: lambda s: (s[x0] + 1) % k,
+                }
+            ),
+            reads=(incoming0, x0, out0),
+            process=0,
+        )
+    )
+    actions.append(
+        Action(
+            "drop.0",
+            Predicate(
+                lambda s: s[incoming0] is not None and s[incoming0] != s[x0],
+                name="stale message at node 0",
+                support=(incoming0, x0),
+            ),
+            Assignment({incoming0: None}),
+            reads=(incoming0, x0),
+            process=0,
+        )
+    )
+    actions.append(
+        Action(
+            "timeout.0",
+            Predicate(
+                lambda s: all(s[name] is None for name in all_channel_names),
+                name="no message anywhere (token lost)",
+                support=all_channel_names,
+            ),
+            Assignment(
+                {
+                    x0: lambda s: (s[x0] + 1) % k,
+                    out0: lambda s: (s[x0] + 1) % k,
+                }
+            ),
+            reads=(*all_channel_names, x0),
+            process=0,
+        )
+    )
+
+    # Other nodes.
+    for j in range(1, n_nodes):
+        xj = x_var(j)
+        incoming = channel_var(ring.predecessor(j))
+        outgoing = channel_var(j)
+        actions.append(
+            Action(
+                f"relay.{j}",
+                Predicate(
+                    lambda s, incoming=incoming, xj=xj: s[incoming] is not None
+                    and s[incoming] != s[xj],
+                    name=f"new token at node {j}",
+                    support=(incoming, xj),
+                ),
+                Assignment(
+                    {
+                        xj: lambda s, incoming=incoming: s[incoming],
+                        incoming: None,
+                        outgoing: lambda s, incoming=incoming: s[incoming],
+                    }
+                ),
+                reads=(incoming, xj, outgoing),
+                process=j,
+            )
+        )
+        actions.append(
+            Action(
+                f"absorb.{j}",
+                Predicate(
+                    lambda s, incoming=incoming, xj=xj: s[incoming] is not None
+                    and s[incoming] == s[xj],
+                    name=f"stale duplicate at node {j}",
+                    support=(incoming, xj),
+                ),
+                Assignment({incoming: None}),
+                reads=(incoming, xj),
+                process=j,
+            )
+        )
+
+    program = Program(f"mp-token-ring[{n_nodes},K={k}]", variables, actions)
+    return program, mp_ring_invariant(ring, k)
+
+
+def mp_ring_invariant(ring: Ring, k: int) -> Predicate:
+    """``S``: one message, value ``x.0``, counters split around it.
+
+    The message sits in some channel ``ch.p``; nodes ``0..p`` have
+    already adopted the current number ``v = x.0`` and nodes ``p+1..N``
+    still hold the previous number ``v - 1 mod K``.
+    """
+    names = [x_var(j) for j in ring.nodes] + [channel_var(j) for j in ring.nodes]
+
+    def holds(state: State) -> bool:
+        flights = messages_in_flight(ring, state)
+        if len(flights) != 1:
+            return False
+        position, value = flights[0]
+        if value != state[x_var(0)]:
+            return False
+        previous = (value - 1) % k
+        for j in ring.nodes:
+            expected = value if j <= position else previous
+            if state[x_var(j)] != expected:
+                return False
+        return True
+
+    return Predicate(holds, name="S(mp-token-ring)", support=names)

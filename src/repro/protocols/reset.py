@@ -1,0 +1,138 @@
+"""Stabilizing distributed reset — an application of diffusing computations.
+
+Section 5.1 motivates diffusing computations with their applications:
+"global state snapshot, termination detection, deadlock detection, and
+distributed reset". This module builds the distributed-reset application
+on top of the diffusing design: each node carries an application variable
+``app.j``; when the red wave visits a node (the propagate/convergence
+action fires) the node resets ``app.j`` to the reset value, and the root
+resets its own variable when it initiates a wave.
+
+Because the wave machinery is stabilizing (Theorem 1), the composition is
+too: from *any* state — wave variables and application variables both
+arbitrarily corrupted — the wave structure first re-legitimizes, and the
+next complete wave then drives every application variable to the reset
+value, after which both stay put (the target predicate is closed).
+
+This is the simplest instance of the general pattern "ride a
+self-stabilizing wave to perform a global task"; the builder accepts any
+per-node reset value so tests can distinguish "reset happened" from
+"value was coincidentally right".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.core.actions import Action, Assignment
+from repro.core.domains import IntegerRangeDomain
+from repro.core.predicates import Predicate, all_of
+from repro.core.program import Program
+from repro.core.variables import Variable
+from repro.protocols.diffusing import (
+    build_diffusing_design,
+    color_var,
+    diffusing_invariant,
+    session_var,
+)
+from repro.topology.tree import RootedTree
+
+__all__ = ["app_var", "build_reset_program", "reset_target"]
+
+
+def app_var(j: Hashable) -> str:
+    """Node ``j``'s application variable."""
+    return f"app.{j}"
+
+
+def build_reset_program(
+    tree: RootedTree,
+    *,
+    app_values: int = 4,
+    reset_value: int = 0,
+) -> Program:
+    """The diffusing computation extended with application resets.
+
+    Args:
+        tree: The rooted tree.
+        app_values: Size of each application variable's domain
+            (``0 .. app_values-1``).
+        reset_value: The value the wave installs everywhere.
+    """
+    if not 0 <= reset_value < app_values:
+        raise ValueError("reset_value must lie in the application domain")
+    design = build_diffusing_design(tree, variant="merged")
+    base = design.program
+
+    domain = IntegerRangeDomain(0, app_values - 1)
+    variables = list(base.variables.values()) + [
+        Variable(app_var(j), domain, process=j) for j in tree.nodes
+    ]
+
+    actions: list[Action] = []
+    for action in base.actions:
+        if action.name == "initiate":
+            root = tree.root
+            effect = Assignment(
+                {
+                    color_var(root): "red",
+                    session_var(root): lambda s: not s[session_var(root)],
+                    app_var(root): reset_value,
+                }
+            )
+            actions.append(
+                Action(
+                    action.name,
+                    action.guard,
+                    effect,
+                    reads=tuple(action.reads | {app_var(root)}),
+                    process=action.process,
+                )
+            )
+        elif action.name.startswith("propagate."):
+            j = action.name.removeprefix("propagate.")
+            node = _node_with_name(tree, j)
+            parent = tree.parent(node)
+            effect = Assignment(
+                {
+                    color_var(node): lambda s, p=parent: s[color_var(p)],
+                    session_var(node): lambda s, p=parent: s[session_var(p)],
+                    app_var(node): reset_value,
+                }
+            )
+            actions.append(
+                Action(
+                    action.name,
+                    action.guard,
+                    effect,
+                    reads=tuple(action.reads | {app_var(node)}),
+                    process=action.process,
+                )
+            )
+        else:
+            actions.append(action)
+    return Program(f"distributed-reset[{len(tree)}]", variables, actions)
+
+
+def _node_with_name(tree: RootedTree, name: str) -> Any:
+    for node in tree.nodes:
+        if str(node) == name:
+            return node
+    raise KeyError(f"no tree node named {name!r}")
+
+
+def reset_target(tree: RootedTree, *, reset_value: int = 0) -> Predicate:
+    """The composed target: wave structure legitimate and all apps reset.
+
+    Closed under the reset program (waves keep re-installing the reset
+    value), and every computation from an arbitrary state reaches it —
+    the stabilizing wave plus one full traversal.
+    """
+    wave_ok = diffusing_invariant(tree)
+    app_names = [app_var(j) for j in tree.nodes]
+    apps_reset = Predicate(
+        lambda s: all(s[name] == reset_value for name in app_names),
+        name=f"all app.j = {reset_value}",
+        support=app_names,
+    )
+    return all_of([wave_ok, apps_reset], name="S(distributed-reset)")

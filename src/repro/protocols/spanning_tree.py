@@ -1,0 +1,161 @@
+"""Stabilizing BFS spanning tree (extension, Section 7 state refinement).
+
+On a connected graph with a distinguished root, every node maintains a
+distance estimate ``dist.j`` (capped at ``n``); the root drives its own
+estimate to 0 and every other node recomputes ``1 + min`` over its
+neighbors. The invariant is that every estimate equals the true BFS
+level, from which parent pointers (any neighbor one level closer) induce
+a BFS spanning tree.
+
+This protocol is the library's showcase of the paper's Section 7 *state
+refinement* possibilities: its constraint graph is **cyclic** (each
+node's constraint reads all neighbors, and neighbors read back), so
+Theorems 1–3 do not apply directly. Instead convergence is certified by
+a **convergence stair** (Gouda–Multari, the paper's third possibility):
+the closed predicates ::
+
+    H_d  =  (∀j : level.j ≤ d  ⇒  dist.j = level.j)
+            ∧ (∀j : level.j > d  ⇒  dist.j ≥ d + 1)
+
+descend from ``true = H_{-1}`` to ``S = H_D`` (``D`` the graph's depth),
+each ``H_d`` is closed, and every computation from ``H_{d-1}`` reaches
+``H_d`` — exactly the shape :func:`repro.verification.stairs.check_stair`
+verifies.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.actions import Action, Assignment
+from repro.core.domains import IntegerRangeDomain
+from repro.core.predicates import Predicate, all_of
+from repro.core.program import Program
+from repro.core.state import State
+from repro.core.variables import Variable
+from repro.topology.graph import Graph
+
+__all__ = [
+    "dist_var",
+    "build_spanning_tree_program",
+    "spanning_tree_invariant",
+    "spanning_tree_stair",
+    "derived_parent",
+]
+
+
+def dist_var(j: Hashable) -> str:
+    """The name of node ``j``'s distance-estimate variable."""
+    return f"dist.{j}"
+
+
+def build_spanning_tree_program(graph: Graph, root: Hashable) -> Program:
+    """The BFS distance program on ``graph`` rooted at ``root``.
+
+    Estimates live in ``0 .. n`` (the cap keeps the state space finite
+    and is never the correct value of a reachable node, since levels are
+    at most ``n - 1``).
+    """
+    if not graph.is_connected():
+        raise ValueError("the spanning-tree protocol requires a connected graph")
+    n = len(graph)
+    domain = IntegerRangeDomain(0, n)
+    variables = [Variable(dist_var(j), domain, process=j) for j in graph.nodes]
+
+    root_name = dist_var(root)
+    actions = [
+        Action(
+            f"root.{root}",
+            Predicate(
+                lambda s: s[root_name] != 0,
+                name=f"dist.{root} != 0",
+                support=(root_name,),
+            ),
+            Assignment({root_name: 0}),
+            reads=(root_name,),
+            process=root,
+        )
+    ]
+    for j in graph.nodes:
+        if j == root:
+            continue
+        mine = dist_var(j)
+        neighbor_names = [dist_var(k) for k in graph.neighbors(j)]
+        reads = [mine, *neighbor_names]
+
+        def recompute(s: State, neighbor_names=neighbor_names, n=n) -> int:
+            return min(n, 1 + min(s[name] for name in neighbor_names))
+
+        actions.append(
+            Action(
+                f"recompute.{j}",
+                Predicate(
+                    lambda s, mine=mine, recompute=recompute: s[mine] != recompute(s),
+                    name=f"dist.{j} != 1 + min(neighbors)",
+                    support=reads,
+                ),
+                Assignment({mine: recompute}),
+                reads=reads,
+                process=j,
+            )
+        )
+    return Program(f"bfs-spanning-tree[root={root}]", variables, actions)
+
+
+def spanning_tree_invariant(graph: Graph, root: Hashable) -> Predicate:
+    """``S``: every distance estimate equals the true BFS level."""
+    levels = graph.bfs_levels(root)
+    parts = [
+        Predicate(
+            lambda s, name=dist_var(j), level=levels[j]: s[name] == level,
+            name=f"dist.{j} = {levels[j]}",
+            support=(dist_var(j),),
+        )
+        for j in graph.nodes
+    ]
+    return all_of(parts, name="S(spanning-tree)")
+
+
+def spanning_tree_stair(graph: Graph, root: Hashable) -> list[Predicate]:
+    """The convergence stair ``[true, H_0, H_1, …, H_D]``."""
+    levels = graph.bfs_levels(root)
+    depth = max(levels.values())
+    names_and_levels = [(dist_var(j), levels[j]) for j in graph.nodes]
+    support = [name for name, _ in names_and_levels]
+
+    def make_stair_step(d: int) -> Predicate:
+        def holds(s: State) -> bool:
+            for name, level in names_and_levels:
+                if level <= d:
+                    if s[name] != level:
+                        return False
+                elif s[name] < d + 1:
+                    return False
+            return True
+
+        return Predicate(holds, name=f"H_{d}", support=support)
+
+    stair: list[Predicate] = [
+        Predicate(lambda s: True, name="true = H_-1", support=())
+    ]
+    stair.extend(make_stair_step(d) for d in range(depth + 1))
+    return stair
+
+
+def derived_parent(graph: Graph, root: Hashable, state: State, j: Hashable) -> Hashable | None:
+    """The BFS parent induced by the distance estimates.
+
+    Any neighbor whose estimate is exactly one less; deterministic (the
+    smallest by string order) so examples and tests are stable. ``None``
+    for the root or when no qualifying neighbor exists (estimates not yet
+    stabilized).
+    """
+    if j == root:
+        return None
+    mine = state[dist_var(j)]
+    candidates = [
+        k for k in graph.neighbors(j) if state[dist_var(k)] == mine - 1
+    ]
+    if not candidates:
+        return None
+    return min(candidates, key=str)

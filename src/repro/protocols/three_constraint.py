@@ -1,0 +1,211 @@
+"""The paper's three-variable running example (Sections 4 and 6).
+
+Three integer variables ``x``, ``y``, ``z`` with the invariant
+``S = (x ≠ y) ∧ (x ≤ z)``. The example illustrates how the *choice of
+convergence statement* shapes the constraint graph and thereby which
+theorem (if any) validates the design:
+
+- :func:`build_out_tree_design` (Section 4): fix ``x = y`` by changing
+  ``y`` and ``x > z`` by changing ``z``. Both edges leave the ``x`` node,
+  the graph is an out-tree, Theorem 1 applies.
+- :func:`build_ordered_design` (Section 6, second example): fix ``x = y``
+  by *decreasing* ``x`` and ``x > z`` by lowering ``x`` to ``z``. Both
+  edges target the ``x`` node (self-looping graph); the linear order
+  ``[x ≤ z, x ≠ y]`` exists because decreasing ``x`` preserves
+  ``x ≤ z``, so Theorem 2 applies.
+- :func:`build_oscillating_design` (Section 6, first example): fix
+  ``x = y`` by *increasing* ``x``. No linear order exists — each action
+  can violate the other's constraint — Theorem 2's conditions fail, and
+  the program really can oscillate forever (experiments E1/E10 exhibit
+  the cycle by model checking).
+
+The variables use unbounded integer domains; the designs converge within
+a couple of steps from any state, so model checking works over the
+reachability closure of a finite window (:func:`window_states` plus
+:func:`repro.verification.explorer.explore`).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.actions import Action, Assignment
+from repro.core.candidate import CandidateTriple
+from repro.core.constraints import Constraint, ConvergenceBinding
+from repro.core.design import NonmaskingDesign
+from repro.core.constraint_graph import GraphNode
+from repro.core.domains import IntegerDomain
+from repro.core.predicates import Predicate
+from repro.core.program import Program
+from repro.core.state import State
+from repro.core.variables import Variable
+
+__all__ = [
+    "distinct_constraint",
+    "bounded_constraint",
+    "xyz_invariant",
+    "xyz_nodes",
+    "build_out_tree_design",
+    "build_ordered_design",
+    "build_oscillating_design",
+    "window_states",
+]
+
+
+def _variables(bound: int) -> list[Variable]:
+    domain = IntegerDomain(sample_lo=-bound, sample_hi=bound)
+    return [
+        Variable("x", domain, process="x"),
+        Variable("y", domain, process="y"),
+        Variable("z", domain, process="z"),
+    ]
+
+
+def distinct_constraint() -> Constraint:
+    """``c1: x ≠ y``."""
+    return Constraint(
+        name="c1",
+        predicate=Predicate(
+            lambda s: s["x"] != s["y"], name="x != y", support=("x", "y")
+        ),
+    )
+
+
+def bounded_constraint() -> Constraint:
+    """``c2: x ≤ z``."""
+    return Constraint(
+        name="c2",
+        predicate=Predicate(
+            lambda s: s["x"] <= s["z"], name="x <= z", support=("x", "z")
+        ),
+    )
+
+
+def xyz_invariant() -> Predicate:
+    """``S = (x ≠ y) ∧ (x ≤ z)``."""
+    return Predicate(
+        lambda s: s["x"] != s["y"] and s["x"] <= s["z"],
+        name="S(xyz)",
+        support=("x", "y", "z"),
+    )
+
+
+def xyz_nodes() -> list[GraphNode]:
+    """One constraint-graph node per variable."""
+    return [
+        GraphNode("x", frozenset({"x"})),
+        GraphNode("y", frozenset({"y"})),
+        GraphNode("z", frozenset({"z"})),
+    ]
+
+
+def _design(name: str, bound: int, bindings: list[ConvergenceBinding]) -> NonmaskingDesign:
+    closure = Program(f"{name}-closure", _variables(bound), [])
+    candidate = CandidateTriple(
+        program=closure,
+        invariant=xyz_invariant(),
+        constraints=tuple(binding.constraint for binding in bindings),
+    )
+    return NonmaskingDesign(
+        name=name,
+        candidate=candidate,
+        bindings=tuple(bindings),
+        nodes=xyz_nodes(),
+    )
+
+
+def build_out_tree_design(bound: int = 4) -> NonmaskingDesign:
+    """Section 4's design: change ``y`` for ``c1``, change ``z`` for ``c2``."""
+    fix_distinct = Action(
+        "lower-y",
+        Predicate(lambda s: s["x"] == s["y"], name="x = y", support=("x", "y")),
+        Assignment({"y": lambda s: s["x"] - 1}),
+        reads=("x", "y"),
+        process="y",
+    )
+    fix_bound = Action(
+        "raise-z",
+        Predicate(lambda s: s["x"] > s["z"], name="x > z", support=("x", "z")),
+        Assignment({"z": lambda s: s["x"]}),
+        reads=("x", "z"),
+        process="z",
+    )
+    return _design(
+        "xyz-out-tree",
+        bound,
+        [
+            ConvergenceBinding(constraint=distinct_constraint(), action=fix_distinct),
+            ConvergenceBinding(constraint=bounded_constraint(), action=fix_bound),
+        ],
+    )
+
+
+def build_ordered_design(bound: int = 4) -> NonmaskingDesign:
+    """Section 6's good design: both actions write ``x``; an order exists.
+
+    Decreasing ``x`` (for ``c1``) preserves ``x ≤ z``, so the linear
+    order ``[c2's action, c1's action]`` satisfies Theorem 2.
+    """
+    fix_distinct = Action(
+        "lower-x",
+        Predicate(lambda s: s["x"] == s["y"], name="x = y", support=("x", "y")),
+        Assignment({"x": lambda s: s["x"] - 1}),
+        reads=("x", "y"),
+        process="x",
+    )
+    fix_bound = Action(
+        "clamp-x",
+        Predicate(lambda s: s["x"] > s["z"], name="x > z", support=("x", "z")),
+        Assignment({"x": lambda s: s["z"]}),
+        reads=("x", "z"),
+        process="x",
+    )
+    return _design(
+        "xyz-ordered",
+        bound,
+        [
+            ConvergenceBinding(constraint=distinct_constraint(), action=fix_distinct),
+            ConvergenceBinding(constraint=bounded_constraint(), action=fix_bound),
+        ],
+    )
+
+
+def build_oscillating_design(bound: int = 4) -> NonmaskingDesign:
+    """Section 6's bad design: raising ``x`` for ``c1`` can violate ``c2``,
+    clamping ``x`` for ``c2`` can violate ``c1`` — no linear order exists
+    and the two actions can alternate forever."""
+    fix_distinct = Action(
+        "raise-x",
+        Predicate(lambda s: s["x"] == s["y"], name="x = y", support=("x", "y")),
+        Assignment({"x": lambda s: s["x"] + 1}),
+        reads=("x", "y"),
+        process="x",
+    )
+    fix_bound = Action(
+        "clamp-x",
+        Predicate(lambda s: s["x"] > s["z"], name="x > z", support=("x", "z")),
+        Assignment({"x": lambda s: s["z"]}),
+        reads=("x", "z"),
+        process="x",
+    )
+    return _design(
+        "xyz-oscillating",
+        bound,
+        [
+            ConvergenceBinding(constraint=distinct_constraint(), action=fix_distinct),
+            ConvergenceBinding(constraint=bounded_constraint(), action=fix_bound),
+        ],
+    )
+
+
+def window_states(bound: int) -> list[State]:
+    """All states with ``x, y, z ∈ [-bound, bound]``.
+
+    Model checks run over the reachability closure of this window (the
+    designs move values at most one unit outside it before quiescing).
+    """
+    values = range(-bound, bound + 1)
+    return [
+        State({"x": x, "y": y, "z": z})
+        for x, y, z in itertools.product(values, repeat=3)
+    ]

@@ -1,0 +1,274 @@
+"""Stabilizing token rings (Section 7.1 of the paper; Dijkstra 1974).
+
+``N+1`` nodes numbered ``0 .. N`` form a ring; the successor of ``j`` is
+``j+1 mod N+1``. Each node holds an integer ``x.j``. Node 0 is privileged
+when ``x.0 = x.N``; node ``j+1`` is privileged when ``x.j ≠ x.(j+1)``
+(in the paper's invariant region this coincides with ``x.j > x.(j+1)``).
+Exactly one node is privileged in every invariant state, each privileged
+node eventually passes the privilege to its successor, and the program
+tolerates faults that spontaneously make nodes privileged or
+unprivileged (arbitrary corruption of the ``x`` values).
+
+Two formulations are provided:
+
+- :func:`build_token_ring_design` — the paper's formulation over
+  *unbounded* integers, packaged as a complete Theorem 3 design: the
+  invariant ``S = (∀j : x.j ≥ x.(j+1)) ∧ (x.0 = x.N ∨ x.0 = x.N + 1)``
+  is decomposed into two layers of constraints, layer 0 the inequalities
+  ``x.j ≥ x.(j+1)`` and layer 1 the equalities ``x.j = x.(j+1)``, both
+  served by the single merged action ``x.j ≠ x.(j+1) -> x.(j+1) := x.j``.
+  Unbounded domains cannot be model-checked exhaustively, but all of
+  Theorem 3's *local* obligations are discharged exhaustively over a
+  finite window of states (preservation/establishment only evaluate
+  predicates on successor states, which may lie outside the window).
+- :func:`build_dijkstra_ring` — Dijkstra's finite K-state variant
+  (``x.j ∈ 0..K-1``, node 0 increments modulo K), the classic concrete
+  protocol. Its full state space is finite, so single-privilege closure
+  and convergence are verified by exhaustive model checking, including
+  the minimal-K sweep of experiment E4.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.actions import Action, Assignment
+from repro.core.candidate import CandidateTriple
+from repro.core.constraints import Constraint, ConvergenceBinding
+from repro.core.design import NonmaskingDesign
+from repro.core.domains import IntegerDomain, ModularDomain
+from repro.core.predicates import Predicate
+from repro.core.program import Program
+from repro.core.state import State
+from repro.core.variables import Variable
+from repro.protocols.base import process_nodes
+from repro.topology.ring import Ring
+
+__all__ = [
+    "x_var",
+    "ring_invariant",
+    "privileged_nodes",
+    "exactly_one_privilege",
+    "build_token_ring_design",
+    "build_dijkstra_ring",
+    "window_states",
+]
+
+
+def x_var(j: int) -> str:
+    """The name of node ``j``'s counter variable, ``x.j``."""
+    return f"x.{j}"
+
+
+def privileged_nodes(ring: Ring, state: State) -> list[int]:
+    """The nodes currently holding a privilege.
+
+    Node 0 is privileged iff ``x.0 = x.N``; node ``j+1`` iff
+    ``x.j ≠ x.(j+1)``.
+    """
+    last = ring.last
+    privileged = []
+    if state[x_var(0)] == state[x_var(last)]:
+        privileged.append(0)
+    for j in range(last):
+        if state[x_var(j)] != state[x_var(j + 1)]:
+            privileged.append(j + 1)
+    return privileged
+
+
+def exactly_one_privilege(ring: Ring) -> Predicate:
+    """The specification predicate: exactly one node is privileged."""
+    names = [x_var(j) for j in ring.nodes]
+    return Predicate(
+        lambda s: len(privileged_nodes(ring, s)) == 1,
+        name="exactly one privileged node",
+        support=names,
+    )
+
+
+def ring_invariant(ring: Ring) -> Predicate:
+    """The paper's invariant over unbounded integers.
+
+    ``S = (∀j < N : x.j ≥ x.(j+1)) ∧ (x.0 = x.N ∨ x.0 = x.N + 1)``:
+    the ``x`` values are non-increasing along the path ``0 .. N`` with at
+    most one unit decrease.
+    """
+    last = ring.last
+    names = [x_var(j) for j in ring.nodes]
+
+    def holds(s: State) -> bool:
+        if any(s[x_var(j)] < s[x_var(j + 1)] for j in range(last)):
+            return False
+        return s[x_var(0)] == s[x_var(last)] or s[x_var(0)] == s[x_var(last)] + 1
+
+    return Predicate(holds, name="S(token-ring)", support=names)
+
+
+def _geq_constraint(j: int) -> Constraint:
+    a, b = x_var(j), x_var(j + 1)
+    return Constraint(
+        name=f"geq.{j}",
+        predicate=Predicate(
+            lambda s: s[a] >= s[b], name=f"x.{j} >= x.{j + 1}", support=(a, b)
+        ),
+    )
+
+
+def _eq_constraint(j: int) -> Constraint:
+    a, b = x_var(j), x_var(j + 1)
+    return Constraint(
+        name=f"eq.{j}",
+        predicate=Predicate(
+            lambda s: s[a] == s[b], name=f"x.{j} = x.{j + 1}", support=(a, b)
+        ),
+    )
+
+
+def _merged_pass_action(j: int) -> Action:
+    """``x.j ≠ x.(j+1) -> x.(j+1) := x.j`` — the paper's combined action."""
+    a, b = x_var(j), x_var(j + 1)
+    return Action(
+        f"pass.{j + 1}",
+        Predicate(lambda s: s[a] != s[b], name=f"x.{j} != x.{j + 1}", support=(a, b)),
+        Assignment({b: lambda s: s[a]}),
+        reads=(a, b),
+        process=j + 1,
+    )
+
+
+def build_token_ring_design(n_nodes: int, *, sample_hi: int = 16) -> NonmaskingDesign:
+    """The paper's token-ring design over unbounded integers.
+
+    Args:
+        n_nodes: Total number of ring nodes (the paper's ``N+1``); at
+            least 2.
+        sample_hi: Upper end of the sampling window used when drawing
+            random (corrupted) states for simulation.
+
+    Returns:
+        A two-layer Theorem 3 design. Its deployed ``program`` is exactly
+        the paper's final listing: node 0's increment action plus one
+        merged pass/convergence action per other node.
+    """
+    if n_nodes < 2:
+        raise ValueError("a token ring needs at least 2 nodes")
+    ring = Ring(n_nodes)
+    last = ring.last
+    domain = IntegerDomain(sample_lo=0, sample_hi=sample_hi)
+    variables = [Variable(x_var(j), domain, process=j) for j in ring.nodes]
+
+    x0, xn = x_var(0), x_var(last)
+    initiate = Action(
+        "initiate",
+        Predicate(lambda s: s[x0] == s[xn], name="x.0 = x.N", support=(x0, xn)),
+        Assignment({x0: lambda s: s[x0] + 1}),
+        reads=(x0, xn),
+        process=0,
+    )
+    closure_passes = []
+    for j in range(last):
+        a, b = x_var(j), x_var(j + 1)
+        closure_passes.append(
+            Action(
+                f"pass.{j + 1}",
+                Predicate(
+                    lambda s, a=a, b=b: s[a] > s[b],
+                    name=f"x.{j} > x.{j + 1}",
+                    support=(a, b),
+                ),
+                Assignment({b: lambda s, a=a: s[a]}),
+                reads=(a, b),
+                process=j + 1,
+            )
+        )
+    closure = Program("token-ring-closure", variables, [initiate, *closure_passes])
+
+    geq = [_geq_constraint(j) for j in range(last)]
+    eq = [_eq_constraint(j) for j in range(last)]
+    candidate = CandidateTriple(
+        program=closure,
+        invariant=ring_invariant(ring),
+        constraints=tuple(geq) + tuple(eq),
+    )
+
+    merged = [_merged_pass_action(j) for j in range(last)]
+    layer0 = [
+        ConvergenceBinding(constraint=geq[j], action=merged[j]) for j in range(last)
+    ]
+    layer1 = [
+        ConvergenceBinding(constraint=eq[j], action=merged[j]) for j in range(last)
+    ]
+    return NonmaskingDesign(
+        name=f"token-ring[{n_nodes}]",
+        candidate=candidate,
+        bindings=tuple(layer0) + tuple(layer1),
+        nodes=process_nodes(closure),
+        layers=(tuple(layer0), tuple(layer1)),
+    )
+
+
+def window_states(n_nodes: int, lo: int, hi: int) -> list[State]:
+    """All states with every ``x.j`` in ``[lo, hi]``.
+
+    The finite window over which the unbounded design's Theorem 3
+    obligations are discharged exhaustively. A window of width ≥ 3
+    already exhibits every ordering pattern of adjacent counters that the
+    constraints can distinguish.
+    """
+    names = [x_var(j) for j in range(n_nodes)]
+    values = range(lo, hi + 1)
+    return [
+        State(dict(zip(names, combo)))
+        for combo in itertools.product(values, repeat=n_nodes)
+    ]
+
+
+def build_dijkstra_ring(n_nodes: int, k: int) -> tuple[Program, Predicate]:
+    """Dijkstra's K-state token ring (finite domains).
+
+    Args:
+        n_nodes: Total ring size (the paper's ``N+1``); at least 2.
+        k: Number of counter states per node. Stabilization from
+            arbitrary states requires ``k >= n_nodes`` (experiment E4
+            sweeps this empirically).
+
+    Returns:
+        The program and its specification predicate (exactly one
+        privileged node).
+    """
+    if n_nodes < 2:
+        raise ValueError("a token ring needs at least 2 nodes")
+    if k < 2:
+        raise ValueError("need at least 2 counter states")
+    ring = Ring(n_nodes)
+    last = ring.last
+    domain = ModularDomain(k)
+    variables = [Variable(x_var(j), domain, process=j) for j in ring.nodes]
+
+    x0, xn = x_var(0), x_var(last)
+    actions = [
+        Action(
+            "initiate",
+            Predicate(lambda s: s[x0] == s[xn], name="x.0 = x.N", support=(x0, xn)),
+            Assignment({x0: lambda s: (s[x0] + 1) % k}),
+            reads=(x0, xn),
+            process=0,
+        )
+    ]
+    for j in range(last):
+        a, b = x_var(j), x_var(j + 1)
+        actions.append(
+            Action(
+                f"pass.{j + 1}",
+                Predicate(
+                    lambda s, a=a, b=b: s[a] != s[b],
+                    name=f"x.{j} != x.{j + 1}",
+                    support=(a, b),
+                ),
+                Assignment({b: lambda s, a=a: s[a]}),
+                reads=(a, b),
+                process=j + 1,
+            )
+        )
+    program = Program(f"dijkstra-ring[{n_nodes},K={k}]", variables, actions)
+    return program, exactly_one_privilege(ring)

@@ -1,0 +1,5 @@
+"""Atomicity refinement (the paper's Section 8 future-work direction)."""
+
+from repro.refinement.caching import cache_coherence, cache_var, refine_with_caches
+
+__all__ = ["cache_coherence", "cache_var", "refine_with_caches"]

@@ -1,0 +1,23 @@
+"""Schedulers (daemons) and computation traces."""
+
+from repro.scheduler.adversary import AdversarialScheduler
+from repro.scheduler.base import FirstEnabledScheduler, Scheduler
+from repro.scheduler.computation import Computation, ComputationStep
+from repro.scheduler.daemons import DistributedDaemon, SynchronousDaemon
+from repro.scheduler.fairness import QueueFairScheduler, RoundRobinScheduler
+from repro.scheduler.priority import PriorityScheduler
+from repro.scheduler.random_sched import RandomScheduler
+
+__all__ = [
+    "AdversarialScheduler",
+    "Computation",
+    "ComputationStep",
+    "DistributedDaemon",
+    "FirstEnabledScheduler",
+    "PriorityScheduler",
+    "QueueFairScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "SynchronousDaemon",
+]

@@ -1,0 +1,51 @@
+"""Adversarial scheduler.
+
+Section 8 of the paper observes that its derived programs converge even
+without the fairness assumption. The adversarial scheduler puts that to
+the test: given the invariant ``S`` it tries, with one-step lookahead, to
+keep the system outside ``S`` for as long as possible, and it makes no
+fairness promise at all. If a program stabilizes under this daemon in
+every experiment, the Section 8 remark holds empirically for it.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.core.actions import Action
+from repro.core.predicates import Predicate
+from repro.core.state import State
+from repro.scheduler.base import Scheduler
+
+__all__ = ["AdversarialScheduler"]
+
+
+class AdversarialScheduler(Scheduler):
+    """Greedy one-step-lookahead adversary against a target predicate.
+
+    At each step it prefers an enabled action whose successor still
+    violates ``avoid_target``; among equally bad choices it picks by a
+    seeded RNG. Once every enabled action leads inside the target (the
+    closure/convergence structure has cornered it), it concedes and picks
+    randomly.
+    """
+
+    name = "adversarial"
+
+    def __init__(self, avoid_target: Predicate, seed: int) -> None:
+        self.avoid_target = avoid_target
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+    def select(self, state: State, enabled: Sequence[Action], step: int) -> Action:
+        bad: list[Action] = []
+        for action in enabled:
+            successor = action.execute(state)
+            if not self.avoid_target(successor):
+                bad.append(action)
+        pool = bad if bad else list(enabled)
+        return self._rng.choice(pool)

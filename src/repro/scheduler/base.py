@@ -1,0 +1,69 @@
+"""Scheduler interface.
+
+The paper's computations (Section 2) are fair, maximal sequences of steps
+in which some enabled action is executed at each step. The entity that
+picks which enabled action runs is traditionally called the *daemon*.
+Schedulers encapsulate that choice.
+
+A scheduler's :meth:`Scheduler.advance` maps the current state to the next
+state plus the actions executed in the step. Interleaving schedulers
+execute exactly one action per step; the synchronous daemon executes one
+action per process. Returning ``None`` signals a terminal state (no action
+enabled), which ends a maximal finite computation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.actions import Action
+from repro.core.program import Program
+from repro.core.state import State
+
+__all__ = ["Scheduler", "FirstEnabledScheduler"]
+
+
+class Scheduler:
+    """Base class for daemons.
+
+    Subclasses usually override :meth:`select`; schedulers with
+    non-interleaving semantics (the synchronous daemon) override
+    :meth:`advance` directly.
+    """
+
+    #: Display name used in experiment reports.
+    name = "scheduler"
+
+    def reset(self) -> None:
+        """Clear any per-run state. Called once at the start of each run."""
+
+    def select(self, state: State, enabled: Sequence[Action], step: int) -> Action:
+        """Pick one of the ``enabled`` actions to execute.
+
+        Only called with a nonempty ``enabled`` sequence.
+        """
+        raise NotImplementedError
+
+    def advance(
+        self, program: Program, state: State, step: int
+    ) -> tuple[State, tuple[Action, ...]] | None:
+        """Execute one step; ``None`` when no action is enabled."""
+        enabled = program.enabled_actions(state)
+        if not enabled:
+            return None
+        action = self.select(state, enabled, step)
+        return action.execute(state), (action,)
+
+
+class FirstEnabledScheduler(Scheduler):
+    """Always executes the first enabled action in program order.
+
+    Deterministic and decidedly unfair — useful as a baseline and in the
+    fairness-ablation experiments (Section 8 argues the paper's programs
+    converge even without fairness).
+    """
+
+    name = "first-enabled"
+
+    def select(self, state: State, enabled: Sequence[Action], step: int) -> Action:
+        return enabled[0]

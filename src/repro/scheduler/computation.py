@@ -1,0 +1,136 @@
+"""Computation traces.
+
+A :class:`Computation` records a finite prefix of a computation: the
+initial state and the sequence of (actions, post-state) steps. It offers
+the queries the experiments need — when a predicate first held, whether it
+held over the recorded suffix, per-action execution counts — plus a
+fairness audit that flags actions continuously enabled over the recorded
+window yet never executed (the witness pattern of an unfair schedule).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.actions import Action
+from repro.core.predicates import Predicate
+from repro.core.program import Program
+from repro.core.state import State
+
+__all__ = ["ComputationStep", "Computation"]
+
+
+@dataclass(frozen=True)
+class ComputationStep:
+    """One step: the actions executed and the state they produced."""
+
+    actions: tuple[Action, ...]
+    state: State
+
+
+@dataclass
+class Computation:
+    """A recorded (finite prefix of a) computation."""
+
+    initial: State
+    steps: list[ComputationStep] = field(default_factory=list)
+    #: True when the run ended because no action was enabled, i.e. the
+    #: recorded sequence is a *maximal* finite computation.
+    terminated: bool = False
+
+    def append(self, actions: Sequence[Action], state: State) -> None:
+        self.steps.append(ComputationStep(tuple(actions), state))
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    @property
+    def final_state(self) -> State:
+        return self.steps[-1].state if self.steps else self.initial
+
+    def states(self) -> Iterator[State]:
+        """All visited states, the initial state first."""
+        yield self.initial
+        for step in self.steps:
+            yield step.state
+
+    def state_at(self, index: int) -> State:
+        """The state after ``index`` steps (index 0 is the initial state)."""
+        if index == 0:
+            return self.initial
+        return self.steps[index - 1].state
+
+    def first_index_where(self, predicate: Predicate) -> int | None:
+        """The earliest state index at which ``predicate`` holds."""
+        for index, state in enumerate(self.states()):
+            if predicate(state):
+                return index
+        return None
+
+    def eventually(self, predicate: Predicate) -> bool:
+        return self.first_index_where(predicate) is not None
+
+    def holds_from(self, predicate: Predicate, index: int) -> bool:
+        """Whether ``predicate`` holds at every recorded state from ``index`` on."""
+        for position, state in enumerate(self.states()):
+            if position >= index and not predicate(state):
+                return False
+        return True
+
+    def stabilization_index(self, predicate: Predicate) -> int | None:
+        """The earliest index from which ``predicate`` holds for the rest
+        of the recorded trace, or ``None`` if it never stabilizes.
+
+        For a closed predicate this coincides with
+        :meth:`first_index_where`; for a non-closed one it is the honest
+        measurement (the paper's convergence is to a *closed* invariant).
+        """
+        last_violation = -1
+        for position, state in enumerate(self.states()):
+            if not predicate(state):
+                last_violation = position
+        candidate = last_violation + 1
+        if candidate > len(self.steps):
+            return None
+        return candidate
+
+    def action_counts(self) -> Counter[str]:
+        """How many times each action name was executed."""
+        counts: Counter[str] = Counter()
+        for step in self.steps:
+            for action in step.actions:
+                counts[action.name] += 1
+        return counts
+
+    def executed_action_names(self) -> set[str]:
+        return set(self.action_counts())
+
+    def fairness_violations(self, program: Program) -> list[str]:
+        """Actions enabled at *every* recorded state but never executed.
+
+        Over an infinite computation this is exactly a weak-fairness
+        violation; over a finite recorded window it is the standard audit
+        heuristic, and an empty result on a long window is evidence (not
+        proof) of fairness.
+        """
+        if self.terminated:
+            return []
+        executed = self.executed_action_names()
+        suspects = []
+        for action in program.actions:
+            if action.name in executed:
+                continue
+            if all(action.enabled(state) for state in self.states()):
+                suspects.append(action.name)
+        return suspects
+
+    def is_maximal(self, program: Program) -> bool:
+        """Whether the trace is maximal: it either ended at a terminal
+        state or was cut off while actions were still enabled (in which
+        case only an infinite continuation could be maximal and we report
+        ``False`` for the recorded prefix)."""
+        if self.terminated:
+            return program.is_terminal(self.final_state)
+        return False

@@ -1,0 +1,127 @@
+"""Central, distributed and synchronous daemons.
+
+The paper's model executes one enabled action per step under a *central
+daemon*. Distributed implementations are often analyzed under stronger
+daemons:
+
+- :class:`SynchronousDaemon` — every process with an enabled action
+  executes one action per step, all guards evaluated against the old
+  state and all writes applied simultaneously. This matches the classic
+  synchronous network model.
+- :class:`DistributedDaemon` — a random nonempty subset of processes
+  fires each step (the general asynchronous distributed daemon);
+  with subset size forced to 1 it degenerates to a central daemon.
+
+Both daemons require concurrent actions to write disjoint variable sets.
+The paper's designs satisfy this by construction: each process writes
+only its own variables.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+from repro.core.actions import Action
+from repro.core.errors import ValidationError
+from repro.core.program import Program
+from repro.core.state import State
+from repro.scheduler.base import Scheduler
+
+__all__ = ["SynchronousDaemon", "DistributedDaemon"]
+
+
+def _merge_steps(state: State, chosen: list[Action]) -> State:
+    """Apply several actions' effects simultaneously against ``state``."""
+    written: set[str] = set()
+    changes: dict[str, object] = {}
+    for action in chosen:
+        overlap = written & set(action.writes)
+        if overlap:
+            raise ValidationError(
+                f"concurrent actions write the same variables {sorted(overlap)}; "
+                "synchronous execution requires disjoint write sets"
+            )
+        written |= set(action.writes)
+        successor = action.execute(state)
+        for name in action.writes:
+            changes[name] = successor[name]
+    return state.update(changes)
+
+
+def _group_by_process(enabled: list[Action]) -> dict[Hashable, list[Action]]:
+    groups: dict[Hashable, list[Action]] = {}
+    for action in enabled:
+        key = action.process if action.process is not None else action.name
+        groups.setdefault(key, []).append(action)
+    return groups
+
+
+class SynchronousDaemon(Scheduler):
+    """All processes with enabled actions step simultaneously.
+
+    When a process has several enabled actions, one is chosen — the first
+    in program order by default, or randomly when a seed is given.
+    """
+
+    name = "synchronous"
+
+    def __init__(self, seed: int | None = None) -> None:
+        self._seed = seed
+        self._rng = random.Random(seed) if seed is not None else None
+
+    def reset(self) -> None:
+        if self._seed is not None:
+            self._rng = random.Random(self._seed)
+
+    def advance(
+        self, program: Program, state: State, step: int
+    ) -> tuple[State, tuple[Action, ...]] | None:
+        enabled = program.enabled_actions(state)
+        if not enabled:
+            return None
+        chosen: list[Action] = []
+        for _, actions in _group_by_process(enabled).items():
+            if self._rng is not None and len(actions) > 1:
+                chosen.append(self._rng.choice(actions))
+            else:
+                chosen.append(actions[0])
+        return _merge_steps(state, chosen), tuple(chosen)
+
+
+class DistributedDaemon(Scheduler):
+    """A random nonempty subset of processes steps simultaneously.
+
+    Args:
+        seed: RNG seed (required — runs must be reproducible).
+        activation_probability: Chance each enabled process is included in
+            the step; at least one is always included.
+    """
+
+    name = "distributed"
+
+    def __init__(self, seed: int, activation_probability: float = 0.5) -> None:
+        if not 0.0 < activation_probability <= 1.0:
+            raise ValueError("activation_probability must be in (0, 1]")
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self.activation_probability = activation_probability
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+    def advance(
+        self, program: Program, state: State, step: int
+    ) -> tuple[State, tuple[Action, ...]] | None:
+        enabled = program.enabled_actions(state)
+        if not enabled:
+            return None
+        groups = _group_by_process(enabled)
+        keys = list(groups)
+        picked = [
+            key for key in keys if self._rng.random() < self.activation_probability
+        ]
+        if not picked:
+            picked = [self._rng.choice(keys)]
+        chosen = [self._rng.choice(groups[key]) for key in picked]
+        return _merge_steps(state, chosen), tuple(chosen)

@@ -1,0 +1,73 @@
+"""Weakly fair schedulers.
+
+Two concrete fair daemons:
+
+- :class:`RoundRobinScheduler` cycles through the program's actions in
+  program order, executing the next enabled one. Any action continuously
+  enabled is executed within one full cycle, so the schedule is weakly
+  fair by construction; a full cycle is also the natural "round" unit of
+  the stabilization-time metrics.
+- :class:`QueueFairScheduler` keeps action names in a FIFO queue and
+  executes the longest-waiting enabled action, a common fair-daemon
+  implementation that additionally bounds individual waiting time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Sequence
+
+from repro.core.actions import Action
+from repro.core.program import Program
+from repro.core.state import State
+from repro.scheduler.base import Scheduler
+
+__all__ = ["RoundRobinScheduler", "QueueFairScheduler"]
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle through actions in program order, running the next enabled one."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def advance(
+        self, program: Program, state: State, step: int
+    ) -> tuple[State, tuple[Action, ...]] | None:
+        actions = program.actions
+        for offset in range(len(actions)):
+            index = (self._cursor + offset) % len(actions)
+            action = actions[index]
+            if action.enabled(state):
+                self._cursor = (index + 1) % len(actions)
+                return action.execute(state), (action,)
+        return None
+
+
+class QueueFairScheduler(Scheduler):
+    """Execute the longest-waiting enabled action (FIFO fairness)."""
+
+    name = "queue-fair"
+
+    def __init__(self) -> None:
+        self._queue: deque[str] = deque()
+
+    def reset(self) -> None:
+        self._queue.clear()
+
+    def select(self, state: State, enabled: Sequence[Action], step: int) -> Action:
+        by_name = {action.name: action for action in enabled}
+        for name in by_name:
+            if name not in self._queue:
+                self._queue.append(name)
+        for name in list(self._queue):
+            if name in by_name:
+                self._queue.remove(name)
+                self._queue.append(name)
+                return by_name[name]
+        raise AssertionError("select called with an empty enabled set")

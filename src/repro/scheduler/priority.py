@@ -1,0 +1,55 @@
+"""Priority scheduler.
+
+Executes any enabled action from a designated high-priority class before
+considering the rest; within each class it delegates to a base scheduler.
+
+Motivation (refinement, Section 8): the caching refinement of
+:mod:`repro.refinement.caching` is *not* convergence-preserving under an
+arbitrary weakly fair daemon — stale caches can chase the protocol's own
+updates forever, and the model checker exhibits such fair livelocks. But
+under a daemon that prioritizes the copy actions, every protocol action
+executes from a cache-coherent state, so runs of the refined program are
+exactly runs of the original program with finite copy bursts interleaved
+— convergence is inherited. This scheduler expresses that daemon.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.core.actions import Action
+from repro.core.program import Program
+from repro.core.state import State
+from repro.scheduler.base import Scheduler
+
+__all__ = ["PriorityScheduler"]
+
+
+class PriorityScheduler(Scheduler):
+    """Run high-priority actions to quiescence before anything else.
+
+    Args:
+        is_priority: Predicate over action names selecting the
+            high-priority class (e.g. ``lambda name: name.startswith("copy.")``).
+        base: Scheduler used to choose within whichever class is active.
+    """
+
+    name = "priority"
+
+    def __init__(self, is_priority: Callable[[str], bool], base: Scheduler) -> None:
+        self._is_priority = is_priority
+        self._base = base
+
+    def reset(self) -> None:
+        self._base.reset()
+
+    def advance(
+        self, program: Program, state: State, step: int
+    ) -> tuple[State, tuple[Action, ...]] | None:
+        enabled = program.enabled_actions(state)
+        if not enabled:
+            return None
+        urgent = [action for action in enabled if self._is_priority(action.name)]
+        pool: Iterable[Action] = urgent if urgent else enabled
+        action = self._base.select(state, list(pool), step)
+        return action.execute(state), (action,)

@@ -1,0 +1,34 @@
+"""Seeded random scheduler.
+
+Picks uniformly among the enabled actions at each step. With probability 1
+this daemon is weakly fair over infinite runs (every continuously enabled
+action is eventually chosen), making it the workhorse of the stabilization
+experiments. Always seed it: experiments must be reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.core.actions import Action
+from repro.core.state import State
+from repro.scheduler.base import Scheduler
+
+__all__ = ["RandomScheduler"]
+
+
+class RandomScheduler(Scheduler):
+    """Uniformly random choice among enabled actions, from a fixed seed."""
+
+    name = "random"
+
+    def __init__(self, seed: int) -> None:
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+    def select(self, state: State, enabled: Sequence[Action], step: int) -> Action:
+        return self._rng.choice(list(enabled))

@@ -1,0 +1,19 @@
+"""Simulation: run loops, stabilization metrics, replicated experiments."""
+
+from repro.simulation.engine import RunResult, run
+from repro.simulation.experiment import (
+    StabilizationStats,
+    TrialOutcome,
+    stabilization_trials,
+)
+from repro.simulation.metrics import convergence_action_work, count_rounds
+
+__all__ = [
+    "RunResult",
+    "StabilizationStats",
+    "TrialOutcome",
+    "convergence_action_work",
+    "count_rounds",
+    "run",
+    "stabilization_trials",
+]

@@ -1,0 +1,156 @@
+"""Simulation engine.
+
+Runs a program under a scheduler, optionally injecting faults, recording
+the computation and stopping on one of three criteria: the step budget is
+exhausted, no action is enabled (maximal finite computation), or — when a
+target predicate is given with ``stop_on_target=True`` — the target holds.
+
+Faults are applied *before* the program's step at their scheduled index,
+matching the paper's model of faults as extra actions interleaved with
+program actions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.predicates import Predicate
+from repro.core.program import Program
+from repro.core.state import State
+from repro.faults.scenarios import FaultScenario, NoFaults
+from repro.scheduler.base import Scheduler
+from repro.scheduler.computation import Computation
+
+__all__ = ["RunResult", "run"]
+
+
+@dataclass
+class RunResult:
+    """Everything a single run produced.
+
+    Attributes:
+        computation: The recorded trace (initial state plus every step).
+        steps: Number of program steps executed.
+        terminated: True when the run ended at a terminal state.
+        reached_target: True when the target predicate held at some
+            recorded state.
+        target_index: The earliest state index where the target held
+            (``None`` when never).
+        stabilization_index: The earliest state index from which the
+            target held for the rest of the recorded trace.
+        fault_count: Number of fault events applied.
+    """
+
+    computation: Computation
+    steps: int
+    terminated: bool
+    reached_target: bool
+    target_index: int | None
+    stabilization_index: int | None
+    fault_count: int
+
+    @property
+    def stabilized(self) -> bool:
+        return self.stabilization_index is not None
+
+
+def run(
+    program: Program,
+    initial: State,
+    scheduler: Scheduler,
+    *,
+    max_steps: int,
+    target: Predicate | None = None,
+    stop_on_target: bool = False,
+    faults: FaultScenario | None = None,
+    fault_rng: random.Random | None = None,
+    record_trace: bool = True,
+) -> RunResult:
+    """Execute one run.
+
+    Args:
+        program: The program to run.
+        initial: The starting state.
+        scheduler: The daemon choosing each step.
+        max_steps: Step budget.
+        target: Predicate whose first-satisfaction and stabilization are
+            measured (typically the invariant ``S``).
+        stop_on_target: Stop as soon as ``target`` holds. Correct as a
+            stabilization-time measurement only when ``target`` is closed
+            (the paper's ``S`` always is — closure is verified separately).
+        faults: Fault scenario; defaults to no faults.
+        fault_rng: RNG driving fault randomness; defaults to a fresh
+            seeded RNG so that runs are reproducible by default.
+        record_trace: Keep every intermediate state. Turn off for long
+            measurement runs to save memory; first/stabilization indices
+            are still tracked incrementally.
+    """
+    scenario = faults if faults is not None else NoFaults()
+    rng = fault_rng if fault_rng is not None else random.Random(0)
+    scheduler.reset()
+
+    computation = Computation(initial=initial)
+    state = initial
+    fault_count = 0
+    target_index: int | None = None
+    last_violation = -1  # state index of the latest target violation
+    state_index = 0
+
+    def observe(current: State) -> None:
+        nonlocal target_index, last_violation
+        if target is None:
+            return
+        if target(current):
+            if target_index is None:
+                target_index = state_index
+        else:
+            last_violation = state_index
+
+    observe(state)
+    steps = 0
+    terminated = False
+    while steps < max_steps:
+        if stop_on_target and target is not None and target(state):
+            break
+        for fault in scenario.faults_for_step(steps, rng):
+            state = fault.apply(state, rng)
+            fault_count += 1
+            state_index += 1
+            if record_trace:
+                computation.append((), state)
+            observe(state)
+        outcome = scheduler.advance(program, state, steps)
+        if outcome is None:
+            terminated = True
+            computation.terminated = True
+            break
+        state, actions = outcome
+        steps += 1
+        state_index += 1
+        if record_trace:
+            computation.append(actions, state)
+        observe(state)
+
+    if not record_trace:
+        # Keep at least the final state so callers can inspect it.
+        computation.append((), state)
+
+    stabilization_index: int | None
+    candidate = last_violation + 1
+    if target is None:
+        stabilization_index = None
+    elif candidate <= state_index and target_index is not None:
+        stabilization_index = max(candidate, 0)
+    else:
+        stabilization_index = None
+
+    return RunResult(
+        computation=computation,
+        steps=steps,
+        terminated=terminated,
+        reached_target=target_index is not None,
+        target_index=target_index,
+        stabilization_index=stabilization_index,
+        fault_count=fault_count,
+    )

@@ -1,0 +1,33 @@
+"""Topology substrates: rooted trees, rings, and general graphs."""
+
+from repro.topology.generators import (
+    balanced_tree,
+    chain_tree,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_connected_graph,
+    random_tree,
+    ring,
+    star_tree,
+    tree_as_graph,
+)
+from repro.topology.graph import Graph
+from repro.topology.ring import Ring
+from repro.topology.tree import RootedTree
+
+__all__ = [
+    "Graph",
+    "Ring",
+    "RootedTree",
+    "balanced_tree",
+    "chain_tree",
+    "complete_graph",
+    "cycle_graph",
+    "path_graph",
+    "random_connected_graph",
+    "random_tree",
+    "ring",
+    "star_tree",
+    "tree_as_graph",
+]

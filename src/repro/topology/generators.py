@@ -1,0 +1,137 @@
+"""Topology generators.
+
+Deterministic and seeded-random generators for the shapes the experiments
+sweep over: chains, stars, balanced k-ary trees, random trees, rings, and
+a few small general graphs for the extension protocols.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable
+
+from repro.topology.graph import Graph
+from repro.topology.ring import Ring
+from repro.topology.tree import RootedTree
+
+__all__ = [
+    "chain_tree",
+    "star_tree",
+    "balanced_tree",
+    "random_tree",
+    "ring",
+    "cycle_graph",
+    "path_graph",
+    "complete_graph",
+    "random_connected_graph",
+    "tree_as_graph",
+]
+
+
+def chain_tree(n: int) -> RootedTree:
+    """A path of ``n`` nodes rooted at node 0 (worst-case tree height)."""
+    if n < 1:
+        raise ValueError("need at least one node")
+    parent: dict[Hashable, Hashable] = {0: 0}
+    for j in range(1, n):
+        parent[j] = j - 1
+    return RootedTree(parent)
+
+
+def star_tree(n: int) -> RootedTree:
+    """A star of ``n`` nodes: node 0 is the root, all others its children."""
+    if n < 1:
+        raise ValueError("need at least one node")
+    parent: dict[Hashable, Hashable] = {0: 0}
+    for j in range(1, n):
+        parent[j] = 0
+    return RootedTree(parent)
+
+
+def balanced_tree(branching: int, height: int) -> RootedTree:
+    """A balanced ``branching``-ary tree of the given height.
+
+    Height 0 is a single root; height ``h`` adds ``branching**h`` leaves.
+    """
+    if branching < 1:
+        raise ValueError("branching factor must be at least 1")
+    if height < 0:
+        raise ValueError("height must be nonnegative")
+    parent: dict[Hashable, Hashable] = {0: 0}
+    frontier = [0]
+    next_id = 1
+    for _ in range(height):
+        new_frontier: list[int] = []
+        for node in frontier:
+            for _ in range(branching):
+                parent[next_id] = node
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    return RootedTree(parent)
+
+
+def random_tree(n: int, seed: int) -> RootedTree:
+    """A uniformly random recursive tree on ``n`` nodes, rooted at 0.
+
+    Each node ``j >= 1`` picks its parent uniformly among ``0 .. j-1``,
+    giving reproducible variety of shapes across seeds.
+    """
+    if n < 1:
+        raise ValueError("need at least one node")
+    rng = random.Random(seed)
+    parent: dict[Hashable, Hashable] = {0: 0}
+    for j in range(1, n):
+        parent[j] = rng.randrange(j)
+    return RootedTree(parent)
+
+
+def ring(size: int) -> Ring:
+    """A ring of ``size`` nodes (the paper's ``N+1``)."""
+    return Ring(size)
+
+
+def path_graph(n: int) -> Graph:
+    """An undirected path on nodes ``0 .. n-1``."""
+    return Graph(range(n), [(j, j + 1) for j in range(n - 1)])
+
+
+def cycle_graph(n: int) -> Graph:
+    """An undirected cycle on nodes ``0 .. n-1``."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 nodes")
+    edges = [(j, (j + 1) % n) for j in range(n)]
+    return Graph(range(n), edges)
+
+
+def complete_graph(n: int) -> Graph:
+    """The complete graph on nodes ``0 .. n-1``."""
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return Graph(range(n), edges)
+
+
+def random_connected_graph(n: int, extra_edges: int, seed: int) -> Graph:
+    """A random connected graph: a random tree plus ``extra_edges`` chords."""
+    rng = random.Random(seed)
+    graph = Graph(range(n))
+    for j in range(1, n):
+        graph.add_edge(j, rng.randrange(j))
+    attempts = 0
+    added = 0
+    while added < extra_edges and attempts < 50 * (extra_edges + 1):
+        attempts += 1
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v and v not in graph.neighbors(u):
+            graph.add_edge(u, v)
+            added += 1
+    return graph
+
+
+def tree_as_graph(tree: RootedTree) -> Graph:
+    """The undirected graph underlying a rooted tree."""
+    graph = Graph(tree.nodes)
+    for node in tree.nodes:
+        if node != tree.root:
+            graph.add_edge(node, tree.parent(node))
+    return graph

@@ -1,0 +1,76 @@
+"""Exhaustive verification: closure, convergence, tolerance, stairs."""
+
+from repro.verification.checker import ToleranceReport, check_tolerance
+from repro.verification.closure import ClosureResult, ClosureWitness, check_closure
+from repro.verification.convergence import (
+    ConvergenceCounterexample,
+    ConvergenceResult,
+    check_convergence,
+    worst_case_convergence_steps,
+)
+from repro.verification.counterexample import (
+    format_computation,
+    format_state,
+    format_state_diff,
+    format_states,
+)
+from repro.verification.explorer import (
+    Transition,
+    TransitionSystem,
+    build_transition_system,
+    explore,
+)
+from repro.verification.fairness_free import (
+    ClosureComputationReport,
+    FairnessFreeReport,
+    check_closure_computations,
+    check_fairness_free,
+)
+from repro.verification.service import (
+    RecurrentClass,
+    ServiceReport,
+    check_service,
+    recurrent_classes,
+)
+from repro.verification.stairs import StairReport, StairStep, check_stair
+from repro.verification.synchronous import (
+    SynchronousOrbit,
+    SynchronousReport,
+    check_synchronous_convergence,
+    synchronous_orbit,
+)
+
+__all__ = [
+    "ClosureComputationReport",
+    "ClosureResult",
+    "ClosureWitness",
+    "FairnessFreeReport",
+    "check_closure_computations",
+    "check_fairness_free",
+    "ConvergenceCounterexample",
+    "ConvergenceResult",
+    "RecurrentClass",
+    "ServiceReport",
+    "StairReport",
+    "StairStep",
+    "SynchronousOrbit",
+    "check_service",
+    "recurrent_classes",
+    "SynchronousReport",
+    "ToleranceReport",
+    "check_synchronous_convergence",
+    "synchronous_orbit",
+    "Transition",
+    "TransitionSystem",
+    "build_transition_system",
+    "check_closure",
+    "check_convergence",
+    "check_stair",
+    "check_tolerance",
+    "explore",
+    "format_computation",
+    "format_state",
+    "format_state_diff",
+    "format_states",
+    "worst_case_convergence_steps",
+]

@@ -1,0 +1,124 @@
+"""Full T-tolerance verification.
+
+Combines the closure and convergence checkers into the paper's definition
+(Section 3): a program ``p`` is **T-tolerant for S** iff
+
+- Closure: both ``S`` and ``T`` are closed in ``p``;
+- Convergence: every computation of ``p`` from a ``T``-state reaches an
+  ``S``-state;
+
+and additionally checks the standing assumption ``S => T``. The report
+classifies the tolerance as *masking* (``S == T`` extensionally),
+*nonmasking*, and flags the *stabilizing* special case (``T`` holds at
+every state of the instance).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.predicates import Predicate
+from repro.core.program import Program
+from repro.core.state import State
+from repro.verification.closure import ClosureResult, check_closure
+from repro.verification.convergence import ConvergenceResult, check_convergence
+from repro.verification.explorer import build_transition_system
+
+__all__ = ["ToleranceReport", "check_tolerance"]
+
+
+@dataclass(frozen=True)
+class ToleranceReport:
+    """The verdict of a full T-tolerant-for-S verification."""
+
+    ok: bool
+    implication_ok: bool
+    s_closure: ClosureResult
+    t_closure: ClosureResult
+    convergence: ConvergenceResult
+    classification: str  # "masking", "nonmasking"
+    stabilizing: bool
+    total_states: int
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def describe(self) -> str:
+        verdict = "T-tolerant for S" if self.ok else "NOT T-tolerant for S"
+        kind = self.classification + (" (stabilizing)" if self.stabilizing else "")
+        lines = [
+            f"{verdict} [{kind}] over {self.total_states} states",
+            f"  S => T: {'ok' if self.implication_ok else 'FAIL'}",
+            f"  closure of S: {'ok' if self.s_closure.ok else 'FAIL'}",
+            f"  closure of T: {'ok' if self.t_closure.ok else 'FAIL'}",
+            f"  convergence: {self.convergence.describe()}",
+        ]
+        for result in (self.s_closure, self.t_closure):
+            for witness in result.witnesses:
+                lines.append(f"    {result.predicate_name}: {witness.describe()}")
+        return "\n".join(lines)
+
+
+def check_tolerance(
+    program: Program,
+    invariant: Predicate,
+    fault_span: Predicate,
+    states: Iterable[State],
+    *,
+    fairness: str = "weak",
+) -> ToleranceReport:
+    """Verify that ``program`` is ``fault_span``-tolerant for ``invariant``.
+
+    Args:
+        program: The augmented program (closure plus convergence actions).
+        invariant: ``S``.
+        fault_span: ``T``.
+        states: The full state set of the finite instance (or any superset
+            of the ``T``-extension); the checker filters to ``T``-states
+            for the convergence phase.
+        fairness: Computation model for convergence (``"weak"`` is the
+            paper's; ``"none"`` checks the stronger unfair guarantee).
+    """
+    all_states = list(states)
+    implication_ok = all(
+        fault_span(state) for state in all_states if invariant(state)
+    )
+    s_closure = check_closure(invariant, program, all_states)
+    t_closure = check_closure(fault_span, program, all_states)
+
+    span_states = [state for state in all_states if fault_span(state)]
+    system = build_transition_system(program, span_states)
+    if system.escapes:
+        if t_closure.ok:
+            # T-states stepping outside the supplied set even though T is
+            # closed: the caller gave a strict subset of the instance.
+            raise ValueError(
+                "the supplied states do not contain every successor of a "
+                "T-state; pass the full extension of T on this instance"
+            )
+        # T is not closed, so convergence relative to T is undefined;
+        # report it failed without a cycle counterexample.
+        convergence = ConvergenceResult(
+            ok=False,
+            fairness=fairness,
+            span_states=len(span_states),
+            bad_states=sum(1 for state in span_states if not invariant(state)),
+        )
+    else:
+        convergence = check_convergence(
+            program, span_states, invariant, fairness=fairness, system=system
+        )
+
+    masking = all(invariant(state) == fault_span(state) for state in all_states)
+    stabilizing = len(span_states) == len(all_states)
+    return ToleranceReport(
+        ok=implication_ok and s_closure.ok and t_closure.ok and convergence.ok,
+        implication_ok=implication_ok,
+        s_closure=s_closure,
+        t_closure=t_closure,
+        convergence=convergence,
+        classification="masking" if masking else "nonmasking",
+        stabilizing=stabilizing,
+        total_states=len(all_states),
+    )

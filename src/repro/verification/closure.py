@@ -1,0 +1,90 @@
+"""Closure checking.
+
+A state predicate ``R`` is *closed* in a program iff every action
+preserves it (Section 2). Closure of the invariant ``S`` and fault-span
+``T`` is the first requirement of T-tolerance (Section 3). The checker is
+exhaustive over a finite state set and returns concrete witnesses.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.predicates import Predicate
+from repro.core.program import Program
+from repro.core.state import State
+
+__all__ = ["ClosureWitness", "ClosureResult", "check_closure"]
+
+
+@dataclass(frozen=True)
+class ClosureWitness:
+    """A step that leaves the predicate: ``before --action--> after``."""
+
+    before: State
+    action_name: str
+    after: State
+
+    def describe(self) -> str:
+        return f"{self.action_name}: {self.before!r} -> {self.after!r}"
+
+
+@dataclass(frozen=True)
+class ClosureResult:
+    """Outcome of a closure check over a finite state set."""
+
+    predicate_name: str
+    ok: bool
+    checked: int
+    witnesses: tuple[ClosureWitness, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def describe(self) -> str:
+        verdict = "closed" if self.ok else "NOT closed"
+        lines = [f"{self.predicate_name}: {verdict} ({self.checked} states checked)"]
+        for witness in self.witnesses:
+            lines.append(f"  escape: {witness.describe()}")
+        return "\n".join(lines)
+
+
+def check_closure(
+    predicate: Predicate,
+    program: Program,
+    states: Iterable[State],
+    *,
+    max_witnesses: int = 5,
+) -> ClosureResult:
+    """Exhaustively check that ``predicate`` is closed in ``program``.
+
+    Only states where the predicate holds are expanded; each enabled
+    action must lead back into the predicate.
+    """
+    checked = 0
+    witnesses: list[ClosureWitness] = []
+    for state in states:
+        if not predicate(state):
+            continue
+        checked += 1
+        for action, successor in program.successors(state):
+            if not predicate(successor):
+                witnesses.append(
+                    ClosureWitness(
+                        before=state, action_name=action.name, after=successor
+                    )
+                )
+                if len(witnesses) >= max_witnesses:
+                    return ClosureResult(
+                        predicate_name=predicate.name,
+                        ok=False,
+                        checked=checked,
+                        witnesses=tuple(witnesses),
+                    )
+    return ClosureResult(
+        predicate_name=predicate.name,
+        ok=not witnesses,
+        checked=checked,
+        witnesses=tuple(witnesses),
+    )

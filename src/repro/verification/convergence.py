@@ -1,0 +1,330 @@
+"""Convergence checking.
+
+Convergence (Section 3): every computation of the program that starts at
+any state where ``T`` holds reaches a state where ``S`` holds. On a finite
+instance this is decidable from the transition graph of the ``T``-states:
+
+- A **deadlock** outside ``S`` (a ``T ∧ ¬S`` state with no enabled action)
+  violates convergence — the maximal finite computation ends outside ``S``.
+- An infinite computation avoiding ``S`` exists iff the subgraph induced
+  by the ``¬S`` states contains a cycle that the daemon can follow:
+
+  * Under **no fairness** ("none"), any cycle among ``¬S`` states is a
+    violation: the daemon may loop on it forever.
+  * Under **weak fairness** ("weak" — the paper's computation model),
+    a cycle is followable iff it lies in a strongly connected component
+    ``C`` of the ``¬S`` subgraph such that every action enabled at *all*
+    states of ``C`` has some transition inside ``C``. If instead some
+    action is enabled throughout ``C`` but all its transitions leave
+    ``C``, weak fairness forces the computation out of ``C`` (and out of
+    any subset of ``C``, since the action is enabled there too); such a
+    component cannot trap a fair computation. Conversely, when every
+    always-enabled action has an internal transition, a walk that
+    traverses all of ``C``'s internal transitions infinitely often is
+    fair and never reaches ``S``. The SCC test is therefore exact.
+
+The checker returns concrete counterexamples (a deadlock state, or the
+states of a followable cycle) so a failed design can be debugged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.errors import ValidationError
+from repro.core.predicates import Predicate
+from repro.core.program import Program
+from repro.core.state import State
+from repro.verification.explorer import TransitionSystem, build_transition_system
+
+__all__ = [
+    "ConvergenceCounterexample",
+    "ConvergenceResult",
+    "check_convergence",
+    "worst_case_convergence_steps",
+]
+
+FAIRNESS_MODES = ("none", "weak")
+
+
+@dataclass(frozen=True)
+class ConvergenceCounterexample:
+    """Why convergence fails: a deadlock state or a followable cycle."""
+
+    kind: str  # "deadlock" or "cycle"
+    states: tuple[State, ...]
+
+    def describe(self) -> str:
+        if self.kind == "deadlock":
+            return f"deadlock outside the target at {self.states[0]!r}"
+        lines = [f"followable cycle of {len(self.states)} states outside the target:"]
+        lines.extend(f"  {state!r}" for state in self.states[:10])
+        if len(self.states) > 10:
+            lines.append(f"  ... and {len(self.states) - 10} more")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ConvergenceResult:
+    """Outcome of a convergence check."""
+
+    ok: bool
+    fairness: str
+    span_states: int
+    bad_states: int
+    counterexample: ConvergenceCounterexample | None = None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def describe(self) -> str:
+        verdict = "converges" if self.ok else "does NOT converge"
+        base = (
+            f"{verdict} under {self.fairness!r} fairness "
+            f"({self.span_states} span states, {self.bad_states} outside target)"
+        )
+        if self.counterexample is None:
+            return base
+        return f"{base}\n{self.counterexample.describe()}"
+
+
+def _strongly_connected_components(
+    node_ids: Sequence[int],
+    successors: dict[int, list[int]],
+) -> list[list[int]]:
+    """Iterative Tarjan SCC over the given nodes."""
+    index_counter = 0
+    stack: list[int] = []
+    on_stack: set[int] = set()
+    indices: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    components: list[list[int]] = []
+
+    for root in node_ids:
+        if root in indices:
+            continue
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            node, child_cursor = work.pop()
+            if child_cursor == 0:
+                indices[node] = index_counter
+                lowlink[node] = index_counter
+                index_counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            recursed = False
+            children = successors.get(node, [])
+            for position in range(child_cursor, len(children)):
+                child = children[position]
+                if child not in indices:
+                    work.append((node, position + 1))
+                    work.append((child, 0))
+                    recursed = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], indices[child])
+            if recursed:
+                continue
+            if lowlink[node] == indices[node]:
+                component: list[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+def _component_has_internal_edge(
+    component: list[int],
+    successors: dict[int, list[int]],
+) -> bool:
+    members = set(component)
+    if len(component) > 1:
+        return True
+    node = component[0]
+    return node in successors and node in successors[node] and node in members
+
+
+def _find_cycle_in_component(
+    component: list[int],
+    successors: dict[int, list[int]],
+) -> list[int]:
+    """A concrete cycle inside a nontrivial SCC, as a list of node ids."""
+    members = set(component)
+    start = component[0]
+    # DFS until we revisit a node on the current path.
+    path: list[int] = [start]
+    position_on_path = {start: 0}
+    while True:
+        node = path[-1]
+        advanced = False
+        for child in successors.get(node, []):
+            if child not in members:
+                continue
+            if child in position_on_path:
+                return path[position_on_path[child] :]
+            path.append(child)
+            position_on_path[child] = len(path) - 1
+            advanced = True
+            break
+        if not advanced:
+            # Within an SCC every node has an internal successor, so this
+            # is unreachable; guard against malformed input anyway.
+            raise ValidationError("component is not strongly connected")
+
+
+def check_convergence(
+    program: Program,
+    span_states: Iterable[State],
+    target: Predicate,
+    *,
+    fairness: str = "weak",
+    system: TransitionSystem | None = None,
+) -> ConvergenceResult:
+    """Decide whether every computation from ``span_states`` reaches ``target``.
+
+    Args:
+        program: The program under test.
+        span_states: The extension of the fault-span ``T`` on this finite
+            instance. Must be closed under the program (checked; a
+            transition escaping the set raises :class:`ValidationError`
+            since convergence is only defined relative to a closed span).
+        target: The invariant ``S``.
+        fairness: ``"weak"`` (the paper's computation model) or ``"none"``
+            (arbitrary daemon; the Section 8 remark).
+        system: Optionally a prebuilt transition system over exactly the
+            span states, to share work across checks.
+    """
+    if fairness not in FAIRNESS_MODES:
+        raise ValidationError(
+            f"unknown fairness mode {fairness!r}; expected one of {FAIRNESS_MODES}"
+        )
+    ts = system if system is not None else build_transition_system(program, span_states)
+    if ts.escapes:
+        index, action_name, successor = ts.escapes[0]
+        raise ValidationError(
+            "span is not closed under the program: "
+            f"{ts.states[index]!r} --{action_name}--> {successor!r} leaves the span"
+        )
+
+    bad = [position for position, state in enumerate(ts.states) if not target(state)]
+    bad_set = set(bad)
+
+    for position in bad:
+        if not ts.edges[position]:
+            return ConvergenceResult(
+                ok=False,
+                fairness=fairness,
+                span_states=len(ts),
+                bad_states=len(bad),
+                counterexample=ConvergenceCounterexample(
+                    kind="deadlock", states=(ts.states[position],)
+                ),
+            )
+
+    internal: dict[int, list[int]] = {
+        position: [
+            target_index
+            for _, target_index in ts.edges[position]
+            if target_index in bad_set
+        ]
+        for position in bad
+    }
+
+    components = _strongly_connected_components(bad, internal)
+    for component in components:
+        if not _component_has_internal_edge(component, internal):
+            continue
+        if fairness == "none":
+            cycle = _find_cycle_in_component(component, internal)
+            return ConvergenceResult(
+                ok=False,
+                fairness=fairness,
+                span_states=len(ts),
+                bad_states=len(bad),
+                counterexample=ConvergenceCounterexample(
+                    kind="cycle",
+                    states=tuple(ts.states[node] for node in cycle),
+                ),
+            )
+        members = set(component)
+        enabled_sets = [
+            {name for name, _ in ts.edges[node]} for node in component
+        ]
+        always_enabled = set.intersection(*enabled_sets)
+        internal_actions = {
+            name
+            for node in component
+            for name, target_index in ts.edges[node]
+            if target_index in members
+        }
+        if always_enabled <= internal_actions:
+            return ConvergenceResult(
+                ok=False,
+                fairness=fairness,
+                span_states=len(ts),
+                bad_states=len(bad),
+                counterexample=ConvergenceCounterexample(
+                    kind="cycle",
+                    states=tuple(ts.states[node] for node in component),
+                ),
+            )
+    return ConvergenceResult(
+        ok=True,
+        fairness=fairness,
+        span_states=len(ts),
+        bad_states=len(bad),
+    )
+
+
+def worst_case_convergence_steps(
+    program: Program,
+    span_states: Iterable[State],
+    target: Predicate,
+    *,
+    system: TransitionSystem | None = None,
+) -> int | None:
+    """The exact worst-case number of steps to reach ``target``.
+
+    Defined when the program converges under an arbitrary daemon, i.e.
+    when the ``¬target`` subgraph is acyclic: the answer is then the
+    longest path through ``¬target`` states (an adversarial daemon can
+    force exactly this many steps, and no more). Returns ``None`` when
+    the subgraph has a cycle, in which case an unfair daemon can postpone
+    convergence forever.
+    """
+    ts = system if system is not None else build_transition_system(program, span_states)
+    bad = [position for position, state in enumerate(ts.states) if not target(state)]
+    bad_set = set(bad)
+    internal: dict[int, list[int]] = {
+        position: [
+            target_index
+            for _, target_index in ts.edges[position]
+            if target_index in bad_set
+        ]
+        for position in bad
+    }
+    components = _strongly_connected_components(bad, internal)
+    for component in components:
+        if _component_has_internal_edge(component, internal):
+            return None
+    # Longest path over the DAG of bad states; length counts the steps to
+    # first leave the bad region (each bad state contributes one step).
+    depth: dict[int, int] = {}
+    order = [node for component in components for node in component]
+    # Tarjan emits components in reverse topological order of the
+    # condensation, so iterating the flattened list computes children
+    # before parents.
+    for node in order:
+        best = 0
+        for child in internal[node]:
+            best = max(best, depth[child])
+        depth[node] = 1 + best
+    return max(depth.values(), default=0)

@@ -1,0 +1,65 @@
+"""Human-readable rendering of states and traces.
+
+Verification results carry raw :class:`~repro.core.state.State` objects;
+these helpers render them — and whole computations — as aligned text with
+per-step variable diffs, for examples, failing tests, and reports.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.state import State
+from repro.scheduler.computation import Computation
+
+__all__ = ["format_state", "format_state_diff", "format_computation", "format_states"]
+
+
+def format_state(state: State, *, per_line: int = 6) -> str:
+    """Render a state as ``name=value`` pairs, a few per line."""
+    items = [f"{name}={state[name]!r}" for name in sorted(state)]
+    lines = [
+        "  " + "  ".join(items[start : start + per_line])
+        for start in range(0, len(items), per_line)
+    ]
+    return "\n".join(lines)
+
+
+def format_state_diff(before: State, after: State) -> str:
+    """Render only the variables that changed between two states."""
+    changes = [
+        f"{name}: {before[name]!r} -> {after[name]!r}"
+        for name in sorted(before)
+        if before[name] != after[name]
+    ]
+    if not changes:
+        return "(no change)"
+    return ", ".join(changes)
+
+
+def format_states(states: Sequence[State], *, limit: int = 10) -> str:
+    """Render a sequence of states (e.g. a counterexample cycle)."""
+    lines = []
+    for position, state in enumerate(states[:limit]):
+        lines.append(f"state {position}:")
+        lines.append(format_state(state))
+    if len(states) > limit:
+        lines.append(f"... and {len(states) - limit} more states")
+    return "\n".join(lines)
+
+
+def format_computation(computation: Computation, *, limit: int = 30) -> str:
+    """Render a computation as a step-by-step diff listing."""
+    lines = ["initial state:", format_state(computation.initial)]
+    previous = computation.initial
+    for position, step in enumerate(computation.steps[:limit]):
+        names = " + ".join(action.name for action in step.actions)
+        lines.append(
+            f"step {position + 1} [{names}]: {format_state_diff(previous, step.state)}"
+        )
+        previous = step.state
+    if len(computation.steps) > limit:
+        lines.append(f"... and {len(computation.steps) - limit} more steps")
+    if computation.terminated:
+        lines.append("(terminated: no action enabled)")
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""State-space exploration.
+
+Builds explicit transition systems for finite instances: either over a
+supplied state set (typically the full space or the fault-span extension)
+or by reachability from a set of roots. The transition system is the
+shared substrate of the closure and convergence checkers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.core.errors import StateSpaceTooLargeError
+from repro.core.predicates import Predicate
+from repro.core.program import Program
+from repro.core.state import DEFAULT_MAX_STATES, State
+
+__all__ = ["Transition", "TransitionSystem", "build_transition_system", "explore"]
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One edge of the transition system: ``source --action--> target``."""
+
+    source: int
+    action_name: str
+    target: int
+
+
+@dataclass
+class TransitionSystem:
+    """An explicit-state transition graph.
+
+    States are indexed densely; ``edges[i]`` lists the outgoing
+    ``(action_name, target_index)`` pairs of state ``i``. ``escapes``
+    records transitions whose target fell outside the supplied state set —
+    nonempty escapes mean the set was not closed under the program, which
+    the closure checker reports with witnesses.
+    """
+
+    states: list[State]
+    edges: list[list[tuple[str, int]]]
+    escapes: list[tuple[int, str, State]] = field(default_factory=list)
+
+    def index_of(self, state: State) -> int:
+        return self._index[state]
+
+    def __post_init__(self) -> None:
+        self._index: dict[State, int] = {
+            state: position for position, state in enumerate(self.states)
+        }
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def successors(self, index: int) -> list[tuple[str, int]]:
+        return self.edges[index]
+
+    def satisfying(self, predicate: Predicate) -> list[int]:
+        """Indices of states where ``predicate`` holds."""
+        return [
+            position
+            for position, state in enumerate(self.states)
+            if predicate(state)
+        ]
+
+
+def build_transition_system(
+    program: Program,
+    states: Iterable[State],
+) -> TransitionSystem:
+    """The transition graph of ``program`` over exactly ``states``.
+
+    Transitions leaving the set are recorded in ``escapes`` rather than
+    silently dropped.
+    """
+    state_list = list(states)
+    index = {state: position for position, state in enumerate(state_list)}
+    edges: list[list[tuple[str, int]]] = []
+    escapes: list[tuple[int, str, State]] = []
+    for position, state in enumerate(state_list):
+        outgoing: list[tuple[str, int]] = []
+        for action, successor in program.successors(state):
+            target = index.get(successor)
+            if target is None:
+                escapes.append((position, action.name, successor))
+            else:
+                outgoing.append((action.name, target))
+        edges.append(outgoing)
+    return TransitionSystem(states=state_list, edges=edges, escapes=escapes)
+
+
+def explore(
+    program: Program,
+    roots: Iterable[State],
+    *,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> TransitionSystem:
+    """The transition graph reachable from ``roots`` (BFS).
+
+    Raises:
+        StateSpaceTooLargeError: if more than ``max_states`` states become
+            reachable.
+    """
+    state_list: list[State] = []
+    index: dict[State, int] = {}
+
+    def intern(state: State) -> int:
+        position = index.get(state)
+        if position is None:
+            if len(state_list) >= max_states:
+                raise StateSpaceTooLargeError(
+                    f"reachable state space exceeds {max_states} states"
+                )
+            position = len(state_list)
+            index[state] = position
+            state_list.append(state)
+        return position
+
+    for state in roots:
+        intern(state)
+    edges: list[list[tuple[str, int]]] = []
+    cursor = 0
+    while cursor < len(state_list):
+        state = state_list[cursor]
+        outgoing = [
+            (action.name, intern(successor))
+            for action, successor in program.successors(state)
+        ]
+        edges.append(outgoing)
+        cursor += 1
+    return TransitionSystem(states=state_list, edges=edges)

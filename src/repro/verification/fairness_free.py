@@ -1,0 +1,150 @@
+"""Fairness-free convergence diagnostics (the paper's Section 8 remark).
+
+"The fairness requirement on program computations is often unnecessary.
+(In fact, each of the programs derived in this paper is correct even when
+the fairness requirement is ignored; to see this, observe that each
+computation of the closure actions is either finite or has a state where
+S holds.)"
+
+Two tools:
+
+- :func:`check_closure_computations` — the paper's observation itself:
+  over the ``¬S`` region, the transition subgraph using *closure actions
+  only* must be acyclic; then any closure-only computation either leaves
+  the region (reaches S) or runs out of enabled closure actions
+  (is finite, or continues only via convergence actions).
+- :func:`check_fairness_free` — the conclusion, decided exactly: full
+  convergence under an arbitrary (unfair) daemon, i.e.
+  :func:`repro.verification.convergence.check_convergence` with
+  ``fairness="none"``, packaged with the observation so reports show
+  both the *why* and the *what*.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.predicates import Predicate
+from repro.core.program import Program
+from repro.core.state import State
+from repro.verification.convergence import (
+    ConvergenceResult,
+    _component_has_internal_edge,
+    _strongly_connected_components,
+    check_convergence,
+)
+from repro.verification.explorer import TransitionSystem, build_transition_system
+
+__all__ = [
+    "ClosureComputationReport",
+    "FairnessFreeReport",
+    "check_closure_computations",
+    "check_fairness_free",
+]
+
+
+@dataclass(frozen=True)
+class ClosureComputationReport:
+    """Whether closure-only computations are finite or reach the target."""
+
+    ok: bool
+    bad_states: int
+    cycle: tuple[State, ...] | None = None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def check_closure_computations(
+    program: Program,
+    closure_action_names: Iterable[str],
+    target: Predicate,
+    states: Iterable[State],
+    *,
+    system: TransitionSystem | None = None,
+) -> ClosureComputationReport:
+    """Check the Section 8 observation for a given closure-action set.
+
+    Holds iff the ``¬target`` subgraph restricted to transitions by the
+    named closure actions is acyclic: every closure-only computation
+    starting outside the target is then finite or crosses into it.
+    """
+    closure_names = set(closure_action_names)
+    ts = system if system is not None else build_transition_system(program, states)
+    bad = [index for index, state in enumerate(ts.states) if not target(state)]
+    bad_set = set(bad)
+    internal = {
+        index: [
+            target_index
+            for action_name, target_index in ts.edges[index]
+            if action_name in closure_names and target_index in bad_set
+        ]
+        for index in bad
+    }
+    for component in _strongly_connected_components(bad, internal):
+        if _component_has_internal_edge(component, internal):
+            return ClosureComputationReport(
+                ok=False,
+                bad_states=len(bad),
+                cycle=tuple(ts.states[i] for i in component),
+            )
+    return ClosureComputationReport(ok=True, bad_states=len(bad))
+
+
+@dataclass(frozen=True)
+class FairnessFreeReport:
+    """The Section 8 remark, decided for one program."""
+
+    #: The observation: closure-only computations are finite or hit S.
+    observation: ClosureComputationReport
+    #: The conclusion: convergence under an arbitrary unfair daemon.
+    unfair_convergence: ConvergenceResult
+    #: Baseline: convergence under the paper's weak fairness.
+    weak_convergence: ConvergenceResult
+
+    @property
+    def fairness_needed(self) -> bool:
+        """True when the program converges fairly but not unfairly."""
+        return self.weak_convergence.ok and not self.unfair_convergence.ok
+
+    def describe(self) -> str:
+        lines = [
+            "Section 8 fairness analysis:",
+            f"  closure-only computations finite-or-reach-S: "
+            f"{'yes' if self.observation.ok else 'NO'}",
+            f"  converges under weak fairness: "
+            f"{'yes' if self.weak_convergence.ok else 'NO'}",
+            f"  converges without fairness: "
+            f"{'yes' if self.unfair_convergence.ok else 'NO'}",
+        ]
+        if self.fairness_needed:
+            lines.append("  => this program genuinely needs the fairness assumption")
+        elif self.weak_convergence.ok:
+            lines.append("  => fairness is unnecessary for this program")
+        return "\n".join(lines)
+
+
+def check_fairness_free(
+    program: Program,
+    closure_action_names: Iterable[str],
+    target: Predicate,
+    states: Iterable[State],
+) -> FairnessFreeReport:
+    """Run the full Section 8 analysis on a finite instance."""
+    state_list = list(states)
+    system = build_transition_system(program, state_list)
+    observation = check_closure_computations(
+        program, closure_action_names, target, state_list, system=system
+    )
+    unfair = check_convergence(
+        program, state_list, target, fairness="none", system=system
+    )
+    weak = check_convergence(
+        program, state_list, target, fairness="weak", system=system
+    )
+    return FairnessFreeReport(
+        observation=observation,
+        unfair_convergence=unfair,
+        weak_convergence=weak,
+    )

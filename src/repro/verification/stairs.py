@@ -1,0 +1,121 @@
+"""Convergence stairs (Gouda and Multari, referenced in Section 7).
+
+A convergence stair is a descending chain of closed predicates::
+
+    T = R0  ⊇  R1  ⊇  …  ⊇  Rk = S
+
+such that from every ``Ri``-state each computation reaches an
+``Ri+1``-state. Convergence then follows by composing the stages. The
+paper's Section 7 proposes stairs as one way to validate designs whose
+constraint graph is cyclic over ``T`` but self-looping over some
+intermediate closed ``R`` — the spanning-tree protocol in this library is
+certified exactly this way, with one stair step per BFS level.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.predicates import Predicate
+from repro.core.program import Program
+from repro.core.state import State
+from repro.verification.closure import ClosureResult, check_closure
+from repro.verification.convergence import ConvergenceResult, check_convergence
+
+__all__ = ["StairStep", "StairReport", "check_stair"]
+
+
+@dataclass(frozen=True)
+class StairStep:
+    """One stage ``Ri -> Ri+1`` of the stair."""
+
+    from_name: str
+    to_name: str
+    subset_ok: bool
+    closure: ClosureResult
+    convergence: ConvergenceResult
+
+    @property
+    def ok(self) -> bool:
+        return self.subset_ok and self.closure.ok and self.convergence.ok
+
+
+@dataclass(frozen=True)
+class StairReport:
+    """The verdict of a convergence-stair check."""
+
+    ok: bool
+    steps: tuple[StairStep, ...]
+    final_closure: ClosureResult
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def describe(self) -> str:
+        lines = [f"convergence stair: {'VALID' if self.ok else 'INVALID'}"]
+        for step in self.steps:
+            mark = "ok " if step.ok else "FAIL"
+            lines.append(
+                f"  [{mark}] {step.from_name} -> {step.to_name} "
+                f"(closure {'ok' if step.closure.ok else 'FAIL'}, "
+                f"subset {'ok' if step.subset_ok else 'FAIL'}, "
+                f"convergence {'ok' if step.convergence.ok else 'FAIL'})"
+            )
+        lines.append(
+            f"  [{'ok ' if self.final_closure.ok else 'FAIL'}] closure of "
+            f"{self.final_closure.predicate_name}"
+        )
+        return "\n".join(lines)
+
+
+def check_stair(
+    program: Program,
+    stair: Sequence[Predicate],
+    states: Iterable[State],
+    *,
+    fairness: str = "weak",
+) -> StairReport:
+    """Check a convergence stair ``stair[0] ⊇ … ⊇ stair[-1]``.
+
+    Args:
+        program: The program under test.
+        stair: The predicates from the fault-span down to the invariant,
+            weakest first. Must have at least two entries.
+        states: The full state set of the finite instance.
+        fairness: Computation model for each stage's convergence check.
+    """
+    if len(stair) < 2:
+        raise ValueError("a stair needs at least two predicates (T and S)")
+    all_states = list(states)
+    steps: list[StairStep] = []
+    for upper, lower in zip(stair, stair[1:]):
+        upper_states = [state for state in all_states if upper(state)]
+        subset_ok = all(upper(state) for state in all_states if lower(state))
+        closure = check_closure(upper, program, all_states)
+        if closure.ok:
+            convergence = check_convergence(
+                program, upper_states, lower, fairness=fairness
+            )
+        else:
+            convergence = ConvergenceResult(
+                ok=False,
+                fairness=fairness,
+                span_states=len(upper_states),
+                bad_states=sum(1 for state in upper_states if not lower(state)),
+            )
+        steps.append(
+            StairStep(
+                from_name=upper.name,
+                to_name=lower.name,
+                subset_ok=subset_ok,
+                closure=closure,
+                convergence=convergence,
+            )
+        )
+    final_closure = check_closure(stair[-1], program, all_states)
+    return StairReport(
+        ok=all(step.ok for step in steps) and final_closure.ok,
+        steps=tuple(steps),
+        final_closure=final_closure,
+    )

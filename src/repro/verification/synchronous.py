@@ -1,0 +1,180 @@
+"""Verification under the synchronous daemon.
+
+The paper's computations interleave one action at a time; real networks
+often step *synchronously* (every process moves at once). Convergence is
+daemon-sensitive: designs correct under a central daemon may oscillate
+synchronously — the classic failure is two neighbors repeatedly reacting
+to each other's simultaneous moves.
+
+Because the protocols in this library enable at most one action per
+process in any state (guards within a process are mutually exclusive),
+the synchronous successor of a state is *deterministic*: the run from
+any state is a ρ-shaped orbit — a tail followed by a limit cycle. This
+module computes the orbit and classifies the outcome per start state:
+
+- ``converges``: the orbit enters the target and stays;
+- ``oscillates``: the orbit settles into a limit cycle outside the
+  target;
+- a fixed point outside the target counts as ``oscillates`` with cycle
+  length 1 (a synchronous deadlock).
+
+:func:`check_synchronous_convergence` aggregates over every start state,
+returning the counterexample orbit for the first failure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.errors import ValidationError
+from repro.core.predicates import Predicate
+from repro.core.program import Program
+from repro.core.state import State
+from repro.scheduler.daemons import SynchronousDaemon
+
+__all__ = [
+    "SynchronousOrbit",
+    "SynchronousReport",
+    "synchronous_orbit",
+    "check_synchronous_convergence",
+]
+
+
+@dataclass(frozen=True)
+class SynchronousOrbit:
+    """The deterministic synchronous run from one start state."""
+
+    tail: tuple[State, ...]
+    cycle: tuple[State, ...]
+
+    @property
+    def converged_state(self) -> State | None:
+        """The fixed point, when the cycle has length 1."""
+        return self.cycle[0] if len(self.cycle) == 1 else None
+
+    def reaches(self, target: Predicate) -> bool:
+        """Whether the orbit's *limit* satisfies the target forever.
+
+        True iff every state of the limit cycle satisfies the target
+        (for a closed target this is the right notion of convergence;
+        transient target visits in the tail do not count).
+        """
+        return all(target(state) for state in self.cycle)
+
+
+def synchronous_orbit(
+    program: Program,
+    start: State,
+    *,
+    max_steps: int = 100_000,
+    on_conflict: str = "first",
+) -> SynchronousOrbit:
+    """Follow the deterministic synchronous run until it repeats.
+
+    Args:
+        program: The program under the synchronous daemon.
+        start: The start state.
+        max_steps: Safety bound on the orbit length.
+        on_conflict: What to do when a process has several enabled
+            actions in a state: ``"first"`` (default) fires the first in
+            program order — the canonical deterministic synchronous
+            daemon — while ``"error"`` raises, for programs whose
+            per-process guards are meant to be mutually exclusive.
+
+    Raises:
+        ValidationError: on a per-process conflict with
+            ``on_conflict="error"``, or if no repeat occurs within
+            ``max_steps``.
+    """
+    if on_conflict not in ("first", "error"):
+        raise ValidationError(f"unknown on_conflict mode {on_conflict!r}")
+    daemon = SynchronousDaemon()  # deterministic: first enabled per process
+    seen: dict[State, int] = {}
+    trajectory: list[State] = []
+    state = start
+    for _ in range(max_steps):
+        if state in seen:
+            split = seen[state]
+            return SynchronousOrbit(
+                tail=tuple(trajectory[:split]),
+                cycle=tuple(trajectory[split:]),
+            )
+        seen[state] = len(trajectory)
+        trajectory.append(state)
+        if on_conflict == "error":
+            _check_deterministic(program, state)
+        outcome = daemon.advance(program, state, len(trajectory))
+        if outcome is None:
+            # Terminal state: a fixed point.
+            return SynchronousOrbit(tail=tuple(trajectory[:-1]), cycle=(state,))
+        state, _ = outcome
+    raise ValidationError(
+        f"no repeat within {max_steps} synchronous steps; raise max_steps"
+    )
+
+
+def _check_deterministic(program: Program, state: State) -> None:
+    by_process: dict = {}
+    for action in program.enabled_actions(state):
+        key = action.process if action.process is not None else action.name
+        if key in by_process:
+            raise ValidationError(
+                f"process {key!r} has two enabled actions "
+                f"({by_process[key]}, {action.name}) at {state!r}; the "
+                "synchronous orbit is not deterministic"
+            )
+        by_process[key] = action.name
+
+
+@dataclass(frozen=True)
+class SynchronousReport:
+    """Aggregate synchronous-convergence verdict over a state set."""
+
+    ok: bool
+    checked: int
+    oscillating_starts: int
+    #: Longest limit cycle observed outside the target.
+    worst_cycle: tuple[State, ...] | None
+    #: Example start state leading to the worst cycle.
+    witness_start: State | None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def check_synchronous_convergence(
+    program: Program,
+    states: Iterable[State],
+    target: Predicate,
+) -> SynchronousReport:
+    """Classify every start state's synchronous orbit against ``target``."""
+    checked = 0
+    oscillating = 0
+    worst_cycle: tuple[State, ...] | None = None
+    witness: State | None = None
+    verdict_cache: dict[State, bool] = {}
+    for start in states:
+        checked += 1
+        if start in verdict_cache:
+            if not verdict_cache[start]:
+                oscillating += 1
+            continue
+        orbit = synchronous_orbit(program, start)
+        good = orbit.reaches(target)
+        for visited in orbit.tail:
+            verdict_cache[visited] = good
+        for visited in orbit.cycle:
+            verdict_cache[visited] = good
+        if not good:
+            oscillating += 1
+            if worst_cycle is None or len(orbit.cycle) > len(worst_cycle):
+                worst_cycle = orbit.cycle
+                witness = start
+    return SynchronousReport(
+        ok=oscillating == 0,
+        checked=checked,
+        oscillating_starts=oscillating,
+        worst_cycle=worst_cycle,
+        witness_start=witness,
+    )

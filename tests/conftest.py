@@ -1,0 +1,85 @@
+"""Shared fixtures: small programs, trees, rings, and designs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Action,
+    Assignment,
+    IntegerRangeDomain,
+    Predicate,
+    Program,
+    Variable,
+)
+from repro.topology import balanced_tree, chain_tree, star_tree
+
+
+@pytest.fixture
+def counter_program() -> Program:
+    """A tiny single-variable program: a saturating counter on 0..3.
+
+    Two actions: increment (enabled below 3) and reset (enabled at 3).
+    Handy for scheduler, engine and verification unit tests.
+    """
+    domain = IntegerRangeDomain(0, 3)
+    inc = Action(
+        "inc",
+        Predicate(lambda s: s["n"] < 3, name="n < 3", support=("n",)),
+        Assignment({"n": lambda s: s["n"] + 1}),
+        reads=("n",),
+        process="p",
+    )
+    reset = Action(
+        "reset",
+        Predicate(lambda s: s["n"] == 3, name="n = 3", support=("n",)),
+        Assignment({"n": 0}),
+        reads=("n",),
+        process="p",
+    )
+    return Program("counter", [Variable("n", domain, process="p")], [inc, reset])
+
+
+@pytest.fixture
+def two_var_program() -> Program:
+    """Two independent counters owned by different processes.
+
+    Used by daemon tests: the synchronous daemon can fire both processes
+    in one step because their write sets are disjoint.
+    """
+    domain = IntegerRangeDomain(0, 2)
+    actions = []
+    for name in ("a", "b"):
+        actions.append(
+            Action(
+                f"inc.{name}",
+                Predicate(
+                    lambda s, name=name: s[name] < 2,
+                    name=f"{name} < 2",
+                    support=(name,),
+                ),
+                Assignment({name: lambda s, name=name: s[name] + 1}),
+                reads=(name,),
+                process=name,
+            )
+        )
+    variables = [
+        Variable("a", domain, process="a"),
+        Variable("b", domain, process="b"),
+    ]
+    return Program("two-counters", variables, actions)
+
+
+@pytest.fixture
+def chain3():
+    return chain_tree(3)
+
+
+@pytest.fixture
+def star4():
+    return star_tree(4)
+
+
+@pytest.fixture
+def btree7():
+    return balanced_tree(2, 2)

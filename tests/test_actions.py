@@ -1,0 +1,88 @@
+"""Unit tests for assignments and guarded actions."""
+
+import pytest
+
+from repro.core import Action, ActionNotEnabledError, Assignment, Predicate, State
+
+
+class TestAssignment:
+    def test_constant_and_callable_updates(self):
+        effect = Assignment({"x": 5, "y": lambda s: s["x"] + 1})
+        after = effect.apply(State({"x": 1, "y": 0}))
+        assert after["x"] == 5
+        assert after["y"] == 2  # computed from the OLD x
+
+    def test_simultaneous_swap(self):
+        # The paper's multiple-assignment semantics: all right-hand sides
+        # read the old state.
+        effect = Assignment({"x": lambda s: s["y"], "y": lambda s: s["x"]})
+        after = effect.apply(State({"x": 1, "y": 2}))
+        assert after["x"] == 2 and after["y"] == 1
+
+    def test_writes_property(self):
+        assert Assignment({"a": 0, "b": 1}).writes == frozenset({"a", "b"})
+
+    def test_empty_assignment_rejected(self):
+        with pytest.raises(ValueError):
+            Assignment({})
+
+
+def make_action(**kwargs) -> Action:
+    defaults = dict(
+        name="inc",
+        guard=Predicate(lambda s: s["x"] < 3, name="x < 3", support=("x",)),
+        effect=Assignment({"x": lambda s: s["x"] + 1}),
+        reads=("x",),
+    )
+    defaults.update(kwargs)
+    return Action(
+        defaults["name"],
+        defaults["guard"],
+        defaults["effect"],
+        reads=defaults["reads"],
+        process=defaults.get("process"),
+    )
+
+
+class TestAction:
+    def test_enabled_follows_guard(self):
+        action = make_action()
+        assert action.enabled(State({"x": 0}))
+        assert not action.enabled(State({"x": 3}))
+
+    def test_execute(self):
+        action = make_action()
+        assert action.execute(State({"x": 1}))["x"] == 2
+
+    def test_execute_disabled_raises(self):
+        action = make_action()
+        with pytest.raises(ActionNotEnabledError):
+            action.execute(State({"x": 3}))
+
+    def test_writes_derived_from_effect(self):
+        action = make_action()
+        assert action.writes == frozenset({"x"})
+
+    def test_reads_must_cover_guard_support(self):
+        guard = Predicate(lambda s: s["x"] < s["y"], name="x < y", support=("x", "y"))
+        with pytest.raises(ValueError, match="omit guard variables"):
+            Action("bad", guard, Assignment({"x": 0}), reads=("x",))
+
+    def test_reads_may_exceed_guard_support(self):
+        # Right-hand sides may read variables the guard does not.
+        guard = Predicate(lambda s: True, name="true", support=())
+        action = Action(
+            "copy",
+            guard,
+            Assignment({"x": lambda s: s["y"]}),
+            reads=("x", "y"),
+        )
+        assert action.reads == frozenset({"x", "y"})
+
+    def test_guard_without_support_accepted(self):
+        guard = Predicate(lambda s: s["x"] == 0, name="opaque")
+        action = Action("a", guard, Assignment({"x": 1}), reads=("x",))
+        assert action.enabled(State({"x": 0}))
+
+    def test_process_recorded(self):
+        assert make_action(process=3).process == 3

@@ -1,0 +1,80 @@
+"""Unit tests for statistics and table rendering."""
+
+import pytest
+
+from repro.analysis import percentile, print_table, render_table, summarize
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 50) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_extremes(self):
+        values = [5, 1, 9]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_single_value(self):
+        assert percentile([7], 95) == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        summary = summarize([1, 2, 3, 4])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.median == 2.5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+
+    def test_str_includes_stats(self):
+        text = str(summarize([10.0]))
+        assert "n=1" in text and "mean=10.0" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(
+            ["name", "steps"],
+            [["ring", 12], ["tree", 345]],
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "345" in lines[3]
+        # Separator row between header and data.
+        assert set(lines[1].replace(" ", "")) == {"-"}
+
+    def test_title_rendered(self):
+        text = render_table(["a"], [[1]], title="E1")
+        assert text.splitlines()[0] == "E1"
+        assert text.splitlines()[1] == "=" * 2
+
+    def test_bool_and_float_formatting(self):
+        text = render_table(["ok", "ratio"], [[True, 0.12345], [False, 2.0]])
+        assert "yes" in text and "no" in text
+        assert "0.12" in text and "2.00" in text
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_print_table(self, capsys):
+        print_table(["a"], [[1]])
+        captured = capsys.readouterr()
+        assert "a" in captured.out
+        assert captured.out.endswith("\n\n")

@@ -1,0 +1,114 @@
+"""Unit tests for candidate triples and decomposition checks."""
+
+import pytest
+
+from repro.core import (
+    CandidateTriple,
+    Constraint,
+    DesignError,
+    IntegerRangeDomain,
+    Predicate,
+    Program,
+    State,
+    TRUE,
+    Variable,
+)
+
+
+def make_candidate(constraint_exprs, invariant, variables=("x",)):
+    program = Program(
+        "p",
+        [Variable(name, IntegerRangeDomain(-2, 2)) for name in variables],
+        [],
+    )
+    constraints = tuple(
+        Constraint(
+            name=f"c{i}",
+            predicate=Predicate(fn, name=f"c{i}", support=support),
+        )
+        for i, (fn, support) in enumerate(constraint_exprs)
+    )
+    return CandidateTriple(
+        program=program,
+        invariant=invariant,
+        constraints=constraints,
+    )
+
+
+STATES = [State({"x": v}) for v in range(-2, 3)]
+
+
+class TestConstruction:
+    def test_needs_constraints(self):
+        program = Program("p", [Variable("x", IntegerRangeDomain(0, 1))], [])
+        with pytest.raises(DesignError, match="at least one constraint"):
+            CandidateTriple(program=program, invariant=TRUE, constraints=())
+
+    def test_duplicate_constraint_names_rejected(self):
+        program = Program("p", [Variable("x", IntegerRangeDomain(0, 1))], [])
+        c = Constraint(
+            name="c",
+            predicate=Predicate(lambda s: True, name="t", support=("x",)),
+        )
+        with pytest.raises(DesignError, match="duplicate"):
+            CandidateTriple(program=program, invariant=TRUE, constraints=(c, c))
+
+    def test_constraint_on_unknown_variable_rejected(self):
+        program = Program("p", [Variable("x", IntegerRangeDomain(0, 1))], [])
+        c = Constraint(
+            name="c",
+            predicate=Predicate(lambda s: True, name="t", support=("ghost",)),
+        )
+        with pytest.raises(DesignError, match="undeclared"):
+            CandidateTriple(program=program, invariant=TRUE, constraints=(c,))
+
+    def test_constraint_lookup(self):
+        candidate = make_candidate(
+            [(lambda s: s["x"] >= 0, ("x",))],
+            Predicate(lambda s: s["x"] >= 0, name="S", support=("x",)),
+        )
+        assert candidate.constraint("c0").name == "c0"
+        with pytest.raises(KeyError):
+            candidate.constraint("nope")
+
+
+class TestDecomposition:
+    def test_equivalent_decomposition(self):
+        invariant = Predicate(lambda s: s["x"] >= 0, name="S", support=("x",))
+        candidate = make_candidate([(lambda s: s["x"] >= 0, ("x",))], invariant)
+        report = candidate.check_decomposition(STATES)
+        assert report.ok
+        assert report.equivalent
+        assert report.checked == len(STATES)
+
+    def test_stronger_constraints_imply_but_not_equivalent(self):
+        # The paper's token-ring situation: constraints force x = 0 while
+        # S only requires x >= 0.
+        invariant = Predicate(lambda s: s["x"] >= 0, name="S", support=("x",))
+        candidate = make_candidate([(lambda s: s["x"] == 0, ("x",))], invariant)
+        report = candidate.check_decomposition(STATES)
+        assert report.ok
+        assert not report.equivalent
+
+    def test_weaker_constraints_fail(self):
+        invariant = Predicate(lambda s: s["x"] == 0, name="S", support=("x",))
+        candidate = make_candidate([(lambda s: s["x"] >= 0, ("x",))], invariant)
+        report = candidate.check_decomposition(STATES)
+        assert not report.ok
+        assert report.mismatches  # a state with x > 0
+
+    def test_constraints_conjunction(self):
+        invariant = Predicate(
+            lambda s: 0 <= s["x"] <= 1, name="S", support=("x",)
+        )
+        candidate = make_candidate(
+            [
+                (lambda s: s["x"] >= 0, ("x",)),
+                (lambda s: s["x"] <= 1, ("x",)),
+            ],
+            invariant,
+        )
+        conj = candidate.constraints_conjunction()
+        assert conj(State({"x": 0}))
+        assert not conj(State({"x": 2}))
+        assert candidate.check_decomposition(STATES).equivalent

@@ -1,0 +1,138 @@
+"""Unit tests for the full T-tolerance checker."""
+
+import pytest
+
+from repro.core import (
+    Action,
+    Assignment,
+    IntegerRangeDomain,
+    Predicate,
+    Program,
+    State,
+    TRUE,
+    Variable,
+)
+from repro.verification import check_tolerance
+
+
+def make_program(actions):
+    return Program("p", [Variable("n", IntegerRangeDomain(0, 5))], actions)
+
+
+S_ZERO = Predicate(lambda s: s["n"] == 0, name="n = 0", support=("n",))
+T_SMALL = Predicate(lambda s: s["n"] <= 3, name="n <= 3", support=("n",))
+
+
+def clamp_to_zero(guard_hi: int = 5) -> Action:
+    return Action(
+        "to-zero",
+        Predicate(
+            lambda s: 0 < s["n"] <= guard_hi,
+            name=f"0 < n <= {guard_hi}",
+            support=("n",),
+        ),
+        Assignment({"n": 0}),
+        reads=("n",),
+    )
+
+
+class TestStabilizing:
+    def test_stabilizing_program(self):
+        program = make_program([clamp_to_zero()])
+        report = check_tolerance(
+            program, S_ZERO, TRUE, program.state_space()
+        )
+        assert report.ok
+        assert report.stabilizing
+        assert report.classification == "nonmasking"
+        assert "T-tolerant" in report.describe()
+
+    def test_masking_classification_when_s_equals_t(self):
+        program = make_program([])
+        report = check_tolerance(program, S_ZERO, S_ZERO, [State({"n": 0})])
+        assert report.ok
+        assert report.classification == "masking"
+
+
+class TestNonmaskingWithProperSpan:
+    def test_convergence_only_from_span(self):
+        # The repair action works only inside the span n <= 3; states 4, 5
+        # are outside T so they do not matter.
+        program = make_program([clamp_to_zero(guard_hi=3)])
+        report = check_tolerance(
+            program, S_ZERO, T_SMALL, program.state_space()
+        )
+        assert report.ok
+        assert not report.stabilizing
+        assert report.convergence.span_states == 4
+
+    def test_s_must_imply_t(self):
+        # S = (n = 5) is not inside T = (n <= 3).
+        s_five = Predicate(lambda s: s["n"] == 5, name="n = 5", support=("n",))
+        program = make_program([])
+        report = check_tolerance(program, s_five, T_SMALL, program.state_space())
+        assert not report.ok
+        assert not report.implication_ok
+
+
+class TestFailures:
+    def test_open_invariant_fails_closure(self):
+        leak = Action(
+            "leak",
+            Predicate(lambda s: s["n"] == 0, name="n = 0", support=("n",)),
+            Assignment({"n": 1}),
+            reads=("n",),
+        )
+        program = make_program([leak, clamp_to_zero()])
+        report = check_tolerance(program, S_ZERO, TRUE, program.state_space())
+        assert not report.ok
+        assert not report.s_closure.ok
+
+    def test_open_fault_span_fails_without_crash(self):
+        escape = Action(
+            "escape",
+            Predicate(lambda s: s["n"] == 3, name="n = 3", support=("n",)),
+            Assignment({"n": 4}),
+            reads=("n",),
+        )
+        program = make_program([escape, clamp_to_zero()])
+        report = check_tolerance(program, S_ZERO, T_SMALL, program.state_space())
+        assert not report.ok
+        assert not report.t_closure.ok
+        # Convergence is reported failed (undefined relative to open T)
+        # rather than raising.
+        assert not report.convergence.ok
+
+    def test_non_converging_program_fails(self):
+        stuck = make_program([])  # deadlocks outside S
+        report = check_tolerance(stuck, S_ZERO, TRUE, stuck.state_space())
+        assert not report.ok
+        assert report.s_closure.ok and report.t_closure.ok
+        assert not report.convergence.ok
+
+    def test_partial_state_set_rejected(self):
+        program = make_program([clamp_to_zero()])
+        # Supply a strict subset whose successors leave it while T (TRUE)
+        # is closed: the checker demands the full extension.
+        inc = Action(
+            "inc",
+            Predicate(lambda s: s["n"] < 5, name="n < 5", support=("n",)),
+            Assignment({"n": lambda s: s["n"] + 1}),
+            reads=("n",),
+        )
+        program = make_program([inc])
+        with pytest.raises(ValueError, match="full extension"):
+            check_tolerance(program, S_ZERO, TRUE, [State({"n": 2})])
+
+    def test_fairness_parameter_forwarded(self):
+        spin = Action(
+            "spin",
+            Predicate(lambda s: s["n"] > 0, name="n > 0", support=("n",)),
+            Assignment({"n": lambda s: s["n"]}),
+            reads=("n",),
+        )
+        program = make_program([clamp_to_zero(), spin])
+        weak = check_tolerance(program, S_ZERO, TRUE, program.state_space(), fairness="weak")
+        unfair = check_tolerance(program, S_ZERO, TRUE, program.state_space(), fairness="none")
+        assert weak.ok
+        assert not unfair.ok

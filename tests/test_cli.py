@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import PROTOCOLS, main
+
+
+class TestList:
+    def test_lists_every_protocol(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in PROTOCOLS:
+            assert name in out
+
+
+class TestVerify:
+    def test_verify_passes_for_stabilizing_protocol(self, capsys):
+        assert main(["verify", "dijkstra-ring", "--size", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "T-tolerant for S" in out
+        assert "stabilizing" in out
+
+    def test_verify_unfair_mode(self, capsys):
+        assert main(["verify", "four-state", "--size", "3",
+                     "--fairness", "none"]) == 0
+        assert "'none' fairness" in capsys.readouterr().out
+
+    def test_unbounded_protocol_refused(self, capsys):
+        assert main(["verify", "token-ring"]) == 2
+        assert "unbounded" in capsys.readouterr().out
+
+    def test_oversized_instance_refused(self, capsys):
+        assert main(["verify", "diffusing", "--size", "50"]) == 2
+        assert "exceeds" in capsys.readouterr().out
+
+    def test_unknown_protocol(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "quantum-ring"])
+
+
+class TestSimulate:
+    def test_simulation_stabilizes(self, capsys):
+        code = main(["simulate", "coloring", "--size", "10", "--trials", "4",
+                     "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "4/4 trials stabilized" in out
+        assert "steps to stabilize" in out
+
+    def test_simulation_reports_failures(self, capsys):
+        # A step budget of zero cannot stabilize corrupted starts.
+        code = main(["simulate", "dijkstra-ring", "--size", "6",
+                     "--trials", "4", "--max-steps", "0"])
+        assert code == 1
+        assert "stabilized" in capsys.readouterr().out
+
+
+class TestRender:
+    def test_render_listing(self, capsys):
+        assert main(["render", "dijkstra-ring", "--size", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("program dijkstra-ring")
+        assert "begin" in out and "end" in out
+
+    def test_every_registered_protocol_renders(self, capsys):
+        for name in PROTOCOLS:
+            assert main(["render", name]) == 0
+        assert capsys.readouterr().out  # produced something
+
+
+class TestRegistry:
+    def test_all_builders_produce_programs_and_predicates(self):
+        for entry in PROTOCOLS.values():
+            program, invariant = entry.build(entry.default_size)
+            state = next(iter(program.state_space(max_states=10_000_000))) \
+                if entry.max_verify_size else None
+            assert program.actions
+            if state is not None:
+                invariant(state)  # evaluable

@@ -1,0 +1,81 @@
+"""Unit tests for closure checking."""
+
+from repro.core import (
+    Action,
+    Assignment,
+    IntegerRangeDomain,
+    Predicate,
+    Program,
+    State,
+    Variable,
+)
+from repro.verification import check_closure
+
+
+def modular_counter(k: int = 4) -> Program:
+    inc = Action(
+        "inc",
+        Predicate(lambda s: True, name="true", support=()),
+        Assignment({"n": lambda s: (s["n"] + 1) % k}),
+        reads=("n",),
+    )
+    return Program("mod-counter", [Variable("n", IntegerRangeDomain(0, k - 1))], [inc])
+
+
+class TestCheckClosure:
+    def test_whole_space_is_closed(self):
+        program = modular_counter()
+        everything = Predicate(lambda s: True, name="true", support=())
+        result = check_closure(everything, program, program.state_space())
+        assert result.ok
+        assert result.checked == 4
+
+    def test_non_closed_predicate_reports_witness(self):
+        program = modular_counter()
+        small = Predicate(lambda s: s["n"] <= 1, name="n <= 1", support=("n",))
+        result = check_closure(small, program, program.state_space())
+        assert not result.ok
+        witness = result.witnesses[0]
+        assert witness.before == State({"n": 1})
+        assert witness.after == State({"n": 2})
+        assert witness.action_name == "inc"
+        assert "inc" in witness.describe()
+
+    def test_only_holding_states_expanded(self):
+        program = modular_counter()
+        exact = Predicate(lambda s: s["n"] == 2, name="n = 2", support=("n",))
+        result = check_closure(exact, program, program.state_space())
+        assert result.checked == 1
+
+    def test_empty_predicate_trivially_closed(self):
+        program = modular_counter()
+        from repro.core import FALSE
+
+        result = check_closure(FALSE, program, program.state_space())
+        assert result.ok
+        assert result.checked == 0
+
+    def test_witness_cap(self):
+        program = modular_counter(8)
+        # "n is even" is violated by every step from an even state.
+        even = Predicate(lambda s: s["n"] % 2 == 0, name="even", support=("n",))
+        result = check_closure(even, program, program.state_space(), max_witnesses=2)
+        assert not result.ok
+        assert len(result.witnesses) == 2
+
+    def test_describe(self):
+        program = modular_counter()
+        small = Predicate(lambda s: s["n"] <= 1, name="n <= 1", support=("n",))
+        text = check_closure(small, program, program.state_space()).describe()
+        assert "NOT closed" in text
+
+    def test_invariant_of_diffusing_program_closed(self, chain3):
+        from repro.protocols.diffusing import build_diffusing_design, diffusing_invariant
+
+        design = build_diffusing_design(chain3)
+        result = check_closure(
+            diffusing_invariant(chain3),
+            design.program,
+            design.program.state_space(),
+        )
+        assert result.ok

@@ -1,0 +1,146 @@
+"""Tests for program composition (parallel and superposition)."""
+
+import pytest
+
+from repro.core import (
+    Action,
+    Assignment,
+    DesignError,
+    IntegerRangeDomain,
+    Predicate,
+    Program,
+    State,
+    Variable,
+    parallel,
+    superpose,
+)
+
+
+def make_counter(var: str, action_name: str) -> Program:
+    domain = IntegerRangeDomain(0, 3)
+    action = Action(
+        action_name,
+        Predicate(lambda s, var=var: s[var] < 3, name=f"{var} < 3", support=(var,)),
+        Assignment({var: lambda s, var=var: s[var] + 1}),
+        reads=(var,),
+        process=var,
+    )
+    return Program(f"counter-{var}", [Variable(var, domain, process=var)], [action])
+
+
+class TestParallel:
+    def test_union_of_variables_and_actions(self):
+        composite = parallel(make_counter("a", "inc.a"), make_counter("b", "inc.b"))
+        assert set(composite.variables) == {"a", "b"}
+        assert {action.name for action in composite.actions} == {"inc.a", "inc.b"}
+
+    def test_interleaving_execution(self):
+        composite = parallel(make_counter("a", "inc.a"), make_counter("b", "inc.b"))
+        state = State({"a": 0, "b": 0})
+        enabled = {action.name for action in composite.enabled_actions(state)}
+        assert enabled == {"inc.a", "inc.b"}
+
+    def test_shared_variable_with_same_domain_allowed(self):
+        first = make_counter("a", "inc.a")
+        observer = Program(
+            "observer",
+            [
+                Variable("a", IntegerRangeDomain(0, 3), process="a"),
+                Variable("seen", IntegerRangeDomain(0, 3), process="obs"),
+            ],
+            [
+                Action(
+                    "observe",
+                    Predicate(
+                        lambda s: s["seen"] != s["a"],
+                        name="seen != a",
+                        support=("seen", "a"),
+                    ),
+                    Assignment({"seen": lambda s: s["a"]}),
+                    reads=("seen", "a"),
+                    process="obs",
+                )
+            ],
+        )
+        composite = parallel(first, observer)
+        assert set(composite.variables) == {"a", "seen"}
+
+    def test_domain_mismatch_rejected(self):
+        first = make_counter("a", "inc.a")
+        other = Program(
+            "other", [Variable("a", IntegerRangeDomain(0, 9), process="a")], []
+        )
+        with pytest.raises(DesignError, match="different domains"):
+            parallel(first, other)
+
+    def test_owner_mismatch_rejected(self):
+        first = make_counter("a", "inc.a")
+        other = Program(
+            "other", [Variable("a", IntegerRangeDomain(0, 3), process="elsewhere")], []
+        )
+        with pytest.raises(DesignError, match="different owners"):
+            parallel(first, other)
+
+    def test_action_name_collision_rejected(self):
+        with pytest.raises(DesignError, match="both components"):
+            parallel(make_counter("a", "inc"), make_counter("b", "inc"))
+
+
+class TestSuperpose:
+    def _observer_layer(self) -> Program:
+        return Program(
+            "observer",
+            [
+                Variable("a", IntegerRangeDomain(0, 3), process="a"),
+                Variable("high", IntegerRangeDomain(0, 1), process="obs"),
+            ],
+            [
+                Action(
+                    "flag-high",
+                    Predicate(
+                        lambda s: s["a"] >= 2 and s["high"] == 0,
+                        name="a >= 2 and not flagged",
+                        support=("a", "high"),
+                    ),
+                    Assignment({"high": 1}),
+                    reads=("a", "high"),
+                    process="obs",
+                )
+            ],
+        )
+
+    def test_layer_observes_base(self):
+        base = make_counter("a", "inc.a")
+        composite = superpose(base, self._observer_layer())
+        state = State({"a": 2, "high": 0})
+        enabled = {action.name for action in composite.enabled_actions(state)}
+        assert "flag-high" in enabled
+
+    def test_layer_writing_base_rejected(self):
+        base = make_counter("a", "inc.a")
+        meddler = Program(
+            "meddler",
+            [Variable("a", IntegerRangeDomain(0, 3), process="a")],
+            [
+                Action(
+                    "reset-a",
+                    Predicate(lambda s: s["a"] > 0, name="a > 0", support=("a",)),
+                    Assignment({"a": 0}),
+                    reads=("a",),
+                    process="a",
+                )
+            ],
+        )
+        with pytest.raises(DesignError, match="write-disjoint"):
+            superpose(base, meddler)
+
+    def test_base_properties_preserved(self):
+        # A predicate over base variables closed in the base stays closed
+        # in the superposition (the layer cannot write base variables).
+        from repro.verification import check_closure
+
+        base = make_counter("a", "inc.a")
+        composite = superpose(base, self._observer_layer())
+        bounded = Predicate(lambda s: s["a"] <= 3, name="a <= 3", support=("a",))
+        result = check_closure(bounded, composite, composite.state_space())
+        assert result.ok

@@ -1,0 +1,118 @@
+"""Unit tests for computation traces."""
+
+from repro.core import Predicate, State
+from repro.scheduler import Computation
+
+
+def trace_states(values):
+    """A computation over a single variable n visiting the given values."""
+    computation = Computation(initial=State({"n": values[0]}))
+    for value in values[1:]:
+        computation.append((), State({"n": value}))
+    return computation
+
+
+N_ZERO = Predicate(lambda s: s["n"] == 0, name="n = 0", support=("n",))
+N_SMALL = Predicate(lambda s: s["n"] <= 1, name="n <= 1", support=("n",))
+
+
+class TestQueries:
+    def test_states_iteration(self):
+        computation = trace_states([3, 2, 1])
+        assert [s["n"] for s in computation.states()] == [3, 2, 1]
+        assert len(computation) == 2
+
+    def test_final_state(self):
+        assert trace_states([3, 2, 0]).final_state == State({"n": 0})
+        assert trace_states([5]).final_state == State({"n": 5})
+
+    def test_state_at(self):
+        computation = trace_states([3, 2, 1])
+        assert computation.state_at(0)["n"] == 3
+        assert computation.state_at(2)["n"] == 1
+
+    def test_first_index_where(self):
+        computation = trace_states([3, 2, 0, 0])
+        assert computation.first_index_where(N_ZERO) == 2
+        assert computation.first_index_where(
+            Predicate(lambda s: s["n"] == 9, name="n = 9", support=("n",))
+        ) is None
+
+    def test_eventually(self):
+        assert trace_states([2, 1, 0]).eventually(N_ZERO)
+        assert not trace_states([2, 1]).eventually(N_ZERO)
+
+    def test_holds_from(self):
+        computation = trace_states([3, 1, 0, 1])
+        assert computation.holds_from(N_SMALL, 1)
+        assert not computation.holds_from(N_ZERO, 1)
+
+    def test_stabilization_index(self):
+        # Violated at indices 0 and 2, fine afterwards.
+        computation = trace_states([5, 0, 5, 0, 0])
+        assert computation.stabilization_index(N_ZERO) == 3
+
+    def test_stabilization_index_none_when_final_state_violates(self):
+        computation = trace_states([0, 0, 5])
+        assert computation.stabilization_index(N_ZERO) is None
+
+    def test_stabilization_index_zero_when_always_held(self):
+        assert trace_states([0, 0]).stabilization_index(N_ZERO) == 0
+
+
+class TestActionAccounting:
+    def test_action_counts(self, counter_program):
+        inc = counter_program.action("inc")
+        reset = counter_program.action("reset")
+        computation = Computation(initial=State({"n": 2}))
+        computation.append((inc,), State({"n": 3}))
+        computation.append((reset,), State({"n": 0}))
+        computation.append((inc,), State({"n": 1}))
+        counts = computation.action_counts()
+        assert counts["inc"] == 2
+        assert counts["reset"] == 1
+        assert computation.executed_action_names() == {"inc", "reset"}
+
+    def test_fault_steps_have_empty_actions(self):
+        computation = trace_states([1, 2])
+        assert computation.action_counts() == {}
+
+
+class TestFairnessAudit:
+    def test_continuously_enabled_never_executed_flagged(self, counter_program):
+        inc = counter_program.action("inc")
+        # inc stays enabled (n < 3 throughout) but only... build a trace
+        # where only states with n < 3 occur and inc never executes.
+        computation = Computation(initial=State({"n": 0}))
+        computation.append((), State({"n": 1}))
+        computation.append((), State({"n": 0}))
+        assert computation.fairness_violations(counter_program) == ["inc"]
+
+    def test_executed_action_not_flagged(self, counter_program):
+        inc = counter_program.action("inc")
+        computation = Computation(initial=State({"n": 0}))
+        computation.append((inc,), State({"n": 1}))
+        assert computation.fairness_violations(counter_program) == []
+
+    def test_disabled_somewhere_not_flagged(self, counter_program):
+        # reset is disabled at n = 0, so it is not continuously enabled.
+        computation = Computation(initial=State({"n": 0}))
+        computation.append((), State({"n": 3}))
+        assert "reset" not in computation.fairness_violations(counter_program)
+
+    def test_terminated_trace_never_flagged(self, counter_program):
+        computation = Computation(initial=State({"n": 0}), terminated=True)
+        assert computation.fairness_violations(counter_program) == []
+
+
+class TestMaximality:
+    def test_terminated_at_terminal_state_is_maximal(self):
+        from repro.core import IntegerRangeDomain, Program, Variable
+
+        silent = Program("silent", [Variable("n", IntegerRangeDomain(0, 3))], [])
+        computation = Computation(initial=State({"n": 0}), terminated=True)
+        assert computation.is_maximal(silent)
+
+    def test_cut_off_trace_not_maximal(self, counter_program):
+        computation = Computation(initial=State({"n": 0}))
+        assert not computation.is_maximal(counter_program)

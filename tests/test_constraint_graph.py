@@ -1,0 +1,214 @@
+"""Unit tests for constraint graphs: well-formedness, classification, ranks."""
+
+import pytest
+
+from repro.core import (
+    Action,
+    Assignment,
+    Constraint,
+    ConstraintGraph,
+    ConvergenceBinding,
+    GraphNode,
+    IllFormedGraphError,
+    Predicate,
+)
+
+
+def node(name: str, *variables: str) -> GraphNode:
+    return GraphNode(name, frozenset(variables))
+
+
+def binding(constraint_name: str, reads: tuple[str, ...], writes: str) -> ConvergenceBinding:
+    """A binding whose action reads ``reads`` and writes ``writes``.
+
+    The constraint's support equals the read set, matching the paper's
+    convention that the convergence action checks the constraint.
+    """
+    constraint = Constraint(
+        name=constraint_name,
+        predicate=Predicate(lambda s: True, name=constraint_name, support=reads),
+    )
+    action = Action(
+        f"fix-{constraint_name}",
+        Predicate(lambda s: False, name=f"not {constraint_name}", support=reads),
+        Assignment({writes: 0}),
+        reads=reads,
+    )
+    return ConvergenceBinding(constraint=constraint, action=action)
+
+
+class TestFromBindings:
+    def test_edge_derivation(self):
+        nodes = [node("X", "x"), node("Y", "y")]
+        graph = ConstraintGraph.from_bindings(nodes, [binding("c", ("x", "y"), "y")])
+        assert len(graph.edges) == 1
+        edge = graph.edges[0]
+        assert edge.source.name == "X"
+        assert edge.target.name == "Y"
+        assert not edge.is_self_loop
+
+    def test_self_loop_when_reads_fit_target(self):
+        nodes = [node("X", "x")]
+        graph = ConstraintGraph.from_bindings(nodes, [binding("c", ("x",), "x")])
+        assert graph.edges[0].is_self_loop
+
+    def test_overlapping_labels_rejected(self):
+        with pytest.raises(IllFormedGraphError, match="mutually exclusive"):
+            ConstraintGraph.from_bindings(
+                [node("A", "x"), node("B", "x")], []
+            )
+
+    def test_uncovered_variable_rejected(self):
+        with pytest.raises(IllFormedGraphError, match="no node label covers"):
+            ConstraintGraph.from_bindings(
+                [node("X", "x")], [binding("c", ("x", "ghost"), "x")]
+            )
+
+    def test_reads_spanning_three_nodes_rejected(self):
+        nodes = [node("X", "x"), node("Y", "y"), node("Z", "z")]
+        with pytest.raises(IllFormedGraphError, match="span multiple nodes"):
+            ConstraintGraph.from_bindings(nodes, [binding("c", ("x", "y", "z"), "z")])
+
+    def test_writes_spanning_two_nodes_rejected(self):
+        nodes = [node("X", "x"), node("Y", "y")]
+        constraint = Constraint(
+            name="c",
+            predicate=Predicate(lambda s: True, name="c", support=("x",)),
+        )
+        action = Action(
+            "wide",
+            Predicate(lambda s: False, name="g", support=("x",)),
+            Assignment({"x": 0, "y": 0}),
+            reads=("x", "y"),
+        )
+        with pytest.raises(IllFormedGraphError, match="span multiple nodes"):
+            ConstraintGraph.from_bindings(
+                nodes, [ConvergenceBinding(constraint=constraint, action=action)]
+            )
+
+
+class TestClassification:
+    def test_paper_example_is_out_tree(self):
+        # Section 4: constraints x != y and x <= z, fixed by writing y and z.
+        nodes = [node("X", "x"), node("Y", "y"), node("Z", "z")]
+        graph = ConstraintGraph.from_bindings(
+            nodes,
+            [binding("x!=y", ("x", "y"), "y"), binding("x<=z", ("x", "z"), "z")],
+        )
+        assert graph.is_out_tree()
+        assert graph.classification() == "out-tree"
+        assert graph.is_self_looping()  # out-trees are a special case
+
+    def test_shared_target_not_out_tree(self):
+        nodes = [node("X", "x"), node("Y", "y"), node("Z", "z")]
+        graph = ConstraintGraph.from_bindings(
+            nodes,
+            [binding("c1", ("x", "y"), "x"), binding("c2", ("x", "z"), "x")],
+        )
+        assert not graph.is_out_tree()
+        assert graph.is_self_looping()
+        assert graph.classification() == "self-looping"
+
+    def test_self_loop_disqualifies_out_tree(self):
+        nodes = [node("X", "x"), node("Y", "y")]
+        graph = ConstraintGraph.from_bindings(
+            nodes,
+            [binding("c1", ("x",), "x"), binding("c2", ("x", "y"), "y")],
+        )
+        assert not graph.is_out_tree()
+        assert graph.is_self_looping()
+
+    def test_two_cycle_is_cyclic(self):
+        nodes = [node("X", "x"), node("Y", "y")]
+        graph = ConstraintGraph.from_bindings(
+            nodes,
+            [binding("c1", ("x", "y"), "y"), binding("c2", ("x", "y"), "x")],
+        )
+        assert graph.has_proper_cycle()
+        assert graph.classification() == "cyclic"
+        with pytest.raises(IllFormedGraphError):
+            graph.ranks()
+
+    def test_disconnected_forest_not_out_tree(self):
+        nodes = [node("A", "a"), node("B", "b"), node("C", "c"), node("D", "d")]
+        graph = ConstraintGraph.from_bindings(
+            nodes,
+            [binding("c1", ("a", "b"), "b"), binding("c2", ("c", "d"), "d")],
+        )
+        assert not graph.is_weakly_connected()
+        assert not graph.is_out_tree()
+
+    def test_inactive_nodes_ignored_for_connectivity(self):
+        nodes = [node("A", "a"), node("B", "b"), node("Unused", "u")]
+        graph = ConstraintGraph.from_bindings(
+            nodes, [binding("c", ("a", "b"), "b")]
+        )
+        assert graph.is_weakly_connected()
+        assert graph.is_out_tree()
+        assert [n.name for n in graph.active_nodes()] == ["A", "B"]
+
+
+class TestRanks:
+    def test_chain_ranks(self):
+        nodes = [node("A", "a"), node("B", "b"), node("C", "c")]
+        graph = ConstraintGraph.from_bindings(
+            nodes,
+            [binding("c1", ("a", "b"), "b"), binding("c2", ("b", "c"), "c")],
+        )
+        ranks = {n.name: r for n, r in graph.ranks().items()}
+        assert ranks == {"A": 1, "B": 2, "C": 3}
+
+    def test_self_loop_does_not_raise_rank(self):
+        nodes = [node("A", "a"), node("B", "b")]
+        graph = ConstraintGraph.from_bindings(
+            nodes,
+            [binding("c1", ("a", "b"), "b"), binding("c2", ("b",), "b")],
+        )
+        ranks = {n.name: r for n, r in graph.ranks().items()}
+        assert ranks == {"A": 1, "B": 2}
+
+    def test_diamond_rank_is_max_plus_one(self):
+        nodes = [node("A", "a"), node("B", "b"), node("C", "c"), node("D", "d")]
+        graph = ConstraintGraph.from_bindings(
+            nodes,
+            [
+                binding("c1", ("a", "b"), "b"),
+                binding("c2", ("a", "c"), "c"),
+                binding("c3", ("b", "d"), "d"),
+                binding("c4", ("c", "d"), "d"),
+            ],
+        )
+        ranks = {n.name: r for n, r in graph.ranks().items()}
+        assert ranks == {"A": 1, "B": 2, "C": 2, "D": 3}
+
+
+class TestRefinements:
+    def test_subgraph_by_bindings(self):
+        nodes = [node("A", "a"), node("B", "b")]
+        b1 = binding("c1", ("a", "b"), "b")
+        b2 = binding("c2", ("a", "b"), "a")
+        graph = ConstraintGraph.from_bindings(nodes, [b1, b2])
+        assert graph.has_proper_cycle()
+        sub = graph.subgraph([b1])
+        assert len(sub.edges) == 1
+        assert not sub.has_proper_cycle()
+
+    def test_restricted_to_states_drops_satisfied_edges(self):
+        from repro.core import State
+
+        nodes = [node("X", "x"), node("Y", "y")]
+        always = Constraint(
+            name="always",
+            predicate=Predicate(lambda s: True, name="always", support=("x", "y")),
+        )
+        action = Action(
+            "fix-always",
+            Predicate(lambda s: False, name="g", support=("x", "y")),
+            Assignment({"y": 0}),
+            reads=("x", "y"),
+        )
+        graph = ConstraintGraph.from_bindings(
+            nodes, [ConvergenceBinding(constraint=always, action=action)]
+        )
+        refined = graph.restricted_to_states([State({"x": 0, "y": 0})])
+        assert len(refined.edges) == 0

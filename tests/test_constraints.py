@@ -1,0 +1,108 @@
+"""Unit tests for constraints and convergence bindings."""
+
+import pytest
+
+from repro.core import (
+    Action,
+    Assignment,
+    Constraint,
+    ConvergenceBinding,
+    DesignError,
+    Predicate,
+    State,
+)
+from repro.core.constraints import conjunction
+
+
+def nonneg() -> Constraint:
+    return Constraint(
+        name="c",
+        predicate=Predicate(lambda s: s["x"] >= 0, name="x >= 0", support=("x",)),
+    )
+
+
+STATES = [State({"x": v}) for v in range(-3, 4)]
+
+
+class TestConstraint:
+    def test_holds(self):
+        c = nonneg()
+        assert c.holds(State({"x": 0}))
+        assert not c.holds(State({"x": -1}))
+
+    def test_support_exposed(self):
+        assert nonneg().support == frozenset({"x"})
+
+    def test_predicate_without_support_rejected(self):
+        with pytest.raises(DesignError, match="support"):
+            Constraint(name="bad", predicate=Predicate(lambda s: True, name="t"))
+
+    def test_conjunction(self):
+        other = Constraint(
+            name="d",
+            predicate=Predicate(lambda s: s["x"] <= 2, name="x <= 2", support=("x",)),
+        )
+        conj = conjunction([nonneg(), other])
+        assert conj(State({"x": 1}))
+        assert not conj(State({"x": 3}))
+        assert not conj(State({"x": -1}))
+
+
+def strict_fix() -> Action:
+    return Action(
+        "fix",
+        Predicate(lambda s: s["x"] < 0, name="x < 0", support=("x",)),
+        Assignment({"x": 0}),
+        reads=("x",),
+    )
+
+
+def partial_fix() -> Action:
+    # Enabled only on part of the violation region.
+    return Action(
+        "partial",
+        Predicate(lambda s: s["x"] < -1, name="x < -1", support=("x",)),
+        Assignment({"x": 0}),
+        reads=("x",),
+    )
+
+
+def broken_fix() -> Action:
+    # "Fixes" by moving to another violating value.
+    return Action(
+        "broken",
+        Predicate(lambda s: s["x"] < 0, name="x < 0", support=("x",)),
+        Assignment({"x": -1}),
+        reads=("x",),
+    )
+
+
+class TestConvergenceBinding:
+    def test_violated_implies_enabled(self):
+        good = ConvergenceBinding(constraint=nonneg(), action=strict_fix())
+        assert good.violated_implies_enabled(STATES)
+        bad = ConvergenceBinding(constraint=nonneg(), action=partial_fix())
+        assert not bad.violated_implies_enabled(STATES)
+
+    def test_establishes_constraint(self):
+        good = ConvergenceBinding(constraint=nonneg(), action=strict_fix())
+        assert good.establishes_constraint(STATES)
+        bad = ConvergenceBinding(constraint=nonneg(), action=broken_fix())
+        assert not bad.establishes_constraint(STATES)
+
+    def test_guard_is_strict(self):
+        strict = ConvergenceBinding(constraint=nonneg(), action=strict_fix())
+        assert strict.guard_is_strict(STATES)
+
+        merged_action = Action(
+            "merged",
+            Predicate(lambda s: s["x"] != 1, name="x != 1", support=("x",)),
+            Assignment({"x": 1}),
+            reads=("x",),
+        )
+        merged = ConvergenceBinding(constraint=nonneg(), action=merged_action)
+        # Enabled at x = 0 where the constraint holds: not strict.
+        assert not merged.guard_is_strict(STATES)
+        # But still establishes and covers violations.
+        assert merged.violated_implies_enabled(STATES)
+        assert merged.establishes_constraint(STATES)

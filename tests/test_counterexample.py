@@ -1,0 +1,72 @@
+"""Unit tests for trace/state rendering helpers."""
+
+from repro.core import State
+from repro.scheduler import Computation
+from repro.verification import (
+    format_computation,
+    format_state,
+    format_state_diff,
+    format_states,
+)
+
+
+class TestFormatState:
+    def test_sorted_pairs(self):
+        text = format_state(State({"b": 2, "a": 1}))
+        assert text.index("a=1") < text.index("b=2")
+
+    def test_wraps_long_states(self):
+        state = State({f"v{i}": i for i in range(10)})
+        text = format_state(state, per_line=4)
+        assert len(text.splitlines()) == 3
+
+
+class TestFormatStateDiff:
+    def test_only_changes_listed(self):
+        before = State({"x": 1, "y": 2})
+        after = State({"x": 5, "y": 2})
+        diff = format_state_diff(before, after)
+        assert "x: 1 -> 5" in diff
+        assert "y" not in diff
+
+    def test_no_change(self):
+        state = State({"x": 1})
+        assert format_state_diff(state, state) == "(no change)"
+
+
+class TestFormatStates:
+    def test_limit_respected(self):
+        states = [State({"x": i}) for i in range(15)]
+        text = format_states(states, limit=3)
+        assert "and 12 more" in text
+
+
+class TestFormatComputation:
+    def test_renders_steps_with_diffs(self, counter_program):
+        inc = counter_program.action("inc")
+        computation = Computation(initial=State({"n": 0}))
+        computation.append((inc,), State({"n": 1}))
+        computation.append((inc,), State({"n": 2}))
+        text = format_computation(computation)
+        assert "initial state" in text
+        assert "step 1 [inc]: n: 0 -> 1" in text
+        assert "step 2 [inc]: n: 1 -> 2" in text
+
+    def test_terminated_marker(self):
+        computation = Computation(initial=State({"n": 0}), terminated=True)
+        assert "terminated" in format_computation(computation)
+
+    def test_step_limit(self, counter_program):
+        inc = counter_program.action("inc")
+        reset = counter_program.action("reset")
+        computation = Computation(initial=State({"n": 0}))
+        value = 0
+        for i in range(40):
+            if value < 3:
+                value += 1
+                computation.append((inc,), State({"n": value}))
+            else:
+                value = 0
+                computation.append((reset,), State({"n": 0}))
+        text = format_computation(computation, limit=5)
+        assert "more steps" in text

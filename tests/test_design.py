@@ -1,0 +1,139 @@
+"""Unit tests for the design workflow (augment, NonmaskingDesign)."""
+
+import pytest
+
+from repro.core import DesignError, augment
+from repro.protocols.diffusing import build_diffusing_design
+from repro.protocols.three_constraint import (
+    build_ordered_design,
+    build_oscillating_design,
+    build_out_tree_design,
+    window_states,
+)
+from repro.protocols.token_ring import (
+    build_token_ring_design,
+    window_states as ring_window,
+)
+from repro.topology import chain_tree
+
+WINDOW = window_states(3)
+
+
+class TestAugment:
+    def test_appends_pure_convergence_actions(self):
+        design = build_out_tree_design()
+        program = augment(design.candidate, design.bindings)
+        # Empty closure program plus two convergence actions.
+        assert len(program.actions) == 2
+        assert {a.name for a in program.actions} == {"lower-y", "raise-z"}
+
+    def test_merged_action_replaces_closure_action(self):
+        design = build_diffusing_design(chain_tree(3), variant="merged")
+        program = design.program
+        # The merged propagate actions replace the closure propagate
+        # actions: 1 initiate + 2 propagate + 3 reflect = 6 actions, same
+        # count as the closure program.
+        assert len(program.actions) == len(design.candidate.program.actions)
+        merged = program.action("propagate.1")
+        closure = design.candidate.program.action("propagate.1")
+        assert merged is not closure  # the wider-guard convergence version
+
+    def test_unmerged_variant_appends(self):
+        design = build_diffusing_design(chain_tree(3), variant="copy-parent")
+        assert len(design.program.actions) == len(
+            design.candidate.program.actions
+        ) + len(design.bindings)
+
+    def test_shared_action_object_added_once(self):
+        design = build_token_ring_design(3)
+        # Two bindings per node share one merged pass action.
+        assert len(design.bindings) == 2 * len(design.layers[0])
+        names = [a.name for a in design.program.actions]
+        assert names.count("pass.1") == 1
+
+    def test_conflicting_action_names_rejected(self):
+        design = build_out_tree_design()
+        from repro.core import Action, Assignment, ConvergenceBinding, Predicate
+
+        impostor = Action(
+            "lower-y",  # same name as an existing binding's action
+            Predicate(lambda s: s["x"] == s["y"], name="x = y", support=("x", "y")),
+            Assignment({"y": 9}),
+            reads=("x", "y"),
+        )
+        clashing = ConvergenceBinding(
+            constraint=design.bindings[0].constraint, action=impostor
+        )
+        with pytest.raises(DesignError, match="distinct names"):
+            augment(design.candidate, [design.bindings[0], clashing])
+
+
+class TestNonmaskingDesign:
+    def test_graph_cached(self):
+        design = build_out_tree_design()
+        assert design.graph is design.graph
+
+    def test_program_cached(self):
+        design = build_out_tree_design()
+        assert design.program is design.program
+
+    def test_validate_auto_picks_theorem1_for_out_tree(self):
+        report = build_out_tree_design().validate(WINDOW)
+        assert report.ok
+        assert "Theorem 1" in report.selected.theorem
+
+    def test_validate_auto_picks_theorem2_for_self_looping(self):
+        report = build_ordered_design().validate(WINDOW)
+        assert report.ok
+        assert "Theorem 2" in report.selected.theorem
+
+    def test_validate_auto_picks_theorem3_when_layered(self):
+        design = build_token_ring_design(3)
+        report = design.validate(ring_window(3, 0, 3))
+        assert report.ok
+        assert "Theorem 3" in report.selected.theorem
+
+    def test_validate_forced_theorem(self):
+        design = build_out_tree_design()
+        report = design.validate(WINDOW, theorem="2")
+        assert report.ok
+        assert "Theorem 2" in report.selected.theorem
+
+    def test_forcing_theorem3_without_layers_raises(self):
+        with pytest.raises(DesignError, match="no layer partition"):
+            build_out_tree_design().validate(WINDOW, theorem="3")
+
+    def test_unknown_theorem_selector(self):
+        with pytest.raises(DesignError, match="unknown theorem"):
+            build_out_tree_design().validate(WINDOW, theorem="4")
+
+    def test_invalid_design_reports_failure(self):
+        report = build_oscillating_design().validate(WINDOW)
+        assert not report.ok
+        assert "NOT validated" in report.describe()
+
+    def test_foreign_constraint_rejected(self):
+        from repro.core import NonmaskingDesign
+
+        good = build_out_tree_design()
+        other = build_ordered_design()
+        with pytest.raises(DesignError, match="candidate triple"):
+            NonmaskingDesign(
+                "mismatched",
+                good.candidate,
+                other.bindings,
+                good.nodes,
+            )
+
+    def test_layers_must_partition_bindings(self):
+        from repro.core import NonmaskingDesign
+
+        design = build_ordered_design()
+        with pytest.raises(DesignError, match="partition exactly"):
+            NonmaskingDesign(
+                "bad-layers",
+                design.candidate,
+                design.bindings,
+                design.nodes,
+                layers=[[design.bindings[0]]],  # misses one binding
+            )

@@ -1,0 +1,132 @@
+"""Unit tests for variable domains."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    BooleanDomain,
+    EnumDomain,
+    FiniteDomain,
+    IntegerDomain,
+    IntegerRangeDomain,
+    ModularDomain,
+    StateSpaceTooLargeError,
+)
+
+
+class TestFiniteDomain:
+    def test_membership(self):
+        domain = FiniteDomain([1, 2, 3])
+        assert 2 in domain
+        assert 4 not in domain
+
+    def test_enumeration_preserves_order(self):
+        domain = FiniteDomain(["b", "a", "c"])
+        assert list(domain.values()) == ["b", "a", "c"]
+
+    def test_duplicates_collapse(self):
+        domain = FiniteDomain([1, 1, 2, 2, 1])
+        assert list(domain.values()) == [1, 2]
+        assert domain.size() == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            FiniteDomain([])
+
+    def test_is_finite(self):
+        assert FiniteDomain([0]).is_finite
+
+    def test_equality_by_content(self):
+        assert FiniteDomain([1, 2]) == FiniteDomain([1, 2])
+        assert FiniteDomain([1, 2]) != FiniteDomain([2, 1])
+
+    def test_hashable(self):
+        assert hash(FiniteDomain([1])) == hash(FiniteDomain([1]))
+
+    def test_sample_stays_inside(self):
+        domain = FiniteDomain(["x", "y"])
+        rng = random.Random(0)
+        for _ in range(20):
+            assert domain.sample(rng) in domain
+
+
+class TestBooleanDomain:
+    def test_values(self):
+        assert set(BooleanDomain().values()) == {False, True}
+
+    def test_size(self):
+        assert BooleanDomain().size() == 2
+
+
+class TestEnumDomain:
+    def test_names(self):
+        domain = EnumDomain("green", "red")
+        assert "green" in domain
+        assert "blue" not in domain
+
+
+class TestIntegerRangeDomain:
+    def test_inclusive_bounds(self):
+        domain = IntegerRangeDomain(-2, 2)
+        assert -2 in domain
+        assert 2 in domain
+        assert 3 not in domain
+        assert domain.size() == 5
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            IntegerRangeDomain(3, 2)
+
+    def test_sample_within_bounds(self):
+        domain = IntegerRangeDomain(0, 10)
+        rng = random.Random(1)
+        assert all(0 <= domain.sample(rng) <= 10 for _ in range(50))
+
+
+class TestModularDomain:
+    def test_values(self):
+        assert list(ModularDomain(3).values()) == [0, 1, 2]
+
+    def test_succ_wraps(self):
+        domain = ModularDomain(4)
+        assert domain.succ(2) == 3
+        assert domain.succ(3) == 0
+
+    def test_modulus_one(self):
+        assert list(ModularDomain(1).values()) == [0]
+        assert ModularDomain(1).succ(0) == 0
+
+    def test_bad_modulus(self):
+        with pytest.raises(ValueError):
+            ModularDomain(0)
+
+
+class TestIntegerDomain:
+    def test_contains_any_int(self):
+        domain = IntegerDomain()
+        assert -(10**12) in domain
+        assert 10**12 in domain
+
+    def test_excludes_bools_and_non_ints(self):
+        domain = IntegerDomain()
+        assert True not in domain
+        assert 1.5 not in domain
+        assert "1" not in domain
+
+    def test_not_finite(self):
+        assert not IntegerDomain().is_finite
+        assert IntegerDomain().size() is None
+
+    def test_enumeration_raises(self):
+        with pytest.raises(StateSpaceTooLargeError):
+            IntegerDomain().values()
+
+    def test_sample_window(self):
+        domain = IntegerDomain(sample_lo=5, sample_hi=7)
+        rng = random.Random(0)
+        assert all(5 <= domain.sample(rng) <= 7 for _ in range(30))
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            IntegerDomain(sample_lo=2, sample_hi=1)

@@ -1,0 +1,69 @@
+"""Tests for DOT export and paper-style program listings."""
+
+import pytest
+
+from repro.analysis import constraint_graph_dot, transition_system_dot
+from repro.core import render_program
+from repro.protocols.three_constraint import build_out_tree_design
+from repro.protocols.token_ring import build_token_ring_design
+from repro.verification import build_transition_system
+
+
+class TestConstraintGraphDot:
+    def test_contains_nodes_edges_and_classification(self):
+        graph = build_out_tree_design().graph
+        dot = constraint_graph_dot(graph, title="xyz")
+        assert dot.startswith('digraph "xyz" {')
+        assert '"x" -> "y"' in dot
+        assert '"x" -> "z"' in dot
+        assert "out-tree" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_constraint_names_label_edges(self):
+        dot = constraint_graph_dot(build_out_tree_design().graph)
+        assert 'label="c1"' in dot
+        assert 'label="c2"' in dot
+
+
+class TestTransitionSystemDot:
+    def test_renders_small_system(self, counter_program):
+        ts = build_transition_system(
+            counter_program, counter_program.state_space()
+        )
+        from repro.core import Predicate
+
+        zero = Predicate(lambda s: s["n"] == 0, name="n = 0", support=("n",))
+        dot = transition_system_dot(ts, highlight=zero)
+        assert dot.count("->") == sum(len(e) for e in ts.edges)
+        assert "fillcolor=lightgrey" in dot  # the highlighted state
+
+    def test_size_guard(self, counter_program):
+        ts = build_transition_system(
+            counter_program, counter_program.state_space()
+        )
+        with pytest.raises(ValueError, match="refusing"):
+            transition_system_dot(ts, max_states=2)
+
+
+class TestRenderProgram:
+    def test_token_ring_listing(self):
+        program = build_token_ring_design(3).program
+        listing = render_program(program)
+        assert listing.startswith("program token-ring[3]")
+        assert "x.0 : integer;" in listing
+        assert "x.0 = x.N" in listing  # the initiate guard's display name
+        assert "begin" in listing and listing.endswith("end")
+        # One guard line per action.
+        assert listing.count("->") == len(program.actions)
+
+    def test_counter_listing(self, counter_program):
+        listing = render_program(counter_program)
+        assert "n : 0..3;" in listing
+        assert "[inc]" in listing and "[reset]" in listing
+
+    def test_enum_and_boolean_domains(self, chain3):
+        from repro.protocols.diffusing import build_diffusing_design
+
+        listing = render_program(build_diffusing_design(chain3).program)
+        assert "c.0 : {green, red};" in listing
+        assert "sn.0 : boolean;" in listing

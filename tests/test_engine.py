@@ -1,0 +1,156 @@
+"""Unit tests for the simulation engine."""
+
+import random
+
+from repro.core import Predicate, State
+from repro.faults import LambdaFault, ScheduledFaults
+from repro.scheduler import FirstEnabledScheduler, RandomScheduler
+from repro.simulation import run
+
+N_ZERO = Predicate(lambda s: s["n"] == 0, name="n = 0", support=("n",))
+N_THREE = Predicate(lambda s: s["n"] == 3, name="n = 3", support=("n",))
+
+
+class TestBasicRuns:
+    def test_step_budget_respected(self, counter_program):
+        result = run(
+            counter_program,
+            State({"n": 0}),
+            FirstEnabledScheduler(),
+            max_steps=10,
+        )
+        assert result.steps == 10
+        assert not result.terminated
+        assert len(result.computation) == 10
+
+    def test_terminal_state_ends_run(self):
+        from repro.core import IntegerRangeDomain, Program, Variable
+
+        silent = Program("silent", [Variable("n", IntegerRangeDomain(0, 3))], [])
+        result = run(silent, State({"n": 1}), FirstEnabledScheduler(), max_steps=10)
+        assert result.terminated
+        assert result.steps == 0
+        assert result.computation.terminated
+
+    def test_stop_on_target(self, counter_program):
+        result = run(
+            counter_program,
+            State({"n": 0}),
+            FirstEnabledScheduler(),
+            max_steps=100,
+            target=N_THREE,
+            stop_on_target=True,
+        )
+        assert result.reached_target
+        assert result.steps == 3
+        assert result.target_index == 3
+        assert result.computation.final_state["n"] == 3
+
+    def test_target_already_holding(self, counter_program):
+        result = run(
+            counter_program,
+            State({"n": 0}),
+            FirstEnabledScheduler(),
+            max_steps=100,
+            target=N_ZERO,
+            stop_on_target=True,
+        )
+        assert result.steps == 0
+        assert result.target_index == 0
+        assert result.stabilization_index == 0
+
+
+class TestStabilizationMeasurement:
+    def test_stabilization_index_tracks_last_violation(self, counter_program):
+        # n cycles 0..3 repeatedly; with the window ending at n = 2 the
+        # target n = 0 was reached but did not stabilize.
+        result = run(
+            counter_program,
+            State({"n": 0}),
+            FirstEnabledScheduler(),
+            max_steps=18,
+            target=N_ZERO,
+        )
+        assert result.reached_target
+        assert result.stabilization_index is None
+
+    def test_stabilized_when_target_holds_to_end(self, counter_program):
+        result = run(
+            counter_program,
+            State({"n": 1}),
+            FirstEnabledScheduler(),
+            max_steps=2,
+            target=N_THREE,
+        )
+        # Steps: 1 -> 2 -> 3; target first holds at index 2 and holds at
+        # the end of the recorded window.
+        assert result.stabilization_index == 2
+        assert result.stabilized
+
+
+class TestFaultInjection:
+    def test_scheduled_fault_applied(self, counter_program):
+        bump = LambdaFault("bump", lambda s, rng: s.update({"n": 3}))
+        result = run(
+            counter_program,
+            State({"n": 0}),
+            FirstEnabledScheduler(),
+            max_steps=5,
+            faults=ScheduledFaults({2: bump}),
+        )
+        assert result.fault_count == 1
+        # Fault steps appear in the trace as action-less steps.
+        fault_steps = [s for s in result.computation.steps if not s.actions]
+        assert len(fault_steps) == 1
+        assert fault_steps[0].state["n"] == 3
+
+    def test_fault_rng_reproducible(self, two_var_program):
+        scramble = LambdaFault(
+            "scramble", lambda s, rng: s.update({"a": rng.randint(0, 2)})
+        )
+        outcomes = []
+        for _ in range(2):
+            result = run(
+                two_var_program,
+                State({"a": 0, "b": 0}),
+                RandomScheduler(1),
+                max_steps=6,
+                faults=ScheduledFaults({1: scramble, 3: scramble}),
+                fault_rng=random.Random(9),
+            )
+            outcomes.append(list(result.computation.states()))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestTraceRecording:
+    def test_record_trace_off_keeps_final_state(self, counter_program):
+        result = run(
+            counter_program,
+            State({"n": 0}),
+            FirstEnabledScheduler(),
+            max_steps=7,
+            target=N_THREE,
+            record_trace=False,
+        )
+        # Only the final state is appended.
+        assert len(result.computation) == 1
+        assert result.computation.final_state["n"] == (7 % 4)
+
+    def test_metrics_identical_with_and_without_trace(self, counter_program):
+        with_trace = run(
+            counter_program,
+            State({"n": 1}),
+            FirstEnabledScheduler(),
+            max_steps=2,
+            target=N_THREE,
+        )
+        without = run(
+            counter_program,
+            State({"n": 1}),
+            FirstEnabledScheduler(),
+            max_steps=2,
+            target=N_THREE,
+            record_trace=False,
+        )
+        assert with_trace.target_index == without.target_index
+        assert with_trace.stabilization_index == without.stabilization_index

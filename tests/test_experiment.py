@@ -1,0 +1,105 @@
+"""Unit tests for replicated stabilization experiments."""
+
+from repro.core import Predicate
+from repro.protocols.diffusing import build_diffusing_design, diffusing_invariant
+from repro.scheduler import RandomScheduler
+from repro.simulation import stabilization_trials
+from repro.topology import chain_tree
+
+
+def make_setup():
+    tree = chain_tree(4)
+    design = build_diffusing_design(tree)
+    return design.program, diffusing_invariant(tree)
+
+
+class TestStabilizationTrials:
+    def test_all_trials_stabilize(self):
+        program, invariant = make_setup()
+        stats = stabilization_trials(
+            program,
+            invariant,
+            lambda seed: RandomScheduler(seed),
+            trials=10,
+            max_steps=2000,
+            base_seed=1,
+        )
+        assert stats.all_stabilized
+        assert stats.stabilization_rate == 1.0
+        assert stats.steps is not None
+        assert stats.steps.count == 10
+        assert stats.steps.maximum < 2000
+
+    def test_reproducible_from_base_seed(self):
+        program, invariant = make_setup()
+        runs = [
+            stabilization_trials(
+                program,
+                invariant,
+                lambda seed: RandomScheduler(seed),
+                trials=5,
+                max_steps=2000,
+                base_seed=77,
+            )
+            for _ in range(2)
+        ]
+        first = [t.steps_to_stabilize for t in runs[0].trials]
+        second = [t.steps_to_stabilize for t in runs[1].trials]
+        assert first == second
+
+    def test_different_base_seeds_differ(self):
+        program, invariant = make_setup()
+        a = stabilization_trials(
+            program, invariant, lambda s: RandomScheduler(s),
+            trials=8, max_steps=2000, base_seed=1,
+        )
+        b = stabilization_trials(
+            program, invariant, lambda s: RandomScheduler(s),
+            trials=8, max_steps=2000, base_seed=2,
+        )
+        assert [t.seed for t in a.trials] != [t.seed for t in b.trials]
+
+    def test_insufficient_budget_reported_honestly(self):
+        program, invariant = make_setup()
+        stats = stabilization_trials(
+            program,
+            invariant,
+            lambda seed: RandomScheduler(seed),
+            trials=6,
+            max_steps=0,  # no budget: only initially-legitimate trials count
+            base_seed=3,
+        )
+        assert stats.stabilized_count < len(stats.trials)
+
+    def test_rounds_measured_when_requested(self):
+        program, invariant = make_setup()
+        stats = stabilization_trials(
+            program,
+            invariant,
+            lambda seed: RandomScheduler(seed),
+            trials=4,
+            max_steps=2000,
+            base_seed=5,
+            measure_rounds=True,
+        )
+        assert stats.rounds is not None
+        assert all(t.rounds is not None for t in stats.trials)
+
+    def test_custom_initial_factory(self):
+        program, invariant = make_setup()
+        legitimate = {
+            name: ("green" if name.startswith("c.") else False)
+            for name in program.variables
+        }
+        stats = stabilization_trials(
+            program,
+            invariant,
+            lambda seed: RandomScheduler(seed),
+            trials=3,
+            max_steps=10,
+            base_seed=9,
+            initial_factory=lambda rng: program.make_state(legitimate),
+        )
+        # Starting legitimate: stabilization time 0 in every trial.
+        assert stats.all_stabilized
+        assert stats.steps.maximum == 0

@@ -1,0 +1,89 @@
+"""Unit tests for state-space exploration and transition systems."""
+
+import pytest
+
+from repro.core import (
+    Action,
+    Assignment,
+    IntegerRangeDomain,
+    Predicate,
+    Program,
+    State,
+    StateSpaceTooLargeError,
+    Variable,
+)
+from repro.verification import build_transition_system, explore
+
+
+class TestBuildTransitionSystem:
+    def test_edges_match_successors(self, counter_program):
+        states = list(counter_program.state_space())
+        ts = build_transition_system(counter_program, states)
+        assert len(ts) == 4
+        start = ts.index_of(State({"n": 0}))
+        assert ts.successors(start) == [("inc", ts.index_of(State({"n": 1})))]
+        last = ts.index_of(State({"n": 3}))
+        assert ts.successors(last) == [("reset", ts.index_of(State({"n": 0})))]
+
+    def test_no_escapes_on_closed_set(self, counter_program):
+        ts = build_transition_system(
+            counter_program, counter_program.state_space()
+        )
+        assert ts.escapes == []
+
+    def test_escapes_recorded_for_non_closed_set(self, counter_program):
+        # Omit n = 2: the transition 1 -> 2 escapes the set.
+        subset = [State({"n": v}) for v in (0, 1, 3)]
+        ts = build_transition_system(counter_program, subset)
+        assert len(ts.escapes) == 1
+        source, action_name, target = ts.escapes[0]
+        assert ts.states[source] == State({"n": 1})
+        assert action_name == "inc"
+        assert target == State({"n": 2})
+
+    def test_satisfying(self, counter_program):
+        ts = build_transition_system(counter_program, counter_program.state_space())
+        small = Predicate(lambda s: s["n"] <= 1, name="n <= 1", support=("n",))
+        assert len(ts.satisfying(small)) == 2
+
+
+class TestExplore:
+    def test_reachability_closure(self, counter_program):
+        ts = explore(counter_program, [State({"n": 2})])
+        # 2 -> 3 -> 0 -> 1 -> 2: everything is reachable.
+        assert len(ts) == 4
+
+    def test_unreachable_states_excluded(self):
+        # From 0, a decrement-only program reaches only 0.
+        dec = Action(
+            "dec",
+            Predicate(lambda s: s["n"] > 0, name="n > 0", support=("n",)),
+            Assignment({"n": lambda s: s["n"] - 1}),
+            reads=("n",),
+        )
+        program = Program("dec", [Variable("n", IntegerRangeDomain(0, 5))], [dec])
+        ts = explore(program, [State({"n": 0})])
+        assert len(ts) == 1
+
+    def test_multiple_roots(self):
+        dec = Action(
+            "dec",
+            Predicate(lambda s: s["n"] > 0, name="n > 0", support=("n",)),
+            Assignment({"n": lambda s: s["n"] - 1}),
+            reads=("n",),
+        )
+        program = Program("dec", [Variable("n", IntegerRangeDomain(0, 5))], [dec])
+        ts = explore(program, [State({"n": 2}), State({"n": 4})])
+        assert len(ts) == 5  # 0..4
+
+    def test_max_states_guard(self, counter_program):
+        with pytest.raises(StateSpaceTooLargeError):
+            explore(counter_program, [State({"n": 0})], max_states=2)
+
+    def test_explored_set_is_closed(self, counter_program):
+        ts = explore(counter_program, [State({"n": 0})])
+        index = {state: i for i, state in enumerate(ts.states)}
+        for i, state in enumerate(ts.states):
+            for _, target in ts.successors(i):
+                assert 0 <= target < len(ts)
+        assert index  # non-degenerate

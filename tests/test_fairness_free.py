@@ -1,0 +1,100 @@
+"""Tests for the Section 8 fairness-free analysis."""
+
+from repro.core import (
+    Action,
+    Assignment,
+    IntegerRangeDomain,
+    Predicate,
+    Program,
+    Variable,
+)
+from repro.protocols.diffusing import build_diffusing_design, diffusing_invariant
+from repro.protocols.token_ring import build_dijkstra_ring
+from repro.topology import chain_tree, star_tree
+from repro.verification import (
+    check_closure_computations,
+    check_fairness_free,
+)
+
+TARGET = Predicate(lambda s: s["n"] == 0, name="n = 0", support=("n",))
+
+
+def spin_and_exit_program() -> Program:
+    """Needs fairness: an unfair daemon can spin forever."""
+    spin = Action(
+        "spin",
+        Predicate(lambda s: s["n"] > 0, name="n > 0", support=("n",)),
+        Assignment({"n": lambda s: s["n"]}),
+        reads=("n",),
+    )
+    exit_action = Action(
+        "exit",
+        Predicate(lambda s: s["n"] > 0, name="n > 0", support=("n",)),
+        Assignment({"n": 0}),
+        reads=("n",),
+    )
+    return Program(
+        "spin-exit", [Variable("n", IntegerRangeDomain(0, 2))], [spin, exit_action]
+    )
+
+
+class TestClosureComputations:
+    def test_paper_observation_holds_for_diffusing(self):
+        tree = star_tree(4)
+        design = build_diffusing_design(tree)
+        closure_names = [a.name for a in design.candidate.program.actions]
+        report = check_closure_computations(
+            design.program,
+            closure_names,
+            diffusing_invariant(tree),
+            design.program.state_space(),
+        )
+        assert report.ok
+
+    def test_cycle_among_bad_states_detected(self):
+        program = spin_and_exit_program()
+        report = check_closure_computations(
+            program,
+            ["spin"],
+            TARGET,
+            program.state_space(),
+        )
+        assert not report.ok
+        assert report.cycle is not None
+
+
+class TestFullAnalysis:
+    def test_diffusing_needs_no_fairness(self):
+        tree = chain_tree(3)
+        design = build_diffusing_design(tree)
+        closure_names = [a.name for a in design.candidate.program.actions]
+        report = check_fairness_free(
+            design.program,
+            closure_names,
+            diffusing_invariant(tree),
+            design.program.state_space(),
+        )
+        assert report.observation.ok
+        assert report.weak_convergence.ok
+        assert report.unfair_convergence.ok
+        assert not report.fairness_needed
+        assert "fairness is unnecessary" in report.describe()
+
+    def test_token_ring_needs_no_fairness(self):
+        program, spec = build_dijkstra_ring(4, k=4)
+        closure_names = [a.name for a in program.actions]
+        report = check_fairness_free(
+            program, closure_names, spec, program.state_space()
+        )
+        assert not report.fairness_needed
+        assert report.unfair_convergence.ok
+
+    def test_fairness_needed_detected(self):
+        program = spin_and_exit_program()
+        report = check_fairness_free(
+            program, ["spin"], TARGET, program.state_space()
+        )
+        assert report.weak_convergence.ok
+        assert not report.unfair_convergence.ok
+        assert report.fairness_needed
+        assert "genuinely needs" in report.describe()

@@ -1,0 +1,131 @@
+"""Unit tests for the fault model, injectors and scenarios."""
+
+import random
+
+import pytest
+
+from repro.core import State
+from repro.faults import (
+    Fault,
+    LambdaFault,
+    NoFaults,
+    ProbabilisticFaults,
+    ProcessCorruption,
+    ScheduledFaults,
+    TransientCorruption,
+    corrupt_everything,
+    corrupt_processes,
+    corrupt_random_processes,
+    corrupt_variables,
+)
+
+
+class TestTransientCorruption:
+    def test_targets_only_listed_variables(self, two_var_program):
+        fault = corrupt_variables(two_var_program, ["a"])
+        state = State({"a": 0, "b": 0})
+        seen_changes = set()
+        rng = random.Random(0)
+        for _ in range(30):
+            after = fault.apply(state, rng)
+            assert after["b"] == 0
+            assert 0 <= after["a"] <= 2
+            seen_changes.add(after["a"])
+        assert len(seen_changes) > 1  # actually randomizes
+
+    def test_corrupt_everything_covers_all(self, two_var_program):
+        fault = corrupt_everything(two_var_program)
+        assert fault.name == "corrupt-everything"
+        after = fault.apply(State({"a": 0, "b": 0}), random.Random(1))
+        assert set(after) == {"a", "b"}
+
+    def test_values_stay_in_domain(self, two_var_program):
+        fault = corrupt_everything(two_var_program)
+        rng = random.Random(2)
+        for _ in range(40):
+            after = fault.apply(State({"a": 0, "b": 0}), rng)
+            assert 0 <= after["a"] <= 2 and 0 <= after["b"] <= 2
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(ValueError):
+            TransientCorruption([])
+
+
+class TestProcessCorruption:
+    def test_corrupts_owned_variables_only(self, two_var_program):
+        fault = ProcessCorruption(two_var_program, "a")
+        after = fault.apply(State({"a": 0, "b": 1}), random.Random(3))
+        assert after["b"] == 1
+
+    def test_unknown_process_rejected(self, two_var_program):
+        with pytest.raises(ValueError, match="owns no variables"):
+            ProcessCorruption(two_var_program, "ghost")
+
+    def test_corrupt_processes_builder(self, two_var_program):
+        faults = corrupt_processes(two_var_program, ["a", "b"])
+        assert len(faults) == 2
+        assert all(isinstance(f, ProcessCorruption) for f in faults)
+
+
+class TestRandomProcesses:
+    def test_count_respected(self, two_var_program):
+        fault = corrupt_random_processes(two_var_program, 1)
+        state = State({"a": 0, "b": 0})
+        rng = random.Random(4)
+        for _ in range(20):
+            after = fault.apply(state, rng)
+            changed = [name for name in state if after[name] != state[name]]
+            # At most one process corrupted (its value may coincide).
+            assert len(changed) <= 1
+
+    def test_bad_count_rejected(self, two_var_program):
+        with pytest.raises(ValueError):
+            corrupt_random_processes(two_var_program, 0)
+        with pytest.raises(ValueError):
+            corrupt_random_processes(two_var_program, 3)
+
+
+class TestLambdaFault:
+    def test_applies_function(self):
+        fault = LambdaFault("zero-a", lambda s, rng: s.update({"a": 0}))
+        assert fault.apply(State({"a": 5}), random.Random(0)) == State({"a": 0})
+
+
+class TestScenarios:
+    def test_no_faults(self):
+        scenario = NoFaults()
+        assert scenario.faults_for_step(0, random.Random(0)) == ()
+        assert scenario.last_scheduled_step() == -1
+
+    def test_scheduled_faults(self):
+        fault = LambdaFault("f", lambda s, rng: s)
+        scenario = ScheduledFaults({3: fault, 7: [fault, fault]})
+        rng = random.Random(0)
+        assert scenario.faults_for_step(0, rng) == ()
+        assert len(scenario.faults_for_step(3, rng)) == 1
+        assert len(scenario.faults_for_step(7, rng)) == 2
+        assert scenario.last_scheduled_step() == 7
+
+    def test_probabilistic_rate_zero_and_one(self):
+        fault = LambdaFault("f", lambda s, rng: s)
+        never = ProbabilisticFaults([fault], rate=0.0)
+        always = ProbabilisticFaults([fault], rate=1.0)
+        rng = random.Random(0)
+        assert all(not never.faults_for_step(i, rng) for i in range(10))
+        assert all(len(always.faults_for_step(i, rng)) == 1 for i in range(10))
+
+    def test_probabilistic_until_step(self):
+        fault = LambdaFault("f", lambda s, rng: s)
+        scenario = ProbabilisticFaults([fault], rate=1.0, until_step=5)
+        rng = random.Random(0)
+        assert scenario.faults_for_step(5, rng)
+        assert not scenario.faults_for_step(6, rng)
+        assert scenario.last_scheduled_step() == 5
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ProbabilisticFaults([], rate=1.5)
+
+    def test_base_class_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Fault("abstract").apply(State({}), random.Random(0))

@@ -1,0 +1,192 @@
+"""Cross-module integration tests.
+
+Each test exercises a full pipeline the way a library user would:
+design -> certificate -> exhaustive verification -> simulation, and the
+agreement between the two validation routes (theorem conditions vs model
+checking) that the paper's soundness claims predict.
+"""
+
+import random
+
+import pytest
+
+from repro.core import TRUE
+from repro.faults import ScheduledFaults, corrupt_everything, corrupt_random_processes
+from repro.protocols.diffusing import (
+    all_green_state,
+    build_diffusing_design,
+    diffusing_invariant,
+)
+from repro.protocols.three_constraint import (
+    build_ordered_design,
+    build_oscillating_design,
+    build_out_tree_design,
+    window_states,
+    xyz_invariant,
+)
+from repro.protocols.token_ring import build_dijkstra_ring, build_token_ring_design
+from repro.scheduler import (
+    AdversarialScheduler,
+    QueueFairScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+)
+from repro.simulation import convergence_action_work, count_rounds, run, stabilization_trials
+from repro.topology import balanced_tree, chain_tree
+from repro.verification import check_convergence, check_tolerance, explore
+
+
+class TestTheoremsAgreeWithModelChecker:
+    """A valid certificate must imply T-tolerance; the validators and the
+    model checker are independent implementations, so their agreement is
+    strong evidence both are right."""
+
+    def test_diffusing_agreement(self, chain3):
+        design = build_diffusing_design(chain3)
+        states = list(design.program.state_space())
+        certificate = design.validate(states)
+        tolerance = check_tolerance(
+            design.program, design.candidate.invariant, TRUE, states
+        )
+        assert certificate.ok and tolerance.ok
+
+    def test_xyz_agreement_across_designs(self):
+        window = window_states(3)
+        for build, expect in [
+            (build_out_tree_design, True),
+            (build_ordered_design, True),
+            (build_oscillating_design, False),
+        ]:
+            design = build(3)
+            certificate = design.validate(window)
+            ts = explore(design.program, window)
+            conv = check_convergence(
+                design.program, ts.states, xyz_invariant(), fairness="weak", system=ts
+            )
+            assert certificate.ok == expect
+            assert conv.ok == expect
+
+    def test_token_ring_certificate_vs_dijkstra_model_check(self):
+        # The paper's design certificate (unbounded) and the K-state
+        # instance model check tell the same story.
+        design = build_token_ring_design(4)
+        from repro.protocols.token_ring import window_states as ring_window
+
+        assert design.validate(ring_window(4, 0, 3)).ok
+        program, spec = build_dijkstra_ring(4, k=5)
+        assert check_tolerance(program, spec, TRUE, program.state_space()).ok
+
+
+class TestFaultRecoveryPipeline:
+    def test_recovery_after_repeated_fault_bursts(self):
+        tree = balanced_tree(2, 2)
+        design = build_diffusing_design(tree)
+        program = design.program
+        invariant = diffusing_invariant(tree)
+        schedule = ScheduledFaults(
+            {
+                100: corrupt_everything(program),
+                400: corrupt_random_processes(program, 3),
+                700: corrupt_random_processes(program, 1),
+            }
+        )
+        result = run(
+            program,
+            program.make_state(all_green_state(tree)),
+            RandomScheduler(8),
+            max_steps=2000,
+            target=invariant,
+            faults=schedule,
+            fault_rng=random.Random(3),
+        )
+        assert result.fault_count == 3
+        # Stabilized after the last fault and stayed legitimate.
+        assert result.stabilized
+        assert result.stabilization_index is not None
+
+    def test_convergence_work_bounded_after_single_fault(self):
+        tree = chain_tree(5)
+        design = build_diffusing_design(tree, variant="copy-parent")
+        program = design.program
+        invariant = diffusing_invariant(tree)
+        result = run(
+            program,
+            program.make_state(all_green_state(tree)),
+            RoundRobinScheduler(),
+            max_steps=600,
+            target=invariant,
+            faults=ScheduledFaults({50: corrupt_everything(program)}),
+            fault_rng=random.Random(9),
+        )
+        convergence_names = {b.action.name for b in design.bindings}
+        convergence, closure = convergence_action_work(
+            result.computation, convergence_names
+        )
+        # Pure convergence actions fire only while repairing: a bounded
+        # number of times (at most once per node per repair in a chain),
+        # while closure actions run the wave forever.
+        assert convergence <= 3 * len(tree)
+        assert closure > convergence
+
+
+class TestSchedulerMatrix:
+    @pytest.mark.parametrize(
+        "make_scheduler",
+        [
+            lambda seed: RandomScheduler(seed),
+            lambda seed: RoundRobinScheduler(),
+            lambda seed: QueueFairScheduler(),
+        ],
+        ids=["random", "round-robin", "queue-fair"],
+    )
+    def test_diffusing_stabilizes_under_every_fair_daemon(self, make_scheduler):
+        tree = balanced_tree(2, 2)
+        design = build_diffusing_design(tree)
+        stats = stabilization_trials(
+            design.program,
+            diffusing_invariant(tree),
+            make_scheduler,
+            trials=5,
+            max_steps=4000,
+            base_seed=17,
+        )
+        assert stats.all_stabilized
+
+    def test_adversary_cannot_prevent_stabilization_only_delay_it(self):
+        tree = chain_tree(5)
+        design = build_diffusing_design(tree)
+        invariant = diffusing_invariant(tree)
+        fair = stabilization_trials(
+            design.program, invariant, lambda s: RandomScheduler(s),
+            trials=8, max_steps=20000, base_seed=5,
+        )
+        adversarial = stabilization_trials(
+            design.program, invariant,
+            lambda s: AdversarialScheduler(invariant, seed=s),
+            trials=8, max_steps=20000, base_seed=5,
+        )
+        assert fair.all_stabilized and adversarial.all_stabilized
+        assert adversarial.steps.mean >= fair.steps.mean
+
+
+class TestRoundsMetric:
+    def test_rounds_scale_with_tree_height_not_size(self):
+        # A star (height 1) needs fewer rounds than a chain (height n-1)
+        # of the same size to stabilize.
+        from repro.topology import star_tree
+
+        outcomes = {}
+        for name, tree in [("chain", chain_tree(7)), ("star", star_tree(7))]:
+            design = build_diffusing_design(tree)
+            stats = stabilization_trials(
+                design.program,
+                diffusing_invariant(tree),
+                lambda s: RandomScheduler(s),
+                trials=10,
+                max_steps=20000,
+                base_seed=21,
+                measure_rounds=True,
+            )
+            assert stats.all_stabilized
+            outcomes[name] = stats.rounds.mean
+        assert outcomes["star"] <= outcomes["chain"]

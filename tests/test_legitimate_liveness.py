@@ -1,0 +1,97 @@
+"""Liveness inside the invariant: the intended computation actually runs.
+
+Closure and convergence say nothing about whether the *fault-free*
+behaviour is useful. These tests check the spec-level liveness of the
+paper's two cyclic protocols on their legitimate state graphs:
+
+- the diffusing computation's S-states form a single recurrent class —
+  from any legitimate state the wave passes through all-green again and
+  every node is colored red in between;
+- the token ring's S-states likewise form one cycle along which every
+  node becomes privileged.
+"""
+
+from repro.core import State
+from repro.protocols.diffusing import (
+    GREEN,
+    RED,
+    build_diffusing_design,
+    color_var,
+    diffusing_invariant,
+)
+from repro.protocols.token_ring import (
+    build_dijkstra_ring,
+    privileged_nodes,
+)
+from repro.topology import Ring, chain_tree, star_tree
+from repro.verification import build_transition_system, explore
+
+
+def legitimate_states(program, invariant):
+    return [state for state in program.state_space() if invariant(state)]
+
+
+def is_single_recurrent_class(program, states):
+    """Every state reaches every other (one SCC over the closed set)."""
+    ts = build_transition_system(program, states)
+    assert not ts.escapes  # the set must be closed
+    member = set(states)
+    for start in states:
+        reach = explore(program, [start])
+        if not member <= set(reach.states):
+            return False
+    return True
+
+
+class TestDiffusingLiveness:
+    def test_single_recurrent_class(self, chain3):
+        design = build_diffusing_design(chain3)
+        states = legitimate_states(design.program, diffusing_invariant(chain3))
+        assert states
+        assert is_single_recurrent_class(design.program, states)
+
+    def test_every_node_turns_red_and_green(self):
+        tree = star_tree(3)
+        design = build_diffusing_design(tree)
+        states = legitimate_states(design.program, diffusing_invariant(tree))
+        for j in tree.nodes:
+            reds = [s for s in states if s[color_var(j)] == RED]
+            greens = [s for s in states if s[color_var(j)] == GREEN]
+            # Both colors occur among legitimate states, and since the
+            # class is recurrent, every node is re-colored forever.
+            assert reds and greens
+
+    def test_legitimate_class_size_scales_with_tree(self):
+        small = build_diffusing_design(chain_tree(3))
+        larger = build_diffusing_design(chain_tree(4))
+        count_small = len(
+            legitimate_states(small.program, diffusing_invariant(chain_tree(3)))
+        )
+        count_larger = len(
+            legitimate_states(larger.program, diffusing_invariant(chain_tree(4)))
+        )
+        assert count_larger > count_small
+
+
+class TestTokenRingLiveness:
+    def test_recurrent_core_serves_every_node(self):
+        # The one-privilege set contains transient states (multi-step
+        # counter gaps) that drain into the recurrent core: the orbit of
+        # the all-equal states, where gaps are single steps.
+        program, spec = build_dijkstra_ring(4, 4)
+        all_zero = State({f"x.{j}": 0 for j in range(4)})
+        core = explore(program, [all_zero]).states
+        assert is_single_recurrent_class(program, core)
+        ring = Ring(4)
+        holders = {privileged_nodes(ring, state)[0] for state in core}
+        assert holders == {0, 1, 2, 3}
+        # Core size: K choices of value x (N+1) token positions.
+        assert len(core) == 4 * 4
+
+    def test_every_legitimate_state_reaches_the_core(self):
+        program, spec = build_dijkstra_ring(4, 4)
+        all_zero = State({f"x.{j}": 0 for j in range(4)})
+        core = set(explore(program, [all_zero]).states)
+        for state in legitimate_states(program, spec):
+            reach = set(explore(program, [state]).states)
+            assert reach & core

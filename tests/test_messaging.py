@@ -1,0 +1,67 @@
+"""Tests for the message-passing channel substrate."""
+
+import pytest
+
+from repro.core import State
+from repro.messaging import FifoChannel, SlotChannel
+
+
+class TestSlotChannel:
+    def test_variable_domain(self):
+        channel = SlotChannel("ch", [0, 1, 2], process=0)
+        assert None in channel.variable.domain
+        assert 2 in channel.variable.domain
+        assert 3 not in channel.variable.domain
+        assert channel.variable.process == 0
+
+    def test_empty_and_head(self):
+        channel = SlotChannel("ch", [0, 1])
+        assert channel.is_empty(State({"ch": None}))
+        assert not channel.is_empty(State({"ch": 1}))
+        assert channel.head(State({"ch": 1})) == 1
+        assert channel.head(State({"ch": None})) is None
+
+    def test_receive_effect_is_none(self):
+        assert SlotChannel("ch", [0]).receive_effect() is None
+
+
+class TestFifoChannel:
+    def test_domain_enumerates_queues(self):
+        channel = FifoChannel("q", ["a", "b"], capacity=2)
+        domain = channel.variable.domain
+        assert () in domain
+        assert ("a",) in domain
+        assert ("a", "b") in domain
+        assert ("a", "b", "a") not in domain  # over capacity
+        assert domain.size() == 1 + 2 + 4
+
+    def test_send_appends(self):
+        channel = FifoChannel("q", [0, 1], capacity=2)
+        state = State({"q": (0,)})
+        assert channel.after_send(state, 1) == (0, 1)
+
+    def test_send_to_full_drops(self):
+        channel = FifoChannel("q", [0, 1], capacity=2)
+        state = State({"q": (0, 1)})
+        assert channel.after_send(state, 0) == (0, 1)
+
+    def test_receive_pops_head(self):
+        channel = FifoChannel("q", [0, 1], capacity=2)
+        state = State({"q": (0, 1)})
+        assert channel.head(state) == 0
+        assert channel.after_receive(state) == (1,)
+
+    def test_receive_from_empty_rejected(self):
+        channel = FifoChannel("q", [0], capacity=1)
+        with pytest.raises(ValueError, match="empty"):
+            channel.after_receive(State({"q": ()}))
+
+    def test_fullness(self):
+        channel = FifoChannel("q", [0], capacity=1)
+        assert channel.is_full(State({"q": (0,)}))
+        assert not channel.is_full(State({"q": ()}))
+        assert channel.is_empty(State({"q": ()}))
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            FifoChannel("q", [0], capacity=0)

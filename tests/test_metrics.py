@@ -1,0 +1,63 @@
+"""Unit tests for stabilization metrics (rounds, convergence work)."""
+
+from repro.core import State
+from repro.scheduler import Computation
+from repro.simulation import convergence_action_work, count_rounds
+
+
+class TestCountRounds:
+    def test_empty_trace_is_zero_rounds(self, counter_program):
+        computation = Computation(initial=State({"n": 0}))
+        assert count_rounds(computation, counter_program) == 0
+
+    def test_single_action_program_one_round_per_step(self, counter_program):
+        # At n = 0 only inc is enabled; executing it completes a round.
+        inc = counter_program.action("inc")
+        computation = Computation(initial=State({"n": 0}))
+        computation.append((inc,), State({"n": 1}))
+        computation.append((inc,), State({"n": 2}))
+        assert count_rounds(computation, counter_program) == 2
+
+    def test_round_requires_all_enabled_to_fire_or_disable(self, two_var_program):
+        inc_a = two_var_program.action("inc.a")
+        inc_b = two_var_program.action("inc.b")
+        computation = Computation(initial=State({"a": 0, "b": 0}))
+        # Both enabled at the start; only inc.a fires -> round incomplete.
+        computation.append((inc_a,), State({"a": 1, "b": 0}))
+        assert count_rounds(computation, two_var_program) == 0
+        # Now inc.b fires too -> one round complete.
+        computation.append((inc_b,), State({"a": 1, "b": 1}))
+        assert count_rounds(computation, two_var_program) == 1
+
+    def test_disabling_counts_toward_round(self, two_var_program):
+        inc_a = two_var_program.action("inc.a")
+        computation = Computation(initial=State({"a": 0, "b": 2}))
+        # inc.b is disabled (b = 2): the round needs only inc.a.
+        computation.append((inc_a,), State({"a": 1, "b": 2}))
+        assert count_rounds(computation, two_var_program) == 1
+
+    def test_rounds_stop_when_nothing_enabled(self, two_var_program):
+        inc_a = two_var_program.action("inc.a")
+        inc_b = two_var_program.action("inc.b")
+        computation = Computation(initial=State({"a": 1, "b": 1}))
+        computation.append((inc_a,), State({"a": 2, "b": 1}))
+        computation.append((inc_b,), State({"a": 2, "b": 2}))
+        # Everything disabled afterwards; exactly one round completed.
+        assert count_rounds(computation, two_var_program) == 1
+
+
+class TestConvergenceWork:
+    def test_split_by_action_class(self, counter_program):
+        inc = counter_program.action("inc")
+        reset = counter_program.action("reset")
+        computation = Computation(initial=State({"n": 0}))
+        for state in (1, 2, 3):
+            computation.append((inc,), State({"n": state}))
+        computation.append((reset,), State({"n": 0}))
+        convergence, closure = convergence_action_work(computation, {"reset"})
+        assert convergence == 1
+        assert closure == 3
+
+    def test_empty_trace(self, counter_program):
+        computation = Computation(initial=State({"n": 0}))
+        assert convergence_action_work(computation, {"reset"}) == (0, 0)

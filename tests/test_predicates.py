@@ -1,0 +1,102 @@
+"""Unit tests for the predicate algebra."""
+
+from repro.core import FALSE, TRUE, Predicate, State, all_of, any_of, var_equals
+
+
+def x_positive() -> Predicate:
+    return Predicate(lambda s: s["x"] > 0, name="x > 0", support=("x",))
+
+
+def y_positive() -> Predicate:
+    return Predicate(lambda s: s["y"] > 0, name="y > 0", support=("y",))
+
+
+STATE_PP = State({"x": 1, "y": 1})
+STATE_PN = State({"x": 1, "y": -1})
+STATE_NN = State({"x": -1, "y": -1})
+
+
+class TestBasics:
+    def test_call_and_holds_agree(self):
+        pred = x_positive()
+        assert pred(STATE_PP) and pred.holds(STATE_PP)
+        assert not pred(STATE_NN)
+
+    def test_truthiness_coerced_to_bool(self):
+        pred = Predicate(lambda s: s["x"], name="x truthy", support=("x",))
+        assert pred(State({"x": 5})) is True
+        assert pred(State({"x": 0})) is False
+
+    def test_constants(self):
+        assert TRUE(STATE_NN)
+        assert not FALSE(STATE_PP)
+        assert TRUE.support == frozenset()
+
+    def test_holds_everywhere(self):
+        assert x_positive().holds_everywhere([STATE_PP, STATE_PN])
+        assert not x_positive().holds_everywhere([STATE_PP, STATE_NN])
+
+    def test_renamed_keeps_semantics(self):
+        renamed = x_positive().renamed("positive-x")
+        assert renamed.name == "positive-x"
+        assert renamed(STATE_PP) and not renamed(STATE_NN)
+        assert renamed.support == frozenset({"x"})
+
+
+class TestCombinators:
+    def test_and(self):
+        both = x_positive() & y_positive()
+        assert both(STATE_PP)
+        assert not both(STATE_PN)
+        assert both.support == frozenset({"x", "y"})
+
+    def test_or(self):
+        either = x_positive() | y_positive()
+        assert either(STATE_PN)
+        assert not either(STATE_NN)
+
+    def test_not(self):
+        neg = ~x_positive()
+        assert neg(STATE_NN) and not neg(STATE_PP)
+        assert neg.support == frozenset({"x"})
+
+    def test_implies(self):
+        imp = x_positive().implies(y_positive())
+        assert imp(STATE_PP)
+        assert not imp(STATE_PN)
+        assert imp(STATE_NN)  # false antecedent
+
+    def test_double_negation(self):
+        assert (~~x_positive())(STATE_PP)
+        assert not (~~x_positive())(STATE_NN)
+
+    def test_unknown_support_propagates(self):
+        opaque = Predicate(lambda s: True, name="opaque")
+        assert opaque.support is None
+        assert (opaque & x_positive()).support is None
+
+
+class TestAggregates:
+    def test_all_of_empty_is_true(self):
+        assert all_of([])(STATE_NN)
+
+    def test_any_of_empty_is_false(self):
+        assert not any_of([])(STATE_PP)
+
+    def test_all_of(self):
+        conj = all_of([x_positive(), y_positive()])
+        assert conj(STATE_PP) and not conj(STATE_PN)
+        assert conj.support == frozenset({"x", "y"})
+
+    def test_any_of(self):
+        disj = any_of([x_positive(), y_positive()])
+        assert disj(STATE_PN) and not disj(STATE_NN)
+
+    def test_all_of_custom_name(self):
+        assert all_of([x_positive()], name="S").name == "S"
+
+    def test_var_equals(self):
+        pred = var_equals("x", 1)
+        assert pred(STATE_PP)
+        assert not pred(STATE_NN)
+        assert pred.support == frozenset({"x"})

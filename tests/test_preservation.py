@@ -1,0 +1,82 @@
+"""Unit tests for exhaustive preservation checking."""
+
+from repro.core import Action, Assignment, Predicate, State, preserves
+
+
+def states(lo=-3, hi=3):
+    return [State({"x": a, "y": b}) for a in range(lo, hi + 1) for b in range(lo, hi + 1)]
+
+
+def decrement_x() -> Action:
+    return Action(
+        "dec-x",
+        Predicate(lambda s: s["x"] == s["y"], name="x = y", support=("x", "y")),
+        Assignment({"x": lambda s: s["x"] - 1}),
+        reads=("x", "y"),
+    )
+
+
+def increment_x() -> Action:
+    return Action(
+        "inc-x",
+        Predicate(lambda s: s["x"] == s["y"], name="x = y", support=("x", "y")),
+        Assignment({"x": lambda s: s["x"] + 1}),
+        reads=("x", "y"),
+    )
+
+
+X_LEQ_Y = Predicate(lambda s: s["x"] <= s["y"], name="x <= y", support=("x", "y"))
+X_GEQ_Y = Predicate(lambda s: s["x"] >= s["y"], name="x >= y", support=("x", "y"))
+
+
+class TestPreserves:
+    def test_preserving_action_passes(self):
+        # Decreasing x preserves x <= y (the paper's Section 6 argument).
+        result = preserves(decrement_x(), X_LEQ_Y, states())
+        assert result.ok
+        assert result.checked > 0
+        assert not result.violations
+
+    def test_violating_action_reports_witness(self):
+        # Increasing x from x = y breaks x <= y — with a concrete witness.
+        result = preserves(increment_x(), X_LEQ_Y, states())
+        assert not result.ok
+        witness = result.violations[0]
+        assert witness.before["x"] == witness.before["y"]
+        assert witness.after["x"] == witness.before["x"] + 1
+        assert "inc-x" in witness.describe()
+
+    def test_only_enabled_and_holding_states_count(self):
+        # The predicate x >= y holds at x = y; dec-x breaks it there. With
+        # a witness cap above the violation count, every relevant state is
+        # scanned: exactly the diagonal states.
+        diagonal = len([s for s in states() if s["x"] == s["y"]])
+        result = preserves(decrement_x(), X_GEQ_Y, states(), max_violations=1000)
+        assert not result.ok
+        assert result.checked == diagonal
+        assert len(result.violations) == diagonal
+
+    def test_given_context_restricts_check(self):
+        # Under the context y < 0 the equality states with y >= 0 are skipped.
+        negative_y = Predicate(lambda s: s["y"] < 0, name="y < 0", support=("y",))
+        full = preserves(increment_x(), X_LEQ_Y, states(), max_violations=1000)
+        restricted = preserves(
+            increment_x(), X_LEQ_Y, states(), given=negative_y, max_violations=1000
+        )
+        assert restricted.checked < full.checked
+        assert not restricted.ok  # still violated inside the context
+
+    def test_vacuous_context_passes(self):
+        never = Predicate(lambda s: False, name="false", support=())
+        result = preserves(increment_x(), X_LEQ_Y, states(), given=never)
+        assert result.ok
+        assert result.checked == 0
+
+    def test_max_violations_caps_collection(self):
+        result = preserves(increment_x(), X_LEQ_Y, states(), max_violations=1)
+        assert not result.ok
+        assert len(result.violations) == 1
+
+    def test_bool_protocol(self):
+        assert bool(preserves(decrement_x(), X_LEQ_Y, states()))
+        assert not bool(preserves(increment_x(), X_LEQ_Y, states()))

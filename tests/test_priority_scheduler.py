@@ -1,0 +1,40 @@
+"""Tests for the priority scheduler."""
+
+from repro.core import State
+from repro.scheduler import FirstEnabledScheduler, PriorityScheduler, RandomScheduler
+
+
+class TestPriorityScheduler:
+    def test_priority_actions_preferred(self, two_var_program):
+        scheduler = PriorityScheduler(
+            lambda name: name == "inc.b", FirstEnabledScheduler()
+        )
+        state = State({"a": 0, "b": 0})
+        _, actions = scheduler.advance(two_var_program, state, 0)
+        assert actions[0].name == "inc.b"
+
+    def test_falls_back_when_priority_class_disabled(self, two_var_program):
+        scheduler = PriorityScheduler(
+            lambda name: name == "inc.b", FirstEnabledScheduler()
+        )
+        state = State({"a": 0, "b": 2})  # inc.b disabled
+        _, actions = scheduler.advance(two_var_program, state, 0)
+        assert actions[0].name == "inc.a"
+
+    def test_terminal_returns_none(self, two_var_program):
+        scheduler = PriorityScheduler(lambda name: True, FirstEnabledScheduler())
+        state = State({"a": 2, "b": 2})
+        assert scheduler.advance(two_var_program, state, 0) is None
+
+    def test_reset_propagates_to_base(self, two_var_program):
+        base = RandomScheduler(5)
+        scheduler = PriorityScheduler(lambda name: False, base)
+        state = State({"a": 0, "b": 0})
+        first = [
+            scheduler.advance(two_var_program, state, i)[1][0].name for i in range(4)
+        ]
+        scheduler.reset()
+        second = [
+            scheduler.advance(two_var_program, state, i)[1][0].name for i in range(4)
+        ]
+        assert first == second

@@ -1,0 +1,133 @@
+"""Unit tests for programs."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    Action,
+    Assignment,
+    DomainError,
+    IntegerRangeDomain,
+    Predicate,
+    Program,
+    State,
+    UnknownVariableError,
+    Variable,
+)
+
+
+class TestConstruction:
+    def test_duplicate_variable_rejected(self):
+        v = Variable("x", IntegerRangeDomain(0, 1))
+        with pytest.raises(ValueError, match="duplicate variable"):
+            Program("p", [v, v], [])
+
+    def test_duplicate_action_name_rejected(self, counter_program):
+        action = counter_program.actions[0]
+        with pytest.raises(ValueError, match="duplicate action"):
+            Program("p", counter_program.variables.values(), [action, action])
+
+    def test_action_referencing_unknown_variable_rejected(self):
+        action = Action(
+            "bad",
+            Predicate(lambda s: True, name="true", support=()),
+            Assignment({"ghost": 0}),
+            reads=("ghost",),
+        )
+        with pytest.raises(UnknownVariableError):
+            Program("p", [Variable("x", IntegerRangeDomain(0, 1))], [action])
+
+    def test_empty_action_set_allowed(self):
+        program = Program("silent", [Variable("x", IntegerRangeDomain(0, 1))], [])
+        assert program.is_terminal(State({"x": 0}))
+
+
+class TestLookup:
+    def test_action_by_name(self, counter_program):
+        assert counter_program.action("inc").name == "inc"
+        with pytest.raises(KeyError):
+            counter_program.action("missing")
+
+    def test_variable_names(self, counter_program):
+        assert counter_program.variable_names == frozenset({"n"})
+
+    def test_processes(self, two_var_program):
+        assert two_var_program.processes() == ["a", "b"]
+
+
+class TestStates:
+    def test_make_state_validates_domain(self, counter_program):
+        with pytest.raises(DomainError):
+            counter_program.make_state({"n": 99})
+
+    def test_make_state_requires_all_variables(self, two_var_program):
+        with pytest.raises(UnknownVariableError, match="missing"):
+            two_var_program.make_state({"a": 0})
+
+    def test_make_state_rejects_extras(self, counter_program):
+        with pytest.raises(UnknownVariableError, match="undeclared"):
+            counter_program.make_state({"n": 0, "m": 0})
+
+    def test_state_space_size(self, counter_program):
+        assert counter_program.state_count() == 4
+        assert len(list(counter_program.state_space())) == 4
+
+    def test_random_state_reproducible(self, two_var_program):
+        a = two_var_program.random_state(random.Random(3))
+        b = two_var_program.random_state(random.Random(3))
+        assert a == b
+
+
+class TestExecution:
+    def test_enabled_actions(self, counter_program):
+        assert [a.name for a in counter_program.enabled_actions(State({"n": 0}))] == ["inc"]
+        assert [a.name for a in counter_program.enabled_actions(State({"n": 3}))] == ["reset"]
+
+    def test_step(self, counter_program):
+        inc = counter_program.action("inc")
+        assert counter_program.step(State({"n": 1}), inc)["n"] == 2
+
+    def test_step_validation_catches_domain_escape(self):
+        runaway = Action(
+            "runaway",
+            Predicate(lambda s: True, name="true", support=()),
+            Assignment({"n": lambda s: s["n"] + 1}),
+            reads=("n",),
+        )
+        program = Program("p", [Variable("n", IntegerRangeDomain(0, 1))], [runaway])
+        state = State({"n": 1})
+        # Without validation the escape goes unnoticed...
+        assert program.step(state, runaway)["n"] == 2
+        # ...with validation it is caught.
+        with pytest.raises(DomainError):
+            program.step(state, runaway, validate=True)
+
+    def test_successors(self, counter_program):
+        successors = counter_program.successors(State({"n": 3}))
+        assert len(successors) == 1
+        action, state = successors[0]
+        assert action.name == "reset" and state["n"] == 0
+
+    def test_is_terminal(self):
+        program = Program("silent", [Variable("x", IntegerRangeDomain(0, 1))], [])
+        assert program.is_terminal(State({"x": 1}))
+
+
+class TestAugmentation:
+    def test_augmented_appends(self, counter_program):
+        extra = Action(
+            "noop",
+            Predicate(lambda s: False, name="false", support=()),
+            Assignment({"n": lambda s: s["n"]}),
+            reads=("n",),
+        )
+        bigger = counter_program.augmented([extra])
+        assert len(bigger.actions) == 3
+        assert len(counter_program.actions) == 2  # original untouched
+
+    def test_restricted(self, counter_program):
+        only_inc = counter_program.restricted(["inc"])
+        assert [a.name for a in only_inc.actions] == ["inc"]
+        with pytest.raises(KeyError):
+            counter_program.restricted(["ghost"])

@@ -1,0 +1,201 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These encode the model's algebraic laws and the protocols' headline
+guarantees over randomly generated instances: arbitrary trees, arbitrary
+corrupted states, arbitrary schedules.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Predicate, State, all_of, any_of
+from repro.protocols.diffusing import build_diffusing_design, diffusing_invariant
+from repro.protocols.token_ring import (
+    build_dijkstra_ring,
+    exactly_one_privilege,
+    privileged_nodes,
+    x_var,
+)
+from repro.scheduler import RandomScheduler
+from repro.simulation import run
+from repro.topology import Ring, RootedTree
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+values = st.integers(min_value=-5, max_value=5)
+
+
+@st.composite
+def states(draw, names=("x", "y", "z")):
+    return State({name: draw(values) for name in names})
+
+
+@st.composite
+def parent_maps(draw, max_nodes=8):
+    """A random rooted tree on nodes 0..n-1, rooted at 0."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    parent = {0: 0}
+    for j in range(1, n):
+        parent[j] = draw(st.integers(min_value=0, max_value=j - 1))
+    return RootedTree(parent)
+
+
+def random_predicates(seed: int, count: int = 3):
+    rng = random.Random(seed)
+    predicates = []
+    for i in range(count):
+        threshold = rng.randint(-3, 3)
+        name = rng.choice(["x", "y", "z"])
+        predicates.append(
+            Predicate(
+                lambda s, name=name, threshold=threshold: s[name] <= threshold,
+                name=f"{name} <= {threshold}",
+                support=(name,),
+            )
+        )
+    return predicates
+
+
+# ---------------------------------------------------------------------------
+# State laws
+# ---------------------------------------------------------------------------
+
+
+class TestStateLaws:
+    @given(states())
+    def test_update_identity(self, state):
+        assert state.update({}) == state
+
+    @given(states(), values)
+    def test_update_then_read(self, state, v):
+        assert state.update({"x": v})["x"] == v
+
+    @given(states(), values, values)
+    def test_last_update_wins(self, state, v1, v2):
+        assert state.update({"x": v1}).update({"x": v2})["x"] == v2
+
+    @given(states())
+    def test_hash_equal_on_equal_states(self, state):
+        clone = State(dict(state))
+        assert state == clone and hash(state) == hash(clone)
+
+    @given(states(), values)
+    def test_update_preserves_other_variables(self, state, v):
+        after = state.update({"y": v})
+        assert after["x"] == state["x"] and after["z"] == state["z"]
+
+
+# ---------------------------------------------------------------------------
+# Predicate algebra laws
+# ---------------------------------------------------------------------------
+
+
+class TestPredicateLaws:
+    @given(states(), st.integers(min_value=0, max_value=100))
+    def test_de_morgan(self, state, seed):
+        p, q, _ = random_predicates(seed)
+        assert (~(p & q))(state) == ((~p) | (~q))(state)
+        assert (~(p | q))(state) == ((~p) & (~q))(state)
+
+    @given(states(), st.integers(min_value=0, max_value=100))
+    def test_implication_definition(self, state, seed):
+        p, q, _ = random_predicates(seed)
+        assert p.implies(q)(state) == ((~p) | q)(state)
+
+    @given(states(), st.integers(min_value=0, max_value=100))
+    def test_all_of_equals_chained_and(self, state, seed):
+        p, q, r = random_predicates(seed)
+        assert all_of([p, q, r])(state) == (p & q & r)(state)
+
+    @given(states(), st.integers(min_value=0, max_value=100))
+    def test_any_of_equals_chained_or(self, state, seed):
+        p, q, r = random_predicates(seed)
+        assert any_of([p, q, r])(state) == (p | q | r)(state)
+
+    @given(states(), st.integers(min_value=0, max_value=100))
+    def test_negation_involution(self, state, seed):
+        p, _, _ = random_predicates(seed)
+        assert (~~p)(state) == p(state)
+
+
+# ---------------------------------------------------------------------------
+# Protocol-level properties
+# ---------------------------------------------------------------------------
+
+
+class TestDiffusingProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(parent_maps(), st.integers(min_value=0, max_value=10**6))
+    def test_stabilizes_on_any_tree_from_any_corruption(self, tree, seed):
+        """The headline Theorem 1 claim, sampled over random instances."""
+        design = build_diffusing_design(tree)
+        program = design.program
+        invariant = diffusing_invariant(tree)
+        initial = program.random_state(random.Random(seed))
+        result = run(
+            program,
+            initial,
+            RandomScheduler(seed),
+            max_steps=600 * len(tree),
+            target=invariant,
+            stop_on_target=True,
+        )
+        assert result.stabilized
+
+    @settings(max_examples=10, deadline=None)
+    @given(parent_maps(max_nodes=6), st.integers(min_value=0, max_value=10**6))
+    def test_constraint_graph_always_out_tree(self, tree, seed):
+        design = build_diffusing_design(tree)
+        assert design.graph.is_out_tree()
+        ranks = design.graph.ranks()
+        # Rank equals 1 + tree depth for every node.
+        by_name = {node.name: rank for node, rank in ranks.items()}
+        for j in tree.nodes:
+            assert by_name[str(j)] == tree.depth(j) + 1
+
+
+class TestTokenRingProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=7),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_dijkstra_ring_stabilizes_and_keeps_single_privilege(self, n, seed):
+        program, spec = build_dijkstra_ring(n, k=n + 1)
+        rng = random.Random(seed)
+        result = run(
+            program,
+            program.random_state(rng),
+            RandomScheduler(seed),
+            max_steps=800 * n,
+            target=spec,
+            stop_on_target=True,
+        )
+        assert result.stabilized
+        # Once legitimate, the privilege count stays exactly one.
+        follow_up = run(
+            program,
+            result.computation.final_state,
+            RandomScheduler(seed + 1),
+            max_steps=20 * n,
+        )
+        ring = Ring(n)
+        for state in follow_up.computation.states():
+            assert len(privileged_nodes(ring, state)) == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_at_least_one_privilege_in_every_state(self, n, seed):
+        """No state of the ring is privilege-free (a liveness floor)."""
+        program, _ = build_dijkstra_ring(n, k=n)
+        rng = random.Random(seed)
+        state = program.random_state(rng)
+        assert len(privileged_nodes(Ring(n), state)) >= 1

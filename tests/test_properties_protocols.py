@@ -1,0 +1,152 @@
+"""Property-based tests over the extension protocols.
+
+Random instances, random corruption, random schedules — the headline
+stabilization guarantees sampled across the whole protocol library.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols.coloring import build_coloring_design, coloring_invariant
+from repro.protocols.four_state_ring import (
+    build_four_state_line,
+    four_state_invariant,
+    privileged_machines,
+)
+from repro.protocols.graph_coloring import (
+    build_graph_coloring_program,
+    conflicted_nodes,
+    graph_coloring_invariant,
+)
+from repro.protocols.independent_set import build_mis_program, members, mis_invariant
+from repro.protocols.leader_election import (
+    build_leader_election_design,
+    election_invariant,
+    leader_var,
+)
+from repro.protocols.mp_token_ring import build_mp_token_ring
+from repro.protocols.spanning_tree import (
+    build_spanning_tree_program,
+    dist_var,
+    spanning_tree_invariant,
+)
+from repro.scheduler import RandomScheduler
+from repro.simulation import run
+from repro.topology import random_connected_graph, random_tree
+
+
+def stabilize(program, invariant, seed, *, factor=2000):
+    result = run(
+        program,
+        program.random_state(random.Random(seed)),
+        RandomScheduler(seed),
+        max_steps=factor * max(1, len(program.variables)),
+        target=invariant,
+        stop_on_target=True,
+    )
+    return result
+
+
+class TestMessagePassingRing:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_stabilizes_with_ample_counter(self, n, seed):
+        program, invariant = build_mp_token_ring(n, k=n + 2)
+        result = stabilize(program, invariant, seed)
+        assert result.stabilized
+
+
+class TestFourState:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=10),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_stabilizes_and_keeps_single_privilege(self, n, seed):
+        program = build_four_state_line(n)
+        invariant = four_state_invariant(program)
+        result = stabilize(program, invariant, seed)
+        assert result.stabilized
+        follow = run(
+            program,
+            result.computation.final_state,
+            RandomScheduler(seed + 1),
+            max_steps=5 * n,
+        )
+        for state in follow.computation.states():
+            assert len(privileged_machines(program, state)) == 1
+
+
+class TestTreeProtocols:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=25),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_leader_election_broadcasts_the_root(self, size, seed):
+        tree = random_tree(size, seed=seed % 1000)
+        design = build_leader_election_design(tree)
+        result = stabilize(design.program, election_invariant(tree), seed)
+        assert result.stabilized
+        final = result.computation.final_state
+        assert all(final[leader_var(j)] == tree.root for j in tree.nodes)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=25),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_tree_coloring_proper(self, size, seed):
+        tree = random_tree(size, seed=seed % 1000)
+        design = build_coloring_design(tree, k=2)
+        result = stabilize(design.program, coloring_invariant(tree), seed)
+        assert result.stabilized
+
+
+class TestGraphProtocols:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=3, max_value=18),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_spanning_tree_distances_exact(self, size, seed):
+        graph = random_connected_graph(size, size // 2, seed=seed % 1000)
+        program = build_spanning_tree_program(graph, 0)
+        result = stabilize(program, spanning_tree_invariant(graph, 0), seed)
+        assert result.stabilized
+        final = result.computation.final_state
+        levels = graph.bfs_levels(0)
+        assert all(final[dist_var(j)] == levels[j] for j in graph.nodes)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=18),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_mis_independent_and_maximal(self, size, seed):
+        graph = random_connected_graph(size, size // 2, seed=seed % 1000)
+        program = build_mis_program(graph)
+        result = stabilize(program, mis_invariant(graph), seed)
+        assert result.stabilized
+        chosen = members(graph, result.computation.final_state)
+        for u, v in graph.edges():
+            assert not (u in chosen and v in chosen)
+        for j in graph.nodes:
+            assert j in chosen or any(k in chosen for k in graph.neighbors(j))
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=18),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_greedy_coloring_conflict_free(self, size, seed):
+        graph = random_connected_graph(size, size, seed=seed % 1000)
+        program = build_graph_coloring_program(graph)
+        result = stabilize(program, graph_coloring_invariant(graph), seed)
+        assert result.stabilized
+        assert not conflicted_nodes(graph, result.computation.final_state)

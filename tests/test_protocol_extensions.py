@@ -1,0 +1,241 @@
+"""Tests for the extension protocols: coloring, leader election,
+spanning tree, and maximal matching."""
+
+import random
+
+import pytest
+
+from repro.core import TRUE
+from repro.protocols.coloring import (
+    build_coloring_design,
+    coloring_invariant,
+    is_proper_coloring,
+)
+from repro.protocols.leader_election import (
+    build_leader_election_design,
+    election_invariant,
+    leader_var,
+)
+from repro.protocols.matching import (
+    build_matching_program,
+    matched_pairs,
+    matching_invariant,
+)
+from repro.protocols.spanning_tree import (
+    build_spanning_tree_program,
+    derived_parent,
+    dist_var,
+    spanning_tree_invariant,
+    spanning_tree_stair,
+)
+from repro.scheduler import FirstEnabledScheduler, RandomScheduler
+from repro.simulation import run
+from repro.topology import (
+    Graph,
+    balanced_tree,
+    chain_tree,
+    cycle_graph,
+    path_graph,
+    random_connected_graph,
+    random_tree,
+    star_tree,
+)
+from repro.verification import check_stair, check_tolerance
+
+
+class TestColoring:
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_theorem1_certificate(self, k, btree7):
+        design = build_coloring_design(btree7, k=k)
+        states = list(design.program.state_space())
+        report = design.validate(states)
+        assert report.ok
+        assert "Theorem 1" in report.selected.theorem
+
+    def test_exhaustively_stabilizing(self, chain3):
+        design = build_coloring_design(chain3, k=2)
+        report = check_tolerance(
+            design.program,
+            coloring_invariant(chain3),
+            TRUE,
+            design.program.state_space(),
+        )
+        assert report.ok and report.stabilizing
+
+    def test_silent_once_proper(self, btree7):
+        design = build_coloring_design(btree7, k=3)
+        program = design.program
+        rng = random.Random(1)
+        result = run(
+            program, program.random_state(rng), FirstEnabledScheduler(), max_steps=500
+        )
+        assert result.terminated
+        assert is_proper_coloring(btree7, result.computation.final_state)
+
+    def test_large_tree_simulation(self):
+        tree = random_tree(40, seed=3)
+        design = build_coloring_design(tree, k=2)
+        program = design.program
+        invariant = coloring_invariant(tree)
+        rng = random.Random(2)
+        result = run(
+            program,
+            program.random_state(rng),
+            RandomScheduler(7),
+            max_steps=5000,
+            target=invariant,
+            stop_on_target=True,
+        )
+        assert result.stabilized
+
+    def test_parameter_validation(self, chain3):
+        with pytest.raises(ValueError):
+            build_coloring_design(chain3, k=1)
+
+
+class TestLeaderElection:
+    def test_theorem2_certificate_with_self_loop(self, star4):
+        design = build_leader_election_design(star4)
+        graph = design.graph
+        assert graph.classification() == "self-looping"
+        assert any(edge.is_self_loop for edge in graph.edges)
+        states = list(design.program.state_space())
+        report = design.validate(states)
+        assert report.ok
+        assert "Theorem 2" in report.selected.theorem
+
+    def test_exhaustively_stabilizing(self, chain3):
+        design = build_leader_election_design(chain3)
+        report = check_tolerance(
+            design.program,
+            election_invariant(chain3),
+            TRUE,
+            design.program.state_space(),
+        )
+        assert report.ok
+
+    def test_everyone_learns_the_root(self):
+        tree = random_tree(25, seed=9)
+        design = build_leader_election_design(tree)
+        program = design.program
+        rng = random.Random(4)
+        result = run(
+            program, program.random_state(rng), RandomScheduler(0), max_steps=5000,
+            target=election_invariant(tree), stop_on_target=True,
+        )
+        assert result.stabilized
+        final = result.computation.final_state
+        assert all(final[leader_var(j)] == tree.root for j in tree.nodes)
+
+
+class TestSpanningTree:
+    def test_stair_certificate(self):
+        graph = random_connected_graph(5, 2, seed=1)
+        program = build_spanning_tree_program(graph, 0)
+        report = check_stair(
+            program, spanning_tree_stair(graph, 0), program.state_space()
+        )
+        assert report.ok, report.describe()
+
+    def test_exhaustively_stabilizing_weak_and_unfair(self):
+        graph = path_graph(4)
+        program = build_spanning_tree_program(graph, 0)
+        states = list(program.state_space())
+        invariant = spanning_tree_invariant(graph, 0)
+        assert check_tolerance(program, invariant, TRUE, states, fairness="weak").ok
+        assert check_tolerance(program, invariant, TRUE, states, fairness="none").ok
+
+    def test_derived_parents_form_bfs_tree(self):
+        graph = random_connected_graph(12, 4, seed=8)
+        program = build_spanning_tree_program(graph, 0)
+        rng = random.Random(5)
+        result = run(
+            program,
+            program.random_state(rng),
+            RandomScheduler(2),
+            max_steps=8000,
+            target=spanning_tree_invariant(graph, 0),
+            stop_on_target=True,
+        )
+        assert result.stabilized
+        final = result.computation.final_state
+        levels = graph.bfs_levels(0)
+        for node in graph.nodes:
+            assert final[dist_var(node)] == levels[node]
+            parent = derived_parent(graph, 0, final, node)
+            if node == 0:
+                assert parent is None
+            else:
+                assert levels[parent] == levels[node] - 1
+
+    def test_disconnected_graph_rejected(self):
+        graph = Graph([0, 1, 2], [(0, 1)])
+        with pytest.raises(ValueError, match="connected"):
+            build_spanning_tree_program(graph, 0)
+
+
+class TestMatching:
+    @pytest.mark.parametrize(
+        "make_graph",
+        [lambda: path_graph(4), lambda: cycle_graph(4), lambda: star_tree_graph()],
+        ids=["path4", "cycle4", "star4"],
+    )
+    def test_exhaustively_stabilizing(self, make_graph):
+        graph = make_graph()
+        program = build_matching_program(graph)
+        report = check_tolerance(
+            program, matching_invariant(graph), TRUE, program.state_space()
+        )
+        assert report.ok
+
+    def test_converges_under_unfair_central_daemon(self):
+        # Hsu-Huang's variant-function proof needs no fairness.
+        graph = path_graph(4)
+        program = build_matching_program(graph)
+        report = check_tolerance(
+            program, matching_invariant(graph), TRUE, program.state_space(),
+            fairness="none",
+        )
+        assert report.ok
+
+    def test_matching_is_maximal_and_symmetric(self):
+        graph = random_connected_graph(10, 5, seed=12)
+        program = build_matching_program(graph)
+        rng = random.Random(6)
+        result = run(
+            program,
+            program.random_state(rng),
+            RandomScheduler(1),
+            max_steps=5000,
+            target=matching_invariant(graph),
+            stop_on_target=True,
+        )
+        assert result.stabilized
+        final = result.computation.final_state
+        pairs = matched_pairs(graph, final)
+        matched_nodes = {node for pair in pairs for node in pair}
+        # Maximality: every edge touches a matched node.
+        for u, v in graph.edges():
+            assert u in matched_nodes or v in matched_nodes
+
+    def test_pairs_disjoint(self):
+        graph = cycle_graph(6)
+        program = build_matching_program(graph)
+        rng = random.Random(7)
+        result = run(
+            program,
+            program.random_state(rng),
+            RandomScheduler(9),
+            max_steps=3000,
+            target=matching_invariant(graph),
+            stop_on_target=True,
+        )
+        assert result.stabilized
+        pairs = matched_pairs(graph, result.computation.final_state)
+        nodes = [node for pair in pairs for node in pair]
+        assert len(nodes) == len(set(nodes))
+
+
+def star_tree_graph():
+    """The star on 4 nodes as an undirected graph."""
+    return Graph(range(4), [(0, j) for j in range(1, 4)])

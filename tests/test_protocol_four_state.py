@@ -1,0 +1,121 @@
+"""Tests for Dijkstra's four-state line (machine-validated reconstruction)."""
+
+import random
+
+import pytest
+
+from repro.core import TRUE
+from repro.protocols.four_state_ring import (
+    build_four_state_line,
+    four_state_invariant,
+    privileged_machines,
+    up_var,
+    x_var,
+)
+from repro.scheduler import FirstEnabledScheduler, RandomScheduler
+from repro.simulation import run
+from repro.verification import check_tolerance
+
+
+class TestExhaustive:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_stabilizing_weak_and_unfair(self, n):
+        program = build_four_state_line(n)
+        invariant = four_state_invariant(program)
+        states = list(program.state_space())
+        assert check_tolerance(program, invariant, TRUE, states, fairness="weak").ok
+        assert check_tolerance(program, invariant, TRUE, states, fairness="none").ok
+
+    def test_constant_space_per_machine(self):
+        # Unlike the K-state ring, the state per machine does not grow
+        # with n: 2 bits for interior machines, 1 bit at the ends.
+        for n in (3, 5, 7):
+            program = build_four_state_line(n)
+            assert len(program.variables) == n + (n - 2)
+
+    def test_too_short_line_rejected(self):
+        with pytest.raises(ValueError):
+            build_four_state_line(2)
+
+
+class TestPrivileges:
+    def test_legitimate_states_have_one_privilege(self):
+        program = build_four_state_line(4)
+        invariant = four_state_invariant(program)
+        for state in program.state_space():
+            if invariant(state):
+                assert len(privileged_machines(program, state)) == 1
+
+    def test_privilege_shuttles_up_and_down(self):
+        n = 4
+        program = build_four_state_line(n)
+        # A legitimate state: all x equal, all up bits false — the bottom
+        # machine is privileged.
+        values = {x_var(i): False for i in range(n)}
+        values.update({up_var(i): False for i in range(1, n - 1)})
+        state = program.make_state(values)
+        assert privileged_machines(program, state) == [0]
+        result = run(program, state, FirstEnabledScheduler(), max_steps=4 * n)
+        holders = [
+            privileged_machines(program, visited)[0]
+            for visited in result.computation.states()
+        ]
+        # The privilege visits both ends and every interior machine.
+        assert set(holders) == set(range(n))
+        # It moves to a neighbor each step (a shuttle, not a jump).
+        for before, after in zip(holders, holders[1:]):
+            assert abs(after - before) == 1
+
+    def test_every_machine_served_infinitely_often(self):
+        n = 5
+        program = build_four_state_line(n)
+        values = {x_var(i): False for i in range(n)}
+        values.update({up_var(i): False for i in range(1, n - 1)})
+        result = run(
+            program, program.make_state(values), FirstEnabledScheduler(),
+            max_steps=10 * n,
+        )
+        counts = {}
+        for visited in result.computation.states():
+            holder = privileged_machines(program, visited)[0]
+            counts[holder] = counts.get(holder, 0) + 1
+        assert all(counts[i] >= 3 for i in range(n))
+
+
+class TestSimulation:
+    def test_stabilizes_from_corruption_at_scale(self):
+        program = build_four_state_line(12)
+        invariant = four_state_invariant(program)
+        rng = random.Random(11)
+        for trial in range(6):
+            result = run(
+                program,
+                program.random_state(rng),
+                RandomScheduler(trial),
+                max_steps=50_000,
+                target=invariant,
+                stop_on_target=True,
+            )
+            assert result.stabilized
+
+    def test_mutual_exclusion_after_stabilization(self):
+        program = build_four_state_line(6)
+        invariant = four_state_invariant(program)
+        rng = random.Random(12)
+        result = run(
+            program,
+            program.random_state(rng),
+            RandomScheduler(5),
+            max_steps=20_000,
+            target=invariant,
+            stop_on_target=True,
+        )
+        assert result.stabilized
+        follow = run(
+            program,
+            result.computation.final_state,
+            RandomScheduler(6),
+            max_steps=200,
+        )
+        for visited in follow.computation.states():
+            assert len(privileged_machines(program, visited)) == 1

@@ -1,0 +1,118 @@
+"""Tests for greedy graph coloring: central-daemon convergence vs the
+synchronous oscillation."""
+
+import random
+
+import pytest
+
+from repro.core import TRUE
+from repro.protocols.graph_coloring import (
+    build_graph_coloring_program,
+    color_var,
+    conflicted_nodes,
+    graph_coloring_invariant,
+)
+from repro.scheduler import FirstEnabledScheduler, RandomScheduler
+from repro.simulation import run
+from repro.topology import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_connected_graph,
+)
+from repro.verification import check_synchronous_convergence, check_tolerance
+
+
+class TestCentralDaemon:
+    @pytest.mark.parametrize(
+        "make_graph",
+        [lambda: path_graph(4), lambda: cycle_graph(4), lambda: complete_graph(3)],
+        ids=["path4", "cycle4", "K3"],
+    )
+    def test_stabilizing_even_unfairly(self, make_graph):
+        graph = make_graph()
+        program = build_graph_coloring_program(graph)
+        states = list(program.state_space())
+        invariant = graph_coloring_invariant(graph)
+        assert check_tolerance(program, invariant, TRUE, states, fairness="weak").ok
+        assert check_tolerance(program, invariant, TRUE, states, fairness="none").ok
+
+    def test_silent_when_proper(self):
+        graph = cycle_graph(4)
+        program = build_graph_coloring_program(graph)
+        invariant = graph_coloring_invariant(graph)
+        for state in program.state_space():
+            if invariant(state):
+                assert program.is_terminal(state)
+
+    def test_each_move_reduces_conflicts(self):
+        # The variant-function argument, observed on a concrete run.
+        graph = complete_graph(4)
+        program = build_graph_coloring_program(graph)
+        state = program.make_state({color_var(j): 0 for j in graph.nodes})
+        result = run(program, state, FirstEnabledScheduler(), max_steps=20)
+        counts = [
+            len(conflicted_nodes(graph, visited))
+            for visited in result.computation.states()
+        ]
+        assert all(b <= a for a, b in zip(counts, counts[1:]))
+        assert counts[-1] == 0
+
+    def test_converges_at_scale(self):
+        graph = random_connected_graph(30, 30, seed=4)
+        program = build_graph_coloring_program(graph)
+        invariant = graph_coloring_invariant(graph)
+        rng = random.Random(1)
+        for trial in range(5):
+            result = run(
+                program,
+                program.random_state(rng),
+                RandomScheduler(trial),
+                max_steps=50_000,
+                target=invariant,
+                stop_on_target=True,
+            )
+            assert result.stabilized
+
+    def test_too_few_colors_rejected(self):
+        with pytest.raises(ValueError, match="colors"):
+            build_graph_coloring_program(complete_graph(4), k=2)
+
+
+class TestSynchronousOscillation:
+    def test_symmetric_pair_oscillates(self):
+        graph = path_graph(2)
+        program = build_graph_coloring_program(graph)  # k = 2
+        invariant = graph_coloring_invariant(graph)
+        report = check_synchronous_convergence(
+            program, program.state_space(), invariant
+        )
+        assert not report.ok
+        # Both same-color starts oscillate with period 2.
+        assert report.oscillating_starts == 2
+        assert len(report.worst_cycle) == 2
+
+    def test_fraction_of_oscillating_starts_on_cycle(self):
+        graph = cycle_graph(4)
+        program = build_graph_coloring_program(graph)
+        invariant = graph_coloring_invariant(graph)
+        report = check_synchronous_convergence(
+            program, program.state_space(), invariant
+        )
+        assert not report.ok
+        assert 0 < report.oscillating_starts < report.checked
+
+    def test_tree_variant_immune(self):
+        # The rooted tree coloring never oscillates synchronously: the
+        # root is fixed and each level settles after its parent.
+        from repro.protocols.coloring import build_coloring_design, coloring_invariant
+        from repro.topology import chain_tree
+
+        tree = chain_tree(4)
+        design = build_coloring_design(tree, k=2)
+        report = check_synchronous_convergence(
+            design.program,
+            design.program.state_space(),
+            coloring_invariant(tree),
+        )
+        assert report.ok

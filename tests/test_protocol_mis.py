@@ -1,0 +1,115 @@
+"""Tests for the stabilizing maximal-independent-set protocol."""
+
+import random
+
+import pytest
+
+from repro.core import TRUE
+from repro.protocols.independent_set import (
+    build_mis_program,
+    member_var,
+    members,
+    mis_invariant,
+)
+from repro.scheduler import FirstEnabledScheduler, RandomScheduler
+from repro.simulation import run
+from repro.topology import (
+    Graph,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_connected_graph,
+)
+from repro.verification import check_tolerance
+
+
+class TestExhaustive:
+    @pytest.mark.parametrize(
+        "make_graph",
+        [
+            lambda: path_graph(5),
+            lambda: cycle_graph(5),
+            lambda: complete_graph(4),
+            lambda: random_connected_graph(6, 3, seed=2),
+        ],
+        ids=["path5", "cycle5", "complete4", "random6"],
+    )
+    def test_stabilizing_weak_and_unfair(self, make_graph):
+        graph = make_graph()
+        program = build_mis_program(graph)
+        states = list(program.state_space())
+        invariant = mis_invariant(graph)
+        assert check_tolerance(program, invariant, TRUE, states, fairness="weak").ok
+        assert check_tolerance(program, invariant, TRUE, states, fairness="none").ok
+
+    def test_silent_in_legitimate_states(self):
+        graph = path_graph(4)
+        program = build_mis_program(graph)
+        invariant = mis_invariant(graph)
+        for state in program.state_space():
+            if invariant(state):
+                assert program.is_terminal(state), state
+
+
+class TestInvariant:
+    def test_independence_checked(self):
+        graph = path_graph(3)
+        invariant = mis_invariant(graph)
+        program = build_mis_program(graph)
+        both_in = program.make_state(
+            {member_var(0): True, member_var(1): True, member_var(2): False}
+        )
+        assert not invariant(both_in)
+
+    def test_maximality_checked(self):
+        graph = path_graph(3)
+        invariant = mis_invariant(graph)
+        program = build_mis_program(graph)
+        empty = program.make_state(
+            {member_var(j): False for j in graph.nodes}
+        )
+        assert not invariant(empty)
+
+    def test_alternating_set_on_path(self):
+        graph = path_graph(5)
+        invariant = mis_invariant(graph)
+        program = build_mis_program(graph)
+        state = program.make_state(
+            {member_var(j): j % 2 == 0 for j in graph.nodes}
+        )
+        assert invariant(state)
+
+
+class TestSimulation:
+    def test_converges_at_scale(self):
+        graph = random_connected_graph(30, 20, seed=9)
+        program = build_mis_program(graph)
+        invariant = mis_invariant(graph)
+        rng = random.Random(3)
+        for trial in range(6):
+            result = run(
+                program,
+                program.random_state(rng),
+                RandomScheduler(trial),
+                max_steps=50_000,
+                target=invariant,
+                stop_on_target=True,
+            )
+            assert result.stabilized
+            final_members = members(graph, result.computation.final_state)
+            for u, v in graph.edges():
+                assert not (u in final_members and v in final_members)
+
+    def test_deterministic_daemon_converges(self):
+        graph = cycle_graph(7)
+        program = build_mis_program(graph)
+        invariant = mis_invariant(graph)
+        result = run(
+            program,
+            program.make_state({member_var(j): True for j in graph.nodes}),
+            FirstEnabledScheduler(),
+            max_steps=1000,
+            target=invariant,
+            stop_on_target=True,
+        )
+        assert result.stabilized

@@ -1,0 +1,158 @@
+"""Tests for the message-passing token ring (the Section 7.1 exercise)."""
+
+import random
+
+import pytest
+
+from repro.core import TRUE
+from repro.faults import LambdaFault, ScheduledFaults
+from repro.protocols.mp_token_ring import (
+    build_mp_token_ring,
+    channel_var,
+    messages_in_flight,
+    x_var,
+)
+from repro.scheduler import FirstEnabledScheduler, RandomScheduler
+from repro.simulation import run
+from repro.topology import Ring
+from repro.verification import check_tolerance
+
+
+def legitimate_state(program, n, k, position=0):
+    """A canonical S-state: one fresh message in ch.position."""
+    value = 1
+    previous = 0
+    values = {}
+    for j in range(n):
+        values[x_var(j)] = value if j <= position else previous
+        values[channel_var(j)] = value if j == position else None
+    return program.make_state(values)
+
+
+class TestConstruction:
+    def test_action_inventory(self):
+        program, _ = build_mp_token_ring(3, 3)
+        names = {a.name for a in program.actions}
+        assert names == {
+            "advance.0", "drop.0", "timeout.0",
+            "relay.1", "absorb.1", "relay.2", "absorb.2",
+        }
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            build_mp_token_ring(1, 3)
+        with pytest.raises(ValueError):
+            build_mp_token_ring(3, 1)
+
+
+class TestInvariant:
+    def test_canonical_states_legitimate(self):
+        program, S = build_mp_token_ring(4, 4)
+        for position in range(4):
+            assert S(legitimate_state(program, 4, 4, position)), position
+
+    def test_two_messages_illegitimate(self):
+        program, S = build_mp_token_ring(3, 3)
+        state = legitimate_state(program, 3, 3, 0).update({channel_var(1): 2})
+        assert not S(state)
+
+    def test_empty_ring_illegitimate(self):
+        program, S = build_mp_token_ring(3, 3)
+        state = legitimate_state(program, 3, 3, 0).update({channel_var(0): None})
+        assert not S(state)
+
+    def test_invariant_closed_and_program_stabilizing(self):
+        program, S = build_mp_token_ring(3, 4)
+        report = check_tolerance(program, S, TRUE, program.state_space())
+        assert report.ok
+        assert report.stabilizing
+
+
+class TestTokenBehaviour:
+    def test_token_circulates(self):
+        program, S = build_mp_token_ring(4, 5)
+        ring = Ring(4)
+        state = legitimate_state(program, 4, 5, 0)
+        result = run(program, state, FirstEnabledScheduler(), max_steps=30)
+        positions = []
+        for visited in result.computation.states():
+            flights = messages_in_flight(ring, visited)
+            assert len(flights) == 1  # S is closed: always one message
+            positions.append(flights[0][0])
+        assert set(positions) == {0, 1, 2, 3}
+
+    def test_counter_advances_each_round_trip(self):
+        program, _ = build_mp_token_ring(3, 5)
+        state = legitimate_state(program, 3, 5, 0)
+        result = run(program, state, FirstEnabledScheduler(), max_steps=40)
+        x0_values = {visited[x_var(0)] for visited in result.computation.states()}
+        assert len(x0_values) >= 3  # several rounds completed
+
+
+class TestFaultTolerance:
+    def test_recovers_from_token_loss(self):
+        program, S = build_mp_token_ring(4, 5)
+        state = legitimate_state(program, 4, 5, 1)
+        lose = LambdaFault(
+            "lose-token",
+            lambda s, rng: s.update(
+                {channel_var(j): None for j in range(4)}
+            ),
+        )
+        result = run(
+            program,
+            state,
+            RandomScheduler(3),
+            max_steps=300,
+            target=S,
+            faults=ScheduledFaults({20: lose}),
+            fault_rng=random.Random(0),
+        )
+        assert result.fault_count == 1
+        assert result.stabilized
+        # Recovery goes through the timeout action.
+        assert result.computation.action_counts()["timeout.0"] >= 1
+
+    def test_recovers_from_duplication(self):
+        program, S = build_mp_token_ring(4, 5)
+        state = legitimate_state(program, 4, 5, 0)
+        duplicate = LambdaFault(
+            "duplicate-token",
+            lambda s, rng: s.update({channel_var(2): s[channel_var(0)]}),
+        )
+        result = run(
+            program,
+            state,
+            RandomScheduler(4),
+            max_steps=300,
+            target=S,
+            faults=ScheduledFaults({10: duplicate}),
+            fault_rng=random.Random(1),
+        )
+        assert result.stabilized
+
+    def test_stabilizes_from_arbitrary_corruption(self):
+        program, S = build_mp_token_ring(5, 7)
+        rng = random.Random(9)
+        for trial in range(8):
+            result = run(
+                program,
+                program.random_state(rng),
+                RandomScheduler(trial),
+                max_steps=3000,
+                target=S,
+                stop_on_target=True,
+            )
+            assert result.stabilized
+
+
+class TestKThreshold:
+    def test_k_two_fails_for_ring_of_four(self):
+        program, S = build_mp_token_ring(4, 2)
+        report = check_tolerance(program, S, TRUE, program.state_space())
+        assert not report.ok
+
+    def test_k_three_suffices_for_ring_of_four(self):
+        program, S = build_mp_token_ring(4, 3)
+        report = check_tolerance(program, S, TRUE, program.state_space())
+        assert report.ok

@@ -1,0 +1,101 @@
+"""Tests for the distributed-reset application (Section 5.1's motivation)."""
+
+import random
+
+import pytest
+
+from repro.core import TRUE
+from repro.protocols.diffusing import all_green_state, color_var
+from repro.protocols.reset import app_var, build_reset_program, reset_target
+from repro.scheduler import RandomScheduler
+from repro.simulation import run
+from repro.topology import balanced_tree, chain_tree, random_tree
+from repro.verification import check_tolerance
+
+
+class TestConstruction:
+    def test_app_variables_added(self, chain3):
+        program = build_reset_program(chain3, app_values=3)
+        for j in chain3.nodes:
+            assert app_var(j) in program.variables
+            assert color_var(j) in program.variables
+
+    def test_wave_actions_extended_with_resets(self, chain3):
+        program = build_reset_program(chain3, app_values=3, reset_value=2)
+        initiate = program.action("initiate")
+        assert app_var(chain3.root) in initiate.writes
+        propagate = program.action("propagate.1")
+        assert app_var(1) in propagate.writes
+
+    def test_bad_reset_value_rejected(self, chain3):
+        with pytest.raises(ValueError, match="application domain"):
+            build_reset_program(chain3, app_values=2, reset_value=5)
+
+
+class TestExhaustive:
+    def test_composition_is_stabilizing(self, chain3):
+        program = build_reset_program(chain3, app_values=2)
+        target = reset_target(chain3)
+        report = check_tolerance(program, target, TRUE, program.state_space())
+        assert report.ok
+        assert report.stabilizing
+
+    def test_nonzero_reset_value(self, chain3):
+        program = build_reset_program(chain3, app_values=2, reset_value=1)
+        target = reset_target(chain3, reset_value=1)
+        report = check_tolerance(program, target, TRUE, program.state_space())
+        assert report.ok
+
+
+class TestSimulation:
+    def test_wave_resets_corrupted_application_state(self):
+        tree = balanced_tree(2, 2)
+        program = build_reset_program(tree, app_values=8, reset_value=0)
+        target = reset_target(tree)
+        rng = random.Random(5)
+        # Start with legitimate wave state but garbage application values.
+        values = dict(all_green_state(tree))
+        for j in tree.nodes:
+            values[app_var(j)] = rng.randint(1, 7)  # all wrong
+        result = run(
+            program,
+            program.make_state(values),
+            RandomScheduler(2),
+            max_steps=3000,
+            target=target,
+            stop_on_target=True,
+        )
+        assert result.stabilized
+        final = result.computation.final_state
+        assert all(final[app_var(j)] == 0 for j in tree.nodes)
+
+    def test_full_corruption_recovery_at_scale(self):
+        tree = random_tree(20, seed=8)
+        program = build_reset_program(tree, app_values=4)
+        target = reset_target(tree)
+        rng = random.Random(6)
+        for trial in range(5):
+            result = run(
+                program,
+                program.random_state(rng),
+                RandomScheduler(trial),
+                max_steps=50_000,
+                target=target,
+                stop_on_target=True,
+            )
+            assert result.stabilized
+
+    def test_reset_value_persists_across_waves(self, chain3):
+        program = build_reset_program(chain3, app_values=3)
+        target = reset_target(chain3)
+        values = dict(all_green_state(chain3))
+        for j in chain3.nodes:
+            values[app_var(j)] = 0
+        result = run(
+            program,
+            program.make_state(values),
+            RandomScheduler(7),
+            max_steps=300,
+        )
+        # The target (closed) holds at every visited state.
+        assert all(target(state) for state in result.computation.states())

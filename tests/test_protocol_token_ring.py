@@ -1,0 +1,178 @@
+"""Tests for the token ring (paper Section 7.1) and Dijkstra's variant.
+
+Covers: the Theorem 3 certificate for the paper's two-layer design; the
+decomposition subtlety (constraints stronger than S); exactly-one
+privilege closure; token circulation; exhaustive stabilization of the
+K-state ring including the K >= N+1 boundary; simulation from corrupted
+states.
+"""
+
+import random
+
+import pytest
+
+from repro.core import TRUE
+from repro.protocols.token_ring import (
+    build_dijkstra_ring,
+    build_token_ring_design,
+    exactly_one_privilege,
+    privileged_nodes,
+    ring_invariant,
+    window_states,
+    x_var,
+)
+from repro.scheduler import FirstEnabledScheduler, RandomScheduler
+from repro.simulation import run
+from repro.topology import Ring
+from repro.verification import check_closure, check_tolerance
+
+
+class TestPaperDesign:
+    def test_theorem3_certificate(self):
+        design = build_token_ring_design(4)
+        report = design.validate(window_states(4, 0, 3))
+        assert report.ok, report.describe()
+        assert "Theorem 3" in report.selected.theorem
+        assert "2 layers" in report.selected.theorem
+
+    def test_deployed_program_is_papers_listing(self):
+        program = build_token_ring_design(4).program
+        names = [a.name for a in program.actions]
+        assert names == ["initiate", "pass.1", "pass.2", "pass.3"]
+        # The deployed pass actions carry the merged guard x.j != x.j+1.
+        state = program.make_state({"x.0": 0, "x.1": 5, "x.2": 0, "x.3": 0})
+        assert program.action("pass.2").enabled(state)  # x.1 > x.2
+        state2 = program.make_state({"x.0": 0, "x.1": 0, "x.2": 5, "x.3": 0})
+        assert program.action("pass.2").enabled(state2)  # x.1 < x.2 too
+
+    def test_decomposition_implies_but_not_equivalent(self):
+        # The paper picks constraints (all equalities) stronger than S.
+        design = build_token_ring_design(4)
+        report = design.candidate.check_decomposition(window_states(4, 0, 2))
+        assert report.ok
+        assert not report.equivalent
+
+    def test_layers_share_the_merged_actions(self):
+        design = build_token_ring_design(4)
+        layer0_actions = {id(b.action) for b in design.layers[0]}
+        layer1_actions = {id(b.action) for b in design.layers[1]}
+        assert layer0_actions == layer1_actions
+
+    def test_invariant_is_closed(self):
+        design = build_token_ring_design(4)
+        result = check_closure(
+            ring_invariant(Ring(4)), design.program, window_states(4, 0, 3)
+        )
+        assert result.ok
+
+    def test_too_small_ring_rejected(self):
+        with pytest.raises(ValueError):
+            build_token_ring_design(1)
+
+
+class TestPrivileges:
+    def test_exactly_one_privilege_in_invariant_states(self):
+        ring = Ring(4)
+        invariant = ring_invariant(ring)
+        spec = exactly_one_privilege(ring)
+        for state in window_states(4, 0, 3):
+            if invariant(state):
+                assert spec(state), state
+
+    def test_all_equal_privileges_node_zero(self):
+        ring = Ring(4)
+        design = build_token_ring_design(4)
+        state = design.program.make_state({x_var(j): 2 for j in range(4)})
+        assert privileged_nodes(ring, state) == [0]
+
+    def test_single_decrease_privileges_successor(self):
+        ring = Ring(4)
+        design = build_token_ring_design(4)
+        state = design.program.make_state(
+            {"x.0": 3, "x.1": 3, "x.2": 2, "x.3": 2}
+        )
+        assert privileged_nodes(ring, state) == [2]
+
+    def test_corrupted_state_has_multiple_privileges(self):
+        ring = Ring(4)
+        design = build_token_ring_design(4)
+        state = design.program.make_state(
+            {"x.0": 1, "x.1": 3, "x.2": 0, "x.3": 1}
+        )
+        assert len(privileged_nodes(ring, state)) > 1
+
+
+class TestTokenCirculation:
+    def test_token_passes_around_the_ring(self):
+        design = build_token_ring_design(4)
+        program = design.program
+        ring = Ring(4)
+        initial = program.make_state({x_var(j): 0 for j in range(4)})
+        result = run(program, initial, FirstEnabledScheduler(), max_steps=40)
+        holders = [
+            privileged_nodes(ring, state)[0]
+            for state in result.computation.states()
+        ]
+        # Every node held the privilege, repeatedly.
+        assert set(holders) == {0, 1, 2, 3}
+        # Privilege moves to the successor each step.
+        for before, after in zip(holders, holders[1:]):
+            assert after in (before, ring.successor(before))
+
+    def test_exactly_one_privilege_maintained(self):
+        design = build_token_ring_design(5)
+        program = design.program
+        ring = Ring(5)
+        spec = exactly_one_privilege(ring)
+        initial = program.make_state({x_var(j): 7 for j in range(5)})
+        result = run(program, initial, RandomScheduler(3), max_steps=200)
+        assert all(spec(state) for state in result.computation.states())
+
+
+class TestDijkstraRing:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_stabilizing_when_k_at_least_n(self, n):
+        program, spec = build_dijkstra_ring(n, k=n)
+        report = check_tolerance(
+            program, spec, TRUE, program.state_space(), fairness="weak"
+        )
+        assert report.ok
+        assert report.stabilizing
+
+    def test_k_one_less_than_ring_size_fails(self):
+        # The classic boundary: K = N (ring size N+1 = 4, K = 3)... the
+        # known sufficient bound is K >= ring size - 1; one below that
+        # breaks convergence.
+        program, spec = build_dijkstra_ring(4, k=2)
+        report = check_tolerance(
+            program, spec, TRUE, program.state_space(), fairness="weak"
+        )
+        assert not report.ok
+
+    def test_unfair_daemon_also_converges(self):
+        # The Section 8 remark holds for the token ring too.
+        program, spec = build_dijkstra_ring(3, k=3)
+        report = check_tolerance(
+            program, spec, TRUE, program.state_space(), fairness="none"
+        )
+        assert report.ok
+
+    def test_simulation_from_corruption(self):
+        program, spec = build_dijkstra_ring(6, k=7)
+        rng = random.Random(31)
+        for trial in range(8):
+            result = run(
+                program,
+                program.random_state(rng),
+                RandomScheduler(trial),
+                max_steps=4000,
+                target=spec,
+                stop_on_target=True,
+            )
+            assert result.stabilized
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            build_dijkstra_ring(1, 3)
+        with pytest.raises(ValueError):
+            build_dijkstra_ring(3, 1)

@@ -1,0 +1,110 @@
+"""Tests for recurrent-class service analysis."""
+
+import pytest
+
+from repro.core import (
+    Action,
+    Assignment,
+    IntegerRangeDomain,
+    Predicate,
+    Program,
+    State,
+    Variable,
+)
+from repro.verification import check_service, recurrent_classes
+
+
+class TestRecurrentClasses:
+    def test_cycle_is_single_recurrent_class(self, counter_program):
+        states = list(counter_program.state_space())
+        classes = recurrent_classes(counter_program, states)
+        assert len(classes) == 1
+        assert len(classes[0].states) == 4
+        assert classes[0].served == frozenset({"p"})
+
+    def test_transient_states_excluded(self):
+        # 2 -> 1 -> 0 with a self-loop at 0: only {0} is recurrent.
+        domain = IntegerRangeDomain(0, 2)
+        dec = Action(
+            "dec",
+            Predicate(lambda s: s["n"] > 0, name="n > 0", support=("n",)),
+            Assignment({"n": lambda s: s["n"] - 1}),
+            reads=("n",),
+            process="p",
+        )
+        spin = Action(
+            "spin",
+            Predicate(lambda s: s["n"] == 0, name="n = 0", support=("n",)),
+            Assignment({"n": 0}),
+            reads=("n",),
+            process="q",
+        )
+        program = Program("drain", [Variable("n", domain, process="p")], [dec, spin])
+        classes = recurrent_classes(program, program.state_space())
+        assert len(classes) == 1
+        assert classes[0].states == (State({"n": 0}),)
+        assert classes[0].served == frozenset({"q"})
+
+    def test_terminal_states_are_recurrent_singletons(self):
+        program = Program(
+            "silent", [Variable("n", IntegerRangeDomain(0, 1), process="p")], []
+        )
+        classes = recurrent_classes(program, program.state_space())
+        assert len(classes) == 2
+        assert all(cls.served == frozenset() for cls in classes)
+
+    def test_non_closed_set_rejected(self, counter_program):
+        with pytest.raises(ValueError, match="not closed"):
+            recurrent_classes(counter_program, [State({"n": 0})])
+
+
+class TestCheckService:
+    def test_token_ring_serves_every_node(self):
+        from repro.protocols.token_ring import build_dijkstra_ring
+
+        program, spec = build_dijkstra_ring(4, 4)
+        legit = [s for s in program.state_space() if spec(s)]
+        report = check_service(program, legit)
+        assert report.ok
+        assert "every process served" in report.describe()
+
+    def test_four_state_line_serves_every_machine(self):
+        from repro.protocols.four_state_ring import (
+            build_four_state_line,
+            four_state_invariant,
+        )
+
+        program = build_four_state_line(4)
+        invariant = four_state_invariant(program)
+        legit = [s for s in program.state_space() if invariant(s)]
+        report = check_service(program, legit)
+        assert report.ok
+
+    def test_diffusing_wave_serves_every_node(self, chain3):
+        from repro.protocols.diffusing import build_diffusing_design, diffusing_invariant
+
+        design = build_diffusing_design(chain3)
+        invariant = diffusing_invariant(chain3)
+        legit = [s for s in design.program.state_space() if invariant(s)]
+        report = check_service(design.program, legit)
+        assert report.ok
+
+    def test_silent_protocol_reports_deficiency(self, chain3):
+        # The coloring protocol is silent inside S: no process acts, so
+        # "service" in the privilege sense is (correctly) absent.
+        from repro.protocols.coloring import build_coloring_design, coloring_invariant
+
+        design = build_coloring_design(chain3, k=2)
+        invariant = coloring_invariant(chain3)
+        legit = [s for s in design.program.state_space() if invariant(s)]
+        report = check_service(design.program, legit)
+        assert not report.ok
+        assert report.deficiencies
+        assert "DEFICIENT" in report.describe()
+
+    def test_required_subset(self, counter_program):
+        states = list(counter_program.state_space())
+        report = check_service(counter_program, states, processes=["p"])
+        assert report.ok
+        report = check_service(counter_program, states, processes=["p", "ghost"])
+        assert not report.ok

@@ -1,0 +1,107 @@
+"""Unit tests for convergence stairs."""
+
+import pytest
+
+from repro.core import (
+    Action,
+    Assignment,
+    IntegerRangeDomain,
+    Predicate,
+    Program,
+    State,
+    TRUE,
+    Variable,
+)
+from repro.verification import check_stair
+
+
+def lower_bound(bound: int) -> Predicate:
+    return Predicate(
+        lambda s: s["n"] <= bound, name=f"n <= {bound}", support=("n",)
+    )
+
+
+def step_down_to(floor: int) -> Action:
+    return Action(
+        f"down-to-{floor}",
+        Predicate(lambda s: s["n"] > floor, name=f"n > {floor}", support=("n",)),
+        Assignment({"n": lambda s: s["n"] - 1}),
+        reads=("n",),
+    )
+
+
+def countdown_program() -> Program:
+    return Program(
+        "countdown",
+        [Variable("n", IntegerRangeDomain(0, 4))],
+        [step_down_to(0)],
+    )
+
+
+class TestCheckStair:
+    def test_valid_stair(self):
+        program = countdown_program()
+        stair = [TRUE, lower_bound(2), lower_bound(0)]
+        report = check_stair(program, stair, program.state_space())
+        assert report.ok
+        assert len(report.steps) == 2
+        assert "VALID" in report.describe()
+
+    def test_single_step_stair(self):
+        program = countdown_program()
+        report = check_stair(program, [TRUE, lower_bound(0)], program.state_space())
+        assert report.ok
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError, match="at least two"):
+            check_stair(countdown_program(), [TRUE], [])
+
+    def test_non_subset_chain_detected(self):
+        # lower_bound(3) does not imply lower_bound(1)... the chain below
+        # is ordered wrongly: the second predicate is weaker than the
+        # third but the first step's "subset" check compares adjacent
+        # pairs, so swapping two levels is caught.
+        program = countdown_program()
+        stair = [TRUE, lower_bound(0), lower_bound(2)]
+        report = check_stair(program, stair, program.state_space())
+        assert not report.ok
+        assert not report.steps[1].subset_ok
+
+    def test_non_closed_intermediate_detected(self):
+        # "n is even" is not closed under decrement.
+        program = countdown_program()
+        even = Predicate(lambda s: s["n"] % 2 == 0, name="even", support=("n",))
+        report = check_stair(program, [TRUE, even, lower_bound(0)], program.state_space())
+        assert not report.ok
+        failing = [s for s in report.steps if not s.ok]
+        assert failing
+
+    def test_non_converging_step_detected(self):
+        # The program only reaches n = 2; the final level n = 0 is never
+        # established from level n <= 2.
+        program = Program(
+            "partial",
+            [Variable("n", IntegerRangeDomain(0, 4))],
+            [step_down_to(2)],
+        )
+        stair = [TRUE, lower_bound(2), lower_bound(0)]
+        report = check_stair(program, stair, program.state_space())
+        assert not report.ok
+        assert report.steps[0].ok
+        assert not report.steps[1].ok
+
+    def test_spanning_tree_stair_integration(self):
+        from repro.protocols.spanning_tree import (
+            build_spanning_tree_program,
+            spanning_tree_stair,
+        )
+        from repro.topology import path_graph
+
+        graph = path_graph(3)
+        program = build_spanning_tree_program(graph, 0)
+        report = check_stair(
+            program, spanning_tree_stair(graph, 0), program.state_space()
+        )
+        assert report.ok
+        # depth 2 -> H_0, H_1, H_2 after TRUE.
+        assert len(report.steps) == 3

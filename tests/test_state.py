@@ -1,0 +1,120 @@
+"""Unit tests for states and state-space enumeration."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    BooleanDomain,
+    IntegerDomain,
+    IntegerRangeDomain,
+    State,
+    StateSpaceTooLargeError,
+    UnknownVariableError,
+    Variable,
+    count_states,
+    enumerate_states,
+    random_state,
+)
+
+
+class TestState:
+    def test_mapping_access(self):
+        state = State({"x": 1, "y": 2})
+        assert state["x"] == 1
+        assert len(state) == 2
+        assert set(state) == {"x", "y"}
+        assert "x" in state and "z" not in state
+
+    def test_unknown_variable_raises(self):
+        state = State({"x": 1})
+        with pytest.raises(UnknownVariableError):
+            state["missing"]
+
+    def test_update_returns_new_state(self):
+        before = State({"x": 1, "y": 2})
+        after = before.update({"x": 9})
+        assert after["x"] == 9
+        assert before["x"] == 1
+        assert after["y"] == 2
+
+    def test_update_unknown_variable_rejected(self):
+        state = State({"x": 1})
+        with pytest.raises(UnknownVariableError):
+            state.update({"y": 0})
+
+    def test_equality_ignores_order(self):
+        assert State({"a": 1, "b": 2}) == State({"b": 2, "a": 1})
+
+    def test_equality_with_plain_mapping(self):
+        assert State({"a": 1}) == {"a": 1}
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(State({"a": 1, "b": 2})) == hash(State({"b": 2, "a": 1}))
+
+    def test_usable_as_dict_key(self):
+        visited = {State({"x": 0}): "seen"}
+        assert visited[State({"x": 0})] == "seen"
+
+    def test_project(self):
+        state = State({"x": 1, "y": 2, "z": 3})
+        assert dict(state.project(["x", "z"])) == {"x": 1, "z": 3}
+
+    def test_repr_sorted_and_stable(self):
+        assert repr(State({"b": 2, "a": 1})) == "State(a=1, b=2)"
+
+
+class TestEnumeration:
+    def _vars(self):
+        return [
+            Variable("n", IntegerRangeDomain(0, 2)),
+            Variable("b", BooleanDomain()),
+        ]
+
+    def test_count(self):
+        assert count_states(self._vars()) == 6
+
+    def test_enumerate_covers_all(self):
+        states = list(enumerate_states(self._vars()))
+        assert len(states) == 6
+        assert len(set(states)) == 6
+        assert State({"n": 2, "b": True}) in states
+
+    def test_enumeration_deterministic(self):
+        first = list(enumerate_states(self._vars()))
+        second = list(enumerate_states(self._vars()))
+        assert first == second
+
+    def test_infinite_domain_rejected(self):
+        with pytest.raises(StateSpaceTooLargeError):
+            count_states([Variable("x", IntegerDomain())])
+
+    def test_max_states_guard(self):
+        variables = [Variable(f"v{i}", IntegerRangeDomain(0, 9)) for i in range(5)]
+        with pytest.raises(StateSpaceTooLargeError):
+            list(enumerate_states(variables, max_states=99))
+
+
+class TestRandomState:
+    def test_values_in_domains(self):
+        variables = [
+            Variable("n", IntegerRangeDomain(0, 5)),
+            Variable("b", BooleanDomain()),
+        ]
+        rng = random.Random(0)
+        for _ in range(25):
+            state = random_state(variables, rng)
+            assert 0 <= state["n"] <= 5
+            assert isinstance(state["b"], bool)
+
+    def test_reproducible_from_seed(self):
+        variables = [Variable("n", IntegerRangeDomain(0, 100))]
+        a = random_state(variables, random.Random(7))
+        b = random_state(variables, random.Random(7))
+        assert a == b
+
+    def test_infinite_domain_uses_window(self):
+        variables = [Variable("x", IntegerDomain(sample_lo=-3, sample_hi=3))]
+        rng = random.Random(0)
+        for _ in range(25):
+            assert -3 <= random_state(variables, rng)["x"] <= 3

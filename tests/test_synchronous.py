@@ -1,0 +1,130 @@
+"""Tests for synchronous-daemon orbit analysis."""
+
+import pytest
+
+from repro.core import (
+    Action,
+    Assignment,
+    IntegerRangeDomain,
+    Predicate,
+    Program,
+    State,
+    TRUE,
+    ValidationError,
+    Variable,
+)
+from repro.verification import (
+    check_synchronous_convergence,
+    synchronous_orbit,
+)
+
+
+def flip_flop_program() -> Program:
+    """Two processes copying each other's negation: synchronous 2-cycle."""
+    domain = IntegerRangeDomain(0, 1)
+    actions = []
+    for mine, theirs in (("a", "b"), ("b", "a")):
+        actions.append(
+            Action(
+                f"match.{mine}",
+                Predicate(
+                    lambda s, mine=mine, theirs=theirs: s[mine] != s[theirs],
+                    name=f"{mine} != {theirs}",
+                    support=(mine, theirs),
+                ),
+                Assignment({mine: lambda s, theirs=theirs: s[theirs]}),
+                reads=(mine, theirs),
+                process=mine,
+            )
+        )
+    return Program(
+        "flip-flop",
+        [Variable("a", domain, process="a"), Variable("b", domain, process="b")],
+        actions,
+    )
+
+
+AGREE = Predicate(lambda s: s["a"] == s["b"], name="a = b", support=("a", "b"))
+
+
+class TestOrbit:
+    def test_fixed_point(self):
+        program = flip_flop_program()
+        orbit = synchronous_orbit(program, State({"a": 1, "b": 1}))
+        assert orbit.cycle == (State({"a": 1, "b": 1}),)
+        assert orbit.converged_state == State({"a": 1, "b": 1})
+        assert orbit.reaches(AGREE)
+
+    def test_two_cycle(self):
+        # Both copy simultaneously: (0,1) -> (1,0) -> (0,1) ...
+        program = flip_flop_program()
+        orbit = synchronous_orbit(program, State({"a": 0, "b": 1}))
+        assert len(orbit.cycle) == 2
+        assert orbit.converged_state is None
+        assert not orbit.reaches(AGREE)
+
+    def test_tail_then_cycle(self, counter_program):
+        # The counter under the synchronous daemon cycles 0->1->2->3->0.
+        orbit = synchronous_orbit(counter_program, State({"n": 2}))
+        assert len(orbit.cycle) == 4
+        assert orbit.tail == ()
+
+    def test_conflict_detection_mode(self):
+        domain = IntegerRangeDomain(0, 1)
+        a1 = Action(
+            "a1",
+            Predicate(lambda s: s["x"] == 0, name="x = 0", support=("x",)),
+            Assignment({"x": 1}),
+            reads=("x",),
+            process="p",
+        )
+        a2 = Action(
+            "a2",
+            Predicate(lambda s: s["x"] == 0, name="x = 0", support=("x",)),
+            Assignment({"x": 0}),
+            reads=("x",),
+            process="p",
+        )
+        program = Program("conflicted", [Variable("x", domain, process="p")], [a1, a2])
+        with pytest.raises(ValidationError, match="two enabled actions"):
+            synchronous_orbit(program, State({"x": 0}), on_conflict="error")
+        # Default mode resolves by program order: a1 fires.
+        orbit = synchronous_orbit(program, State({"x": 0}))
+        assert orbit.cycle == (State({"x": 1}),)
+
+    def test_unknown_conflict_mode(self, counter_program):
+        with pytest.raises(ValidationError, match="on_conflict"):
+            synchronous_orbit(counter_program, State({"n": 0}), on_conflict="maybe")
+
+
+class TestAggregateCheck:
+    def test_flip_flop_oscillates_from_disagreeing_starts(self):
+        program = flip_flop_program()
+        report = check_synchronous_convergence(
+            program, program.state_space(), AGREE
+        )
+        assert not report.ok
+        assert report.oscillating_starts == 2  # (0,1) and (1,0)
+        assert len(report.worst_cycle) == 2
+        assert report.witness_start is not None
+
+    def test_diffusing_converges_synchronously(self, chain3):
+        from repro.protocols.diffusing import build_diffusing_design, diffusing_invariant
+
+        design = build_diffusing_design(chain3)
+        report = check_synchronous_convergence(
+            design.program,
+            design.program.state_space(),
+            diffusing_invariant(chain3),
+        )
+        assert report.ok
+        assert report.checked == 64
+
+    def test_token_ring_converges_synchronously(self):
+        from repro.protocols.token_ring import build_dijkstra_ring
+
+        program, spec = build_dijkstra_ring(4, 4)
+        report = check_synchronous_convergence(
+            program, program.state_space(), spec
+        )
+        assert report.ok

@@ -1,0 +1,226 @@
+"""Targeted tests for individual Theorem 3 conditions on crafted designs."""
+
+import pytest
+
+from repro.core import (
+    Action,
+    Assignment,
+    CandidateTriple,
+    Constraint,
+    ConvergenceBinding,
+    GraphNode,
+    IntegerDomain,
+    Predicate,
+    Program,
+    State,
+    Variable,
+    validate_theorem3,
+)
+
+DOMAIN = IntegerDomain(sample_lo=-2, sample_hi=2)
+
+
+def states(bound=2):
+    return [
+        State({"a": x, "b": y})
+        for x in range(-bound, bound + 1)
+        for y in range(-bound, bound + 1)
+    ]
+
+
+def nodes():
+    return [GraphNode("a", frozenset({"a"})), GraphNode("b", frozenset({"b"}))]
+
+
+def variables():
+    return [Variable("a", DOMAIN, process="a"), Variable("b", DOMAIN, process="b")]
+
+
+def constraint(name, fn, support):
+    return Constraint(name=name, predicate=Predicate(fn, name=name, support=support))
+
+
+def make_candidate(constraints, closure_actions=()):
+    conj = Predicate(
+        lambda s: all(c.predicate(s) for c in constraints),
+        name="S",
+        support=("a", "b"),
+    )
+    return CandidateTriple(
+        program=Program("crafted", variables(), closure_actions),
+        invariant=conj,
+        constraints=tuple(constraints),
+    )
+
+
+class TestValidLayeredDesign:
+    def test_two_clean_layers_validate(self):
+        c_a = constraint("A", lambda s: s["a"] >= 0, ("a",))
+        c_b = constraint("B", lambda s: s["b"] == s["a"], ("a", "b"))
+        fix_a = Action(
+            "fix-a",
+            (~c_a.predicate).renamed("a < 0"),
+            Assignment({"a": 0}),
+            reads=("a",),
+            process="a",
+        )
+        fix_b = Action(
+            "fix-b",
+            (~c_b.predicate).renamed("b != a"),
+            Assignment({"b": lambda s: s["a"]}),
+            reads=("a", "b"),
+            process="b",
+        )
+        candidate = make_candidate([c_a, c_b])
+        layers = [
+            [ConvergenceBinding(constraint=c_a, action=fix_a)],
+            [ConvergenceBinding(constraint=c_b, action=fix_b)],
+        ]
+        certificate = validate_theorem3(candidate, layers, nodes(), states())
+        assert certificate.ok, certificate.describe()
+
+
+class TestConditionFailures:
+    def test_cyclic_layer_graph_rejected(self):
+        # Two constraints in ONE layer whose actions form a 2-cycle
+        # between the nodes: a -> b and b -> a.
+        c_ab = constraint("A", lambda s: s["a"] <= s["b"], ("a", "b"))
+        c_ba = constraint("B", lambda s: s["b"] <= s["a"] + 1, ("a", "b"))
+        fix_ab = Action(
+            "fix-ab",
+            (~c_ab.predicate).renamed("a > b"),
+            Assignment({"b": lambda s: s["a"]}),
+            reads=("a", "b"),
+            process="b",
+        )
+        fix_ba = Action(
+            "fix-ba",
+            (~c_ba.predicate).renamed("b > a + 1"),
+            Assignment({"a": lambda s: s["b"]}),
+            reads=("a", "b"),
+            process="a",
+        )
+        candidate = make_candidate([c_ab, c_ba])
+        layers = [
+            [
+                ConvergenceBinding(constraint=c_ab, action=fix_ab),
+                ConvergenceBinding(constraint=c_ba, action=fix_ba),
+            ]
+        ]
+        certificate = validate_theorem3(candidate, layers, nodes(), states())
+        assert not certificate.ok
+        assert any(
+            "self-looping" in cond.name and not cond.ok
+            for cond in certificate.conditions
+        )
+
+    def test_partial_guard_fails_enabledness(self):
+        c_a = constraint("A", lambda s: s["a"] >= 0, ("a",))
+        lazy_fix = Action(
+            "lazy-fix",
+            Predicate(lambda s: s["a"] < -1, name="a < -1", support=("a",)),
+            Assignment({"a": 0}),
+            reads=("a",),
+            process="a",
+        )
+        candidate = make_candidate([c_a])
+        layers = [[ConvergenceBinding(constraint=c_a, action=lazy_fix)]]
+        certificate = validate_theorem3(candidate, layers, nodes(), states())
+        assert not certificate.ok
+        assert any(
+            "enabled whenever" in cond.name and not cond.ok
+            for cond in certificate.conditions
+        )
+
+    def test_non_establishing_action_fails(self):
+        c_a = constraint("A", lambda s: s["a"] >= 0, ("a",))
+        bad_fix = Action(
+            "bad-fix",
+            (~c_a.predicate).renamed("a < 0"),
+            Assignment({"a": lambda s: s["a"] + 0}),  # no-op
+            reads=("a",),
+            process="a",
+        )
+        candidate = make_candidate([c_a])
+        layers = [[ConvergenceBinding(constraint=c_a, action=bad_fix)]]
+        certificate = validate_theorem3(candidate, layers, nodes(), states())
+        assert not certificate.ok
+        assert any(
+            "establishes" in cond.name and not cond.ok
+            for cond in certificate.conditions
+        )
+
+    def test_closure_breaking_converging_layer_fails(self):
+        # A closure action decrements `a` (breaking constraint A1) while
+        # the layer is still converging on A2: the refined Theorem 3
+        # closure condition must reject it, with a witness. (The design
+        # happens to converge anyway under weak fairness — the conditions
+        # are sufficient, not necessary — but it cannot be *certified*.)
+        c_a1 = constraint("A1", lambda s: s["a"] >= 0, ("a",))
+        c_a2 = constraint("A2", lambda s: s["b"] >= 0, ("b",))
+        breaker = Action(
+            "breaker",
+            Predicate(
+                lambda s: s["a"] >= 0 and s["b"] < 0,
+                name="a >= 0 and b < 0",
+                support=("a", "b"),
+            ),
+            Assignment({"a": lambda s: s["a"] - 1}),
+            reads=("a", "b"),
+            process="a",
+        )
+        fix_a = Action(
+            "fix-a",
+            (~c_a1.predicate).renamed("a < 0"),
+            Assignment({"a": 0}),
+            reads=("a",),
+            process="a",
+        )
+        fix_b = Action(
+            "fix-b",
+            (~c_a2.predicate).renamed("b < 0"),
+            Assignment({"b": 0}),
+            reads=("b",),
+            process="b",
+        )
+        candidate = make_candidate([c_a1, c_a2], closure_actions=[breaker])
+        layers = [
+            [
+                ConvergenceBinding(constraint=c_a1, action=fix_a),
+                ConvergenceBinding(constraint=c_a2, action=fix_b),
+            ]
+        ]
+        certificate = validate_theorem3(candidate, layers, nodes(), states())
+        assert not certificate.ok
+        failing = next(
+            cond for cond in certificate.conditions
+            if "closure actions" in cond.name and not cond.ok
+        )
+        assert failing.violations  # concrete witness state attached
+
+    def test_invariant_closure_condition(self):
+        # A closure action that leaves S entirely: the global S-closure
+        # condition must flag it even if per-layer contexts are vacuous.
+        c_a = constraint("A", lambda s: s["a"] == 0, ("a",))
+        escape = Action(
+            "escape",
+            Predicate(lambda s: s["a"] == 0, name="a = 0", support=("a",)),
+            Assignment({"a": 1}),
+            reads=("a",),
+            process="a",
+        )
+        fix_a = Action(
+            "fix-a",
+            (~c_a.predicate).renamed("a != 0"),
+            Assignment({"a": 0}),
+            reads=("a",),
+            process="a",
+        )
+        candidate = make_candidate([c_a], closure_actions=[escape])
+        layers = [[ConvergenceBinding(constraint=c_a, action=fix_a)]]
+        certificate = validate_theorem3(candidate, layers, nodes(), states())
+        assert not certificate.ok
+        assert any(
+            "closed under every" in cond.name and not cond.ok
+            for cond in certificate.conditions
+        )

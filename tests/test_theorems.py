@@ -1,0 +1,176 @@
+"""Unit tests for the Theorem 1/2/3 validators.
+
+The protocol-level certificates are covered by the protocol tests; these
+tests target the validator mechanics on the paper's x/y/z example and on
+purpose-built failing designs.
+"""
+
+import pytest
+
+from repro.core import (
+    Action,
+    Assignment,
+    CandidateTriple,
+    Constraint,
+    ConvergenceBinding,
+    DesignError,
+    GraphNode,
+    IntegerDomain,
+    Predicate,
+    Program,
+    State,
+    Variable,
+    find_linear_order,
+    validate_theorem1,
+    validate_theorem2,
+    validate_theorem3,
+)
+from repro.core.constraint_graph import ConstraintGraph
+from repro.protocols.three_constraint import (
+    build_ordered_design,
+    build_oscillating_design,
+    build_out_tree_design,
+    window_states,
+)
+
+WINDOW = window_states(3)
+
+
+class TestTheorem1:
+    def test_out_tree_design_validates(self):
+        design = build_out_tree_design()
+        certificate = validate_theorem1(design.candidate, design.graph, WINDOW)
+        assert certificate.ok
+        assert not certificate.failures()
+
+    def test_non_out_tree_shape_fails_condition(self):
+        design = build_ordered_design()
+        certificate = validate_theorem1(design.candidate, design.graph, WINDOW)
+        assert not certificate.ok
+        names = [c.name for c in certificate.failures()]
+        assert any("out-tree" in name for name in names)
+
+    def test_closure_action_breaking_constraint_detected(self):
+        # A candidate whose closure action violates the constraint x >= 0.
+        domain = IntegerDomain(sample_lo=-3, sample_hi=3)
+        variables = [Variable("x", domain, process="x"), Variable("y", domain, process="y")]
+        breaker = Action(
+            "breaker",
+            Predicate(lambda s: s["x"] >= 0, name="x >= 0", support=("x",)),
+            Assignment({"x": lambda s: s["x"] - 1}),
+            reads=("x",),
+            process="x",
+        )
+        constraint = Constraint(
+            name="c",
+            predicate=Predicate(lambda s: s["x"] >= 0, name="x >= 0", support=("x", "y")),
+        )
+        fix = Action(
+            "fix",
+            (~constraint.predicate).renamed("x < 0"),
+            Assignment({"x": 0}),
+            reads=("x", "y"),
+            process="x",
+        )
+        candidate = CandidateTriple(
+            program=Program("p", variables, [breaker]),
+            invariant=constraint.predicate,
+            constraints=(constraint,),
+        )
+        nodes = [GraphNode("x", frozenset({"x"})), GraphNode("y", frozenset({"y"}))]
+        graph = ConstraintGraph.from_bindings(
+            nodes, [ConvergenceBinding(constraint=constraint, action=fix)]
+        )
+        states = [State({"x": a, "y": b}) for a in range(-2, 3) for b in range(-2, 3)]
+        certificate = validate_theorem1(candidate, graph, states)
+        assert not certificate.ok
+        failure = next(
+            c for c in certificate.failures() if "closure action" in c.name
+        )
+        assert failure.violations  # concrete witness attached
+
+    def test_describe_mentions_verdict(self):
+        design = build_out_tree_design()
+        certificate = validate_theorem1(design.candidate, design.graph, WINDOW)
+        assert "VALID" in certificate.describe()
+
+
+class TestTheorem2:
+    def test_ordered_design_validates(self):
+        design = build_ordered_design()
+        certificate = validate_theorem2(design.candidate, design.graph, WINDOW)
+        assert certificate.ok
+
+    def test_oscillating_design_fails_order_condition(self):
+        design = build_oscillating_design()
+        certificate = validate_theorem2(design.candidate, design.graph, WINDOW)
+        assert not certificate.ok
+        names = [c.name for c in certificate.failures()]
+        assert any("linear order" in name for name in names)
+
+    def test_out_tree_also_validates_under_theorem2(self):
+        # Out-trees are a special case of self-looping graphs.
+        design = build_out_tree_design()
+        certificate = validate_theorem2(design.candidate, design.graph, WINDOW)
+        assert certificate.ok
+
+
+class TestLinearOrder:
+    def test_order_found_and_correctly_sorted(self):
+        design = build_ordered_design()
+        bindings = list(design.bindings)
+        order = find_linear_order(bindings, WINDOW)
+        assert order is not None
+        # The bounded constraint must come first: only "lower-x" (the
+        # c1 action) preserves the other constraint.
+        assert order[0].constraint.name == "c2"
+        assert order[1].constraint.name == "c1"
+
+    def test_no_order_for_oscillating_pair(self):
+        design = build_oscillating_design()
+        assert find_linear_order(list(design.bindings), WINDOW) is None
+
+    def test_single_binding_trivial(self):
+        design = build_out_tree_design()
+        order = find_linear_order([design.bindings[0]], WINDOW)
+        assert order is not None and len(order) == 1
+
+
+class TestTheorem3:
+    def test_token_ring_layers_validate(self):
+        from repro.protocols.token_ring import build_token_ring_design, window_states as ring_window
+
+        design = build_token_ring_design(3)
+        states = ring_window(3, 0, 3)
+        assert design.layers is not None
+        certificate = validate_theorem3(
+            design.candidate, design.layers, design.nodes, states
+        )
+        assert certificate.ok
+
+    def test_overlapping_layers_rejected(self):
+        from repro.protocols.token_ring import build_token_ring_design, window_states as ring_window
+
+        design = build_token_ring_design(3)
+        layer = list(design.layers[0])
+        with pytest.raises(DesignError, match="without overlap"):
+            validate_theorem3(
+                design.candidate,
+                [layer, layer],
+                design.nodes,
+                ring_window(3, 0, 2),
+            )
+
+    def test_single_layer_reduces_to_theorem2_like_check(self):
+        design = build_ordered_design()
+        certificate = validate_theorem3(
+            design.candidate, [list(design.bindings)], design.nodes, WINDOW
+        )
+        assert certificate.ok
+
+    def test_single_layer_oscillation_fails(self):
+        design = build_oscillating_design()
+        certificate = validate_theorem3(
+            design.candidate, [list(design.bindings)], design.nodes, WINDOW
+        )
+        assert not certificate.ok

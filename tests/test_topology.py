@@ -1,0 +1,175 @@
+"""Unit tests for the topology substrates and generators."""
+
+import pytest
+
+from repro.topology import (
+    Graph,
+    Ring,
+    RootedTree,
+    balanced_tree,
+    chain_tree,
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_connected_graph,
+    random_tree,
+    star_tree,
+    tree_as_graph,
+)
+
+
+class TestRootedTree:
+    def test_root_detection(self):
+        tree = RootedTree({0: 0, 1: 0, 2: 1})
+        assert tree.root == 0
+        assert tree.parent(2) == 1
+        assert tree.parent(0) == 0
+
+    def test_children_and_leaves(self):
+        tree = RootedTree({0: 0, 1: 0, 2: 0, 3: 1})
+        assert sorted(tree.children(0)) == [1, 2]
+        assert tree.children(3) == []
+        assert sorted(tree.leaves()) == [2, 3]
+        assert tree.is_leaf(2) and not tree.is_leaf(1)
+
+    def test_non_root_nodes(self):
+        tree = chain_tree(4)
+        assert tree.non_root_nodes() == [1, 2, 3]
+
+    def test_depth_and_height(self):
+        tree = chain_tree(4)
+        assert tree.depth(0) == 0
+        assert tree.depth(3) == 3
+        assert tree.height() == 3
+        assert star_tree(5).height() == 1
+
+    def test_preorder_starts_at_root_and_covers_all(self):
+        tree = balanced_tree(2, 2)
+        order = list(tree.preorder())
+        assert order[0] == tree.root
+        assert sorted(order) == sorted(tree.nodes)
+
+    def test_no_root_rejected(self):
+        with pytest.raises(ValueError, match="exactly one root"):
+            RootedTree({0: 1, 1: 0})
+
+    def test_two_roots_rejected(self):
+        with pytest.raises(ValueError, match="exactly one root"):
+            RootedTree({0: 0, 1: 1})
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(ValueError, match="unknown parent"):
+            RootedTree({0: 0, 1: 9})
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            RootedTree({0: 0, 1: 2, 2: 1})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RootedTree({})
+
+
+class TestRing:
+    def test_successor_wraps(self):
+        ring = Ring(4)
+        assert ring.successor(0) == 1
+        assert ring.successor(3) == 0
+        assert ring.predecessor(0) == 3
+
+    def test_last(self):
+        assert Ring(5).last == 4
+
+    def test_nodes(self):
+        assert Ring(3).nodes == [0, 1, 2]
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            Ring(1)
+
+
+class TestGraph:
+    def test_add_edge_symmetric(self):
+        graph = Graph()
+        graph.add_edge("a", "b")
+        assert "b" in graph.neighbors("a")
+        assert "a" in graph.neighbors("b")
+
+    def test_no_self_loops(self):
+        with pytest.raises(ValueError):
+            Graph().add_edge("a", "a")
+
+    def test_duplicate_edges_collapse(self):
+        graph = Graph()
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 0)
+        assert graph.degree(0) == 1
+        assert len(list(graph.edges())) == 1
+
+    def test_connectivity(self):
+        assert path_graph(4).is_connected()
+        disconnected = Graph([0, 1, 2], [(0, 1)])
+        assert not disconnected.is_connected()
+
+    def test_bfs_levels(self):
+        levels = path_graph(4).bfs_levels(0)
+        assert levels == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_bfs_unknown_root(self):
+        with pytest.raises(KeyError):
+            path_graph(3).bfs_levels(9)
+
+    def test_max_degree(self):
+        assert complete_graph(4).max_degree() == 3
+        assert Graph().max_degree() == 0
+
+
+class TestGenerators:
+    def test_chain_shape(self):
+        tree = chain_tree(5)
+        assert len(tree) == 5
+        assert tree.height() == 4
+
+    def test_star_shape(self):
+        tree = star_tree(5)
+        assert len(tree) == 5
+        assert tree.height() == 1
+        assert len(tree.children(0)) == 4
+
+    def test_balanced_tree_sizes(self):
+        assert len(balanced_tree(2, 0)) == 1
+        assert len(balanced_tree(2, 2)) == 7
+        assert len(balanced_tree(3, 2)) == 13
+
+    def test_random_tree_reproducible(self):
+        a = random_tree(10, seed=5)
+        b = random_tree(10, seed=5)
+        assert {n: a.parent(n) for n in a.nodes} == {n: b.parent(n) for n in b.nodes}
+
+    def test_random_tree_varies_with_seed(self):
+        a = random_tree(10, seed=1)
+        b = random_tree(10, seed=2)
+        assert any(a.parent(n) != b.parent(n) for n in a.nodes)
+
+    def test_cycle_graph(self):
+        graph = cycle_graph(5)
+        assert all(graph.degree(node) == 2 for node in graph.nodes)
+        assert graph.is_connected()
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_complete_graph_edge_count(self):
+        assert len(list(complete_graph(5).edges())) == 10
+
+    def test_random_connected_graph_connected(self):
+        for seed in range(5):
+            assert random_connected_graph(8, 3, seed=seed).is_connected()
+
+    def test_tree_as_graph(self):
+        tree = balanced_tree(2, 2)
+        graph = tree_as_graph(tree)
+        assert len(graph) == len(tree)
+        assert len(list(graph.edges())) == len(tree) - 1
+        assert graph.is_connected()

@@ -1,0 +1,117 @@
+"""Unit tests for variant-function checking."""
+
+from repro.core import (
+    Action,
+    Assignment,
+    IntegerRangeDomain,
+    Predicate,
+    Program,
+    State,
+    Variable,
+    check_variant_strict,
+    check_variant_weak,
+)
+
+TARGET = Predicate(lambda s: s["n"] == 0, name="n = 0", support=("n",))
+
+
+def countdown_program() -> Program:
+    dec = Action(
+        "dec",
+        Predicate(lambda s: s["n"] > 0, name="n > 0", support=("n",)),
+        Assignment({"n": lambda s: s["n"] - 1}),
+        reads=("n",),
+    )
+    return Program("countdown", [Variable("n", IntegerRangeDomain(0, 5))], [dec])
+
+
+def wobble_program() -> Program:
+    """Can step toward 0 or bounce back up — only weakly decreasing."""
+    dec = Action(
+        "dec",
+        Predicate(lambda s: s["n"] > 0, name="n > 0", support=("n",)),
+        Assignment({"n": lambda s: s["n"] - 1}),
+        reads=("n",),
+    )
+    hold = Action(
+        "hold",
+        Predicate(lambda s: s["n"] > 0, name="n > 0", support=("n",)),
+        Assignment({"n": lambda s: s["n"]}),
+        reads=("n",),
+    )
+    return Program("wobble", [Variable("n", IntegerRangeDomain(0, 5))], [dec, hold])
+
+
+STATES = [State({"n": v}) for v in range(6)]
+
+
+class TestStrictVariant:
+    def test_countdown_passes(self):
+        report = check_variant_strict(
+            countdown_program(), lambda s: s["n"], TARGET, STATES
+        )
+        assert report.ok
+        assert report.checked == 5  # the non-target states
+
+    def test_non_decreasing_step_fails(self):
+        report = check_variant_strict(
+            wobble_program(), lambda s: s["n"], TARGET, STATES
+        )
+        assert not report.ok
+        assert any("does not decrease" in p for p in report.problems)
+
+    def test_deadlock_outside_target_fails(self):
+        program = Program(
+            "stuck", [Variable("n", IntegerRangeDomain(0, 2))], []
+        )
+        report = check_variant_strict(program, lambda s: s["n"], TARGET, STATES[:3])
+        assert not report.ok
+        assert any("deadlock" in p for p in report.problems)
+
+    def test_bad_variant_function_detected(self):
+        # A constant variant never decreases.
+        report = check_variant_strict(countdown_program(), lambda s: 0, TARGET, STATES)
+        assert not report.ok
+
+
+class TestWeakVariant:
+    def test_wobble_passes_weak(self):
+        report = check_variant_weak(
+            wobble_program(), lambda s: s["n"], TARGET, STATES
+        )
+        assert report.ok
+
+    def test_increasing_step_fails_weak(self):
+        inc = Action(
+            "inc",
+            Predicate(lambda s: 0 < s["n"] < 5, name="0 < n < 5", support=("n",)),
+            Assignment({"n": lambda s: s["n"] + 1}),
+            reads=("n",),
+        )
+        program = countdown_program().augmented([inc])
+        report = check_variant_weak(program, lambda s: s["n"], TARGET, STATES)
+        assert not report.ok
+        assert any("increases" in p for p in report.problems)
+
+    def test_plateau_without_decrease_fails_weak(self):
+        hold_only = Program(
+            "hold-only",
+            [Variable("n", IntegerRangeDomain(0, 5))],
+            [
+                Action(
+                    "hold",
+                    Predicate(lambda s: s["n"] > 0, name="n > 0", support=("n",)),
+                    Assignment({"n": lambda s: s["n"]}),
+                    reads=("n",),
+                )
+            ],
+        )
+        report = check_variant_weak(hold_only, lambda s: s["n"], TARGET, STATES)
+        assert not report.ok
+        assert any("no enabled action decreases" in p for p in report.problems)
+
+    def test_tuple_valued_variant(self):
+        report = check_variant_strict(
+            countdown_program(), lambda s: (s["n"], 0), TARGET, STATES
+        )
+        assert report.ok
