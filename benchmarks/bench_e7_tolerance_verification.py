@@ -4,128 +4,105 @@ Paper claim (Section 3): a program is T-tolerant for S iff S and T are
 closed and every computation from T reaches S; the designed programs
 satisfy it with T = true (stabilizing).
 
-For every protocol in the library this experiment runs the paper's
-definition directly — closure of S, closure of T, convergence — by
-exhaustive model checking on a small instance, and reports the instance
-size, the classification (masking/nonmasking, stabilizing), and the cost.
+For every case in the protocol library this experiment runs the paper's
+definition directly — closure of S, closure of T, convergence — and now
+routes it through the cached verification service, differentially
+checked against the plain sequential checker: the service must return a
+bit-identical verdict cold, and again warm (cache hit). Per-instance
+wall-clock timings land in ``BENCH_verification.json``.
 """
 
 import time
 
 from repro.analysis import render_table
 from repro.core import TRUE
-from repro.protocols.coloring import build_coloring_design, coloring_invariant
-from repro.protocols.diffusing import build_diffusing_design, diffusing_invariant
-from repro.protocols.leader_election import (
-    build_leader_election_design,
-    election_invariant,
+from repro.protocols.library import build_case, case_names
+from repro.verification import VerificationService, check_tolerance
+
+#: Record fields that must be bit-identical between the sequential
+#: checker and the service, cold and warm.
+VERDICT_FIELDS = (
+    "ok",
+    "implication_ok",
+    "s_closure_ok",
+    "t_closure_ok",
+    "convergence_ok",
+    "classification",
+    "stabilizing",
+    "total_states",
+    "span_states",
+    "bad_states",
 )
-from repro.protocols.four_state_ring import (
-    build_four_state_line,
-    four_state_invariant,
-)
-from repro.protocols.graph_coloring import (
-    build_graph_coloring_program,
-    graph_coloring_invariant,
-)
-from repro.protocols.independent_set import build_mis_program, mis_invariant
-from repro.protocols.matching import build_matching_program, matching_invariant
-from repro.protocols.mp_token_ring import build_mp_token_ring
-from repro.protocols.reset import build_reset_program, reset_target
-from repro.protocols.spanning_tree import (
-    build_spanning_tree_program,
-    spanning_tree_invariant,
-)
-from repro.protocols.token_ring import build_dijkstra_ring
-from repro.topology import balanced_tree, chain_tree, cycle_graph, path_graph
-from repro.verification import check_tolerance
 
 
-def cases():
-    tree = chain_tree(4)
-    design = build_diffusing_design(tree)
-    yield "diffusing (chain-4)", design.program, diffusing_invariant(tree)
+def test_e7_tolerance_verification(benchmark, report, bench_timings):
+    program, spec = build_case("dijkstra-ring", 4)
+    service = VerificationService()
+    benchmark(lambda: service.verify_tolerance(program, spec))
 
-    tree = balanced_tree(2, 1)
-    design = build_diffusing_design(tree)
-    yield "diffusing (star-3)", design.program, diffusing_invariant(tree)
-
-    program, spec = build_dijkstra_ring(5, k=5)
-    yield "token ring (5, K=5)", program, spec
-
-    tree = chain_tree(4)
-    design = build_coloring_design(tree, k=3)
-    yield "coloring (chain-4, k=3)", design.program, coloring_invariant(tree)
-
-    tree = balanced_tree(2, 1)
-    design = build_leader_election_design(tree)
-    yield "leader election (star-3)", design.program, election_invariant(tree)
-
-    graph = path_graph(4)
-    yield (
-        "spanning tree (path-4)",
-        build_spanning_tree_program(graph, 0),
-        spanning_tree_invariant(graph, 0),
-    )
-
-    graph = cycle_graph(4)
-    yield "matching (cycle-4)", build_matching_program(graph), matching_invariant(graph)
-
-    graph = cycle_graph(5)
-    yield "MIS (cycle-5)", build_mis_program(graph), mis_invariant(graph)
-
-    program, spec = build_mp_token_ring(3, 3)
-    yield "mp token ring (3, K=3)", program, spec
-
-    tree = chain_tree(3)
-    yield (
-        "distributed reset (chain-3)",
-        build_reset_program(tree, app_values=2),
-        reset_target(tree),
-    )
-
-    graph = cycle_graph(4)
-    yield (
-        "greedy coloring (cycle-4)",
-        build_graph_coloring_program(graph),
-        graph_coloring_invariant(graph),
-    )
-
-    program = build_four_state_line(5)
-    yield "four-state line (5)", program, four_state_invariant(program)
-
-
-def test_e7_tolerance_verification(benchmark, report):
-    program, spec = build_dijkstra_ring(4, k=4)
-    benchmark(
-        lambda: check_tolerance(program, spec, TRUE, program.state_space())
-    )
-
+    suite_service = VerificationService()
     rows = []
-    for name, prog, invariant in cases():
+    instances = []
+    for name in case_names():
+        prog, invariant = build_case(name)
         states = list(prog.state_space())
+
         started = time.perf_counter()
-        result = check_tolerance(prog, invariant, TRUE, states, fairness="weak")
-        elapsed = time.perf_counter() - started
+        direct = check_tolerance(prog, invariant, TRUE, states, fairness="weak")
+        sequential_seconds = time.perf_counter() - started
+
+        cold = suite_service.verify_tolerance(prog, invariant, case=name)
+        warm = suite_service.verify_tolerance(prog, invariant, case=name)
+        expected = {
+            "ok": direct.ok,
+            "implication_ok": direct.implication_ok,
+            "s_closure_ok": direct.s_closure.ok,
+            "t_closure_ok": direct.t_closure.ok,
+            "convergence_ok": direct.convergence.ok,
+            "classification": direct.classification,
+            "stabilizing": direct.stabilizing,
+            "total_states": direct.total_states,
+            "span_states": direct.convergence.span_states,
+            "bad_states": direct.convergence.bad_states,
+        }
+        for verdict in (cold, warm):
+            assert {f: verdict.record[f] for f in VERDICT_FIELDS} == expected, name
+        assert not cold.cached and warm.cached
+
         s_size = sum(1 for state in states if invariant(state))
         rows.append(
             [
                 name,
                 len(states),
                 s_size,
-                result.s_closure.ok,
-                result.convergence.ok,
-                result.classification,
-                result.stabilizing,
-                result.ok,
-                f"{elapsed:.2f}s",
+                direct.s_closure.ok,
+                direct.convergence.ok,
+                direct.classification,
+                direct.stabilizing,
+                direct.ok,
+                f"{sequential_seconds:.2f}s",
+                f"{cold.seconds:.2f}s",
+                f"{warm.seconds * 1000:.1f}ms",
             ]
         )
+        instances.append(
+            {
+                "case": name,
+                "states": len(states),
+                "sequential_seconds": sequential_seconds,
+                "service_cold_seconds": cold.seconds,
+                "service_warm_seconds": warm.seconds,
+                "ok": direct.ok,
+            }
+        )
     table = render_table(
-        ["protocol", "states", "S-states", "S closed", "converges",
-         "class", "stabilizing", "T-tolerant for S", "time"],
+        ["case", "states", "S-states", "S closed", "converges", "class",
+         "stabilizing", "T-tolerant for S", "sequential", "service cold",
+         "service warm"],
         rows,
-        title="E7: the Section 3 definition, checked exhaustively per protocol",
+        title="E7: the Section 3 definition, checked per library case "
+        "(service differentially verified against the sequential checker)",
     )
     report("e7_tolerance_verification", table)
+    bench_timings("e7", {"instances": instances, **suite_service.stats()})
     assert all(row[7] for row in rows)

@@ -8,11 +8,17 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
+import time
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Per-instance verification wall-clock timings, merged across suites so
+#: the perf trajectory of the verification service has durable data.
+BENCH_VERIFICATION_JSON = Path(__file__).parent.parent / "BENCH_verification.json"
 
 
 @pytest.fixture
@@ -28,3 +34,21 @@ def report(capsys):
             print(text)
 
     return _report
+
+
+def record_verification_timings(suite: str, payload: dict) -> None:
+    """Merge one suite's timing payload into ``BENCH_verification.json``."""
+    data: dict = {}
+    if BENCH_VERIFICATION_JSON.exists():
+        try:
+            data = json.loads(BENCH_VERIFICATION_JSON.read_text())
+        except ValueError:
+            data = {}
+    data[suite] = {"recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"), **payload}
+    BENCH_VERIFICATION_JSON.write_text(json.dumps(data, indent=2, sort_keys=True))
+
+
+@pytest.fixture
+def bench_timings():
+    """Record a suite's per-instance verification timings."""
+    return record_verification_timings

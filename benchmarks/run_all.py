@@ -1,0 +1,140 @@
+"""Run the experiment suite, or a fast parallel-verification smoke test.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/run_all.py          # full E1..E9 suite
+    PYTHONPATH=src python benchmarks/run_all.py --quick  # ~seconds smoke
+
+The full run executes every ``bench_*.py`` experiment under pytest,
+regenerating ``benchmarks/results/*.txt`` and the verification timing
+suites in ``BENCH_verification.json``.
+
+``--quick`` skips the heavy experiments and instead drives the
+verification service end to end on a small slice of the protocol
+library: the same tasks are verified sequentially and through the
+process pool at ``workers=2`` with a shared disk cache, the verdict
+records are required to be identical, and the pool is run a second time
+to confirm the warm pass is answered entirely from the cache. Its
+timings land in the ``quick`` suite of ``BENCH_verification.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent
+REPO_ROOT = BENCH_DIR.parent
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(BENCH_DIR))
+
+QUICK_CASES = ["coloring-chain", "leader-election-star", "mp-token-ring"]
+QUICK_WORKERS = 2
+
+#: Fields that must match between sequential and parallel verdicts
+#: (timing and cache provenance excluded).
+VERDICT_FIELDS = (
+    "case",
+    "ok",
+    "implication_ok",
+    "s_closure_ok",
+    "t_closure_ok",
+    "convergence_ok",
+    "classification",
+    "stabilizing",
+    "total_states",
+    "span_states",
+    "bad_states",
+)
+
+
+def _verdicts(records: list[dict]) -> list[dict]:
+    return [{field: record[field] for field in VERDICT_FIELDS} for record in records]
+
+
+def run_quick() -> int:
+    from repro.protocols.library import library_tasks
+    from repro.verification import run_batch, verdicts_ok
+
+    from conftest import record_verification_timings
+
+    tasks = library_tasks(names=QUICK_CASES)
+    print(f"quick smoke: {len(tasks)} library cases, "
+          f"sequential vs workers={QUICK_WORKERS}")
+
+    started = time.perf_counter()
+    sequential = run_batch(tasks, workers=1)
+    sequential_seconds = time.perf_counter() - started
+    print(f"  sequential            {sequential_seconds:6.2f}s")
+
+    with tempfile.TemporaryDirectory(prefix="vcache-quick-") as cache_dir:
+        started = time.perf_counter()
+        parallel = run_batch(tasks, workers=QUICK_WORKERS, cache_dir=cache_dir)
+        parallel_seconds = time.perf_counter() - started
+        print(f"  workers={QUICK_WORKERS} (cold cache) {parallel_seconds:6.2f}s")
+
+        started = time.perf_counter()
+        warm = run_batch(tasks, workers=QUICK_WORKERS, cache_dir=cache_dir)
+        warm_seconds = time.perf_counter() - started
+        print(f"  workers={QUICK_WORKERS} (warm cache) {warm_seconds:6.2f}s")
+
+    failures = []
+    if _verdicts(sequential) != _verdicts(parallel):
+        failures.append("parallel verdicts differ from sequential")
+    if _verdicts(sequential) != _verdicts(warm):
+        failures.append("warm verdicts differ from sequential")
+    if not all(record["cached"] for record in warm):
+        failures.append("warm pass was not fully served from the cache")
+    if not verdicts_ok(sequential):
+        failures.append("a library case failed verification")
+
+    for record in sequential:
+        print(f"    {record['case']:<28} states={record['total_states']:<6} "
+              f"{'ok' if record['ok'] else 'FAIL'}")
+
+    record_verification_timings(
+        "quick",
+        {
+            "workers": QUICK_WORKERS,
+            "cases": [record["case"] for record in sequential],
+            "sequential_seconds": sequential_seconds,
+            "parallel_cold_seconds": parallel_seconds,
+            "parallel_warm_seconds": warm_seconds,
+        },
+    )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("quick smoke passed: parallel == sequential, warm pass fully cached")
+    return 0
+
+
+def run_full(pytest_args: list[str]) -> int:
+    import pytest
+
+    benches = sorted(str(path) for path in BENCH_DIR.glob("bench_*.py"))
+    return pytest.main([*benches, "-q", *pytest_args])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the fast workers=2 verification smoke instead of the "
+        "full experiment suite",
+    )
+    args, passthrough = parser.parse_known_args(argv)
+    if args.quick:
+        return run_quick()
+    return run_full(passthrough)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,26 +5,32 @@ Exposes the library's protocol registry for quick exploration::
     python -m repro list
     python -m repro verify diffusing --size 4
     python -m repro verify token-ring --fairness none
+    python -m repro verify-all --workers 4 --json BENCH_verification.json
     python -m repro simulate dijkstra-ring --size 10 --trials 20
     python -m repro render token-ring --size 5
 
 ``verify`` runs exhaustive T-tolerance checking on a small instance of
-the chosen protocol; ``simulate`` measures stabilization from random
-corruption; ``render`` prints the paper-style guarded-command listing.
-Every command is deterministic given ``--seed``.
+the chosen protocol through the cached verification service (pass
+``--cache DIR`` to persist verdicts across invocations); ``verify-all``
+fans the whole case library out over a worker pool; ``simulate``
+measures stabilization from random corruption; ``render`` prints the
+paper-style guarded-command listing. Every command is deterministic
+given ``--seed``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
-from repro.core import TRUE, Predicate, Program, render_program
+from repro.core import Predicate, Program, render_program
 from repro.scheduler import RandomScheduler
 from repro.simulation import stabilization_trials
-from repro.verification import check_tolerance
+from repro.verification import VerificationService, run_batch
 
 __all__ = ["main", "PROTOCOLS"]
 
@@ -230,11 +236,63 @@ def _command_verify(args: argparse.Namespace) -> int:
         )
         return 2
     program, invariant = entry.build(size)
-    report = check_tolerance(
-        program, invariant, TRUE, program.state_space(), fairness=args.fairness
+    service = VerificationService(cache_dir=args.cache)
+    verdict = service.verify_tolerance(
+        program,
+        invariant,
+        fairness=args.fairness,
+        case=f"{entry.name} (n={size})",
     )
-    print(report.describe())
-    return 0 if report.ok else 1
+    print(verdict.describe())
+    return 0 if verdict.ok else 1
+
+
+def _command_verify_all(args: argparse.Namespace) -> int:
+    from repro.analysis import render_table
+    from repro.core.errors import ValidationError
+    from repro.protocols.library import case_names, library_tasks
+
+    try:
+        tasks = library_tasks(
+            names=args.case if args.case else None, fairness=args.fairness
+        )
+    except ValidationError as error:
+        known = ", ".join(case_names())
+        raise SystemExit(f"{error}; known cases: {known}") from None
+    started = time.perf_counter()
+    records = run_batch(tasks, workers=args.workers, cache_dir=args.cache)
+    elapsed = time.perf_counter() - started
+    rows = [
+        [
+            record["case"],
+            record["total_states"],
+            record["classification"],
+            record["stabilizing"],
+            record["ok"],
+            "hit" if record["cached"] else "miss",
+            f"{record['call_seconds']:.3f}s",
+        ]
+        for record in records
+    ]
+    print(
+        render_table(
+            ["case", "states", "class", "stabilizing", "T-tolerant for S",
+             "cache", "time"],
+            rows,
+            title=f"verify-all: {len(records)} instances, "
+            f"workers={args.workers}, {elapsed:.2f}s wall-clock",
+        )
+    )
+    if args.json:
+        payload = {
+            "workers": args.workers,
+            "wall_clock_seconds": elapsed,
+            "instances": records,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"timings written to {args.json}")
+    return 0 if all(record["ok"] for record in records) else 1
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
@@ -286,7 +344,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--fairness", choices=("weak", "none"), default="weak",
         help="computation model for convergence",
     )
+    verify.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="persist verdicts in DIR so repeat invocations are cache hits",
+    )
     verify.set_defaults(handler=_command_verify)
+
+    verify_all = commands.add_parser(
+        "verify-all",
+        help="verify the whole case library through the parallel service",
+    )
+    verify_all.add_argument(
+        "--case", action="append", default=None, metavar="NAME",
+        help="restrict to this case (repeatable); default: every case",
+    )
+    verify_all.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = sequential in-process)",
+    )
+    verify_all.add_argument(
+        "--fairness", choices=("weak", "none"), default="weak",
+        help="computation model for convergence",
+    )
+    verify_all.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="shared on-disk verdict cache for the worker pool",
+    )
+    verify_all.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write per-instance timing records to PATH",
+    )
+    verify_all.set_defaults(handler=_command_verify_all)
 
     simulate = commands.add_parser(
         "simulate", help="measure stabilization from random corruption"

@@ -27,8 +27,15 @@ from repro.core.errors import (
     IllFormedGraphError,
     ReproError,
     StateSpaceTooLargeError,
+    UnknownStateError,
     UnknownVariableError,
     ValidationError,
+)
+from repro.core.fingerprint import (
+    fingerprint_instance,
+    fingerprint_predicate,
+    fingerprint_program,
+    probe_states,
 )
 from repro.core.predicates import FALSE, TRUE, Predicate, all_of, any_of, var_equals
 from repro.core.pretty import render_program
@@ -88,6 +95,7 @@ __all__ = [
     "StateSpaceTooLargeError",
     "TheoremCertificate",
     "TRUE",
+    "UnknownStateError",
     "UnknownVariableError",
     "ValidationError",
     "Variable",
@@ -101,6 +109,10 @@ __all__ = [
     "count_states",
     "enumerate_states",
     "find_linear_order",
+    "fingerprint_instance",
+    "fingerprint_predicate",
+    "fingerprint_program",
+    "probe_states",
     "parallel",
     "preserves",
     "random_state",

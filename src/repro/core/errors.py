@@ -13,6 +13,7 @@ __all__ = [
     "ReproError",
     "DomainError",
     "UnknownVariableError",
+    "UnknownStateError",
     "ActionNotEnabledError",
     "IllFormedGraphError",
     "StateSpaceTooLargeError",
@@ -31,6 +32,10 @@ class DomainError(ReproError):
 
 class UnknownVariableError(ReproError):
     """A variable name was referenced that the program does not declare."""
+
+
+class UnknownStateError(ReproError):
+    """A state was looked up in a transition system that does not contain it."""
 
 
 class ActionNotEnabledError(ReproError):

@@ -1,0 +1,194 @@
+"""Content-addressed fingerprints of programs, predicates and instances.
+
+The verification service caches transition systems and verdicts keyed by
+*what is being verified*, not by object identity: two calls that build
+the same protocol instance must hit the same cache entry, and any change
+to the instance — a variable, a domain, an action guard or statement —
+must miss it.
+
+Guards and assignment right-hand sides are opaque Python callables, so a
+purely structural hash (names, domains, read/write sets) cannot see a
+changed lambda body. The fingerprint therefore combines two layers:
+
+- **structure** — the program name, every variable with its domain and
+  owning process, and every action with its name, process, read set,
+  write set and guard name/support;
+- **behaviour** — a deterministic probe: a fixed pseudo-random-but-seeded
+  battery of states on which every guard verdict and every enabled
+  action's successor is recorded. A changed guard or statement that
+  matters on any probe state changes the digest.
+
+The probe is O(actions x probe states) and independent of the state-space
+size, so fingerprinting stays cheap even for instances whose exhaustive
+verification takes seconds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Any
+
+from repro.core.predicates import Predicate
+from repro.core.program import Program
+from repro.core.state import State
+
+__all__ = [
+    "fingerprint_program",
+    "fingerprint_predicate",
+    "fingerprint_instance",
+    "probe_states",
+]
+
+#: Number of probe states in the behavioural layer of a fingerprint.
+PROBE_STATES = 32
+
+#: Values drawn per infinite domain when building probe states.
+_INFINITE_DOMAIN_DRAWS = 8
+
+#: Fixed seed for infinite-domain draws — fingerprints must be stable
+#: across processes and sessions.
+_PROBE_SEED = 0x5EED
+
+
+def probe_states(program: Program, *, limit: int = PROBE_STATES) -> list[State]:
+    """A deterministic battery of states of ``program``.
+
+    States are built directly from the domains (value ``(j * (i + 3) + i)
+    mod |D_i|`` of variable ``i`` in probe state ``j``), so the cost does
+    not depend on the size of the full state space and unbounded domains
+    are supported through their seeded sampling windows.
+    """
+    variables = list(program.variables.values())
+    if not variables:
+        return []
+    rng = random.Random(_PROBE_SEED)
+    per_variable: list[list[Any]] = []
+    for variable in variables:
+        if variable.domain.is_finite:
+            values = list(variable.domain.values())
+        else:
+            values = [
+                variable.domain.sample(rng) for _ in range(_INFINITE_DOMAIN_DRAWS)
+            ]
+        per_variable.append(values)
+    states = []
+    for j in range(limit):
+        values = {
+            variable.name: per_variable[i][(j * (i + 3) + i) % len(per_variable[i])]
+            for i, variable in enumerate(variables)
+        }
+        states.append(State(values))
+    return states
+
+
+def _canonical_value(value: Any) -> str:
+    return f"{type(value).__name__}:{value!r}"
+
+
+def _structure_tokens(program: Program) -> list[str]:
+    tokens = [f"program={program.name}"]
+    for name in sorted(program.variables):
+        variable = program.variables[name]
+        tokens.append(
+            f"var={name};domain={variable.domain!r};process={variable.process!r}"
+        )
+    for action in program.actions:
+        support = (
+            sorted(action.guard.support)
+            if action.guard.support is not None
+            else "?"
+        )
+        tokens.append(
+            f"action={action.name};process={action.process!r};"
+            f"reads={sorted(action.reads)};writes={sorted(action.writes)};"
+            f"guard={action.guard.name};support={support}"
+        )
+    return tokens
+
+
+def _behaviour_tokens(program: Program, states: list[State]) -> list[str]:
+    tokens = []
+    for position, state in enumerate(states):
+        for action in program.actions:
+            if action.enabled(state):
+                successor = action.effect.evaluate(state)
+                writes = ",".join(
+                    f"{name}={_canonical_value(successor[name])}"
+                    for name in sorted(successor)
+                )
+                tokens.append(f"s{position}:{action.name}->{writes}")
+            else:
+                tokens.append(f"s{position}:{action.name}:off")
+    return tokens
+
+
+def _digest(tokens: list[str]) -> str:
+    hasher = hashlib.sha256()
+    for token in tokens:
+        hasher.update(token.encode())
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+def fingerprint_program(program: Program, *, probe: int = PROBE_STATES) -> str:
+    """A content-addressed digest of ``program``.
+
+    Stable across processes; sensitive to variables, domains, action
+    names/read/write sets, and to guard/assignment behaviour on the
+    probe battery.
+    """
+    states = probe_states(program, limit=probe)
+    return _digest(_structure_tokens(program) + _behaviour_tokens(program, states))
+
+
+def fingerprint_predicate(
+    predicate: Predicate,
+    program: Program | None = None,
+    *,
+    probe: int = PROBE_STATES,
+) -> str:
+    """A digest of ``predicate``, behaviourally probed against ``program``.
+
+    Without a program the digest covers only the predicate's name and
+    support — enough to distinguish differently-named invariants, blind
+    to a changed body behind the same name.
+    """
+    support = sorted(predicate.support) if predicate.support is not None else "?"
+    tokens = [f"predicate={predicate.name};support={support}"]
+    if program is not None:
+        verdicts = "".join(
+            "1" if predicate(state) else "0"
+            for state in probe_states(program, limit=probe)
+        )
+        tokens.append(f"verdicts={verdicts}")
+    return _digest(tokens)
+
+
+def fingerprint_instance(
+    program: Program,
+    invariant: Predicate,
+    fault_span: Predicate | None = None,
+    *,
+    fairness: str = "weak",
+    extra: tuple[str, ...] = (),
+) -> str:
+    """The cache key of one verification instance.
+
+    Combines the program and predicate digests with the computation model
+    and any caller-supplied discriminators (e.g. a state-window label for
+    instances verified over a subset of the space).
+    """
+    tokens = [
+        f"program={fingerprint_program(program)}",
+        f"invariant={fingerprint_predicate(invariant, program)}",
+        f"fault_span="
+        + (
+            fingerprint_predicate(fault_span, program)
+            if fault_span is not None
+            else "none"
+        ),
+        f"fairness={fairness}",
+    ]
+    tokens.extend(f"extra={item}" for item in extra)
+    return _digest(tokens)

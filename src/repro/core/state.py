@@ -17,7 +17,11 @@ import itertools
 from collections.abc import Iterable, Iterator, Mapping
 from typing import Any
 
-from repro.core.errors import StateSpaceTooLargeError, UnknownVariableError
+from repro.core.errors import (
+    StateSpaceTooLargeError,
+    UnknownVariableError,
+    ValidationError,
+)
 from repro.core.variables import Variable
 
 __all__ = [
@@ -108,6 +112,26 @@ class State(Mapping[str, Any]):
         return f"State({inner})"
 
 
+def _require_unique_names(variables: list[Variable]) -> None:
+    """Reject duplicate variable names.
+
+    ``dict(zip(names, combo))`` silently collapses duplicates, which would
+    yield a smaller state space than :func:`count_states` reports, so the
+    mismatch is detected here and reported as a usage error instead.
+    """
+    seen: set[str] = set()
+    duplicates: set[str] = set()
+    for variable in variables:
+        if variable.name in seen:
+            duplicates.add(variable.name)
+        seen.add(variable.name)
+    if duplicates:
+        raise ValidationError(
+            f"duplicate variable name(s) {sorted(duplicates)}: each variable "
+            "must appear exactly once in a state enumeration"
+        )
+
+
 def count_states(variables: Iterable[Variable]) -> int:
     """The number of states over ``variables``.
 
@@ -138,6 +162,7 @@ def enumerate_states(
             :class:`StateSpaceTooLargeError` before any state is yielded.
     """
     ordered = list(variables)
+    _require_unique_names(ordered)
     total = count_states(ordered)
     if total > max_states:
         raise StateSpaceTooLargeError(
@@ -155,5 +180,11 @@ def random_state(variables: Iterable[Variable], rng: Any) -> State:
     This models the paper's strongest fault class: transient faults that
     "arbitrarily corrupt the state of any number of nodes". Infinite
     domains draw from their declared sampling window.
+
+    Raises:
+        ValidationError: if two variables share a name (the collision
+            would silently drop one of the draws).
     """
-    return State({v.name: v.domain.sample(rng) for v in variables})
+    ordered = list(variables)
+    _require_unique_names(ordered)
+    return State({v.name: v.domain.sample(rng) for v in ordered})

@@ -1,0 +1,236 @@
+"""The protocol library as a registry of verification cases.
+
+Benchmarks E7/E9, the CLI batch command and the parallel verification
+pool all need the same thing: a *named, picklable* way to rebuild a
+small protocol instance. This module provides it — every case has a
+name, a parametric size, and a top-level :func:`build_case` entry point
+that :class:`~repro.verification.parallel.VerificationTask` can
+reference as ``"repro.protocols.library:build_case"`` and rebuild inside
+a worker process.
+
+Default sizes reproduce exactly the instances of benchmark E7, so the
+historical experiment tables stay comparable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.core.errors import ValidationError
+from repro.core.predicates import Predicate
+from repro.core.program import Program
+from repro.verification.parallel import VerificationTask
+
+__all__ = ["CASES", "VerificationCase", "build_case", "case_names", "library_tasks"]
+
+
+@dataclass(frozen=True)
+class VerificationCase:
+    """One registered instance family: builder plus default size."""
+
+    name: str
+    description: str
+    build: Callable[[int], tuple[Program, Predicate]]
+    default_size: int
+
+
+def _diffusing_chain(size: int):
+    from repro.protocols.diffusing import build_diffusing_design, diffusing_invariant
+    from repro.topology import chain_tree
+
+    tree = chain_tree(size)
+    return build_diffusing_design(tree).program, diffusing_invariant(tree)
+
+
+def _diffusing_star(size: int):
+    from repro.protocols.diffusing import build_diffusing_design, diffusing_invariant
+    from repro.topology import star_tree
+
+    tree = star_tree(size)
+    return build_diffusing_design(tree).program, diffusing_invariant(tree)
+
+
+def _dijkstra_ring(size: int):
+    from repro.protocols.token_ring import build_dijkstra_ring
+
+    return build_dijkstra_ring(size, k=size)
+
+
+def _coloring_chain(size: int):
+    from repro.protocols.coloring import build_coloring_design, coloring_invariant
+    from repro.topology import chain_tree
+
+    tree = chain_tree(size)
+    return build_coloring_design(tree, k=3).program, coloring_invariant(tree)
+
+
+def _leader_election_star(size: int):
+    from repro.protocols.leader_election import (
+        build_leader_election_design,
+        election_invariant,
+    )
+    from repro.topology import star_tree
+
+    tree = star_tree(size)
+    return build_leader_election_design(tree).program, election_invariant(tree)
+
+
+def _spanning_tree_path(size: int):
+    from repro.protocols.spanning_tree import (
+        build_spanning_tree_program,
+        spanning_tree_invariant,
+    )
+    from repro.topology import path_graph
+
+    graph = path_graph(size)
+    return build_spanning_tree_program(graph, 0), spanning_tree_invariant(graph, 0)
+
+
+def _matching_cycle(size: int):
+    from repro.protocols.matching import build_matching_program, matching_invariant
+    from repro.topology import cycle_graph
+
+    graph = cycle_graph(size)
+    return build_matching_program(graph), matching_invariant(graph)
+
+
+def _mis_cycle(size: int):
+    from repro.protocols.independent_set import build_mis_program, mis_invariant
+    from repro.topology import cycle_graph
+
+    graph = cycle_graph(size)
+    return build_mis_program(graph), mis_invariant(graph)
+
+
+def _mp_token_ring(size: int):
+    from repro.protocols.mp_token_ring import build_mp_token_ring
+
+    return build_mp_token_ring(size, size)
+
+
+def _reset_chain(size: int):
+    from repro.protocols.reset import build_reset_program, reset_target
+    from repro.topology import chain_tree
+
+    tree = chain_tree(size)
+    return build_reset_program(tree, app_values=2), reset_target(tree)
+
+
+def _graph_coloring_cycle(size: int):
+    from repro.protocols.graph_coloring import (
+        build_graph_coloring_program,
+        graph_coloring_invariant,
+    )
+    from repro.topology import cycle_graph
+
+    graph = cycle_graph(size)
+    return build_graph_coloring_program(graph), graph_coloring_invariant(graph)
+
+
+def _four_state_line(size: int):
+    from repro.protocols.four_state_ring import (
+        build_four_state_line,
+        four_state_invariant,
+    )
+
+    program = build_four_state_line(size)
+    return program, four_state_invariant(program)
+
+
+CASES: dict[str, VerificationCase] = {
+    case.name: case
+    for case in [
+        VerificationCase(
+            "diffusing-chain", "diffusing computation on a chain", _diffusing_chain, 4
+        ),
+        VerificationCase(
+            "diffusing-star", "diffusing computation on a star", _diffusing_star, 3
+        ),
+        VerificationCase(
+            "dijkstra-ring", "Dijkstra K-state token ring (K = size)", _dijkstra_ring, 5
+        ),
+        VerificationCase(
+            "coloring-chain", "tree coloring on a chain (k = 3)", _coloring_chain, 4
+        ),
+        VerificationCase(
+            "leader-election-star",
+            "leader election on a star",
+            _leader_election_star,
+            3,
+        ),
+        VerificationCase(
+            "spanning-tree-path", "BFS spanning tree on a path", _spanning_tree_path, 4
+        ),
+        VerificationCase(
+            "matching-cycle", "Hsu-Huang matching on a cycle", _matching_cycle, 4
+        ),
+        VerificationCase(
+            "mis-cycle", "maximal independent set on a cycle", _mis_cycle, 5
+        ),
+        VerificationCase(
+            "mp-token-ring",
+            "message-passing token ring (K = size)",
+            _mp_token_ring,
+            3,
+        ),
+        VerificationCase(
+            "reset-chain", "distributed reset on a chain", _reset_chain, 3
+        ),
+        VerificationCase(
+            "graph-coloring-cycle",
+            "greedy graph coloring on a cycle",
+            _graph_coloring_cycle,
+            4,
+        ),
+        VerificationCase(
+            "four-state-line", "Dijkstra's four-state line", _four_state_line, 5
+        ),
+    ]
+}
+
+
+def case_names() -> list[str]:
+    """Every registered case name, in registration order."""
+    return list(CASES)
+
+
+def build_case(name: str, size: int | None = None) -> tuple[Program, Predicate]:
+    """Build the instance of case ``name`` at ``size`` (default per case).
+
+    This is the picklable batch-job entry point: reference it as
+    ``builder="repro.protocols.library:build_case", args=(name, size)``.
+    """
+    try:
+        case = CASES[name]
+    except KeyError:
+        known = ", ".join(CASES)
+        raise ValidationError(
+            f"unknown verification case {name!r}; known cases: {known}"
+        ) from None
+    return case.build(size if size is not None else case.default_size)
+
+
+def library_tasks(
+    *,
+    names: Iterable[str] | None = None,
+    sizes: dict[str, int] | None = None,
+    fairness: str = "weak",
+) -> list[VerificationTask]:
+    """Verification tasks for the whole library (or the named subset)."""
+    chosen = list(names) if names is not None else case_names()
+    overrides = sizes or {}
+    tasks = []
+    for name in chosen:
+        if name not in CASES:
+            raise ValidationError(f"unknown verification case {name!r}")
+        size = overrides.get(name, CASES[name].default_size)
+        tasks.append(
+            VerificationTask(
+                case=f"{name} (n={size})",
+                builder="repro.protocols.library:build_case",
+                args=(name, size),
+                fairness=fairness,
+            )
+        )
+    return tasks

@@ -29,16 +29,27 @@ __all__ = ["RunResult", "run"]
 class RunResult:
     """Everything a single run produced.
 
+    Index semantics: ``target_index`` and ``stabilization_index`` are
+    **trace-time indices** — positions in the sequence of *visited* states,
+    where the initial state is index 0 and every fault event and every
+    program step each contribute one state. They are identical whether or
+    not the trace was recorded; they are valid indices into
+    ``computation`` (via ``state_at``) only when the run was made with
+    ``record_trace=True``. With ``record_trace=False`` the computation
+    keeps at most the initial and final states, so the indices describe
+    the full visited sequence, not the truncated recording.
+
     Attributes:
-        computation: The recorded trace (initial state plus every step).
+        computation: The recorded trace (initial state plus every step
+            when ``record_trace=True``; at most the final state otherwise).
         steps: Number of program steps executed.
         terminated: True when the run ended at a terminal state.
         reached_target: True when the target predicate held at some
-            recorded state.
-        target_index: The earliest state index where the target held
+            visited state.
+        target_index: The earliest trace-time index where the target held
             (``None`` when never).
-        stabilization_index: The earliest state index from which the
-            target held for the rest of the recorded trace.
+        stabilization_index: The earliest trace-time index from which the
+            target held for the rest of the visited sequence.
         fault_count: Number of fault events applied.
     """
 
@@ -84,7 +95,8 @@ def run(
             seeded RNG so that runs are reproducible by default.
         record_trace: Keep every intermediate state. Turn off for long
             measurement runs to save memory; first/stabilization indices
-            are still tracked incrementally.
+            are still tracked incrementally over the visited sequence
+            (see :class:`RunResult` for the index semantics).
     """
     scenario = faults if faults is not None else NoFaults()
     rng = fault_rng if fault_rng is not None else random.Random(0)
@@ -132,8 +144,11 @@ def run(
             computation.append(actions, state)
         observe(state)
 
-    if not record_trace:
-        # Keep at least the final state so callers can inspect it.
+    if not record_trace and computation.final_state != state:
+        # Keep the final state so callers can inspect it — but only when
+        # it is not already the trace's final state, so a zero-step run
+        # (immediate termination, or a target that holds initially) does
+        # not record a duplicate of the initial state.
         computation.append((), state)
 
     stabilization_index: int | None

@@ -1,4 +1,10 @@
-"""Exhaustive verification: closure, convergence, tolerance, stairs."""
+"""Exhaustive verification: closure, convergence, tolerance, stairs.
+
+Single checks live in their own modules; the cached
+:class:`~repro.verification.service.VerificationService` and the
+process-pool batch runner in :mod:`repro.verification.parallel` wrap
+them for repeated and fleet-wide verification.
+"""
 
 from repro.verification.checker import ToleranceReport, check_tolerance
 from repro.verification.closure import ClosureResult, ClosureWitness, check_closure
@@ -26,12 +32,18 @@ from repro.verification.fairness_free import (
     check_closure_computations,
     check_fairness_free,
 )
-from repro.verification.service import (
+from repro.verification.liveness import (
     RecurrentClass,
     ServiceReport,
     check_service,
     recurrent_classes,
 )
+from repro.verification.parallel import (
+    VerificationTask,
+    run_batch,
+    verdicts_ok,
+)
+from repro.verification.service import ServiceVerdict, VerificationService
 from repro.verification.stairs import StairReport, StairStep, check_stair
 from repro.verification.synchronous import (
     SynchronousOrbit,
@@ -51,9 +63,12 @@ __all__ = [
     "ConvergenceResult",
     "RecurrentClass",
     "ServiceReport",
+    "ServiceVerdict",
     "StairReport",
     "StairStep",
     "SynchronousOrbit",
+    "VerificationService",
+    "VerificationTask",
     "check_service",
     "recurrent_classes",
     "SynchronousReport",
@@ -72,5 +87,7 @@ __all__ = [
     "format_state",
     "format_state_diff",
     "format_states",
+    "run_batch",
+    "verdicts_ok",
     "worst_case_convergence_steps",
 ]

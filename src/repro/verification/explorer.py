@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
-from repro.core.errors import StateSpaceTooLargeError
+from repro.core.errors import StateSpaceTooLargeError, UnknownStateError
 from repro.core.predicates import Predicate
 from repro.core.program import Program
 from repro.core.state import DEFAULT_MAX_STATES, State
@@ -44,12 +44,39 @@ class TransitionSystem:
     escapes: list[tuple[int, str, State]] = field(default_factory=list)
 
     def index_of(self, state: State) -> int:
-        return self._index[state]
+        """The dense index of ``state``.
+
+        Raises:
+            UnknownStateError: if the state is not part of this system.
+        """
+        try:
+            return self._index[state]
+        except KeyError:
+            raise UnknownStateError(
+                f"state {state!r} is not among the {len(self.states)} states "
+                "of this transition system"
+            ) from None
 
     def __post_init__(self) -> None:
         self._index: dict[State, int] = {
             state: position for position, state in enumerate(self.states)
         }
+        # satisfying() memo: id(predicate) -> (predicate, indices). The
+        # predicate object is kept alive so its id cannot be recycled.
+        self._satisfying_cache: dict[int, tuple[Predicate, list[int]]] = {}
+
+    def __getstate__(self) -> dict:
+        # The index is rebuilt and the satisfying() memo (which holds
+        # unpicklable predicate callables) is dropped on unpickling.
+        return {
+            "states": self.states,
+            "edges": self.edges,
+            "escapes": self.escapes,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.__post_init__()
 
     def __len__(self) -> int:
         return len(self.states)
@@ -58,12 +85,23 @@ class TransitionSystem:
         return self.edges[index]
 
     def satisfying(self, predicate: Predicate) -> list[int]:
-        """Indices of states where ``predicate`` holds."""
-        return [
+        """Indices of states where ``predicate`` holds.
+
+        The result is computed once per predicate object and memoized —
+        verification passes query the same invariant/fault-span predicates
+        repeatedly over the same system. Treat the returned list as
+        read-only.
+        """
+        cached = self._satisfying_cache.get(id(predicate))
+        if cached is not None:
+            return cached[1]
+        result = [
             position
             for position, state in enumerate(self.states)
             if predicate(state)
         ]
+        self._satisfying_cache[id(predicate)] = (predicate, result)
+        return result
 
 
 def build_transition_system(
@@ -105,13 +143,15 @@ def explore(
     """
     state_list: list[State] = []
     index: dict[State, int] = {}
+    root_count = 0
 
     def intern(state: State) -> int:
         position = index.get(state)
         if position is None:
             if len(state_list) >= max_states:
                 raise StateSpaceTooLargeError(
-                    f"reachable state space exceeds {max_states} states"
+                    f"state space reachable from {root_count} root state(s) "
+                    f"exceeds {max_states} states"
                 )
             position = len(state_list)
             index[state] = position
@@ -119,6 +159,7 @@ def explore(
         return position
 
     for state in roots:
+        root_count += 1
         intern(state)
     edges: list[list[tuple[str, int]]] = []
     cursor = 0

@@ -1,0 +1,143 @@
+"""Liveness ("service") analysis inside the invariant.
+
+Closure and convergence make a program *return* to legitimacy; whether
+the legitimate behaviour then actually serves every process — each node
+privileged infinitely often (token ring), every node visited by every
+wave (diffusing computation) — is a separate liveness question. On a
+finite instance it reduces to graph structure:
+
+- the legitimate states' transition graph decomposes into strongly
+  connected components; its **bottom components** (no edge leaving) are
+  the recurrent classes — where every infinite legitimate run ends up;
+- a recurrent class *serves* a process iff some state in the class
+  enables one of that process's actions (under weak fairness the action
+  then executes infinitely often in runs that stay in the class).
+
+:func:`check_service` verifies that every recurrent class reachable from
+the legitimate states serves every process of interest.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass
+
+from repro.core.program import Program
+from repro.core.state import State
+from repro.verification.convergence import _strongly_connected_components
+from repro.verification.explorer import TransitionSystem, build_transition_system
+
+__all__ = ["RecurrentClass", "ServiceReport", "recurrent_classes", "check_service"]
+
+
+@dataclass(frozen=True)
+class RecurrentClass:
+    """A bottom SCC of the legitimate transition graph."""
+
+    states: tuple[State, ...]
+    #: Processes with an enabled action somewhere in the class.
+    served: frozenset[Hashable]
+
+
+def recurrent_classes(
+    program: Program,
+    states: Iterable[State],
+    *,
+    system: TransitionSystem | None = None,
+) -> list[RecurrentClass]:
+    """The recurrent classes of ``program`` restricted to ``states``.
+
+    ``states`` must be closed under the program (the invariant's
+    extension always is, once closure has been verified).
+
+    Raises:
+        ValueError: when the set is not closed.
+    """
+    ts = system if system is not None else build_transition_system(program, states)
+    if ts.escapes:
+        raise ValueError("the state set is not closed under the program")
+    node_ids = list(range(len(ts)))
+    successors = {
+        index: [target for _, target in ts.edges[index]] for index in node_ids
+    }
+    components = _strongly_connected_components(node_ids, successors)
+    classes: list[RecurrentClass] = []
+    for component in components:
+        members = set(component)
+        is_bottom = all(
+            target in members
+            for index in component
+            for target in successors[index]
+        )
+        if not is_bottom:
+            continue
+        served: set[Hashable] = set()
+        for index in component:
+            for action in program.enabled_actions(ts.states[index]):
+                if action.process is not None:
+                    served.add(action.process)
+        classes.append(
+            RecurrentClass(
+                states=tuple(ts.states[index] for index in component),
+                served=frozenset(served),
+            )
+        )
+    return classes
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """Whether every recurrent class serves every required process."""
+
+    ok: bool
+    classes: tuple[RecurrentClass, ...]
+    required: frozenset[Hashable]
+    #: (class index, missing processes) for each deficient class.
+    deficiencies: tuple[tuple[int, frozenset[Hashable]], ...]
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def describe(self) -> str:
+        lines = [
+            f"service: {'every process served' if self.ok else 'DEFICIENT'} "
+            f"({len(self.classes)} recurrent class(es), "
+            f"{len(self.required)} processes)"
+        ]
+        for index, missing in self.deficiencies:
+            lines.append(
+                f"  class {index} ({len(self.classes[index].states)} states) "
+                f"never serves {sorted(map(str, missing))}"
+            )
+        return "\n".join(lines)
+
+
+def check_service(
+    program: Program,
+    legitimate_states: Iterable[State],
+    *,
+    processes: Iterable[Hashable] | None = None,
+) -> ServiceReport:
+    """Check that legitimate operation serves every process forever.
+
+    Args:
+        program: The program.
+        legitimate_states: The extension of the (closed) invariant.
+        processes: The processes that must be served; defaults to every
+            process owning a variable in the program.
+    """
+    required = frozenset(
+        processes if processes is not None else program.processes()
+    )
+    classes = tuple(recurrent_classes(program, legitimate_states))
+    deficiencies = tuple(
+        (index, required - cls.served)
+        for index, cls in enumerate(classes)
+        if required - cls.served
+    )
+    return ServiceReport(
+        ok=bool(classes) and not deficiencies,
+        classes=classes,
+        required=required,
+        deficiencies=deficiencies,
+    )

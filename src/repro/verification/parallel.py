@@ -1,0 +1,148 @@
+"""Process-pool fan-out for batch verification jobs.
+
+Programs hold opaque callables (guards, assignment right-hand sides), so
+they cannot cross a process boundary. A batch job therefore ships
+**picklable task specs** instead: each :class:`VerificationTask` names a
+builder — ``"module:function"`` — that the worker imports and calls to
+rebuild the instance locally, then verifies through a
+:class:`~repro.verification.service.VerificationService`. Workers given
+a shared ``cache_dir`` publish their verdicts to the same on-disk cache,
+so a re-run of the batch (or a later sequential run) is answered from
+disk.
+
+Results always come back in task order, regardless of which worker
+finished first. The pool degrades gracefully: ``workers <= 1``, a task
+that does not pickle, or an executor that cannot start (restricted
+environments) all fall back to in-process sequential execution with
+identical results.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from importlib import import_module
+from typing import Any
+
+from repro.core.errors import ValidationError
+from repro.verification.service import ServiceVerdict, VerificationService
+
+__all__ = ["VerificationTask", "resolve_builder", "run_batch", "verdicts_ok"]
+
+
+@dataclass(frozen=True)
+class VerificationTask:
+    """One picklable unit of batch verification work.
+
+    Attributes:
+        case: Display name of the instance (keys result rows).
+        builder: Dotted reference ``"package.module:function"`` to a
+            top-level callable returning either ``(program, invariant)``
+            or ``(program, invariant, fault_span)``.
+        args: Positional arguments for the builder.
+        kwargs: Keyword arguments for the builder (as a tuple of pairs so
+            tasks stay hashable).
+        fairness: Computation model for the convergence check.
+    """
+
+    case: str
+    builder: str
+    args: tuple[Any, ...] = ()
+    kwargs: tuple[tuple[str, Any], ...] = ()
+    fairness: str = "weak"
+    #: Extra cache discriminator, forwarded as ``states_key``.
+    states_key: str | None = field(default=None)
+
+
+def resolve_builder(reference: str):
+    """Import the builder named by ``"module:function"``."""
+    module_name, _, attribute = reference.partition(":")
+    if not module_name or not attribute:
+        raise ValidationError(
+            f"builder reference {reference!r} is not of the form "
+            "'package.module:function'"
+        )
+    module = import_module(module_name)
+    try:
+        return getattr(module, attribute)
+    except AttributeError:
+        raise ValidationError(
+            f"module {module_name!r} has no attribute {attribute!r}"
+        ) from None
+
+
+def _execute(task: VerificationTask, cache_dir: str | None) -> dict[str, Any]:
+    """Build and verify one task; runs inside a worker or in-process."""
+    builder = resolve_builder(task.builder)
+    built = builder(*task.args, **dict(task.kwargs))
+    if len(built) == 2:
+        program, invariant = built
+        fault_span = None
+    else:
+        program, invariant, fault_span = built
+    service = VerificationService(cache_dir=cache_dir)
+    verdict = service.verify_tolerance(
+        program,
+        invariant,
+        fault_span,
+        fairness=task.fairness,
+        case=task.case,
+        states_key=task.states_key,
+    )
+    record = dict(verdict.record)
+    record["cached"] = verdict.cached
+    record["call_seconds"] = verdict.seconds
+    return record
+
+
+def _run_sequential(
+    tasks: Sequence[VerificationTask], cache_dir: str | None
+) -> list[dict[str, Any]]:
+    return [_execute(task, cache_dir) for task in tasks]
+
+
+def _picklable(tasks: Sequence[VerificationTask]) -> bool:
+    try:
+        pickle.dumps(tuple(tasks))
+        return True
+    except Exception:
+        return False
+
+
+def run_batch(
+    tasks: Sequence[VerificationTask],
+    *,
+    workers: int = 1,
+    cache_dir: str | None = None,
+) -> list[dict[str, Any]]:
+    """Verify every task, fanning out over ``workers`` processes.
+
+    Returns one verdict record per task, **in task order**. Records are
+    the JSON-able summaries of
+    :class:`~repro.verification.service.ServiceVerdict`, extended with
+    ``cached`` and ``call_seconds`` fields.
+
+    Falls back to sequential in-process execution when ``workers <= 1``,
+    when a task fails to pickle, or when the process pool cannot be
+    created. A worker raising is not masked — the underlying verification
+    error propagates, as it would sequentially.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    if workers <= 1 or not _picklable(tasks):
+        return _run_sequential(tasks, cache_dir)
+    try:
+        executor = ProcessPoolExecutor(max_workers=workers)
+    except (OSError, ValueError):
+        return _run_sequential(tasks, cache_dir)
+    with executor:
+        futures = [executor.submit(_execute, task, cache_dir) for task in tasks]
+        return [future.result() for future in futures]
+
+
+def verdicts_ok(records: Sequence[dict[str, Any]]) -> bool:
+    """Whether every record in a batch reports a passing verification."""
+    return all(record["ok"] for record in records)

@@ -1,143 +1,353 @@
-"""Service analysis inside the invariant.
+"""The verification service: cached exhaustive verification.
 
-Closure and convergence make a program *return* to legitimacy; whether
-the legitimate behaviour then actually serves every process — each node
-privileged infinitely often (token ring), every node visited by every
-wave (diffusing computation) — is a separate liveness question. On a
-finite instance it reduces to graph structure:
+Every benchmark and the CLI used to rebuild full transition systems and
+re-run closure/convergence/theorem checks from scratch for every
+instance. This module packages those checks behind a service with a
+content-addressed cache so repeated verification of the same instance —
+within a process, across processes, and across sessions — is answered
+from the cache instead of recomputed:
 
-- the legitimate states' transition graph decomposes into strongly
-  connected components; its **bottom components** (no edge leaving) are
-  the recurrent classes — where every infinite legitimate run ends up;
-- a recurrent class *serves* a process iff some state in the class
-  enables one of that process's actions (under weak fairness the action
-  then executes infinitely often in runs that stay in the class).
+- instances are keyed by :func:`repro.core.fingerprint_instance`
+  (structure plus behavioural probe), so a cache entry survives
+  rebuilding the same protocol and is invalidated by any change to its
+  variables, domains, guards or statements;
+- **in-memory**: built :class:`TransitionSystem` objects and full
+  verdict reports are memoized per service instance;
+- **on-disk** (optional ``cache_dir``): JSON verdict records persist
+  across processes, which is what makes the parallel worker pool in
+  :mod:`repro.verification.parallel` and cache-warm benchmark reruns
+  cheap. Transition systems are not persisted — they embed program
+  callables and are process-local.
 
-:func:`check_service` verifies that every recurrent class reachable from
-the legitimate states serves every process of interest.
+The historical liveness analysis that used to live in this module moved
+to :mod:`repro.verification.liveness`; its names are re-exported here
+for compatibility.
 """
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Iterable
+import json
+import time
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
 
+from repro.core.design import NonmaskingDesign
+from repro.core.fingerprint import (
+    fingerprint_instance,
+    fingerprint_predicate,
+    fingerprint_program,
+)
+from repro.core.predicates import TRUE, Predicate
 from repro.core.program import Program
 from repro.core.state import State
-from repro.verification.convergence import _strongly_connected_components
+from repro.verification.checker import ToleranceReport, check_tolerance
 from repro.verification.explorer import TransitionSystem, build_transition_system
 
-__all__ = ["RecurrentClass", "ServiceReport", "recurrent_classes", "check_service"]
+# Compatibility re-exports: this module's previous contents.
+from repro.verification.liveness import (  # noqa: F401
+    RecurrentClass,
+    ServiceReport,
+    check_service,
+    recurrent_classes,
+)
+
+__all__ = [
+    "ServiceVerdict",
+    "VerificationService",
+    "RecurrentClass",
+    "ServiceReport",
+    "check_service",
+    "recurrent_classes",
+]
 
 
 @dataclass(frozen=True)
-class RecurrentClass:
-    """A bottom SCC of the legitimate transition graph."""
+class ServiceVerdict:
+    """The service's answer to one tolerance-verification request.
 
-    states: tuple[State, ...]
-    #: Processes with an enabled action somewhere in the class.
-    served: frozenset[Hashable]
-
-
-def recurrent_classes(
-    program: Program,
-    states: Iterable[State],
-    *,
-    system: TransitionSystem | None = None,
-) -> list[RecurrentClass]:
-    """The recurrent classes of ``program`` restricted to ``states``.
-
-    ``states`` must be closed under the program (the invariant's
-    extension always is, once closure has been verified).
-
-    Raises:
-        ValueError: when the set is not closed.
+    ``record`` is the JSON-able verdict summary (the unit of caching);
+    ``report`` is the full :class:`ToleranceReport` with witnesses and
+    counterexamples, available unless the verdict came from the on-disk
+    cache of another process.
     """
-    ts = system if system is not None else build_transition_system(program, states)
-    if ts.escapes:
-        raise ValueError("the state set is not closed under the program")
-    node_ids = list(range(len(ts)))
-    successors = {
-        index: [target for _, target in ts.edges[index]] for index in node_ids
-    }
-    components = _strongly_connected_components(node_ids, successors)
-    classes: list[RecurrentClass] = []
-    for component in components:
-        members = set(component)
-        is_bottom = all(
-            target in members
-            for index in component
-            for target in successors[index]
-        )
-        if not is_bottom:
-            continue
-        served: set[Hashable] = set()
-        for index in component:
-            for action in program.enabled_actions(ts.states[index]):
-                if action.process is not None:
-                    served.add(action.process)
-        classes.append(
-            RecurrentClass(
-                states=tuple(ts.states[index] for index in component),
-                served=frozenset(served),
-            )
-        )
-    return classes
 
+    record: dict[str, Any]
+    report: ToleranceReport | None
+    cached: bool
+    #: "" (computed), "memory" or "disk".
+    cache_layer: str
+    #: Wall-clock seconds spent answering *this* call.
+    seconds: float
 
-@dataclass(frozen=True)
-class ServiceReport:
-    """Whether every recurrent class serves every required process."""
-
-    ok: bool
-    classes: tuple[RecurrentClass, ...]
-    required: frozenset[Hashable]
-    #: (class index, missing processes) for each deficient class.
-    deficiencies: tuple[tuple[int, frozenset[Hashable]], ...]
+    @property
+    def ok(self) -> bool:
+        return bool(self.record["ok"])
 
     def __bool__(self) -> bool:
         return self.ok
 
     def describe(self) -> str:
-        lines = [
-            f"service: {'every process served' if self.ok else 'DEFICIENT'} "
-            f"({len(self.classes)} recurrent class(es), "
-            f"{len(self.required)} processes)"
-        ]
-        for index, missing in self.deficiencies:
-            lines.append(
-                f"  class {index} ({len(self.classes[index].states)} states) "
-                f"never serves {sorted(map(str, missing))}"
-            )
-        return "\n".join(lines)
+        suffix = f" [cache: {self.cache_layer}]" if self.cached else ""
+        if self.report is not None:
+            return self.report.describe() + suffix
+        r = self.record
+        verdict = "T-tolerant for S" if r["ok"] else "NOT T-tolerant for S"
+        kind = r["classification"] + (" (stabilizing)" if r["stabilizing"] else "")
+        return "\n".join(
+            [
+                f"{verdict} [{kind}] over {r['total_states']} states{suffix}",
+                f"  S => T: {'ok' if r['implication_ok'] else 'FAIL'}",
+                f"  closure of S: {'ok' if r['s_closure_ok'] else 'FAIL'}",
+                f"  closure of T: {'ok' if r['t_closure_ok'] else 'FAIL'}",
+                f"  convergence: "
+                f"{'converges' if r['convergence_ok'] else 'does NOT converge'} "
+                f"under {r['fairness']!r} fairness "
+                f"({r['span_states']} span states, "
+                f"{r['bad_states']} outside target)",
+            ]
+        )
 
 
-def check_service(
-    program: Program,
-    legitimate_states: Iterable[State],
-    *,
-    processes: Iterable[Hashable] | None = None,
-) -> ServiceReport:
-    """Check that legitimate operation serves every process forever.
+def _tolerance_record(
+    report: ToleranceReport, *, case: str, fairness: str, seconds: float
+) -> dict[str, Any]:
+    return {
+        "case": case,
+        "ok": report.ok,
+        "implication_ok": report.implication_ok,
+        "s_closure_ok": report.s_closure.ok,
+        "t_closure_ok": report.t_closure.ok,
+        "convergence_ok": report.convergence.ok,
+        "classification": report.classification,
+        "stabilizing": report.stabilizing,
+        "total_states": report.total_states,
+        "span_states": report.convergence.span_states,
+        "bad_states": report.convergence.bad_states,
+        "fairness": fairness,
+        "seconds": seconds,
+    }
 
-    Args:
-        program: The program.
-        legitimate_states: The extension of the (closed) invariant.
-        processes: The processes that must be served; defaults to every
-            process owning a variable in the program.
+
+class VerificationService:
+    """Cached closure/convergence/theorem verification.
+
+    One service instance owns one in-memory cache; pass ``cache_dir`` to
+    add a persistent JSON layer shared between service instances and
+    between processes (the parallel worker pool relies on this).
     """
-    required = frozenset(
-        processes if processes is not None else program.processes()
-    )
-    classes = tuple(recurrent_classes(program, legitimate_states))
-    deficiencies = tuple(
-        (index, required - cls.served)
-        for index, cls in enumerate(classes)
-        if required - cls.served
-    )
-    return ServiceReport(
-        ok=bool(classes) and not deficiencies,
-        classes=classes,
-        required=required,
-        deficiencies=deficiencies,
-    )
+
+    def __init__(self, cache_dir: str | Path | None = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._records: dict[tuple[str, str], dict[str, Any]] = {}
+        self._reports: dict[str, ToleranceReport] = {}
+        self._systems: dict[str, TransitionSystem] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Generic record memoization (in-memory + on-disk JSON)
+    # ------------------------------------------------------------------
+
+    def _disk_path(self, kind: str, key: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{kind}-{key[:40]}.json"
+
+    def memo(
+        self,
+        kind: str,
+        key: str,
+        compute: Callable[[], dict[str, Any]],
+    ) -> tuple[dict[str, Any], str]:
+        """The cached record for ``(kind, key)``, computing it on a miss.
+
+        Returns ``(record, layer)`` where ``layer`` is ``""`` when the
+        record was computed now, else ``"memory"`` or ``"disk"``.
+        """
+        memo_key = (kind, key)
+        record = self._records.get(memo_key)
+        if record is not None:
+            self.hits += 1
+            return record, "memory"
+        path = self._disk_path(kind, key)
+        if path is not None and path.exists():
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, ValueError):
+                record = None  # corrupt/racing entry: recompute below
+            if record is not None:
+                self._records[memo_key] = record
+                self.hits += 1
+                return record, "disk"
+        self.misses += 1
+        record = compute()
+        self._records[memo_key] = record
+        if path is not None:
+            tmp = path.with_suffix(f".tmp-{id(self)}")
+            tmp.write_text(json.dumps(record, indent=2, sort_keys=True))
+            tmp.replace(path)  # atomic: concurrent workers race benignly
+        return record, ""
+
+    # ------------------------------------------------------------------
+    # Transition systems
+    # ------------------------------------------------------------------
+
+    def transition_system(
+        self,
+        program: Program,
+        states: Iterable[State],
+        *,
+        states_key: str,
+    ) -> TransitionSystem:
+        """The (memoized) transition graph of ``program`` over ``states``.
+
+        ``states_key`` discriminates different state sets of the same
+        program (e.g. ``"full"`` vs a window label); the full key also
+        covers the program fingerprint.
+        """
+        key = f"{fingerprint_program(program)}:{states_key}"
+        system = self._systems.get(key)
+        if system is None:
+            system = build_transition_system(program, states)
+            self._systems[key] = system
+        return system
+
+    # ------------------------------------------------------------------
+    # Tolerance verification
+    # ------------------------------------------------------------------
+
+    def verify_tolerance(
+        self,
+        program: Program,
+        invariant: Predicate,
+        fault_span: Predicate | None = None,
+        states: Iterable[State] | None = None,
+        *,
+        fairness: str = "weak",
+        case: str | None = None,
+        states_key: str | None = None,
+    ) -> ServiceVerdict:
+        """Cached equivalent of :func:`repro.verification.check_tolerance`.
+
+        Args:
+            program: The augmented program.
+            invariant: ``S``.
+            fault_span: ``T``; defaults to ``TRUE`` (stabilization).
+            states: The instance's state set; defaults to the full state
+                space. **Pass ``states_key`` whenever this is a proper
+                subset** — the default discriminator is only the set's
+                size, which cannot tell two different windows apart.
+            fairness: Computation model for convergence.
+            case: Display name recorded in the verdict.
+            states_key: Cache discriminator for the state set.
+        """
+        span = fault_span if fault_span is not None else TRUE
+        started = time.perf_counter()
+        if states is None:
+            state_list: list[State] | None = None
+            extra = ("states=full",)
+        else:
+            state_list = list(states)
+            extra = (
+                states_key if states_key is not None else f"states=n{len(state_list)}",
+            )
+        key = fingerprint_instance(
+            program, invariant, span, fairness=fairness, extra=extra
+        )
+        name = case if case is not None else program.name
+
+        def compute() -> dict[str, Any]:
+            compute_started = time.perf_counter()
+            report = check_tolerance(
+                program,
+                invariant,
+                span,
+                state_list if state_list is not None else program.state_space(),
+                fairness=fairness,
+            )
+            seconds = time.perf_counter() - compute_started
+            self._reports[key] = report
+            return _tolerance_record(
+                report, case=name, fairness=fairness, seconds=seconds
+            )
+
+        record, layer = self.memo("tolerance", key, compute)
+        return ServiceVerdict(
+            record=record,
+            report=self._reports.get(key),
+            cached=bool(layer),
+            cache_layer=layer,
+            seconds=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------
+    # Theorem certificates
+    # ------------------------------------------------------------------
+
+    def validate_design(
+        self,
+        design: NonmaskingDesign,
+        states: Iterable[State],
+        *,
+        theorem: str = "auto",
+        case: str | None = None,
+        states_key: str | None = None,
+    ) -> dict[str, Any]:
+        """Cached theorem-certificate validation of a nonmasking design.
+
+        Returns a JSON-able record summarizing the certificate; the full
+        :class:`~repro.core.design.DesignReport` is recomputed only on a
+        cache miss.
+        """
+        state_list = list(states)
+        name = case if case is not None else design.name
+        tokens = [
+            fingerprint_program(design.program),
+            f"theorem={theorem}",
+            states_key if states_key is not None else f"states=n{len(state_list)}",
+        ]
+        tokens.extend(
+            fingerprint_predicate(c.predicate, design.program)
+            for c in design.candidate.constraints
+        )
+        key = fingerprint_instance(
+            design.program,
+            design.candidate.invariant,
+            design.candidate.fault_span,
+            extra=tuple(tokens),
+        )
+
+        def compute() -> dict[str, Any]:
+            compute_started = time.perf_counter()
+            report = design.validate(state_list, theorem=theorem)
+            seconds = time.perf_counter() - compute_started
+            certificate = report.selected
+            return {
+                "case": name,
+                "ok": report.ok,
+                "theorem": certificate.theorem,
+                "conditions": len(certificate.conditions),
+                "conditions_ok": sum(1 for c in certificate.conditions if c.ok),
+                "states": len(state_list),
+                "seconds": seconds,
+            }
+
+        record, _ = self.memo("design", key, compute)
+        return record
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Cache-effectiveness counters for reports and benchmarks."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "records": len(self._records),
+            "systems": len(self._systems),
+        }

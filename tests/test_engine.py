@@ -136,6 +136,87 @@ class TestTraceRecording:
         assert len(result.computation) == 1
         assert result.computation.final_state["n"] == (7 % 4)
 
+    def test_no_duplicate_final_state_on_immediate_termination(self):
+        from repro.core import IntegerRangeDomain, Program, Variable
+
+        silent = Program("silent", [Variable("n", IntegerRangeDomain(0, 3))], [])
+        result = run(
+            silent,
+            State({"n": 1}),
+            FirstEnabledScheduler(),
+            max_steps=10,
+            record_trace=False,
+        )
+        # A zero-step run used to append the initial state again; the
+        # trace must hold the single visited state exactly once.
+        assert result.terminated
+        assert len(result.computation) == 0
+        assert list(result.computation.states()) == [State({"n": 1})]
+        assert result.computation.final_state == State({"n": 1})
+
+    def test_no_duplicate_when_target_holds_initially(self, counter_program):
+        result = run(
+            counter_program,
+            State({"n": 0}),
+            FirstEnabledScheduler(),
+            max_steps=100,
+            target=N_ZERO,
+            stop_on_target=True,
+            record_trace=False,
+        )
+        assert result.steps == 0
+        assert result.target_index == 0
+        assert result.stabilization_index == 0
+        assert len(result.computation) == 0
+        assert list(result.computation.states()) == [State({"n": 0})]
+
+    def test_stop_on_target_without_trace_keeps_final_state(
+        self, counter_program
+    ):
+        result = run(
+            counter_program,
+            State({"n": 0}),
+            FirstEnabledScheduler(),
+            max_steps=100,
+            target=N_THREE,
+            stop_on_target=True,
+            record_trace=False,
+        )
+        assert result.reached_target
+        assert result.target_index == 3
+        assert len(result.computation) == 1
+        assert result.computation.final_state == State({"n": 3})
+
+    def test_faults_counted_and_final_state_kept_without_trace(
+        self, counter_program
+    ):
+        bump = LambdaFault("bump", lambda s, rng: s.update({"n": 3}))
+        with_trace = run(
+            counter_program,
+            State({"n": 0}),
+            FirstEnabledScheduler(),
+            max_steps=5,
+            target=N_ZERO,
+            faults=ScheduledFaults({2: bump}),
+        )
+        without = run(
+            counter_program,
+            State({"n": 0}),
+            FirstEnabledScheduler(),
+            max_steps=5,
+            target=N_ZERO,
+            faults=ScheduledFaults({2: bump}),
+            record_trace=False,
+        )
+        # Fault events contribute trace-time indices identically in both
+        # modes, and the truncated trace still ends at the right state.
+        assert without.fault_count == with_trace.fault_count == 1
+        assert without.steps == with_trace.steps
+        assert without.target_index == with_trace.target_index
+        assert without.stabilization_index == with_trace.stabilization_index
+        assert without.computation.final_state == with_trace.computation.final_state
+        assert len(without.computation) == 1
+
     def test_metrics_identical_with_and_without_trace(self, counter_program):
         with_trace = run(
             counter_program,

@@ -10,6 +10,7 @@ from repro.core import (
     Program,
     State,
     StateSpaceTooLargeError,
+    UnknownStateError,
     Variable,
 )
 from repro.verification import build_transition_system, explore
@@ -46,6 +47,42 @@ class TestBuildTransitionSystem:
         small = Predicate(lambda s: s["n"] <= 1, name="n <= 1", support=("n",))
         assert len(ts.satisfying(small)) == 2
 
+    def test_satisfying_memoized_per_predicate(self, counter_program):
+        ts = build_transition_system(counter_program, counter_program.state_space())
+        calls = 0
+
+        def counting(state):
+            nonlocal calls
+            calls += 1
+            return state["n"] <= 1
+
+        small = Predicate(counting, name="n <= 1", support=("n",))
+        first = ts.satisfying(small)
+        evaluations = calls
+        second = ts.satisfying(small)
+        assert second is first  # cached list, predicate not re-evaluated
+        assert calls == evaluations == len(ts)
+
+    def test_index_of_unknown_state_raises_readable_error(self, counter_program):
+        ts = build_transition_system(
+            counter_program, counter_program.state_space()
+        )
+        with pytest.raises(UnknownStateError, match="4 states"):
+            ts.index_of(State({"n": 99}))
+
+    def test_picklable_without_memo(self, counter_program):
+        import pickle
+
+        ts = build_transition_system(
+            counter_program, counter_program.state_space()
+        )
+        small = Predicate(lambda s: s["n"] <= 1, name="n <= 1", support=("n",))
+        ts.satisfying(small)  # populate the (unpicklable) memo
+        clone = pickle.loads(pickle.dumps(ts))
+        assert clone.states == ts.states
+        assert clone.successors(0) == ts.successors(0)
+        assert len(clone.satisfying(small)) == 2
+
 
 class TestExplore:
     def test_reachability_closure(self, counter_program):
@@ -79,6 +116,18 @@ class TestExplore:
     def test_max_states_guard(self, counter_program):
         with pytest.raises(StateSpaceTooLargeError):
             explore(counter_program, [State({"n": 0})], max_states=2)
+
+    def test_max_states_error_names_root_set(self, counter_program):
+        with pytest.raises(
+            StateSpaceTooLargeError, match=r"1 root state\(s\) exceeds 2"
+        ):
+            explore(counter_program, [State({"n": 0})], max_states=2)
+        with pytest.raises(StateSpaceTooLargeError, match=r"2 root state\(s\)"):
+            explore(
+                counter_program,
+                [State({"n": 0}), State({"n": 1})],
+                max_states=2,
+            )
 
     def test_explored_set_is_closed(self, counter_program):
         ts = explore(counter_program, [State({"n": 0})])

@@ -11,6 +11,7 @@ from repro.core import (
     State,
     StateSpaceTooLargeError,
     UnknownVariableError,
+    ValidationError,
     Variable,
     count_states,
     enumerate_states,
@@ -94,6 +95,19 @@ class TestEnumeration:
         with pytest.raises(StateSpaceTooLargeError):
             list(enumerate_states(variables, max_states=99))
 
+    def test_duplicate_variable_names_rejected(self):
+        # Two variables named "n" would silently collapse to one state
+        # component (later shadows earlier); that must be a loud error.
+        variables = [
+            Variable("n", IntegerRangeDomain(0, 2)),
+            Variable("b", BooleanDomain()),
+            Variable("n", IntegerRangeDomain(0, 5)),
+        ]
+        with pytest.raises(ValidationError, match="duplicate variable name"):
+            list(enumerate_states(variables))
+        with pytest.raises(ValidationError, match="'n'"):
+            list(enumerate_states(variables))
+
 
 class TestRandomState:
     def test_values_in_domains(self):
@@ -118,3 +132,11 @@ class TestRandomState:
         rng = random.Random(0)
         for _ in range(25):
             assert -3 <= random_state(variables, rng)["x"] <= 3
+
+    def test_duplicate_variable_names_rejected(self):
+        variables = [
+            Variable("x", IntegerRangeDomain(0, 2)),
+            Variable("x", BooleanDomain()),
+        ]
+        with pytest.raises(ValidationError, match="duplicate variable name"):
+            random_state(variables, random.Random(0))
