@@ -14,7 +14,6 @@ Two complementary checks:
 """
 
 from repro.analysis import render_table
-from repro.core import TRUE
 from repro.protocols.diffusing import build_diffusing_design, diffusing_invariant
 from repro.protocols.three_constraint import (
     build_ordered_design,
@@ -26,7 +25,7 @@ from repro.protocols.token_ring import build_dijkstra_ring
 from repro.scheduler import AdversarialScheduler, FirstEnabledScheduler, RandomScheduler
 from repro.simulation import stabilization_trials
 from repro.topology import balanced_tree, chain_tree
-from repro.verification import check_convergence, check_tolerance, explore
+from repro.verification import check_convergence, explore
 
 TRIALS = 15
 

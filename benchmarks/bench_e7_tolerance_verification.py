@@ -16,6 +16,7 @@ import time
 
 from repro.analysis import render_table
 from repro.core import TRUE
+from repro.observability import MetricsRegistry
 from repro.protocols.library import build_case, case_names
 from repro.verification import VerificationService, check_tolerance
 
@@ -40,7 +41,7 @@ def test_e7_tolerance_verification(benchmark, report, bench_timings):
     service = VerificationService()
     benchmark(lambda: service.verify_tolerance(program, spec))
 
-    suite_service = VerificationService()
+    suite_service = VerificationService(metrics=MetricsRegistry())
     rows = []
     instances = []
     for name in case_names():
@@ -104,5 +105,12 @@ def test_e7_tolerance_verification(benchmark, report, bench_timings):
         "(service differentially verified against the sequential checker)",
     )
     report("e7_tolerance_verification", table)
-    bench_timings("e7", {"instances": instances, **suite_service.stats()})
+    bench_timings(
+        "e7",
+        {
+            "instances": instances,
+            "metrics": suite_service.report().as_dict(),
+            **suite_service.stats(),
+        },
+    )
     assert all(row[7] for row in rows)

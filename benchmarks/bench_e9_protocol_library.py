@@ -56,7 +56,12 @@ from repro.topology import (
     random_connected_graph,
     random_tree,
 )
-from repro.verification import VerificationService, check_stair, run_batch
+from repro.verification import (
+    VerificationService,
+    batch_report,
+    check_stair,
+    run_batch,
+)
 
 TRIALS = 15
 
@@ -300,6 +305,11 @@ def test_e9_protocol_library(benchmark, report, bench_timings):
         title="E9 addendum: library verification suite through the service",
     )
     report("e9_verification_timings", timing_lines)
+    cold_metrics = batch_report(
+        parallel_cold,
+        wall_clock_seconds=parallel_cold_seconds,
+        workers=PARALLEL_WORKERS,
+    )
     bench_timings(
         "e9",
         {
@@ -307,6 +317,7 @@ def test_e9_protocol_library(benchmark, report, bench_timings):
             "sequential_seconds": sequential_seconds,
             "parallel_cold_seconds": parallel_cold_seconds,
             "parallel_warm_seconds": parallel_warm_seconds,
+            "metrics": cold_metrics.as_dict(),
             "instances": [
                 {
                     "case": cold["case"],

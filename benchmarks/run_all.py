@@ -58,7 +58,7 @@ def _verdicts(records: list[dict]) -> list[dict]:
 
 def run_quick() -> int:
     from repro.protocols.library import library_tasks
-    from repro.verification import run_batch, verdicts_ok
+    from repro.verification import batch_report, run_batch, verdicts_ok
 
     from conftest import record_verification_timings
 
@@ -82,6 +82,13 @@ def run_quick() -> int:
         warm_seconds = time.perf_counter() - started
         print(f"  workers={QUICK_WORKERS} (warm cache) {warm_seconds:6.2f}s")
 
+    cold_metrics = batch_report(
+        parallel, wall_clock_seconds=parallel_seconds, workers=QUICK_WORKERS
+    )
+    warm_metrics = batch_report(
+        warm, wall_clock_seconds=warm_seconds, workers=QUICK_WORKERS
+    )
+
     failures = []
     if _verdicts(sequential) != _verdicts(parallel):
         failures.append("parallel verdicts differ from sequential")
@@ -91,10 +98,26 @@ def run_quick() -> int:
         failures.append("warm pass was not fully served from the cache")
     if not verdicts_ok(sequential):
         failures.append("a library case failed verification")
+    # Per-worker timings must account for every task: the worker.* timer
+    # totals sum to the overall task timer total.
+    worker_seconds = sum(
+        stats["total"]
+        for name, stats in cold_metrics.timers.items()
+        if name.startswith("worker.")
+    )
+    if abs(worker_seconds - cold_metrics.timers["task"]["total"]) > 1e-6:
+        failures.append("per-worker timings do not sum to the task total")
 
     for record in sequential:
         print(f"    {record['case']:<28} states={record['total_states']:<6} "
               f"{'ok' if record['ok'] else 'FAIL'}")
+    workers_used = sorted(
+        name.removeprefix("worker.")
+        for name in cold_metrics.timers
+        if name.startswith("worker.")
+    )
+    print(f"  cold pass used {len(workers_used)} worker(s): "
+          f"{', '.join(workers_used)}")
 
     record_verification_timings(
         "quick",
@@ -104,6 +127,10 @@ def run_quick() -> int:
             "sequential_seconds": sequential_seconds,
             "parallel_cold_seconds": parallel_seconds,
             "parallel_warm_seconds": warm_seconds,
+            "metrics": {
+                "cold": cold_metrics.as_dict(),
+                "warm": warm_metrics.as_dict(),
+            },
         },
     )
 

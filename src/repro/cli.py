@@ -16,6 +16,12 @@ fans the whole case library out over a worker pool; ``simulate``
 measures stabilization from random corruption; ``render`` prints the
 paper-style guarded-command listing. Every command is deterministic
 given ``--seed``.
+
+Observability: ``verify``, ``verify-all`` and ``simulate`` accept
+``--trace FILE`` (structured JSONL events — see docs/OBSERVABILITY.md)
+and ``--metrics`` (an aggregated cache/timing report after the normal
+output); ``verify`` and ``verify-all`` accept ``--json PATH`` for
+machine-readable verdicts.
 """
 
 from __future__ import annotations
@@ -28,9 +34,17 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 from repro.core import Predicate, Program, render_program
+from repro.observability import (
+    CountingSink,
+    JsonlSink,
+    MetricsRegistry,
+    RunReport,
+    Sink,
+    Tracer,
+)
 from repro.scheduler import RandomScheduler
 from repro.simulation import stabilization_trials
-from repro.verification import VerificationService, run_batch
+from repro.verification import VerificationService, batch_report, run_batch
 
 __all__ = ["main", "PROTOCOLS"]
 
@@ -203,6 +217,25 @@ PROTOCOLS: dict[str, RegisteredProtocol] = {
 }
 
 
+def _open_tracer(
+    args: argparse.Namespace, extra_sinks: Sequence[Sink] = ()
+) -> Tracer | None:
+    """A tracer for this invocation, or ``None`` when nothing listens.
+
+    Combines ``--trace FILE`` (a JSONL sink) with any ``extra_sinks``
+    the command wants (e.g. an event counter for ``--metrics``).
+    """
+    sinks: list[Sink] = list(extra_sinks)
+    if getattr(args, "trace", None):
+        sinks.append(JsonlSink(args.trace))
+    return Tracer(sinks=sinks) if sinks else None
+
+
+def _write_json(path: str, payload: dict) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+
 def _command_list(_args: argparse.Namespace) -> int:
     width = max(len(name) for name in PROTOCOLS)
     for name, entry in PROTOCOLS.items():
@@ -236,14 +269,42 @@ def _command_verify(args: argparse.Namespace) -> int:
         )
         return 2
     program, invariant = entry.build(size)
-    service = VerificationService(cache_dir=args.cache)
-    verdict = service.verify_tolerance(
-        program,
-        invariant,
-        fairness=args.fairness,
-        case=f"{entry.name} (n={size})",
-    )
+    tracer = _open_tracer(args)
+    metrics = MetricsRegistry() if args.metrics else None
+    try:
+        service = VerificationService(
+            cache_dir=args.cache, tracer=tracer, metrics=metrics
+        )
+        verdict = service.verify_tolerance(
+            program,
+            invariant,
+            fairness=args.fairness,
+            case=f"{entry.name} (n={size})",
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
     print(verdict.describe())
+    if args.metrics:
+        print()
+        print(service.report(case=f"{entry.name} (n={size})").describe())
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    if args.json:
+        _write_json(
+            args.json,
+            {
+                "command": "verify",
+                "protocol": entry.name,
+                "size": size,
+                "fairness": args.fairness,
+                "record": verdict.record,
+                "cached": verdict.cached,
+                "cache_layer": verdict.cache_layer,
+                "call_seconds": verdict.seconds,
+            },
+        )
+        print(f"verdict written to {args.json}")
     return 0 if verdict.ok else 1
 
 
@@ -259,8 +320,15 @@ def _command_verify_all(args: argparse.Namespace) -> int:
     except ValidationError as error:
         known = ", ".join(case_names())
         raise SystemExit(f"{error}; known cases: {known}") from None
+    tracer = _open_tracer(args)
     started = time.perf_counter()
-    records = run_batch(tasks, workers=args.workers, cache_dir=args.cache)
+    try:
+        records = run_batch(
+            tasks, workers=args.workers, cache_dir=args.cache, tracer=tracer
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
     elapsed = time.perf_counter() - started
     rows = [
         [
@@ -283,14 +351,24 @@ def _command_verify_all(args: argparse.Namespace) -> int:
             f"workers={args.workers}, {elapsed:.2f}s wall-clock",
         )
     )
+    report = batch_report(
+        records, wall_clock_seconds=elapsed, workers=args.workers
+    )
+    if args.metrics:
+        print()
+        print(report.describe())
+    if args.trace:
+        print(f"trace written to {args.trace}")
     if args.json:
-        payload = {
-            "workers": args.workers,
-            "wall_clock_seconds": elapsed,
-            "instances": records,
-        }
-        with open(args.json, "w") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
+        _write_json(
+            args.json,
+            {
+                "workers": args.workers,
+                "wall_clock_seconds": elapsed,
+                "instances": records,
+                "metrics": report.as_dict(),
+            },
+        )
         print(f"timings written to {args.json}")
     return 0 if all(record["ok"] for record in records) else 1
 
@@ -299,20 +377,40 @@ def _command_simulate(args: argparse.Namespace) -> int:
     entry = _resolve(args.protocol)
     size = args.size if args.size is not None else entry.default_size
     program, invariant = entry.build(size)
-    stats = stabilization_trials(
-        program,
-        invariant,
-        lambda seed: RandomScheduler(seed),
-        trials=args.trials,
-        max_steps=args.max_steps,
-        base_seed=args.seed,
-    )
+    counting = CountingSink() if args.metrics else None
+    tracer = _open_tracer(args, [counting] if counting is not None else ())
+    try:
+        stats = stabilization_trials(
+            program,
+            invariant,
+            lambda seed: RandomScheduler(seed),
+            trials=args.trials,
+            max_steps=args.max_steps,
+            base_seed=args.seed,
+            tracer=tracer,
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
     print(
         f"{entry.name} (size {size}): {stats.stabilized_count}/{args.trials} "
         f"trials stabilized"
     )
     if stats.steps is not None:
         print(f"steps to stabilize: {stats.steps}")
+    if counting is not None:
+        report = RunReport(
+            counters={
+                "trials": args.trials,
+                "stabilized": stats.stabilized_count,
+                **dict(sorted(counting.counts.items())),
+            },
+            meta={"protocol": entry.name, "size": size, "seed": args.seed},
+        )
+        print()
+        print(report.describe())
+    if args.trace:
+        print(f"trace written to {args.trace}")
     return 0 if stats.all_stabilized else 1
 
 
@@ -322,6 +420,17 @@ def _command_render(args: argparse.Namespace) -> int:
     program, _ = entry.build(size)
     print(render_program(program))
     return 0
+
+
+def _add_observability_flags(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write structured trace events as JSON lines to FILE",
+    )
+    command.add_argument(
+        "--metrics", action="store_true",
+        help="print an aggregated metrics report after the normal output",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -348,6 +457,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", default=None, metavar="DIR",
         help="persist verdicts in DIR so repeat invocations are cache hits",
     )
+    verify.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the machine-readable verdict to PATH",
+    )
+    _add_observability_flags(verify)
     verify.set_defaults(handler=_command_verify)
 
     verify_all = commands.add_parser(
@@ -372,8 +486,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify_all.add_argument(
         "--json", default=None, metavar="PATH",
-        help="write per-instance timing records to PATH",
+        help="write per-instance timing records (and the metrics report) to PATH",
     )
+    _add_observability_flags(verify_all)
     verify_all.set_defaults(handler=_command_verify_all)
 
     simulate = commands.add_parser(
@@ -384,6 +499,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--trials", type=int, default=20)
     simulate.add_argument("--max-steps", type=int, default=200_000)
     simulate.add_argument("--seed", type=int, default=0)
+    _add_observability_flags(simulate)
     simulate.set_defaults(handler=_command_simulate)
 
     render = commands.add_parser(

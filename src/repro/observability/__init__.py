@@ -1,0 +1,92 @@
+"""Observability: structured tracing, metrics, and run reports.
+
+A lightweight, zero-dependency instrumentation subsystem for the whole
+library. Three layers:
+
+- **events** — every instrumented component (the simulation engine, the
+  schedulers, the verification service, the batch pool) emits namespaced
+  :class:`TraceEvent` records through an optional :class:`Tracer` to
+  pluggable sinks (:class:`RingBufferSink`, :class:`JsonlSink`,
+  :class:`LogSink`, :class:`CountingSink`);
+- **metrics** — :class:`Counter` and :class:`Timer` primitives collected
+  in a :class:`MetricsRegistry`;
+- **reports** — a :class:`RunReport` snapshot with a stable JSON schema
+  and an aligned text rendering, used by the CLI's ``--metrics`` flag
+  and attached to ``BENCH_verification.json`` by the benchmarks.
+
+The golden rule: instrumentation is **opt-in and free when off**. Every
+hook defaults to ``None`` and every emission site is guarded by a single
+``is not None`` check, so un-traced hot paths behave exactly as before
+(pinned by the overhead test). See ``docs/OBSERVABILITY.md`` for the
+event taxonomy and a worked example.
+
+Quickstart::
+
+    from repro.observability import Tracer
+
+    tracer = Tracer.buffered()
+    result = run(program, initial, scheduler, max_steps=1000,
+                 target=invariant, tracer=tracer)
+    for event in tracer.events_of("fault.injected", "target.established"):
+        print(event)
+"""
+
+from repro.observability.events import (
+    ACTION_FIRED,
+    BATCH_FINISH,
+    BATCH_START,
+    CACHE_HIT,
+    CACHE_MISS,
+    CONSTRAINT_ESTABLISHED,
+    CONSTRAINT_VIOLATED,
+    EVENT_KINDS,
+    FAULT_INJECTED,
+    RUN_FINISH,
+    RUN_START,
+    SCHEDULER_STEP,
+    TARGET_ESTABLISHED,
+    TARGET_VIOLATED,
+    WORKER_TASK_FINISH,
+    WORKER_TASK_START,
+    TraceEvent,
+)
+from repro.observability.metrics import Counter, MetricsRegistry, Timer
+from repro.observability.report import RunReport
+from repro.observability.sinks import (
+    CountingSink,
+    JsonlSink,
+    LogSink,
+    RingBufferSink,
+    Sink,
+)
+from repro.observability.tracer import Tracer
+
+__all__ = [
+    "ACTION_FIRED",
+    "BATCH_FINISH",
+    "BATCH_START",
+    "CACHE_HIT",
+    "CACHE_MISS",
+    "CONSTRAINT_ESTABLISHED",
+    "CONSTRAINT_VIOLATED",
+    "Counter",
+    "CountingSink",
+    "EVENT_KINDS",
+    "FAULT_INJECTED",
+    "JsonlSink",
+    "LogSink",
+    "MetricsRegistry",
+    "RingBufferSink",
+    "RUN_FINISH",
+    "RUN_START",
+    "RunReport",
+    "SCHEDULER_STEP",
+    "Sink",
+    "TARGET_ESTABLISHED",
+    "TARGET_VIOLATED",
+    "Timer",
+    "TraceEvent",
+    "Tracer",
+    "WORKER_TASK_FINISH",
+    "WORKER_TASK_START",
+]

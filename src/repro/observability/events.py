@@ -1,0 +1,130 @@
+"""Structured trace events and the event taxonomy.
+
+Every instrumented component of the library reports what it did as a
+:class:`TraceEvent` — an immutable, timestamped, JSON-able record with a
+namespaced ``kind`` and free-form ``fields``. The taxonomy below is the
+complete vocabulary emitted by the built-in instrumentation; sinks and
+analysis code can rely on these exact strings (``docs/OBSERVABILITY.md``
+documents the fields each kind carries).
+
+Event kinds are plain strings, namespaced ``component.what``:
+
+- simulation engine: :data:`RUN_START`, :data:`ACTION_FIRED`,
+  :data:`FAULT_INJECTED`, :data:`TARGET_ESTABLISHED`,
+  :data:`TARGET_VIOLATED`, :data:`CONSTRAINT_ESTABLISHED`,
+  :data:`CONSTRAINT_VIOLATED`, :data:`RUN_FINISH`;
+- schedulers: :data:`SCHEDULER_STEP`;
+- verification service: :data:`CACHE_HIT`, :data:`CACHE_MISS`;
+- batch verification: :data:`BATCH_START`, :data:`WORKER_TASK_START`,
+  :data:`WORKER_TASK_FINISH`, :data:`BATCH_FINISH`.
+
+Custom emitters are free to add their own kinds; the constants exist so
+the built-in ones are greppable and typo-proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "ACTION_FIRED",
+    "BATCH_FINISH",
+    "BATCH_START",
+    "CACHE_HIT",
+    "CACHE_MISS",
+    "CONSTRAINT_ESTABLISHED",
+    "CONSTRAINT_VIOLATED",
+    "EVENT_KINDS",
+    "FAULT_INJECTED",
+    "RUN_FINISH",
+    "RUN_START",
+    "SCHEDULER_STEP",
+    "TARGET_ESTABLISHED",
+    "TARGET_VIOLATED",
+    "TraceEvent",
+    "WORKER_TASK_FINISH",
+    "WORKER_TASK_START",
+]
+
+#: A simulation run began (program, scheduler, step budget).
+RUN_START = "run.start"
+#: A simulation run ended (steps, faults, stabilization indices).
+RUN_FINISH = "run.finish"
+#: The scheduler executed program action(s) at a step.
+ACTION_FIRED = "action.fired"
+#: A fault scenario applied a fault before a program step.
+FAULT_INJECTED = "fault.injected"
+#: The run's target predicate (usually the invariant ``S``) began to hold.
+TARGET_ESTABLISHED = "target.established"
+#: The target predicate stopped holding (a fault, or transit through ``T``).
+TARGET_VIOLATED = "target.violated"
+#: A watched constraint predicate began to hold (``watch=`` on the engine).
+CONSTRAINT_ESTABLISHED = "constraint.established"
+#: A watched constraint predicate stopped holding.
+CONSTRAINT_VIOLATED = "constraint.violated"
+#: A daemon chose among the enabled actions at a step.
+SCHEDULER_STEP = "scheduler.step"
+#: The verification service answered from its cache (memory or disk).
+CACHE_HIT = "cache.hit"
+#: The verification service had to compute a fresh record.
+CACHE_MISS = "cache.miss"
+#: A batch verification job started (cases, workers).
+BATCH_START = "batch.start"
+#: One batch task began (only observable for in-process execution).
+WORKER_TASK_START = "worker.task.start"
+#: One batch task finished (worker identity, wall-clock).
+WORKER_TASK_FINISH = "worker.task.finish"
+#: A batch verification job finished (wall-clock, cache totals).
+BATCH_FINISH = "batch.finish"
+
+#: Every kind the built-in instrumentation emits.
+EVENT_KINDS: tuple[str, ...] = (
+    RUN_START,
+    RUN_FINISH,
+    ACTION_FIRED,
+    FAULT_INJECTED,
+    TARGET_ESTABLISHED,
+    TARGET_VIOLATED,
+    CONSTRAINT_ESTABLISHED,
+    CONSTRAINT_VIOLATED,
+    SCHEDULER_STEP,
+    CACHE_HIT,
+    CACHE_MISS,
+    BATCH_START,
+    WORKER_TASK_START,
+    WORKER_TASK_FINISH,
+    BATCH_FINISH,
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured event.
+
+    Attributes:
+        seq: Position in the emitting tracer's stream (0-based, dense).
+        time: Tracer-clock timestamp (``time.perf_counter`` by default, so
+            differences are wall-clock seconds; absolute values are only
+            meaningful within one process).
+        kind: Namespaced event kind — one of :data:`EVENT_KINDS` for the
+            built-in instrumentation.
+        fields: Kind-specific payload. Values must be JSON-able for the
+            JSONL sink; the built-in instrumentation sticks to strings,
+            numbers, booleans and tuples of strings. The names ``seq``,
+            ``time`` and ``kind`` are reserved (they would collide in the
+            flattened form).
+    """
+
+    seq: int
+    time: float
+    kind: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """The flattened JSON-able form used by the JSONL sink."""
+        return {"seq": self.seq, "time": self.time, "kind": self.kind, **self.fields}
+
+    def __str__(self) -> str:
+        payload = " ".join(f"{k}={v!r}" for k, v in self.fields.items())
+        return f"[{self.seq:>5} {self.time:12.6f}] {self.kind} {payload}".rstrip()

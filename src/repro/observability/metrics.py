@@ -1,0 +1,125 @@
+"""Metric primitives: counters, timers, and a registry.
+
+Where events (:mod:`repro.observability.events`) record *what happened*,
+metrics record *how much and how long*. Two primitives suffice for the
+library's needs:
+
+- :class:`Counter` — a named monotonically increasing integer (cache
+  hits, faults injected, tasks completed);
+- :class:`Timer` — accumulated wall-clock observations with count,
+  total, min, max and mean (per-verdict verification time, per-worker
+  task time).
+
+A :class:`MetricsRegistry` owns a namespace of both, created on first
+use, and renders into a :class:`~repro.observability.report.RunReport`.
+All primitives are plain attribute arithmetic — no locks, no I/O — so
+recording is cheap enough for per-call instrumentation of the
+verification service.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["Counter", "Timer", "MetricsRegistry"]
+
+
+class Counter:
+    """A named monotonically increasing count."""
+
+    __slots__ = ("name", "count")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+
+    def add(self, amount: int = 1) -> int:
+        """Increment by ``amount`` (default 1) and return the new count."""
+        self.count += amount
+        return self.count
+
+    def __int__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, count={self.count})"
+
+
+class Timer:
+    """Accumulated wall-clock observations for one named operation."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Fold one observation (in seconds) into the aggregate."""
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @contextmanager
+    def time(self):
+        """Context manager recording the wall-clock of its block."""
+        started = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.record(time.perf_counter() - started)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        """JSON-able summary: count, total, mean, min, max (seconds)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Timer({self.name!r}, count={self.count}, "
+            f"total={self.total:.6f}s)"
+        )
+
+
+class MetricsRegistry:
+    """A namespace of counters and timers, created on first use."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.timers: dict[str, Timer] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name``, creating it at zero if new."""
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def timer(self, name: str) -> Timer:
+        """The timer named ``name``, creating it empty if new."""
+        timer = self.timers.get(name)
+        if timer is None:
+            timer = self.timers[name] = Timer(name)
+        return timer
+
+    def report(self, **meta):
+        """Render into a :class:`~repro.observability.report.RunReport`."""
+        from repro.observability.report import RunReport
+
+        return RunReport.from_registry(self, **meta)

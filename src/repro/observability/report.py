@@ -1,0 +1,91 @@
+"""Run reports: the aggregated, renderable face of the metrics.
+
+A :class:`RunReport` is an immutable snapshot of counters and timers
+plus free-form metadata — the thing a CLI ``--metrics`` flag prints, a
+benchmark attaches to ``BENCH_verification.json``, and a test asserts
+against. It is deliberately dumb: plain dicts in, a stable ``as_dict``
+schema and an aligned ``describe`` text out.
+
+The ``as_dict`` schema is::
+
+    {"meta": {...}, "counters": {name: int},
+     "timers": {name: {"count", "total", "mean", "min", "max"}}}
+
+and is treated as stable: the CLI JSON tests pin it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.observability.metrics import MetricsRegistry
+
+__all__ = ["RunReport"]
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """An immutable counters + timers + metadata snapshot.
+
+    Attributes:
+        counters: Final counts by name.
+        timers: Timer snapshots by name (``count/total/mean/min/max``,
+            seconds).
+        meta: Context for a human reading the report — what ran, with
+            which parameters, total wall-clock.
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+    timers: dict[str, dict[str, float]] = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_registry(cls, registry: MetricsRegistry, **meta) -> RunReport:
+        """Snapshot a registry's current counters and timers."""
+        return cls(
+            counters={
+                name: counter.count
+                for name, counter in sorted(registry.counters.items())
+            },
+            timers={
+                name: timer.snapshot()
+                for name, timer in sorted(registry.timers.items())
+            },
+            meta=dict(meta),
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        """The stable JSON-able form (see module docstring)."""
+        return {
+            "meta": dict(self.meta),
+            "counters": dict(self.counters),
+            "timers": {name: dict(stats) for name, stats in self.timers.items()},
+        }
+
+    def describe(self) -> str:
+        """Aligned human-readable rendering."""
+        lines: list[str] = []
+        if self.meta:
+            pairs = "  ".join(f"{k}={v}" for k, v in self.meta.items())
+            lines.append(f"report: {pairs}")
+        if self.counters:
+            lines.append("counters:")
+            width = max(len(name) for name in self.counters)
+            for name, count in self.counters.items():
+                lines.append(f"  {name.ljust(width)}  {count}")
+        if self.timers:
+            lines.append("timers:")
+            width = max(len(name) for name in self.timers)
+            for name, stats in self.timers.items():
+                lines.append(
+                    f"  {name.ljust(width)}  n={stats['count']:<4.0f}"
+                    f" total={stats['total']:.4f}s"
+                    f" mean={stats['mean']:.4f}s"
+                    f" min={stats['min']:.4f}s"
+                    f" max={stats['max']:.4f}s"
+                )
+        if not lines:
+            lines.append("report: (empty)")
+        return "\n".join(lines)

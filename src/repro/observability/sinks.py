@@ -1,0 +1,138 @@
+"""Pluggable event sinks.
+
+A sink receives every :class:`~repro.observability.events.TraceEvent` a
+tracer emits. The protocol is two methods — :meth:`Sink.handle` per
+event and an optional :meth:`Sink.close` — so anything from an in-memory
+buffer to a network forwarder fits. Four built-ins cover the common
+needs:
+
+- :class:`RingBufferSink` — keep the last N events in memory (or all of
+  them), for programmatic inspection and tests;
+- :class:`JsonlSink` — one JSON object per line, the machine-readable
+  interchange format behind the CLI's ``--trace FILE``;
+- :class:`LogSink` — human-readable lines on a stream, for watching a
+  run live;
+- :class:`CountingSink` — event counts by kind, the cheapest possible
+  aggregation (feeds ``--metrics``).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+from collections import deque
+from pathlib import Path
+from typing import TextIO
+
+from repro.observability.events import TraceEvent
+
+__all__ = ["Sink", "RingBufferSink", "JsonlSink", "LogSink", "CountingSink"]
+
+
+class Sink:
+    """Base class for event sinks."""
+
+    def handle(self, event: TraceEvent) -> None:
+        """Receive one event. Must not mutate it."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources. Safe to call more than once."""
+
+
+class RingBufferSink(Sink):
+    """Keep the most recent ``capacity`` events in memory.
+
+    Args:
+        capacity: Maximum events retained; older events are evicted
+            first. ``None`` retains everything (unbounded).
+    """
+
+    def __init__(self, capacity: int | None = 4096) -> None:
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+
+    def handle(self, event: TraceEvent) -> None:
+        self._events.append(event)
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class JsonlSink(Sink):
+    """Write each event as one JSON line.
+
+    Args:
+        target: A path (opened and owned by the sink — closed by
+            :meth:`close`) or an open text handle (borrowed — flushed but
+            left open).
+    """
+
+    def __init__(self, target: str | Path | TextIO) -> None:
+        if isinstance(target, (str, Path)):
+            self._handle: TextIO = open(target, "w")
+            self._owns_handle = True
+        else:
+            self._handle = target
+            self._owns_handle = False
+
+    def handle(self, event: TraceEvent) -> None:
+        self._handle.write(json.dumps(event.as_dict(), default=_jsonable))
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        if self._handle.closed:
+            return
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+
+
+def _jsonable(value: object) -> object:
+    """Fallback serializer: sets become sorted lists, the rest ``str``."""
+    if isinstance(value, (set, frozenset)):
+        return sorted(str(item) for item in value)
+    return str(value)
+
+
+class LogSink(Sink):
+    """Human-readable one-line-per-event log on a stream.
+
+    Args:
+        stream: Defaults to ``sys.stderr`` (resolved lazily at each
+            write, so pytest's capture and redirections behave).
+    """
+
+    def __init__(self, stream: TextIO | None = None) -> None:
+        self._stream = stream
+
+    def handle(self, event: TraceEvent) -> None:
+        stream = self._stream if self._stream is not None else sys.stderr
+        print(str(event), file=stream)
+
+    def close(self) -> None:
+        stream = self._stream if self._stream is not None else sys.stderr
+        if not isinstance(stream, io.IOBase) or not stream.closed:
+            stream.flush()
+
+
+class CountingSink(Sink):
+    """Count events by kind. ``counts`` maps kind -> occurrences."""
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = {}
+
+    def handle(self, event: TraceEvent) -> None:
+        self.counts[event.kind] = self.counts.get(event.kind, 0) + 1
+
+    def total(self) -> int:
+        return sum(self.counts.values())

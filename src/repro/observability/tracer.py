@@ -1,0 +1,110 @@
+"""The tracer: the single emission point for structured events.
+
+Instrumented components accept an optional ``tracer=`` and call
+:meth:`Tracer.emit` when one is attached. The contract with hot paths is
+strict: **no tracer, no cost** — every instrumentation site guards its
+emit with a single ``tracer is not None`` (or ``self.tracer is not
+None``) check, so the default path of the engine, the schedulers and the
+verification service executes no event construction at all. The overhead
+test in ``tests/test_observability.py`` pins the stronger property that
+results are bit-identical with and without a tracer.
+
+A tracer fans each event out to its sinks in order, stamping a dense
+sequence number and a monotonic timestamp. Tracers are deliberately not
+thread- or process-safe: the engine and service are single-threaded, and
+the process-pool batch runner aggregates worker timings through result
+records instead of sharing a tracer across processes (see
+:mod:`repro.verification.parallel`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterable
+
+from repro.observability.events import TraceEvent
+from repro.observability.sinks import RingBufferSink, Sink
+
+__all__ = ["Tracer"]
+
+
+class Tracer:
+    """Emit structured events to pluggable sinks.
+
+    Args:
+        sinks: The sinks receiving every event, notified in order.
+        clock: Timestamp source; defaults to ``time.perf_counter``.
+    """
+
+    def __init__(
+        self,
+        sinks: Iterable[Sink] = (),
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.sinks: list[Sink] = list(sinks)
+        self._clock = clock
+        self._seq = 0
+
+    @classmethod
+    def buffered(cls, capacity: int | None = None) -> Tracer:
+        """A tracer that records into a ring buffer (see :attr:`events`).
+
+        The default ``capacity=None`` keeps every event — right for tests
+        and short exploratory runs; bound it for long measurement runs.
+        """
+        return cls(sinks=[RingBufferSink(capacity=capacity)])
+
+    def add_sink(self, sink: Sink) -> Sink:
+        """Attach ``sink`` and return it."""
+        self.sinks.append(sink)
+        return sink
+
+    def emit(self, kind: str, /, **fields) -> TraceEvent:
+        """Create one event and deliver it to every sink.
+
+        Field names ``seq``, ``time`` and ``kind`` are reserved (they
+        would collide with the event's own keys in the flattened JSONL
+        form) and raise :class:`ValueError`.
+        """
+        if "seq" in fields or "time" in fields or "kind" in fields:
+            reserved = sorted({"seq", "time", "kind"} & fields.keys())
+            raise ValueError(f"reserved event field name(s): {reserved}")
+        event = TraceEvent(
+            seq=self._seq, time=self._clock(), kind=kind, fields=fields
+        )
+        self._seq += 1
+        for sink in self.sinks:
+            sink.handle(event)
+        return event
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """Events retained by the first ring-buffer sink.
+
+        Raises :class:`ValueError` when no ring buffer is attached —
+        build the tracer with :meth:`buffered` (or add a
+        :class:`~repro.observability.sinks.RingBufferSink`) to use this.
+        """
+        for sink in self.sinks:
+            if isinstance(sink, RingBufferSink):
+                return sink.events
+        raise ValueError(
+            "tracer has no RingBufferSink; construct it with Tracer.buffered()"
+        )
+
+    def events_of(self, *kinds: str) -> list[TraceEvent]:
+        """The buffered events whose kind is one of ``kinds``."""
+        wanted = set(kinds)
+        return [event for event in self.events if event.kind in wanted]
+
+    def close(self) -> None:
+        """Close every sink (flushing file-backed ones)."""
+        for sink in self.sinks:
+            sink.close()
+
+    def __enter__(self) -> Tracer:
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()

@@ -15,10 +15,14 @@ enabled), which ends a maximal finite computation.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.core.actions import Action
 from repro.core.program import Program
 from repro.core.state import State
+
+if TYPE_CHECKING:
+    from repro.observability.tracer import Tracer
 
 __all__ = ["Scheduler", "FirstEnabledScheduler"]
 
@@ -33,6 +37,37 @@ class Scheduler:
 
     #: Display name used in experiment reports.
     name = "scheduler"
+
+    #: Optional tracer (see :meth:`attach_tracer`). ``None`` — the
+    #: default — costs a single attribute check per step.
+    tracer: Tracer | None = None
+
+    def attach_tracer(self, tracer: Tracer | None) -> Scheduler:
+        """Attach ``tracer`` (or detach with ``None``); returns ``self``.
+
+        With a tracer attached, every step emits a ``scheduler.step``
+        event naming the daemon, the number of enabled actions it chose
+        among (daemons that probe guards lazily, like round-robin,
+        report only what they examined), and the action(s) it executed.
+        """
+        self.tracer = tracer
+        return self
+
+    def emit_step(
+        self, step: int, enabled_count: int, actions: Sequence[Action]
+    ) -> None:
+        """Emit the ``scheduler.step`` event for one executed step.
+
+        Call sites guard with ``if self.tracer is not None`` so the
+        un-traced path never reaches this method.
+        """
+        self.tracer.emit(
+            "scheduler.step",
+            scheduler=self.name,
+            step=step,
+            enabled=enabled_count,
+            actions=tuple(action.name for action in actions),
+        )
 
     def reset(self) -> None:
         """Clear any per-run state. Called once at the start of each run."""
@@ -52,6 +87,8 @@ class Scheduler:
         if not enabled:
             return None
         action = self.select(state, enabled, step)
+        if self.tracer is not None:
+            self.emit_step(step, len(enabled), (action,))
         return action.execute(state), (action,)
 
 

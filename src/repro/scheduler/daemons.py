@@ -86,6 +86,8 @@ class SynchronousDaemon(Scheduler):
                 chosen.append(self._rng.choice(actions))
             else:
                 chosen.append(actions[0])
+        if self.tracer is not None:
+            self.emit_step(step, len(enabled), chosen)
         return _merge_steps(state, chosen), tuple(chosen)
 
 
@@ -124,4 +126,6 @@ class DistributedDaemon(Scheduler):
         if not picked:
             picked = [self._rng.choice(keys)]
         chosen = [self._rng.choice(groups[key]) for key in picked]
+        if self.tracer is not None:
+            self.emit_step(step, len(enabled), chosen)
         return _merge_steps(state, chosen), tuple(chosen)

@@ -45,6 +45,8 @@ class RoundRobinScheduler(Scheduler):
             action = actions[index]
             if action.enabled(state):
                 self._cursor = (index + 1) % len(actions)
+                if self.tracer is not None:
+                    self.emit_step(step, 1, (action,))
                 return action.execute(state), (action,)
         return None
 

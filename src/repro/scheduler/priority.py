@@ -52,4 +52,6 @@ class PriorityScheduler(Scheduler):
         urgent = [action for action in enabled if self._is_priority(action.name)]
         pool: Iterable[Action] = urgent if urgent else enabled
         action = self._base.select(state, list(pool), step)
+        if self.tracer is not None:
+            self.emit_step(step, len(enabled), (action,))
         return action.execute(state), (action,)

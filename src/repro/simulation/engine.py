@@ -13,12 +13,15 @@ program actions.
 from __future__ import annotations
 
 import random
+from collections.abc import Mapping
 from dataclasses import dataclass
 
 from repro.core.predicates import Predicate
 from repro.core.program import Program
 from repro.core.state import State
 from repro.faults.scenarios import FaultScenario, NoFaults
+from repro.observability import events as ev
+from repro.observability.tracer import Tracer
 from repro.scheduler.base import Scheduler
 from repro.scheduler.computation import Computation
 
@@ -77,6 +80,8 @@ def run(
     faults: FaultScenario | None = None,
     fault_rng: random.Random | None = None,
     record_trace: bool = True,
+    tracer: Tracer | None = None,
+    watch: Mapping[str, Predicate] | None = None,
 ) -> RunResult:
     """Execute one run.
 
@@ -97,6 +102,18 @@ def run(
             measurement runs to save memory; first/stabilization indices
             are still tracked incrementally over the visited sequence
             (see :class:`RunResult` for the index semantics).
+        tracer: Optional :class:`~repro.observability.Tracer`. When
+            attached, the run emits structured events — ``run.start``,
+            ``fault.injected``, ``action.fired``, ``target.established``
+            / ``target.violated`` on every flip of ``target``, and
+            ``run.finish`` (see ``docs/OBSERVABILITY.md``). With the
+            default ``None`` no instrumentation executes beyond the
+            ``is not None`` checks, and results are identical.
+        watch: Optional named predicates (typically the invariant's
+            constraints) observed at every visited state **when a tracer
+            is attached**: each flip emits ``constraint.established`` or
+            ``constraint.violated``. Ignored without a tracer — watching
+            costs one predicate evaluation per watched name per state.
     """
     scenario = faults if faults is not None else NoFaults()
     rng = fault_rng if fault_rng is not None else random.Random(0)
@@ -109,16 +126,50 @@ def run(
     last_violation = -1  # state index of the latest target violation
     state_index = 0
 
+    target_holds: bool | None = None
+    watched = dict(watch) if tracer is not None and watch else None
+    watch_holds: dict[str, bool] = {}
+
+    def trace_state(current: State, holds: bool | None) -> None:
+        # Only called with a tracer attached: emits target/constraint
+        # flips for the state at ``state_index``.
+        nonlocal target_holds
+        if holds is not None and holds != target_holds:
+            kind = ev.TARGET_ESTABLISHED if holds else ev.TARGET_VIOLATED
+            tracer.emit(kind, index=state_index)
+            target_holds = holds
+        if watched is not None:
+            for name, predicate in watched.items():
+                holding = bool(predicate(current))
+                if holding != watch_holds.get(name):
+                    kind = (
+                        ev.CONSTRAINT_ESTABLISHED
+                        if holding
+                        else ev.CONSTRAINT_VIOLATED
+                    )
+                    tracer.emit(kind, constraint=name, index=state_index)
+                    watch_holds[name] = holding
+
     def observe(current: State) -> None:
         nonlocal target_index, last_violation
-        if target is None:
-            return
-        if target(current):
-            if target_index is None:
-                target_index = state_index
-        else:
-            last_violation = state_index
+        holds: bool | None = None
+        if target is not None:
+            holds = bool(target(current))
+            if holds:
+                if target_index is None:
+                    target_index = state_index
+            else:
+                last_violation = state_index
+        if tracer is not None:
+            trace_state(current, holds)
 
+    if tracer is not None:
+        tracer.emit(
+            ev.RUN_START,
+            program=program.name,
+            scheduler=scheduler.name,
+            max_steps=max_steps,
+        )
     observe(state)
     steps = 0
     terminated = False
@@ -131,6 +182,13 @@ def run(
             state_index += 1
             if record_trace:
                 computation.append((), state)
+            if tracer is not None:
+                tracer.emit(
+                    ev.FAULT_INJECTED,
+                    step=steps,
+                    index=state_index,
+                    fault=fault.name,
+                )
             observe(state)
         outcome = scheduler.advance(program, state, steps)
         if outcome is None:
@@ -142,6 +200,13 @@ def run(
         state_index += 1
         if record_trace:
             computation.append(actions, state)
+        if tracer is not None:
+            tracer.emit(
+                ev.ACTION_FIRED,
+                step=steps,
+                index=state_index,
+                actions=tuple(action.name for action in actions),
+            )
         observe(state)
 
     if not record_trace and computation.final_state != state:
@@ -159,6 +224,17 @@ def run(
         stabilization_index = max(candidate, 0)
     else:
         stabilization_index = None
+
+    if tracer is not None:
+        tracer.emit(
+            ev.RUN_FINISH,
+            steps=steps,
+            faults=fault_count,
+            terminated=terminated,
+            reached_target=target_index is not None,
+            target_index=target_index,
+            stabilization_index=stabilization_index,
+        )
 
     return RunResult(
         computation=computation,

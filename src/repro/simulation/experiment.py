@@ -18,6 +18,7 @@ from repro.analysis.stats import Summary, summarize
 from repro.core.predicates import Predicate
 from repro.core.program import Program
 from repro.core.state import State
+from repro.observability.tracer import Tracer
 from repro.scheduler.base import Scheduler
 from repro.simulation.engine import RunResult, run
 from repro.simulation.metrics import count_rounds
@@ -73,6 +74,7 @@ def stabilization_trials(
     base_seed: int,
     initial_factory: InitialFactory | None = None,
     measure_rounds: bool = False,
+    tracer: Tracer | None = None,
 ) -> StabilizationStats:
     """Run ``trials`` independent stabilization runs and aggregate them.
 
@@ -88,6 +90,9 @@ def stabilization_trials(
             transient fault of the paper's stabilizing designs).
         measure_rounds: Also compute the round count per trial (requires
             trace recording, noticeably slower on long runs).
+        tracer: Optional tracer threaded into every trial's
+            :func:`~repro.simulation.engine.run`; trials are delimited
+            by their ``run.start`` / ``run.finish`` event pairs.
     """
     outcomes: list[TrialOutcome] = []
     for trial_index in range(trials):
@@ -112,6 +117,7 @@ def stabilization_trials(
             target=target,
             stop_on_target=True,
             record_trace=measure_rounds,
+            tracer=tracer,
         )
         rounds = (
             count_rounds(result.computation, program) if measure_rounds else None

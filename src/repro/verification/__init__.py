@@ -40,6 +40,7 @@ from repro.verification.liveness import (
 )
 from repro.verification.parallel import (
     VerificationTask,
+    batch_report,
     run_batch,
     verdicts_ok,
 )
@@ -69,6 +70,7 @@ __all__ = [
     "SynchronousOrbit",
     "VerificationService",
     "VerificationTask",
+    "batch_report",
     "check_service",
     "recurrent_classes",
     "SynchronousReport",

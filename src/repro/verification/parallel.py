@@ -20,16 +20,28 @@ identical results.
 from __future__ import annotations
 
 import pickle
+import time
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from importlib import import_module
+from multiprocessing import current_process
 from typing import Any
 
 from repro.core.errors import ValidationError
-from repro.verification.service import ServiceVerdict, VerificationService
+from repro.observability import events as ev
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.report import RunReport
+from repro.observability.tracer import Tracer
+from repro.verification.service import VerificationService
 
-__all__ = ["VerificationTask", "resolve_builder", "run_batch", "verdicts_ok"]
+__all__ = [
+    "VerificationTask",
+    "batch_report",
+    "resolve_builder",
+    "run_batch",
+    "verdicts_ok",
+]
 
 
 @dataclass(frozen=True)
@@ -73,8 +85,19 @@ def resolve_builder(reference: str):
         ) from None
 
 
-def _execute(task: VerificationTask, cache_dir: str | None) -> dict[str, Any]:
-    """Build and verify one task; runs inside a worker or in-process."""
+def _execute(
+    task: VerificationTask,
+    cache_dir: str | None,
+    tracer: Tracer | None = None,
+) -> dict[str, Any]:
+    """Build and verify one task; runs inside a worker or in-process.
+
+    ``tracer`` is only ever non-``None`` on the sequential in-process
+    path — tracers do not cross the process boundary.
+    """
+    started = time.perf_counter()
+    if tracer is not None:
+        tracer.emit(ev.WORKER_TASK_START, case=task.case)
     builder = resolve_builder(task.builder)
     built = builder(*task.args, **dict(task.kwargs))
     if len(built) == 2:
@@ -82,7 +105,7 @@ def _execute(task: VerificationTask, cache_dir: str | None) -> dict[str, Any]:
         fault_span = None
     else:
         program, invariant, fault_span = built
-    service = VerificationService(cache_dir=cache_dir)
+    service = VerificationService(cache_dir=cache_dir, tracer=tracer)
     verdict = service.verify_tolerance(
         program,
         invariant,
@@ -93,14 +116,27 @@ def _execute(task: VerificationTask, cache_dir: str | None) -> dict[str, Any]:
     )
     record = dict(verdict.record)
     record["cached"] = verdict.cached
+    record["cache_layer"] = verdict.cache_layer
     record["call_seconds"] = verdict.seconds
+    record["worker"] = current_process().name
+    record["task_seconds"] = time.perf_counter() - started
+    if tracer is not None:
+        tracer.emit(
+            ev.WORKER_TASK_FINISH,
+            case=task.case,
+            worker=record["worker"],
+            cached=record["cached"],
+            task_seconds=record["task_seconds"],
+        )
     return record
 
 
 def _run_sequential(
-    tasks: Sequence[VerificationTask], cache_dir: str | None
+    tasks: Sequence[VerificationTask],
+    cache_dir: str | None,
+    tracer: Tracer | None,
 ) -> list[dict[str, Any]]:
-    return [_execute(task, cache_dir) for task in tasks]
+    return [_execute(task, cache_dir, tracer) for task in tasks]
 
 
 def _picklable(tasks: Sequence[VerificationTask]) -> bool:
@@ -116,33 +152,114 @@ def run_batch(
     *,
     workers: int = 1,
     cache_dir: str | None = None,
+    tracer: Tracer | None = None,
 ) -> list[dict[str, Any]]:
     """Verify every task, fanning out over ``workers`` processes.
 
     Returns one verdict record per task, **in task order**. Records are
     the JSON-able summaries of
     :class:`~repro.verification.service.ServiceVerdict`, extended with
-    ``cached`` and ``call_seconds`` fields.
+    ``cached``, ``cache_layer``, ``call_seconds``, ``worker`` (the
+    executing process name) and ``task_seconds`` (build + verify
+    wall-clock inside that process).
 
     Falls back to sequential in-process execution when ``workers <= 1``,
     when a task fails to pickle, or when the process pool cannot be
     created. A worker raising is not masked — the underlying verification
     error propagates, as it would sequentially.
+
+    With a ``tracer``, the batch emits ``batch.start`` / ``batch.finish``
+    around the run. On the sequential path the tracer is threaded into
+    each task (``worker.task.start`` / ``worker.task.finish``, plus the
+    service's cache events); pool workers cannot share the parent's
+    tracer, so for ``workers > 1`` one ``worker.task.finish`` event per
+    task is replayed from the result records as they are collected.
     """
     tasks = list(tasks)
+    if tracer is not None:
+        tracer.emit(
+            ev.BATCH_START,
+            tasks=len(tasks),
+            workers=workers,
+            cases=tuple(task.case for task in tasks),
+        )
+    started = time.perf_counter()
+    records = _run_batch_inner(tasks, workers, cache_dir, tracer)
+    if tracer is not None:
+        tracer.emit(
+            ev.BATCH_FINISH,
+            tasks=len(records),
+            workers=workers,
+            wall_clock_seconds=time.perf_counter() - started,
+            cache_hits=sum(1 for record in records if record["cached"]),
+        )
+    return records
+
+
+def _run_batch_inner(
+    tasks: list[VerificationTask],
+    workers: int,
+    cache_dir: str | None,
+    tracer: Tracer | None,
+) -> list[dict[str, Any]]:
     if not tasks:
         return []
     if workers <= 1 or not _picklable(tasks):
-        return _run_sequential(tasks, cache_dir)
+        return _run_sequential(tasks, cache_dir, tracer)
     try:
         executor = ProcessPoolExecutor(max_workers=workers)
     except (OSError, ValueError):
-        return _run_sequential(tasks, cache_dir)
+        return _run_sequential(tasks, cache_dir, tracer)
     with executor:
         futures = [executor.submit(_execute, task, cache_dir) for task in tasks]
-        return [future.result() for future in futures]
+        records = []
+        for future in futures:
+            record = future.result()
+            if tracer is not None:
+                tracer.emit(
+                    ev.WORKER_TASK_FINISH,
+                    case=record["case"],
+                    worker=record["worker"],
+                    cached=record["cached"],
+                    task_seconds=record["task_seconds"],
+                )
+            records.append(record)
+        return records
 
 
 def verdicts_ok(records: Sequence[dict[str, Any]]) -> bool:
     """Whether every record in a batch reports a passing verification."""
     return all(record["ok"] for record in records)
+
+
+def batch_report(
+    records: Sequence[dict[str, Any]],
+    *,
+    wall_clock_seconds: float | None = None,
+    workers: int | None = None,
+) -> RunReport:
+    """Aggregate a batch's records into a run report.
+
+    Counters: ``tasks``, ``ok`` / ``failed``, ``cache.hit`` /
+    ``cache.miss``. Timers: ``task`` over every task's in-process
+    wall-clock, ``verify`` over the service-call portion, and one
+    ``worker.<name>`` timer per executing process — so the per-worker
+    totals sum to the ``task`` total, and (for a cold parallel run) the
+    largest per-worker total lower-bounds the batch wall-clock recorded
+    in ``BENCH_verification.json``.
+    """
+    registry = MetricsRegistry()
+    tasks = registry.counter("tasks")
+    for record in records:
+        tasks.add()
+        registry.counter("ok" if record["ok"] else "failed").add()
+        registry.counter("cache.hit" if record["cached"] else "cache.miss").add()
+        registry.timer("task").record(record["task_seconds"])
+        registry.timer("verify").record(record["call_seconds"])
+        registry.timer(f"worker.{record['worker']}").record(record["task_seconds"])
+    meta: dict[str, Any] = {}
+    if workers is not None:
+        meta["workers"] = workers
+    if wall_clock_seconds is not None:
+        meta["wall_clock_seconds"] = round(wall_clock_seconds, 6)
+    return registry.report(**meta)

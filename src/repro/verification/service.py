@@ -42,6 +42,10 @@ from repro.core.fingerprint import (
 from repro.core.predicates import TRUE, Predicate
 from repro.core.program import Program
 from repro.core.state import State
+from repro.observability import events as ev
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.report import RunReport
+from repro.observability.tracer import Tracer
 from repro.verification.checker import ToleranceReport, check_tolerance
 from repro.verification.explorer import TransitionSystem, build_transition_system
 
@@ -136,17 +140,40 @@ class VerificationService:
     One service instance owns one in-memory cache; pass ``cache_dir`` to
     add a persistent JSON layer shared between service instances and
     between processes (the parallel worker pool relies on this).
+
+    Observability is opt-in: pass ``tracer=`` to emit ``cache.hit`` /
+    ``cache.miss`` events, and ``metrics=`` (a
+    :class:`~repro.observability.MetricsRegistry`) to aggregate cache
+    counters and per-verdict wall-clock timers — both default to
+    ``None`` and cost a single ``is not None`` check per cache lookup
+    when unused. The plain integer counters (``hits``, ``misses`` and
+    the per-layer splits) are always maintained; :meth:`stats` and
+    :meth:`report` expose them.
     """
 
-    def __init__(self, cache_dir: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        cache_dir: str | Path | None = None,
+        *,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.tracer = tracer
+        self.metrics = metrics
         self._records: dict[tuple[str, str], dict[str, Any]] = {}
         self._reports: dict[str, ToleranceReport] = {}
         self._systems: dict[str, TransitionSystem] = {}
         self.hits = 0
+        self.hits_memory = 0
+        self.hits_disk = 0
         self.misses = 0
+        #: Wall-clock seconds spent actually computing verdict records
+        #: (cache misses) vs. answering from a cache layer.
+        self.seconds_computing = 0.0
+        self.seconds_cached = 0.0
 
     # ------------------------------------------------------------------
     # Generic record memoization (in-memory + on-disk JSON)
@@ -156,6 +183,37 @@ class VerificationService:
         if self.cache_dir is None:
             return None
         return self.cache_dir / f"{kind}-{key[:40]}.json"
+
+    def _note_hit(self, kind: str, key: str, layer: str) -> None:
+        self.hits += 1
+        if layer == "memory":
+            self.hits_memory += 1
+        else:
+            self.hits_disk += 1
+        if self.metrics is not None:
+            self.metrics.counter("cache.hit").add()
+            self.metrics.counter(f"cache.hit.{layer}").add()
+        if self.tracer is not None:
+            self.tracer.emit(
+                ev.CACHE_HIT, record_kind=kind, key=key[:16], layer=layer
+            )
+
+    def _note_verdict(self, operation: str, layer: str, seconds: float) -> None:
+        """Fold one answered request into the wall-clock aggregates."""
+        if layer:
+            self.seconds_cached += seconds
+        else:
+            self.seconds_computing += seconds
+        if self.metrics is not None:
+            suffix = "cached" if layer else "computed"
+            self.metrics.timer(f"{operation}.{suffix}").record(seconds)
+
+    def _note_miss(self, kind: str, key: str) -> None:
+        self.misses += 1
+        if self.metrics is not None:
+            self.metrics.counter("cache.miss").add()
+        if self.tracer is not None:
+            self.tracer.emit(ev.CACHE_MISS, record_kind=kind, key=key[:16])
 
     def memo(
         self,
@@ -171,7 +229,7 @@ class VerificationService:
         memo_key = (kind, key)
         record = self._records.get(memo_key)
         if record is not None:
-            self.hits += 1
+            self._note_hit(kind, key, "memory")
             return record, "memory"
         path = self._disk_path(kind, key)
         if path is not None and path.exists():
@@ -181,9 +239,9 @@ class VerificationService:
                 record = None  # corrupt/racing entry: recompute below
             if record is not None:
                 self._records[memo_key] = record
-                self.hits += 1
+                self._note_hit(kind, key, "disk")
                 return record, "disk"
-        self.misses += 1
+        self._note_miss(kind, key)
         record = compute()
         self._records[memo_key] = record
         if path is not None:
@@ -276,12 +334,14 @@ class VerificationService:
             )
 
         record, layer = self.memo("tolerance", key, compute)
+        elapsed = time.perf_counter() - started
+        self._note_verdict("verify_tolerance", layer, elapsed)
         return ServiceVerdict(
             record=record,
             report=self._reports.get(key),
             cached=bool(layer),
             cache_layer=layer,
-            seconds=time.perf_counter() - started,
+            seconds=elapsed,
         )
 
     # ------------------------------------------------------------------
@@ -303,6 +363,7 @@ class VerificationService:
         :class:`~repro.core.design.DesignReport` is recomputed only on a
         cache miss.
         """
+        started = time.perf_counter()
         state_list = list(states)
         name = case if case is not None else design.name
         tokens = [
@@ -336,18 +397,64 @@ class VerificationService:
                 "seconds": seconds,
             }
 
-        record, _ = self.memo("design", key, compute)
+        record, layer = self.memo("design", key, compute)
+        self._note_verdict("validate_design", layer, time.perf_counter() - started)
         return record
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
-    def stats(self) -> dict[str, int]:
-        """Cache-effectiveness counters for reports and benchmarks."""
+    def stats(self) -> dict[str, float]:
+        """Cache-effectiveness counters for reports and benchmarks.
+
+        ``hits`` is always ``hits_memory + hits_disk``;
+        ``seconds_computing`` / ``seconds_cached`` split the total
+        answering wall-clock by whether a cache layer supplied the
+        record.
+        """
         return {
             "hits": self.hits,
+            "hits_memory": self.hits_memory,
+            "hits_disk": self.hits_disk,
             "misses": self.misses,
             "records": len(self._records),
             "systems": len(self._systems),
+            "seconds_computing": self.seconds_computing,
+            "seconds_cached": self.seconds_cached,
         }
+
+    def report(self, **meta) -> RunReport:
+        """A :class:`~repro.observability.RunReport` of this service.
+
+        Counters come from :meth:`stats`; timers come from the attached
+        metrics registry when one was passed at construction (empty
+        otherwise). Extra keyword arguments land in the report's
+        ``meta``.
+        """
+        stats = self.stats()
+        counters = {
+            "cache.hit": self.hits,
+            "cache.hit.memory": self.hits_memory,
+            "cache.hit.disk": self.hits_disk,
+            "cache.miss": self.misses,
+            "records": int(stats["records"]),
+            "systems": int(stats["systems"]),
+        }
+        timers = (
+            {
+                name: timer.snapshot()
+                for name, timer in sorted(self.metrics.timers.items())
+            }
+            if self.metrics is not None
+            else {}
+        )
+        return RunReport(
+            counters=counters,
+            timers=timers,
+            meta={
+                "seconds_computing": round(self.seconds_computing, 6),
+                "seconds_cached": round(self.seconds_cached, 6),
+                **meta,
+            },
+        )

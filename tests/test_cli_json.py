@@ -1,0 +1,137 @@
+"""CLI machine-readable output: ``--json``, ``--trace`` and ``--metrics``.
+
+These tests pin the JSON schemas (top-level key sets and the invariant
+parts of the records) so downstream tooling reading the files can rely
+on them, and exercise the observability flags end to end through the
+argparse entry point.
+"""
+
+import json
+
+from repro.cli import main
+
+VERIFY_RECORD_KEYS = {
+    "case",
+    "ok",
+    "implication_ok",
+    "s_closure_ok",
+    "t_closure_ok",
+    "convergence_ok",
+    "classification",
+    "stabilizing",
+    "total_states",
+    "span_states",
+    "bad_states",
+}
+
+
+class TestVerifyJson:
+    def test_schema_is_stable(self, tmp_path, capsys):
+        path = tmp_path / "verdict.json"
+        assert main(["verify", "dijkstra-ring", "--size", "3",
+                     "--json", str(path)]) == 0
+        assert f"verdict written to {path}" in capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        assert set(payload) == {
+            "cache_layer",
+            "cached",
+            "call_seconds",
+            "command",
+            "fairness",
+            "protocol",
+            "record",
+            "size",
+        }
+        assert payload["command"] == "verify"
+        assert payload["protocol"] == "dijkstra-ring"
+        assert payload["size"] == 3
+        assert payload["fairness"] == "weak"
+        assert payload["cached"] is False
+        assert payload["cache_layer"] == ""  # a miss has no cache layer
+        assert payload["call_seconds"] > 0.0
+        assert VERIFY_RECORD_KEYS <= set(payload["record"])
+        assert payload["record"]["ok"] is True
+        assert payload["record"]["stabilizing"] is True
+
+    def test_warm_cache_recorded_in_json(self, tmp_path):
+        cache = tmp_path / "cache"
+        path = tmp_path / "verdict.json"
+        argv = ["verify", "dijkstra-ring", "--size", "3",
+                "--cache", str(cache), "--json", str(path)]
+        assert main(argv) == 0
+        assert json.loads(path.read_text())["cached"] is False
+        assert main(argv) == 0
+        payload = json.loads(path.read_text())
+        assert payload["cached"] is True
+        assert payload["cache_layer"] == "disk"
+
+    def test_trace_and_metrics_flags(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["verify", "dijkstra-ring", "--size", "3",
+                     "--trace", str(trace), "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {trace}" in out
+        assert "cache.miss" in out  # the --metrics report
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert [event["kind"] for event in events] == ["cache.miss"]
+        assert all({"seq", "time", "kind"} <= set(event) for event in events)
+
+
+class TestVerifyAllJson:
+    def test_schema_is_stable(self, tmp_path, capsys):
+        path = tmp_path / "timings.json"
+        assert main(["verify-all", "--case", "coloring-chain",
+                     "--workers", "1", "--json", str(path)]) == 0
+        assert f"timings written to {path}" in capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        assert set(payload) == {
+            "instances",
+            "metrics",
+            "wall_clock_seconds",
+            "workers",
+        }
+        assert payload["workers"] == 1
+        assert payload["wall_clock_seconds"] > 0.0
+
+        (instance,) = payload["instances"]
+        assert VERIFY_RECORD_KEYS <= set(instance)
+        assert {"cached", "cache_layer", "worker", "task_seconds",
+                "call_seconds"} <= set(instance)
+        assert instance["case"] == "coloring-chain (n=4)"
+
+        metrics = payload["metrics"]
+        assert set(metrics) == {"meta", "counters", "timers"}
+        assert metrics["counters"]["tasks"] == 1
+        assert metrics["counters"]["ok"] == 1
+        assert metrics["counters"]["cache.miss"] == 1
+        assert metrics["meta"]["workers"] == 1
+        assert {"task", "verify"} <= set(metrics["timers"])
+        assert any(name.startswith("worker.") for name in metrics["timers"])
+
+    def test_metrics_flag_prints_report(self, capsys):
+        assert main(["verify-all", "--case", "coloring-chain",
+                     "--workers", "1", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "tasks" in out
+        assert "worker." in out
+
+
+class TestSimulateObservability:
+    def test_trace_file_delimits_trials(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["simulate", "coloring", "--size", "6", "--trials", "2",
+                     "--seed", "3", "--trace", str(trace)]) == 0
+        assert f"trace written to {trace}" in capsys.readouterr().out
+        kinds = [json.loads(line)["kind"]
+                 for line in trace.read_text().splitlines()]
+        assert kinds.count("run.start") == 2
+        assert kinds.count("run.finish") == 2
+        assert "action.fired" in kinds
+
+    def test_metrics_counts_events(self, capsys):
+        assert main(["simulate", "coloring", "--size", "6", "--trials", "2",
+                     "--seed", "3", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "trials" in out
+        assert "stabilized" in out
+        assert "action.fired" in out

@@ -1,6 +1,5 @@
 """Unit tests for replicated stabilization experiments."""
 
-from repro.core import Predicate
 from repro.protocols.diffusing import build_diffusing_design, diffusing_invariant
 from repro.scheduler import RandomScheduler
 from repro.simulation import stabilization_trials

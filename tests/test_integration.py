@@ -31,7 +31,7 @@ from repro.scheduler import (
     RandomScheduler,
     RoundRobinScheduler,
 )
-from repro.simulation import convergence_action_work, count_rounds, run, stabilization_trials
+from repro.simulation import convergence_action_work, run, stabilization_trials
 from repro.topology import balanced_tree, chain_tree
 from repro.verification import check_convergence, check_tolerance, explore
 

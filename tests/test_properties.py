@@ -14,9 +14,7 @@ from repro.core import Predicate, State, all_of, any_of
 from repro.protocols.diffusing import build_diffusing_design, diffusing_invariant
 from repro.protocols.token_ring import (
     build_dijkstra_ring,
-    exactly_one_privilege,
     privileged_nodes,
-    x_var,
 )
 from repro.scheduler import RandomScheduler
 from repro.simulation import run

@@ -17,7 +17,6 @@ Any violation would expose a bug in one of the three independently
 implemented analyses, so these are the library's strongest self-checks.
 """
 
-import math
 import random
 
 from hypothesis import given, settings

@@ -12,7 +12,6 @@ import pytest
 
 from repro.core import TRUE
 from repro.protocols.diffusing import (
-    GREEN,
     RED,
     VARIANTS,
     all_green_state,

@@ -32,13 +32,10 @@ from repro.scheduler import FirstEnabledScheduler, RandomScheduler
 from repro.simulation import run
 from repro.topology import (
     Graph,
-    balanced_tree,
-    chain_tree,
     cycle_graph,
     path_graph,
     random_connected_graph,
     random_tree,
-    star_tree,
 )
 from repro.verification import check_stair, check_tolerance
 

@@ -14,7 +14,6 @@ from repro.protocols.independent_set import (
 from repro.scheduler import FirstEnabledScheduler, RandomScheduler
 from repro.simulation import run
 from repro.topology import (
-    Graph,
     complete_graph,
     cycle_graph,
     path_graph,

@@ -9,7 +9,7 @@ from repro.protocols.diffusing import all_green_state, color_var
 from repro.protocols.reset import app_var, build_reset_program, reset_target
 from repro.scheduler import RandomScheduler
 from repro.simulation import run
-from repro.topology import balanced_tree, chain_tree, random_tree
+from repro.topology import balanced_tree, random_tree
 from repro.verification import check_tolerance
 
 

@@ -8,7 +8,6 @@ from repro.core import (
     IntegerRangeDomain,
     Predicate,
     Program,
-    State,
     TRUE,
     Variable,
 )

@@ -9,7 +9,6 @@ from repro.core import (
     Predicate,
     Program,
     State,
-    TRUE,
     ValidationError,
     Variable,
 )

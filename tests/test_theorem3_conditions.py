@@ -1,7 +1,5 @@
 """Targeted tests for individual Theorem 3 conditions on crafted designs."""
 
-import pytest
-
 from repro.core import (
     Action,
     Assignment,
