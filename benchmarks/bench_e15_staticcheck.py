@@ -1,0 +1,105 @@
+"""E15 — lint cost vs verification cost across the protocol library.
+
+The linter's value proposition is that it checks the paper's side
+conditions *before* any state space is built, so it must be cheap
+relative to the work it can short-circuit. This experiment lints every
+library case, verifies the same instance cold through the verification
+service, and reports the ratio. The acceptance bar from the staticcheck
+PR: linting the whole library is at least 10x faster than cold-verifying
+it.
+
+Timings land in ``BENCH_verification.json`` under the ``staticcheck``
+suite so the lint-cost trajectory is tracked alongside the verification
+service's.
+"""
+
+import time
+
+from repro.analysis import render_table
+from repro.protocols.library import CASES, build_case
+from repro.staticcheck import lint_case
+from repro.verification import VerificationService
+
+#: The lint-vs-verify speedup the PR promises (per whole-library pass).
+MIN_SPEEDUP = 10.0
+
+
+def test_e15_staticcheck_cost(benchmark, report, bench_timings):
+    benchmark(lambda: lint_case("diffusing-chain"))
+
+    service = VerificationService()
+    rows = []
+    instances = []
+    lint_total = 0.0
+    verify_total = 0.0
+    for name, case in CASES.items():
+        size = case.default_size
+        started = time.perf_counter()
+        lint_report = lint_case(name, size)
+        lint_seconds = time.perf_counter() - started
+
+        program, invariant = build_case(name, size)
+        started = time.perf_counter()
+        verdict = service.verify_tolerance(
+            program, invariant, case=f"e15 {name} (n={size})"
+        )
+        verify_seconds = time.perf_counter() - started
+
+        assert lint_report.strict_ok, f"{name} has lint findings"
+        assert not verdict.cached
+        lint_total += lint_seconds
+        verify_total += verify_seconds
+        ratio = verify_seconds / lint_seconds if lint_seconds > 0 else float("inf")
+        rows.append(
+            [
+                f"{name} (n={size})",
+                f"{lint_seconds * 1000:.1f}ms",
+                f"{verify_seconds * 1000:.1f}ms",
+                f"{ratio:.0f}x",
+                "clean" if lint_report.strict_ok else "findings",
+            ]
+        )
+        instances.append(
+            {
+                "case": f"{name} (n={size})",
+                "lint_seconds": lint_seconds,
+                "verify_cold_seconds": verify_seconds,
+                "ok": verdict.record["ok"],
+                "strict_ok": lint_report.strict_ok,
+                "diagnostics": len(lint_report.diagnostics),
+            }
+        )
+
+    speedup = verify_total / lint_total
+    rows.append(
+        [
+            "TOTAL",
+            f"{lint_total * 1000:.1f}ms",
+            f"{verify_total * 1000:.1f}ms",
+            f"{speedup:.0f}x",
+            "",
+        ]
+    )
+    report(
+        "e15_staticcheck",
+        render_table(
+            ["case", "lint", "verify (cold)", "speedup", "verdict"],
+            rows,
+            title="E15: lint cost vs cold verification cost",
+        ),
+    )
+    bench_timings(
+        "staticcheck",
+        {
+            "lint_total_seconds": lint_total,
+            "verify_total_seconds": verify_total,
+            "speedup": speedup,
+            "instances": instances,
+        },
+    )
+    # The whole point of the precheck: it must be much cheaper than what
+    # it short-circuits.
+    assert speedup >= MIN_SPEEDUP, (
+        f"lint should be at least {MIN_SPEEDUP:.0f}x faster than cold "
+        f"verification, got {speedup:.1f}x"
+    )

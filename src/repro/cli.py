@@ -6,16 +6,25 @@ Exposes the library's protocol registry for quick exploration::
     python -m repro verify diffusing --size 4
     python -m repro verify token-ring --fairness none
     python -m repro verify-all --workers 4 --json BENCH_verification.json
+    python -m repro lint --strict
     python -m repro simulate dijkstra-ring --size 10 --trials 20
     python -m repro render token-ring --size 5
 
 ``verify`` runs exhaustive T-tolerance checking on a small instance of
 the chosen protocol through the cached verification service (pass
 ``--cache DIR`` to persist verdicts across invocations); ``verify-all``
-fans the whole case library out over a worker pool; ``simulate``
-measures stabilization from random corruption; ``render`` prints the
-paper-style guarded-command listing. Every command is deterministic
-given ``--seed``.
+fans the whole case library out over a worker pool; ``lint`` runs the
+static side-condition checks of :mod:`repro.staticcheck` over the case
+library without touching any state space; ``simulate`` measures
+stabilization from random corruption; ``render`` prints the paper-style
+guarded-command listing. Every command is deterministic given ``--seed``.
+
+Exit codes follow one convention across commands: **0** — success
+(verified / stabilized / lint clean at the applied bar); **1** — the
+check ran and failed (a verdict was NOT ok, or lint found errors — any
+finding at all under ``--strict``); **2** — usage error (unknown
+protocol/case, invalid size, unavailable mode), also used by argparse
+itself.
 
 Observability: ``verify``, ``verify-all`` and ``simulate`` accept
 ``--trace FILE`` (structured JSONL events — see docs/OBSERVABILITY.md)
@@ -373,6 +382,89 @@ def _command_verify_all(args: argparse.Namespace) -> int:
     return 0 if all(record["ok"] for record in records) else 1
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import render_table
+    from repro.core.errors import ValidationError
+    from repro.staticcheck import lint_library
+
+    counting = CountingSink() if args.metrics else None
+    tracer = _open_tracer(args, [counting] if counting is not None else ())
+    metrics = MetricsRegistry() if args.metrics else None
+    started = time.perf_counter()
+    try:
+        reports = lint_library(
+            names=args.case if args.case else None,
+            probes=args.probes,
+            tracer=tracer,
+            metrics=metrics,
+        )
+    except ValidationError as error:
+        print(error, file=sys.stderr)
+        return 2
+    finally:
+        if tracer is not None:
+            tracer.close()
+    elapsed = time.perf_counter() - started
+    rows = []
+    for report in reports.values():
+        if report.strict_ok:
+            verdict = "clean"
+        elif report.ok:
+            verdict = "findings"
+        else:
+            verdict = "FAIL"
+        rows.append(
+            [
+                report.subject,
+                len(report.errors),
+                len(report.warnings),
+                len(report.infos),
+                verdict,
+                f"{report.seconds * 1000:.1f}ms",
+            ]
+        )
+    print(
+        render_table(
+            ["case", "errors", "warnings", "infos", "verdict", "time"],
+            rows,
+            title=f"lint: {len(reports)} case(s), probes={args.probes}, "
+            f"strict={'on' if args.strict else 'off'}, "
+            f"{elapsed * 1000:.0f}ms wall-clock",
+        )
+    )
+    for report in reports.values():
+        if not report.strict_ok:
+            print()
+            print(report.describe())
+    all_ok = all(report.ok for report in reports.values())
+    all_strict = all(report.strict_ok for report in reports.values())
+    if args.metrics and metrics is not None:
+        print()
+        print(
+            metrics.report(
+                command="lint", cases=len(reports), strict=args.strict
+            ).describe()
+        )
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    if args.json:
+        _write_json(
+            args.json,
+            {
+                "command": "lint",
+                "strict": args.strict,
+                "probes": args.probes,
+                "ok": all_ok,
+                "strict_ok": all_strict,
+                "wall_clock_seconds": elapsed,
+                "cases": [report.as_dict() for report in reports.values()],
+            },
+        )
+        print(f"lint report written to {args.json}")
+    failed = (not all_ok) or (args.strict and not all_strict)
+    return 1 if failed else 0
+
+
 def _command_simulate(args: argparse.Namespace) -> int:
     entry = _resolve(args.protocol)
     size = args.size if args.size is not None else entry.default_size
@@ -490,6 +582,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_observability_flags(verify_all)
     verify_all.set_defaults(handler=_command_verify_all)
+
+    lint = commands.add_parser(
+        "lint",
+        help="statically check the paper's side conditions (no state space)",
+    )
+    lint.add_argument(
+        "--case", action="append", default=None, metavar="NAME",
+        help="restrict to this library case (repeatable); default: every case",
+    )
+    lint.add_argument(
+        "--probes", type=int, default=32,
+        help="sampled states used to probe opaque guards/statements",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 on any finding, not just error-severity ones",
+    )
+    lint.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the machine-readable lint report to PATH",
+    )
+    _add_observability_flags(lint)
+    lint.set_defaults(handler=_command_lint)
 
     simulate = commands.add_parser(
         "simulate", help="measure stabilization from random corruption"

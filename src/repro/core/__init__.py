@@ -31,11 +31,20 @@ from repro.core.errors import (
     UnknownVariableError,
     ValidationError,
 )
+from repro.core.errors import LintError
 from repro.core.fingerprint import (
     fingerprint_instance,
     fingerprint_predicate,
     fingerprint_program,
     probe_states,
+)
+from repro.core.introspect import (
+    InferredSupport,
+    RecordingState,
+    callable_location,
+    infer_action_support,
+    infer_effect_support,
+    infer_predicate_reads,
 )
 from repro.core.predicates import FALSE, TRUE, Predicate, all_of, any_of, var_equals
 from repro.core.pretty import render_program
@@ -82,14 +91,17 @@ __all__ = [
     "GraphEdge",
     "GraphNode",
     "IllFormedGraphError",
+    "InferredSupport",
     "IntegerDomain",
     "IntegerRangeDomain",
+    "LintError",
     "ModularDomain",
     "NonmaskingDesign",
     "Predicate",
     "PreservationResult",
     "PreservationViolation",
     "Program",
+    "RecordingState",
     "ReproError",
     "State",
     "StateSpaceTooLargeError",
@@ -103,6 +115,7 @@ __all__ = [
     "all_of",
     "any_of",
     "augment",
+    "callable_location",
     "check_variant_strict",
     "check_variant_weak",
     "conjunction",
@@ -112,6 +125,9 @@ __all__ = [
     "fingerprint_instance",
     "fingerprint_predicate",
     "fingerprint_program",
+    "infer_action_support",
+    "infer_effect_support",
+    "infer_predicate_reads",
     "probe_states",
     "parallel",
     "preserves",

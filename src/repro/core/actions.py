@@ -15,7 +15,8 @@ not cover its guard's support, which catches the most common mistake.
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable, Mapping
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from types import MappingProxyType
 from typing import Any, Hashable
 
 from repro.core.errors import ActionNotEnabledError
@@ -50,6 +51,11 @@ class Assignment:
     def writes(self) -> frozenset[str]:
         """The names of the variables this assignment writes."""
         return frozenset(self._updates)
+
+    @property
+    def updates(self) -> Mapping[str, Callable[[State], Any] | Any]:
+        """A read-only view of the update map (for static analysis)."""
+        return MappingProxyType(self._updates)
 
     def evaluate(self, state: Mapping[str, Any]) -> dict[str, Any]:
         """Evaluate every right-hand side against ``state`` without applying.
@@ -116,6 +122,20 @@ class Action:
     def enabled(self, state: State) -> bool:
         """Whether the guard holds at ``state``."""
         return self.guard(state)
+
+    def inferred_support(self, states: Sequence[State]):
+        """The action's *inferred* read/write sets.
+
+        Symbolic guards and right-hand sides are read exactly; opaque
+        callables are probed against ``states`` with a recording state
+        proxy. Returns an
+        :class:`~repro.core.introspect.InferredSupport`; compare against
+        the declared ``reads``/``writes`` to detect declaration drift
+        (that comparison is :mod:`repro.staticcheck`'s ``RW*`` passes).
+        """
+        from repro.core.introspect import infer_action_support
+
+        return infer_action_support(self, states)
 
     def execute(self, state: State) -> State:
         """Execute the action at ``state``.

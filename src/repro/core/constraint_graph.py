@@ -187,21 +187,28 @@ class ConstraintGraph:
             if edge.source not in node_set or edge.target not in node_set:
                 raise IllFormedGraphError(f"edge {edge!r} uses an unknown node")
             action = edge.binding.action
-            if not action.writes <= edge.target.variables:
+            edge_label = f"{edge.source.name!r} -> {edge.target.name!r}"
+            escaped_writes = action.writes - edge.target.variables
+            if escaped_writes:
                 raise IllFormedGraphError(
-                    f"action {action.name!r} writes outside its target node "
-                    f"{edge.target.name!r}"
+                    f"action {action.name!r} on edge {edge_label} writes "
+                    f"{sorted(escaped_writes)} outside its target node "
+                    f"{edge.target.name!r} (label {sorted(edge.target.variables)})"
                 )
             allowed = edge.source.variables | edge.target.variables
-            if not action.reads <= allowed:
+            escaped_reads = action.reads - allowed
+            if escaped_reads:
                 raise IllFormedGraphError(
-                    f"action {action.name!r} reads outside the union of "
-                    f"{edge.source.name!r} and {edge.target.name!r}"
+                    f"action {action.name!r} on edge {edge_label} reads "
+                    f"{sorted(escaped_reads)} outside the union of its nodes "
+                    f"(label {sorted(allowed)})"
                 )
-            if not edge.binding.constraint.support <= allowed:
+            escaped_support = edge.binding.constraint.support - allowed
+            if escaped_support:
                 raise IllFormedGraphError(
-                    f"constraint {edge.binding.constraint.name!r} reads outside "
-                    f"the union of {edge.source.name!r} and {edge.target.name!r}"
+                    f"constraint {edge.binding.constraint.name!r} on edge "
+                    f"{edge_label} reads {sorted(escaped_support)} outside the "
+                    f"union of its nodes (label {sorted(allowed)})"
                 )
 
     # ------------------------------------------------------------------

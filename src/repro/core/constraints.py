@@ -20,11 +20,17 @@ is checked separately, see :meth:`ConvergenceBinding.guard_is_strict`.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
-from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+from dataclasses import InitVar, dataclass
 
 from repro.core.actions import Action
-from repro.core.errors import DesignError
+from repro.core.errors import DesignError, LintError
+from repro.core.expr import BoolExpr
+from repro.core.introspect import (
+    METHOD_MIXED,
+    InferredSupport,
+    infer_predicate_reads,
+)
 from repro.core.predicates import Predicate, all_of
 from repro.core.state import State
 
@@ -38,15 +44,51 @@ class Constraint:
     Attributes:
         name: Identifier used in constraint graphs and reports,
             e.g. ``"R.3"`` in the diffusing computation.
-        predicate: The constraint itself. Its support must be declared —
+        predicate: The constraint itself. A symbolic
+            :class:`~repro.core.expr.BoolExpr` may be passed directly —
+            it is lowered to a :class:`Predicate` with its support
+            derived from ``variables()``. An opaque predicate must carry
+            a declared support (on the predicate or via
+            ``declared_support=``) —
             the constraint graph is defined in terms of which variables a
             constraint (and its convergence action) touches.
+        declared_support: Optional explicit support declaration.
+            Redundant for symbolic predicates; when given anyway it is
+            cross-checked against the derived set and a
+            :class:`LintError` is raised on disagreement.
     """
 
     name: str
     predicate: Predicate
+    declared_support: InitVar[Iterable[str] | None] = None
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, declared_support: Iterable[str] | None) -> None:
+        predicate = self.predicate
+        if isinstance(predicate, BoolExpr):
+            predicate = predicate.predicate()
+            object.__setattr__(self, "predicate", predicate)
+        declared = (
+            frozenset(declared_support) if declared_support is not None else None
+        )
+        exact = (
+            frozenset(predicate.source.variables())
+            if predicate.source is not None
+            else None
+        )
+        if declared is not None:
+            against = exact if exact is not None else predicate.support
+            if against is not None and declared != against:
+                origin = "symbolic variables" if exact is not None else "support"
+                raise LintError(
+                    f"constraint {self.name!r} declares support "
+                    f"{sorted(declared)} but its predicate's {origin} is "
+                    f"{sorted(against)}; drop the redundant declaration or "
+                    "fix whichever set is wrong"
+                )
+            if predicate.support is None:
+                object.__setattr__(
+                    self, "predicate", predicate.with_support(declared)
+                )
         if self.predicate.support is None:
             raise DesignError(
                 f"constraint {self.name!r} has a predicate without a declared "
@@ -60,6 +102,10 @@ class Constraint:
     def support(self) -> frozenset[str]:
         assert self.predicate.support is not None  # enforced in __post_init__
         return self.predicate.support
+
+    def inferred_support(self, states: Sequence[State]) -> InferredSupport:
+        """The predicate's *inferred* read set (exact when symbolic)."""
+        return infer_predicate_reads(self.predicate, states)
 
     def __repr__(self) -> str:
         return f"Constraint({self.name!r}: {self.predicate.name})"
@@ -113,6 +159,25 @@ class ConvergenceBinding:
         return all(
             self.action.enabled(state) == (not self.constraint.holds(state))
             for state in states
+        )
+
+    def inferred_support(self, states: Sequence[State]) -> InferredSupport:
+        """Inferred reads/writes of the whole binding.
+
+        Reads are the union of the action's inferred reads and the
+        constraint predicate's inferred reads (the edge ``v -> w`` this
+        binding labels must cover both); writes are the action's.
+        """
+        action = self.action.inferred_support(states)
+        constraint = self.constraint.inferred_support(states)
+        method = (
+            action.method if action.method == constraint.method else METHOD_MIXED
+        )
+        return InferredSupport(
+            reads=action.reads | constraint.reads,
+            writes=action.writes,
+            method=method,
+            probes=max(action.probes, constraint.probes),
         )
 
     def __repr__(self) -> str:

@@ -19,6 +19,7 @@ __all__ = [
     "StateSpaceTooLargeError",
     "ValidationError",
     "DesignError",
+    "LintError",
 ]
 
 
@@ -70,4 +71,14 @@ class DesignError(ReproError):
     For example: a convergence binding whose action guard is not implied by
     the negation of its constraint, or a layer partition that does not cover
     all convergence actions.
+    """
+
+
+class LintError(ReproError):
+    """A declaration provably contradicts what static analysis inferred.
+
+    Raised eagerly at construction time (for example a :class:`Constraint`
+    given both a symbolic predicate and an explicit support that disagree),
+    as opposed to :class:`~repro.staticcheck.Diagnostic` findings, which
+    are collected into a report rather than raised.
     """

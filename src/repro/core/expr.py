@@ -156,11 +156,17 @@ class BoolExpr(_Binary):
         return _Not(self)
 
     def predicate(self, *, name: str | None = None) -> Predicate:
-        """Lower to a :class:`Predicate` with inferred support."""
+        """Lower to a :class:`Predicate` with inferred support.
+
+        The predicate keeps a reference to this expression in its
+        ``source`` attribute, so static analysis can recompute the exact
+        read set instead of trusting the declared support.
+        """
         return Predicate(
             lambda state: bool(self(state)),
             name=name if name is not None else self.render(),
             support=self.variables(),
+            source=self,
         )
 
 
@@ -275,12 +281,10 @@ def expr_action(
     for rhs in lifted.values():
         reads |= rhs.variables()
     reads |= set(lifted)  # written variables count as read-write state
-    effect = Assignment(
-        {
-            target: (lambda state, rhs=rhs: rhs(state))
-            for target, rhs in lifted.items()
-        }
-    )
+    # Expressions are callables of the state, so they serve directly as
+    # right-hand sides — and stay inspectable (``rhs.variables()``) for
+    # static analysis, unlike an opaque wrapping lambda.
+    effect = Assignment(dict(lifted))
     return Action(
         name,
         guard.predicate(),

@@ -36,9 +36,14 @@ class Predicate:
         support: The variable names the predicate may read, or ``None``
             when unknown. Tools that need a support (the constraint graph
             builder) reject predicates without one.
+        source: The symbolic expression this predicate was lowered from
+            (a :class:`~repro.core.expr.BoolExpr`), or ``None`` for
+            opaque callables. When present, static analysis can recover
+            the *exact* read set via ``source.variables()`` instead of
+            trusting the declared support.
     """
 
-    __slots__ = ("_fn", "name", "support")
+    __slots__ = ("_fn", "name", "support", "source")
 
     def __init__(
         self,
@@ -46,10 +51,12 @@ class Predicate:
         *,
         name: str | None = None,
         support: Iterable[str] | None = None,
+        source: Any = None,
     ) -> None:
         self._fn = fn
         self.name = name if name is not None else getattr(fn, "__name__", "<predicate>")
         self.support = frozenset(support) if support is not None else None
+        self.source = source
 
     def __call__(self, state: State) -> bool:
         return bool(self._fn(state))
@@ -98,7 +105,11 @@ class Predicate:
 
     def renamed(self, name: str) -> "Predicate":
         """A copy of this predicate carrying a new display name."""
-        return Predicate(self._fn, name=name, support=self.support)
+        return Predicate(self._fn, name=name, support=self.support, source=self.source)
+
+    def with_support(self, support: Iterable[str]) -> "Predicate":
+        """A copy of this predicate carrying an explicit support."""
+        return Predicate(self._fn, name=self.name, support=support, source=self.source)
 
     def __repr__(self) -> str:
         return f"Predicate({self.name!r})"

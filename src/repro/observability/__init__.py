@@ -41,6 +41,9 @@ from repro.observability.events import (
     CONSTRAINT_VIOLATED,
     EVENT_KINDS,
     FAULT_INJECTED,
+    LINT_DIAGNOSTIC,
+    LINT_FINISH,
+    LINT_START,
     RUN_FINISH,
     RUN_START,
     SCHEDULER_STEP,
@@ -74,6 +77,9 @@ __all__ = [
     "EVENT_KINDS",
     "FAULT_INJECTED",
     "JsonlSink",
+    "LINT_DIAGNOSTIC",
+    "LINT_FINISH",
+    "LINT_START",
     "LogSink",
     "MetricsRegistry",
     "RingBufferSink",

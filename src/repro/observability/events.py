@@ -16,7 +16,9 @@ Event kinds are plain strings, namespaced ``component.what``:
 - schedulers: :data:`SCHEDULER_STEP`;
 - verification service: :data:`CACHE_HIT`, :data:`CACHE_MISS`;
 - batch verification: :data:`BATCH_START`, :data:`WORKER_TASK_START`,
-  :data:`WORKER_TASK_FINISH`, :data:`BATCH_FINISH`.
+  :data:`WORKER_TASK_FINISH`, :data:`BATCH_FINISH`;
+- protocol linter: :data:`LINT_START`, :data:`LINT_DIAGNOSTIC`,
+  :data:`LINT_FINISH`.
 
 Custom emitters are free to add their own kinds; the constants exist so
 the built-in ones are greppable and typo-proof.
@@ -37,6 +39,9 @@ __all__ = [
     "CONSTRAINT_VIOLATED",
     "EVENT_KINDS",
     "FAULT_INJECTED",
+    "LINT_DIAGNOSTIC",
+    "LINT_FINISH",
+    "LINT_START",
     "RUN_FINISH",
     "RUN_START",
     "SCHEDULER_STEP",
@@ -77,6 +82,12 @@ WORKER_TASK_START = "worker.task.start"
 WORKER_TASK_FINISH = "worker.task.finish"
 #: A batch verification job finished (wall-clock, cache totals).
 BATCH_FINISH = "batch.finish"
+#: The linter began analysing a subject (subject, probe count).
+LINT_START = "lint.start"
+#: The linter recorded one finding (code, severity, subject, message).
+LINT_DIAGNOSTIC = "lint.diagnostic"
+#: The linter finished a subject (finding counts, wall-clock).
+LINT_FINISH = "lint.finish"
 
 #: Every kind the built-in instrumentation emits.
 EVENT_KINDS: tuple[str, ...] = (
@@ -95,6 +106,9 @@ EVENT_KINDS: tuple[str, ...] = (
     WORKER_TASK_START,
     WORKER_TASK_FINISH,
     BATCH_FINISH,
+    LINT_START,
+    LINT_DIAGNOSTIC,
+    LINT_FINISH,
 )
 
 

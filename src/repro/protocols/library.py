@@ -17,22 +17,36 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
 from repro.core.errors import ValidationError
 from repro.core.predicates import Predicate
 from repro.core.program import Program
 from repro.verification.parallel import VerificationTask
+
+if TYPE_CHECKING:
+    from repro.core.design import NonmaskingDesign
 
 __all__ = ["CASES", "VerificationCase", "build_case", "case_names", "library_tasks"]
 
 
 @dataclass(frozen=True)
 class VerificationCase:
-    """One registered instance family: builder plus default size."""
+    """One registered instance family: builder plus default size.
+
+    ``build_design`` is present for cases whose protocol module exposes a
+    full :class:`~repro.core.design.NonmaskingDesign` (candidate triple,
+    bindings, node partition); the linter uses it to run the
+    constraint-graph and theorem-precondition passes in addition to the
+    program-level ones. Cases built from a bare program/invariant pair
+    leave it ``None`` and are linted at the program level only.
+    """
 
     name: str
     description: str
     build: Callable[[int], tuple[Program, Predicate]]
     default_size: int
+    build_design: Callable[[int], "NonmaskingDesign"] | None = None
 
 
 def _diffusing_chain(size: int):
@@ -43,12 +57,26 @@ def _diffusing_chain(size: int):
     return build_diffusing_design(tree).program, diffusing_invariant(tree)
 
 
+def _diffusing_chain_design(size: int):
+    from repro.protocols.diffusing import build_diffusing_design
+    from repro.topology import chain_tree
+
+    return build_diffusing_design(chain_tree(size))
+
+
 def _diffusing_star(size: int):
     from repro.protocols.diffusing import build_diffusing_design, diffusing_invariant
     from repro.topology import star_tree
 
     tree = star_tree(size)
     return build_diffusing_design(tree).program, diffusing_invariant(tree)
+
+
+def _diffusing_star_design(size: int):
+    from repro.protocols.diffusing import build_diffusing_design
+    from repro.topology import star_tree
+
+    return build_diffusing_design(star_tree(size))
 
 
 def _dijkstra_ring(size: int):
@@ -65,6 +93,13 @@ def _coloring_chain(size: int):
     return build_coloring_design(tree, k=3).program, coloring_invariant(tree)
 
 
+def _coloring_chain_design(size: int):
+    from repro.protocols.coloring import build_coloring_design
+    from repro.topology import chain_tree
+
+    return build_coloring_design(chain_tree(size), k=3)
+
+
 def _leader_election_star(size: int):
     from repro.protocols.leader_election import (
         build_leader_election_design,
@@ -74,6 +109,13 @@ def _leader_election_star(size: int):
 
     tree = star_tree(size)
     return build_leader_election_design(tree).program, election_invariant(tree)
+
+
+def _leader_election_star_design(size: int):
+    from repro.protocols.leader_election import build_leader_election_design
+    from repro.topology import star_tree
+
+    return build_leader_election_design(star_tree(size))
 
 
 def _spanning_tree_path(size: int):
@@ -142,22 +184,35 @@ CASES: dict[str, VerificationCase] = {
     case.name: case
     for case in [
         VerificationCase(
-            "diffusing-chain", "diffusing computation on a chain", _diffusing_chain, 4
+            "diffusing-chain",
+            "diffusing computation on a chain",
+            _diffusing_chain,
+            4,
+            build_design=_diffusing_chain_design,
         ),
         VerificationCase(
-            "diffusing-star", "diffusing computation on a star", _diffusing_star, 3
+            "diffusing-star",
+            "diffusing computation on a star",
+            _diffusing_star,
+            3,
+            build_design=_diffusing_star_design,
         ),
         VerificationCase(
             "dijkstra-ring", "Dijkstra K-state token ring (K = size)", _dijkstra_ring, 5
         ),
         VerificationCase(
-            "coloring-chain", "tree coloring on a chain (k = 3)", _coloring_chain, 4
+            "coloring-chain",
+            "tree coloring on a chain (k = 3)",
+            _coloring_chain,
+            4,
+            build_design=_coloring_chain_design,
         ),
         VerificationCase(
             "leader-election-star",
             "leader election on a star",
             _leader_election_star,
             3,
+            build_design=_leader_election_star_design,
         ),
         VerificationCase(
             "spanning-tree-path", "BFS spanning tree on a path", _spanning_tree_path, 4

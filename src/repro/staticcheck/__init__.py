@@ -1,0 +1,70 @@
+"""Static analysis: a protocol linter that runs before any state space.
+
+The paper's side conditions (Section 4) and the design method's
+obligations (Section 3) are all stated over the *true* read/write sets
+of actions and constraints — but the core model takes guards and
+right-hand sides as opaque Python callables and trusts the declared
+sets. This package closes the gap:
+
+- :mod:`~repro.staticcheck.infer` recovers the true sets into a
+  :class:`SupportTable` — exactly for symbolic (DSL-built) callables,
+  soundly-in-one-direction for opaque ones via a recording-state probe;
+- :mod:`~repro.staticcheck.passes` checks the side conditions and emits
+  :class:`Diagnostic` findings with stable codes (``RW001`` … ``TH001``),
+  severities, source locations, and fix hints;
+- :mod:`~repro.staticcheck.diagnostics` defines the code catalog and the
+  :class:`LintReport` with its stable JSON schema;
+- :mod:`~repro.staticcheck.selftest` is a seeded ill-formed design that
+  triggers every code — the linter's own smoke test.
+
+Entry points: :func:`lint_program`, :func:`lint_design`,
+:func:`lint_case`, :func:`lint_library`; the CLI front-end is
+``repro lint [--strict] [--json]``. See ``docs/STATIC_ANALYSIS.md`` for
+the full catalog and the probe's soundness caveats.
+
+A lint is O(actions x probe states) — milliseconds where exhaustive
+verification takes seconds — so the verification service can run it as
+an opt-in precheck (``VerificationService.verify_tolerance(lint=True)``)
+and fail fast with a structured report instead of exploring a state
+space the side conditions already doom.
+"""
+
+from repro.staticcheck.diagnostics import (
+    CODES,
+    ERROR,
+    INFO,
+    SEVERITIES,
+    WARNING,
+    Diagnostic,
+    LintReport,
+    diagnostic,
+)
+from repro.staticcheck.infer import SupportRow, SupportTable, build_support_table
+from repro.staticcheck.passes import (
+    lint_case,
+    lint_design,
+    lint_library,
+    lint_program,
+)
+from repro.staticcheck.selftest import EXPECTED_CODES, ill_formed_design, selftest
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "ERROR",
+    "EXPECTED_CODES",
+    "INFO",
+    "LintReport",
+    "SEVERITIES",
+    "SupportRow",
+    "SupportTable",
+    "WARNING",
+    "build_support_table",
+    "diagnostic",
+    "ill_formed_design",
+    "lint_case",
+    "lint_design",
+    "lint_library",
+    "lint_program",
+    "selftest",
+]

@@ -1,0 +1,291 @@
+"""Diagnostics: stable codes, severities, and the lint report.
+
+Every finding of the protocol linter is a :class:`Diagnostic` with a
+stable code from the :data:`CODES` catalog. Codes are namespaced by the
+property family they check:
+
+- ``RW*`` — declared versus inferred read/write sets of actions;
+- ``CG*`` — the constraint-graph side conditions of Section 4;
+- ``GD*`` — guard-level sanity (statically unsatisfiable guards);
+- ``VT*`` — variable usage (dead variables);
+- ``TH*`` — theorem preconditions prechecked on sampled states.
+
+Severities: an **error** is a finding that, if real, makes the paper's
+side conditions fail or the declared model a lie; a **warning** is a
+smell that does not by itself invalidate a design; an **info** is a
+redundancy worth tidying. ``repro lint`` exits nonzero on errors (on any
+finding under ``--strict``).
+
+The JSON shapes produced by :meth:`Diagnostic.as_dict` and
+:meth:`LintReport.as_dict` are treated as stable: the CLI JSON tests pin
+them, and downstream tooling may rely on the exact key sets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.observability.report import RunReport
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "SEVERITIES",
+    "CODES",
+    "Diagnostic",
+    "LintReport",
+    "diagnostic",
+]
+
+#: The finding, if real, breaks a side condition or falsifies the model.
+ERROR = "error"
+#: A smell that does not by itself invalidate the design.
+WARNING = "warning"
+#: A redundancy worth tidying.
+INFO = "info"
+
+#: Severities from most to least severe (the report orders findings so).
+SEVERITIES: tuple[str, ...] = (ERROR, WARNING, INFO)
+
+#: The complete diagnostic catalog: code -> (severity, title, default hint).
+CODES: dict[str, tuple[str, str, str]] = {
+    "RW001": (
+        ERROR,
+        "declared read set does not cover the inferred reads",
+        "add the missing variables to the action's reads= declaration "
+        "(every recorded access is a real read)",
+    ),
+    "RW002": (
+        ERROR,
+        "statement writes a variable outside the declared write set",
+        "make the statement's writes property agree with the variables "
+        "its evaluation actually produces",
+    ),
+    "RW003": (
+        INFO,
+        "declared read set strictly exceeds the exact inferred reads",
+        "drop the unused variables from reads= (exact because the guard "
+        "and right-hand sides are symbolic)",
+    ),
+    "CG001": (
+        ERROR,
+        "constraint-graph node labels overlap",
+        "node labels must partition the variables; move the shared "
+        "variable into exactly one node",
+    ),
+    "CG002": (
+        ERROR,
+        "edge reads or writes escape the labels of its two nodes",
+        "the action on edge v -> w may read only vars(v) | vars(w) and "
+        "write only vars(w) (Section 4); shrink the action or relabel "
+        "the nodes",
+    ),
+    "CG003": (
+        ERROR,
+        "constraint graph is cyclic but Theorem 1/2 was requested",
+        "supply a layer partition and validate via Theorem 3, or apply "
+        "a Section 7 refinement to break the cycle",
+    ),
+    "GD001": (
+        WARNING,
+        "guard is unsatisfiable over its variables' domains",
+        "no assignment of the read variables enables the action, so it "
+        "can never fire; fix the guard or delete the action",
+    ),
+    "VT001": (
+        WARNING,
+        "variable is never read by any action or predicate",
+        "the variable cannot influence behaviour; delete it or wire it "
+        "into a guard, right-hand side, or the invariant",
+    ),
+    "TH001": (
+        ERROR,
+        "theorem precondition fails on sampled states",
+        "a convergence binding must be enabled whenever its constraint "
+        "is violated and must establish it when fired (Section 3)",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One linter finding.
+
+    Attributes:
+        code: Stable catalog code, e.g. ``"RW001"``.
+        severity: One of :data:`SEVERITIES` (derived from the catalog).
+        message: What was found, naming the exact variable sets involved.
+        subject: The action/constraint/variable/node the finding is about.
+        location: Best-effort ``file.py:lineno`` of the offending
+            callable, or ``None`` when unknown.
+        hint: How to fix it.
+    """
+
+    code: str
+    severity: str
+    message: str
+    subject: str
+    location: str | None = None
+    hint: str = ""
+
+    def as_dict(self) -> dict[str, object]:
+        """The stable JSON-able form."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "subject": self.subject,
+            "location": self.location,
+            "hint": self.hint,
+        }
+
+    def __str__(self) -> str:
+        where = f" [{self.location}]" if self.location else ""
+        return f"{self.code} {self.severity}: {self.subject}: {self.message}{where}"
+
+
+def diagnostic(
+    code: str,
+    message: str,
+    *,
+    subject: str,
+    location: str | None = None,
+    hint: str | None = None,
+) -> Diagnostic:
+    """Build a :class:`Diagnostic`, filling severity and hint from the catalog.
+
+    Raises:
+        KeyError: if ``code`` is not in :data:`CODES` — every emitter must
+            use a documented code.
+    """
+    severity, _title, default_hint = CODES[code]
+    return Diagnostic(
+        code=code,
+        severity=severity,
+        message=message,
+        subject=subject,
+        location=location,
+        hint=hint if hint is not None else default_hint,
+    )
+
+
+_SEVERITY_ORDER = {severity: index for index, severity in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of linting one program or design.
+
+    Attributes:
+        subject: What was linted (program or design name).
+        diagnostics: Every finding, ordered errors first.
+        probes: Number of sampled states used for opaque-callable probing.
+        seconds: Wall-clock spent linting.
+    """
+
+    subject: str
+    diagnostics: tuple[Diagnostic, ...]
+    probes: int
+    seconds: float
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity findings (warnings and infos allowed)."""
+        return not self.errors
+
+    @property
+    def strict_ok(self) -> bool:
+        """No findings at all — the bar ``repro lint --strict`` applies."""
+        return not self.diagnostics
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == WARNING)
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == INFO)
+
+    def by_code(self, code: str) -> tuple[Diagnostic, ...]:
+        """Every finding with the given catalog code."""
+        return tuple(d for d in self.diagnostics if d.code == code)
+
+    def codes(self) -> frozenset[str]:
+        """The distinct codes that fired."""
+        return frozenset(d.code for d in self.diagnostics)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def as_dict(self) -> dict[str, object]:
+        """The stable JSON-able form (pinned by the CLI JSON tests)."""
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "strict_ok": self.strict_ok,
+            "probes": self.probes,
+            "seconds": self.seconds,
+            "counts": {
+                ERROR: len(self.errors),
+                WARNING: len(self.warnings),
+                INFO: len(self.infos),
+            },
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
+
+    def describe(self) -> str:
+        """Human-readable rendering, one line per finding plus a summary."""
+        lines = [f"lint {self.subject}: " + ("clean" if self.strict_ok else (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.infos)} info(s)"
+        ))]
+        for d in self.diagnostics:
+            lines.append(f"  {d}")
+            if d.hint:
+                lines.append(f"    hint: {d.hint}")
+        return "\n".join(lines)
+
+    def run_report(self, **meta) -> RunReport:
+        """The observability :class:`RunReport` form of this lint run.
+
+        Counters are per severity plus one ``lint.code.<CODE>`` counter
+        per fired code; the single timer is the lint wall-clock.
+        """
+        counters = {
+            "lint.diagnostics": len(self.diagnostics),
+            "lint.errors": len(self.errors),
+            "lint.warnings": len(self.warnings),
+            "lint.infos": len(self.infos),
+        }
+        for code in sorted(self.codes()):
+            counters[f"lint.code.{code}"] = len(self.by_code(code))
+        timers = {
+            "lint": {
+                "count": 1.0,
+                "total": self.seconds,
+                "mean": self.seconds,
+                "min": self.seconds,
+                "max": self.seconds,
+            }
+        }
+        return RunReport(
+            counters=counters,
+            timers=timers,
+            meta={"subject": self.subject, "probes": self.probes, **meta},
+        )
+
+
+def ordered(diagnostics: Iterable[Diagnostic]) -> tuple[Diagnostic, ...]:
+    """Stable-sort findings by severity (errors first), then by code."""
+    return tuple(
+        sorted(
+            diagnostics,
+            key=lambda d: (_SEVERITY_ORDER.get(d.severity, 99), d.code),
+        )
+    )

@@ -1,0 +1,196 @@
+"""Support tables: the analysis IR of the linter.
+
+A :class:`SupportTable` is one row per action (and, for designs, per
+constraint) pairing the *declared* read/write sets against the *inferred*
+ones (:class:`~repro.core.introspect.InferredSupport`). The ``RW*``
+passes are pure functions of this table; building it is the only part of
+the linter that touches guards and statements, so the probe budget is
+paid exactly once per subject.
+
+Soundness: a probe-inferred read is a real read (the proxy recorded the
+access), so ``undeclared_reads`` is reliable for every method. The
+reverse direction — a declared read the probe never saw — proves nothing
+for probed rows; ``over_declared_reads`` is therefore empty unless the
+row is symbolically exact.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.constraints import Constraint
+from repro.core.fingerprint import PROBE_STATES, probe_states
+from repro.core.introspect import InferredSupport, callable_location
+from repro.core.program import Program
+from repro.core.state import State
+
+__all__ = ["SupportRow", "SupportTable", "build_support_table"]
+
+
+@dataclass(frozen=True)
+class SupportRow:
+    """Declared versus inferred support of one action or constraint.
+
+    Attributes:
+        kind: ``"action"`` or ``"constraint"``.
+        name: The subject's name.
+        declared_reads: What the subject declares it reads (a constraint's
+            declared support).
+        declared_writes: What the subject declares it writes (empty for
+            constraints).
+        inferred: The inference result, with its method and probe count.
+        location: Best-effort source location of the subject's callable.
+    """
+
+    kind: str
+    name: str
+    declared_reads: frozenset[str]
+    declared_writes: frozenset[str]
+    inferred: InferredSupport
+    location: str | None
+
+    @property
+    def undeclared_reads(self) -> frozenset[str]:
+        """Inferred reads missing from the declaration — always sound."""
+        return self.inferred.reads - self.declared_reads
+
+    @property
+    def undeclared_writes(self) -> frozenset[str]:
+        """Inferred writes missing from the declaration — always sound."""
+        return self.inferred.writes - self.declared_writes
+
+    @property
+    def over_declared_reads(self) -> frozenset[str]:
+        """Declared reads provably never consulted.
+
+        Nonempty only for symbolically exact rows; declared writes are
+        excluded because the convention (``expr_action``) counts written
+        variables as read-write state.
+        """
+        if not self.inferred.exact:
+            return frozenset()
+        return self.declared_reads - self.inferred.reads - self.declared_writes
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "declared_reads": sorted(self.declared_reads),
+            "declared_writes": sorted(self.declared_writes),
+            "inferred_reads": sorted(self.inferred.reads),
+            "inferred_writes": sorted(self.inferred.writes),
+            "method": self.inferred.method,
+            "location": self.location,
+        }
+
+
+@dataclass(frozen=True)
+class SupportTable:
+    """The per-subject support rows of one program or design.
+
+    Attributes:
+        subject: The program/design name the table describes.
+        rows: One row per action, then one per constraint.
+        probes: Size of the sampled-state battery used for opaque rows.
+    """
+
+    subject: str
+    rows: tuple[SupportRow, ...]
+    probes: int
+
+    def row(self, name: str) -> SupportRow:
+        """The row for the named action or constraint.
+
+        Raises:
+            KeyError: if no row has that name.
+        """
+        for row in self.rows:
+            if row.name == name:
+                return row
+        raise KeyError(f"support table for {self.subject!r} has no row {name!r}")
+
+    def actions(self) -> tuple[SupportRow, ...]:
+        return tuple(row for row in self.rows if row.kind == "action")
+
+    def constraints(self) -> tuple[SupportRow, ...]:
+        return tuple(row for row in self.rows if row.kind == "constraint")
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "subject": self.subject,
+            "probes": self.probes,
+            "rows": [row.as_dict() for row in self.rows],
+        }
+
+    def describe(self) -> str:
+        """Aligned text rendering of declared versus inferred sets."""
+        lines = [f"support table: {self.subject} ({self.probes} probe states)"]
+        width = max((len(row.name) for row in self.rows), default=0)
+        for row in self.rows:
+            lines.append(
+                f"  {row.name.ljust(width)}  [{row.inferred.method:>8}]"
+                f" reads {sorted(row.declared_reads)} -> {sorted(row.inferred.reads)}"
+                f" writes {sorted(row.declared_writes)}"
+                f" -> {sorted(row.inferred.writes)}"
+            )
+        return "\n".join(lines)
+
+
+def _action_location(action) -> str | None:
+    location = callable_location(action.guard)
+    if location is not None:
+        return location
+    for rhs in action.effect.updates.values():
+        if callable(rhs):
+            location = callable_location(rhs)
+            if location is not None:
+                return location
+    return None
+
+
+def build_support_table(
+    program: Program,
+    constraints: Iterable[Constraint] = (),
+    *,
+    probes: int = PROBE_STATES,
+    states: Sequence[State] | None = None,
+) -> SupportTable:
+    """Infer the support of every action of ``program`` (and constraint).
+
+    Args:
+        program: The program whose actions are analysed.
+        constraints: Optional constraints (a design's decomposition) to
+            include as predicate rows.
+        probes: Size of the deterministic sampled-state battery used for
+            opaque callables (ignored when ``states`` is given).
+        states: An explicit probe battery, for callers that already built
+            one.
+    """
+    battery = (
+        list(states) if states is not None else probe_states(program, limit=probes)
+    )
+    rows: list[SupportRow] = []
+    for action in program.actions:
+        rows.append(
+            SupportRow(
+                kind="action",
+                name=action.name,
+                declared_reads=action.reads,
+                declared_writes=action.writes,
+                inferred=action.inferred_support(battery),
+                location=_action_location(action),
+            )
+        )
+    for constraint in constraints:
+        rows.append(
+            SupportRow(
+                kind="constraint",
+                name=constraint.name,
+                declared_reads=constraint.support,
+                declared_writes=frozenset(),
+                inferred=constraint.inferred_support(battery),
+                location=callable_location(constraint.predicate),
+            )
+        )
+    return SupportTable(subject=program.name, rows=tuple(rows), probes=len(battery))

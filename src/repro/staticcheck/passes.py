@@ -1,0 +1,658 @@
+"""The lint passes: side-condition checks that run before any state space.
+
+Entry points, from narrowest to widest:
+
+- :func:`lint_program` — the ``RW*``/``GD001``/``VT001`` passes over one
+  program (optionally counting an invariant's reads for ``VT001``);
+- :func:`lint_design` — everything above plus the constraint-graph side
+  conditions (``CG*``) and theorem prechecks (``TH001``) of a
+  :class:`~repro.core.design.NonmaskingDesign`;
+- :func:`lint_case` / :func:`lint_library` — the registered protocol
+  library, by case name.
+
+Every pass is O(actions x probe states) or O(nodes + edges) — none of
+them enumerates the state space, which is the point: the linter answers
+in milliseconds what exhaustive verification answers in seconds, and it
+answers *before* that cost is paid.
+
+Soundness policy: a diagnostic is only emitted when its premise is
+certain. Probe-recorded accesses are real reads, so ``RW001``/``RW002``
+fire on probed evidence; the absence of an access proves nothing, so
+``RW003`` requires symbolic exactness and an undecidable guard (one that
+raises during enumeration) never yields ``GD001``. Theorem prechecks
+(``TH001``) evaluate the paper's universally quantified conditions on
+genuine sampled states, so a failure is a genuine counterexample.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Mapping, Sequence
+from itertools import product
+from typing import Any
+
+from repro.core.constraint_graph import GraphNode
+from repro.core.constraints import Constraint, ConvergenceBinding
+from repro.core.design import NonmaskingDesign
+from repro.core.fingerprint import PROBE_STATES, probe_states
+from repro.core.introspect import callable_location, infer_predicate_reads
+from repro.core.predicates import Predicate
+from repro.core.program import Program
+from repro.core.state import State
+from repro.observability.events import LINT_DIAGNOSTIC, LINT_FINISH, LINT_START
+from repro.staticcheck.diagnostics import Diagnostic, LintReport, diagnostic, ordered
+from repro.staticcheck.infer import SupportTable, build_support_table
+
+__all__ = ["lint_program", "lint_design", "lint_case", "lint_library"]
+
+#: Cap on domain combinations enumerated per guard for ``GD001``.
+GUARD_ENUM_LIMIT = 20_000
+
+
+# ----------------------------------------------------------------------
+# Program-level passes
+# ----------------------------------------------------------------------
+
+
+def _rw_diagnostics(table: SupportTable) -> list[Diagnostic]:
+    """RW001/RW002/RW003 from a support table."""
+    out: list[Diagnostic] = []
+    for row in table.actions():
+        if row.undeclared_reads:
+            certainty = (
+                "exactly (symbolic)"
+                if row.inferred.exact
+                else f"on {row.inferred.probes} probe states"
+            )
+            out.append(
+                diagnostic(
+                    "RW001",
+                    f"reads {sorted(row.undeclared_reads)} {certainty} but "
+                    f"declares only {sorted(row.declared_reads)}",
+                    subject=row.name,
+                    location=row.location,
+                )
+            )
+        if row.undeclared_writes:
+            out.append(
+                diagnostic(
+                    "RW002",
+                    f"produces writes to {sorted(row.undeclared_writes)} not in "
+                    f"its declared write set {sorted(row.declared_writes)}",
+                    subject=row.name,
+                    location=row.location,
+                )
+            )
+        if row.over_declared_reads:
+            out.append(
+                diagnostic(
+                    "RW003",
+                    f"declares reads {sorted(row.over_declared_reads)} that its "
+                    "symbolic guard and right-hand sides provably never consult",
+                    subject=row.name,
+                    location=row.location,
+                )
+            )
+    for row in table.constraints():
+        if row.undeclared_reads:
+            out.append(
+                diagnostic(
+                    "RW001",
+                    f"constraint predicate reads {sorted(row.undeclared_reads)} "
+                    f"outside its declared support {sorted(row.declared_reads)}",
+                    subject=row.name,
+                    location=row.location,
+                )
+            )
+    return out
+
+
+def _guard_domain_sets(
+    program: Program, variables: Iterable[str]
+) -> list[tuple[str, list[Any]]] | None:
+    """Finite per-variable value lists, or ``None`` when not enumerable."""
+    sets: list[tuple[str, list[Any]]] = []
+    combinations = 1
+    for name in sorted(variables):
+        variable = program.variables.get(name)
+        if variable is None or not variable.domain.is_finite:
+            return None
+        values = list(variable.domain.values())
+        combinations *= max(len(values), 1)
+        if combinations > GUARD_ENUM_LIMIT:
+            return None
+        sets.append((name, values))
+    return sets
+
+
+def _gd_diagnostics(program: Program) -> list[Diagnostic]:
+    """GD001: guards with no satisfying assignment over their local domains.
+
+    Enumerates the product of the declared read variables' domains (the
+    guard may consult at most those). Skips guards whose variables are
+    not all finitely enumerable within :data:`GUARD_ENUM_LIMIT`
+    combinations, and guards that raise during evaluation — both are
+    undecidable here, and the linter never reports on uncertainty.
+    """
+    out: list[Diagnostic] = []
+    for action in program.actions:
+        sets = _guard_domain_sets(program, action.reads)
+        if sets is None or not sets:
+            continue
+        names = [name for name, _values in sets]
+        satisfiable = False
+        undecidable = False
+        for combo in product(*(values for _name, values in sets)):
+            assignment: Mapping[str, Any] = dict(zip(names, combo))
+            try:
+                if action.guard(assignment):  # type: ignore[arg-type]
+                    satisfiable = True
+                    break
+            except Exception:
+                undecidable = True
+                break
+        if undecidable or satisfiable:
+            continue
+        out.append(
+            diagnostic(
+                "GD001",
+                f"guard {action.guard.name!r} is false for every assignment of "
+                f"{names} over their domains",
+                subject=action.name,
+                location=callable_location(action.guard),
+            )
+        )
+    return out
+
+
+def _vt_diagnostics(
+    program: Program,
+    table: SupportTable,
+    extra_readers: Iterable[frozenset[str]],
+) -> list[Diagnostic]:
+    """VT001: variables no action (or supplied predicate) ever reads."""
+    read: set[str] = set()
+    for row in table.rows:
+        read |= row.declared_reads | row.inferred.reads
+    for support in extra_readers:
+        read |= support
+    out: list[Diagnostic] = []
+    for name in program.variables:
+        if name not in read:
+            out.append(
+                diagnostic(
+                    "VT001",
+                    "never read by any action, constraint, or the invariant",
+                    subject=name,
+                )
+            )
+    return out
+
+
+def _predicate_reads(
+    predicate: Predicate | None, states: Sequence[State]
+) -> frozenset[str]:
+    """The best-known read set of an optional predicate (for VT001)."""
+    if predicate is None:
+        return frozenset()
+    inferred = infer_predicate_reads(predicate, states)
+    declared = predicate.support if predicate.support is not None else frozenset()
+    return inferred.reads | declared
+
+
+def _program_diagnostics(
+    program: Program,
+    table: SupportTable,
+    states: Sequence[State],
+    invariant: Predicate | None,
+    extra_readers: Iterable[frozenset[str]] = (),
+) -> list[Diagnostic]:
+    readers = [_predicate_reads(invariant, states), *extra_readers]
+    return [
+        *_rw_diagnostics(table),
+        *_gd_diagnostics(program),
+        *_vt_diagnostics(program, table, readers),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Design-level passes (constraint graph + theorem preconditions)
+# ----------------------------------------------------------------------
+
+
+def _node_owner_map(
+    nodes: Sequence[GraphNode],
+) -> tuple[dict[str, GraphNode], list[Diagnostic]]:
+    """CG001: build variable -> node ownership, reporting overlaps."""
+    owner: dict[str, GraphNode] = {}
+    out: list[Diagnostic] = []
+    for node in nodes:
+        for variable in sorted(node.variables):
+            if variable in owner:
+                out.append(
+                    diagnostic(
+                        "CG001",
+                        f"variable {variable!r} appears in the labels of both "
+                        f"{owner[variable].name!r} and {node.name!r}",
+                        subject=node.name,
+                    )
+                )
+            else:
+                owner[variable] = node
+    return owner, out
+
+
+def _resolve_nodes(
+    owner: Mapping[str, GraphNode], variables: frozenset[str]
+) -> tuple[GraphNode | None, list[str], list[GraphNode]]:
+    """Resolve a variable set to its owning node.
+
+    Returns ``(unique owner or None, uncovered variables, distinct owners)``.
+    """
+    uncovered = sorted(v for v in variables if v not in owner)
+    owners: list[GraphNode] = []
+    for variable in sorted(variables):
+        node = owner.get(variable)
+        if node is not None and node not in owners:
+            owners.append(node)
+    unique = owners[0] if len(owners) == 1 and not uncovered else None
+    return unique, uncovered, owners
+
+
+def _edge_diagnostics(
+    binding: ConvergenceBinding,
+    owner: Mapping[str, GraphNode],
+    states: Sequence[State],
+) -> tuple[tuple[GraphNode, GraphNode] | None, list[Diagnostic]]:
+    """CG002 for one binding; returns the resolved edge when well-formed."""
+    action = binding.action
+    constraint = binding.constraint
+    location = callable_location(action.guard)
+    out: list[Diagnostic] = []
+
+    target, uncovered, owners = _resolve_nodes(owner, action.writes)
+    if uncovered:
+        out.append(
+            diagnostic(
+                "CG002",
+                f"writes {uncovered} which no node label covers",
+                subject=action.name,
+                location=location,
+            )
+        )
+    if len(owners) > 1:
+        names = [node.name for node in owners]
+        out.append(
+            diagnostic(
+                "CG002",
+                f"writes {sorted(action.writes)} span nodes {names}; an edge "
+                "has exactly one target node",
+                subject=action.name,
+                location=location,
+            )
+        )
+    if target is None:
+        return None, out
+
+    external = action.reads - target.variables
+    source, uncovered, owners = _resolve_nodes(owner, frozenset(external))
+    if uncovered:
+        out.append(
+            diagnostic(
+                "CG002",
+                f"reads {uncovered} which no node label covers",
+                subject=action.name,
+                location=location,
+            )
+        )
+    if len(owners) > 1:
+        names = [node.name for node in owners]
+        out.append(
+            diagnostic(
+                "CG002",
+                f"reads {sorted(external)} outside its target node "
+                f"{target.name!r} span nodes {names}; an edge has exactly one "
+                "source node",
+                subject=action.name,
+                location=location,
+            )
+        )
+    if source is None and external:
+        return None, out
+    if source is None:
+        source = target
+
+    edge_label = f"{source.name!r} -> {target.name!r}"
+    allowed = source.variables | target.variables
+    inferred = binding.inferred_support(states)
+    escaped_reads = inferred.reads - allowed
+    if escaped_reads:
+        out.append(
+            diagnostic(
+                "CG002",
+                f"on edge {edge_label} the binding reads "
+                f"{sorted(escaped_reads)} outside the union of its nodes "
+                f"(label {sorted(allowed)})",
+                subject=action.name,
+                location=location,
+            )
+        )
+    escaped_writes = inferred.writes - target.variables
+    if escaped_writes:
+        out.append(
+            diagnostic(
+                "CG002",
+                f"on edge {edge_label} the action writes "
+                f"{sorted(escaped_writes)} outside its target node "
+                f"{target.name!r} (label {sorted(target.variables)})",
+                subject=action.name,
+                location=location,
+            )
+        )
+    escaped_support = constraint.support - allowed
+    if escaped_support:
+        out.append(
+            diagnostic(
+                "CG002",
+                f"on edge {edge_label} the constraint reads "
+                f"{sorted(escaped_support)} outside the union of its nodes "
+                f"(label {sorted(allowed)})",
+                subject=constraint.name,
+                location=callable_location(constraint.predicate),
+            )
+        )
+    return (source, target), out
+
+
+def _has_proper_cycle(edges: Sequence[tuple[GraphNode, GraphNode]]) -> bool:
+    """Kahn's algorithm over non-self-loop edges."""
+    nodes = {node for edge in edges for node in edge}
+    indegree = {node: 0 for node in nodes}
+    successors: dict[GraphNode, list[GraphNode]] = {node: [] for node in nodes}
+    for source, target in edges:
+        if source == target:
+            continue
+        indegree[target] += 1
+        successors[source].append(target)
+    ready = [node for node in nodes if indegree[node] == 0]
+    seen = 0
+    while ready:
+        node = ready.pop()
+        seen += 1
+        for nxt in successors[node]:
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                ready.append(nxt)
+    return seen != len(nodes)
+
+
+def _shape_diagnostics(
+    design: NonmaskingDesign,
+    edges: Sequence[tuple[GraphNode, GraphNode] | None],
+    theorem: str,
+) -> list[Diagnostic]:
+    """CG003: a cyclic graph cannot go through Theorem 1 or 2."""
+    if theorem == "3" and design.layers is None:
+        return [
+            diagnostic(
+                "CG003",
+                "Theorem 3 was requested but the design has no layer partition",
+                subject=design.name,
+                hint="pass layers= to NonmaskingDesign, partitioning the "
+                "bindings into hierarchical layers",
+            )
+        ]
+    # Unresolved (ill-formed) edges are dropped: a cycle among the edges
+    # that did resolve is a real cycle no matter how the rest turn out.
+    resolved = [edge for edge in edges if edge is not None]
+    if not _has_proper_cycle(resolved):
+        return []
+    if theorem in ("1", "2") or (theorem == "auto" and design.layers is None):
+        requested = f"Theorem {theorem}" if theorem in ("1", "2") else "Theorem 1/2"
+        return [
+            diagnostic(
+                "CG003",
+                f"the constraint graph has a cycle of length > 1 but "
+                f"{requested} was requested",
+                subject=design.name,
+            )
+        ]
+    return []
+
+
+def _theorem_diagnostics(
+    bindings: Sequence[ConvergenceBinding], states: Sequence[State]
+) -> list[Diagnostic]:
+    """TH001: binding preconditions checked on the sampled battery.
+
+    Both conditions are universally quantified over all states, so a
+    failure on any genuine sampled state is a real counterexample. A
+    binding that raises during the check is skipped (undecidable).
+    """
+    out: list[Diagnostic] = []
+    for binding in bindings:
+        location = callable_location(binding.action.guard)
+        try:
+            enabled_ok = binding.violated_implies_enabled(states)
+        except Exception:
+            enabled_ok = True
+        if not enabled_ok:
+            out.append(
+                diagnostic(
+                    "TH001",
+                    f"constraint {binding.constraint.name!r} is violated at a "
+                    f"sampled state where action {binding.action.name!r} is "
+                    "not enabled",
+                    subject=binding.constraint.name,
+                    location=location,
+                )
+            )
+        try:
+            establishes_ok = binding.establishes_constraint(states)
+        except Exception:
+            establishes_ok = True
+        if not establishes_ok:
+            out.append(
+                diagnostic(
+                    "TH001",
+                    f"action {binding.action.name!r} fires at a sampled state "
+                    f"without establishing constraint "
+                    f"{binding.constraint.name!r}",
+                    subject=binding.constraint.name,
+                    location=location,
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+
+def _finish(
+    subject: str,
+    diagnostics: list[Diagnostic],
+    probes: int,
+    started: float,
+    tracer,
+    metrics,
+) -> LintReport:
+    report = LintReport(
+        subject=subject,
+        diagnostics=ordered(diagnostics),
+        probes=probes,
+        seconds=time.perf_counter() - started,
+    )
+    if tracer is not None:
+        for d in report.diagnostics:
+            tracer.emit(
+                LINT_DIAGNOSTIC,
+                subject=subject,
+                code=d.code,
+                severity=d.severity,
+                about=d.subject,
+                message=d.message,
+            )
+        tracer.emit(
+            LINT_FINISH,
+            subject=subject,
+            diagnostics=len(report.diagnostics),
+            errors=len(report.errors),
+            warnings=len(report.warnings),
+            seconds=report.seconds,
+        )
+    if metrics is not None:
+        metrics.counter("lint.runs").add()
+        metrics.counter("lint.diagnostics").add(len(report.diagnostics))
+        metrics.counter("lint.errors").add(len(report.errors))
+        metrics.counter("lint.warnings").add(len(report.warnings))
+        metrics.timer("lint.seconds").record(report.seconds)
+    return report
+
+
+def lint_program(
+    program: Program,
+    *,
+    invariant: Predicate | None = None,
+    probes: int = PROBE_STATES,
+    tracer=None,
+    metrics=None,
+    subject: str | None = None,
+) -> LintReport:
+    """Lint one program: RW001/RW002/RW003, GD001, VT001.
+
+    Args:
+        program: The program to analyse.
+        invariant: Optional invariant whose reads count for ``VT001`` (a
+            variable only the invariant observes is not dead).
+        probes: Size of the sampled-state battery for opaque callables.
+        tracer: Optional :class:`~repro.observability.Tracer` receiving
+            ``lint.*`` events.
+        metrics: Optional :class:`~repro.observability.MetricsRegistry`.
+        subject: Display name; defaults to the program name.
+    """
+    started = time.perf_counter()
+    name = subject if subject is not None else program.name
+    if tracer is not None:
+        tracer.emit(LINT_START, subject=name, probes=probes)
+    states = probe_states(program, limit=probes)
+    table = build_support_table(program, states=states)
+    diagnostics = _program_diagnostics(program, table, states, invariant)
+    return _finish(name, diagnostics, len(states), started, tracer, metrics)
+
+
+def lint_design(
+    design: NonmaskingDesign,
+    *,
+    theorem: str = "auto",
+    probes: int = PROBE_STATES,
+    tracer=None,
+    metrics=None,
+) -> LintReport:
+    """Lint a full nonmasking design: program passes plus CG*/TH001.
+
+    Works directly on the design's declared nodes and bindings rather
+    than on :attr:`~repro.core.design.NonmaskingDesign.graph` — building
+    that raises on the first violation, whereas the linter reports every
+    violation with its exact variable sets.
+
+    Args:
+        design: The design to analyse.
+        theorem: The theorem selector the design will be validated with
+            (as in :meth:`NonmaskingDesign.validate`); drives ``CG003``.
+    """
+    started = time.perf_counter()
+    program = design.program
+    if tracer is not None:
+        tracer.emit(LINT_START, subject=design.name, probes=probes)
+    states = probe_states(program, limit=probes)
+    constraints = [binding.constraint for binding in design.bindings]
+    table = build_support_table(program, constraints, states=states)
+    extra = [c.support for c in design.candidate.constraints]
+    diagnostics = _program_diagnostics(
+        program, table, states, design.candidate.invariant, extra
+    )
+
+    owner, overlap = _node_owner_map(design.nodes)
+    diagnostics.extend(overlap)
+    edges: list[tuple[GraphNode, GraphNode] | None] = []
+    for binding in design.bindings:
+        edge, found = _edge_diagnostics(binding, owner, states)
+        edges.append(edge)
+        diagnostics.extend(found)
+    diagnostics.extend(_shape_diagnostics(design, edges, theorem))
+    diagnostics.extend(_theorem_diagnostics(design.bindings, states))
+    return _finish(design.name, diagnostics, len(states), started, tracer, metrics)
+
+
+def lint_case(
+    name: str,
+    size: int | None = None,
+    *,
+    probes: int = PROBE_STATES,
+    tracer=None,
+    metrics=None,
+) -> LintReport:
+    """Lint one registered protocol-library case by name.
+
+    Cases that register a design builder are linted as designs (all
+    passes); the rest are linted as programs with their invariant.
+    """
+    from repro.protocols.library import CASES, build_case
+
+    case = CASES.get(name)
+    if case is None:
+        from repro.core.errors import ValidationError
+
+        known = ", ".join(CASES)
+        raise ValidationError(
+            f"unknown verification case {name!r}; known cases: {known}"
+        )
+    chosen = size if size is not None else case.default_size
+    subject = f"{name} (n={chosen})"
+    if case.build_design is not None:
+        design = case.build_design(chosen)
+        report = lint_design(
+            design, probes=probes, tracer=tracer, metrics=metrics
+        )
+        return LintReport(
+            subject=subject,
+            diagnostics=report.diagnostics,
+            probes=report.probes,
+            seconds=report.seconds,
+        )
+    program, invariant = build_case(name, chosen)
+    return lint_program(
+        program,
+        invariant=invariant,
+        probes=probes,
+        tracer=tracer,
+        metrics=metrics,
+        subject=subject,
+    )
+
+
+def lint_library(
+    *,
+    names: Iterable[str] | None = None,
+    sizes: Mapping[str, int] | None = None,
+    probes: int = PROBE_STATES,
+    tracer=None,
+    metrics=None,
+) -> dict[str, LintReport]:
+    """Lint the whole protocol library (or the named subset), by case."""
+    from repro.protocols.library import case_names
+
+    chosen = list(names) if names is not None else case_names()
+    overrides = dict(sizes) if sizes is not None else {}
+    return {
+        name: lint_case(
+            name,
+            overrides.get(name),
+            probes=probes,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        for name in chosen
+    }

@@ -1,0 +1,199 @@
+"""A seeded ill-formed design exercising every diagnostic code.
+
+The linter's own test fixture: :func:`ill_formed_design` builds a small
+:class:`~repro.core.design.NonmaskingDesign` that violates every checked
+property at least once, and :func:`selftest` asserts the full catalog
+fires. The fixture doubles as executable documentation — each binding
+below is one canonical way to get each diagnostic.
+
+The design is deliberately *constructible*: every violation is of a kind
+the eager validators cannot see (opaque callables, lying subclasses,
+node labels that are only combined lazily), which is exactly the gap the
+linter exists to close. Nothing here ever builds ``design.graph`` — that
+would raise on the first violation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.actions import Action, Assignment
+from repro.core.candidate import CandidateTriple
+from repro.core.constraint_graph import GraphNode
+from repro.core.constraints import Constraint, ConvergenceBinding, conjunction
+from repro.core.design import NonmaskingDesign
+from repro.core.domains import IntegerRangeDomain
+from repro.core.expr import V, expr_action
+from repro.core.predicates import Predicate
+from repro.core.program import Program
+from repro.core.variables import Variable
+
+__all__ = ["EXPECTED_CODES", "ill_formed_design", "selftest"]
+
+#: Every code the fixture is designed to trigger — the full catalog.
+EXPECTED_CODES = frozenset(
+    {
+        "RW001",
+        "RW002",
+        "RW003",
+        "CG001",
+        "CG002",
+        "CG003",
+        "GD001",
+        "VT001",
+        "TH001",
+    }
+)
+
+
+class _LyingAssignment(Assignment):
+    """An assignment whose ``writes`` declaration hides one target.
+
+    The probe catches it: evaluating the updates produces a key the
+    declaration omits (``RW002``).
+    """
+
+    def __init__(self, updates, *, declared: frozenset[str]) -> None:
+        super().__init__(updates)
+        self._declared = declared
+
+    @property
+    def writes(self) -> frozenset[str]:
+        return self._declared
+
+
+def ill_formed_design() -> NonmaskingDesign:
+    """A design triggering every code in :data:`EXPECTED_CODES`.
+
+    The violations, binding by binding:
+
+    - ``conv_a``/``conv_b`` form a two-node cycle ``A <-> B`` → CG003
+      (no layer partition is supplied);
+    - ``conv_c`` has an opaque guard that secretly reads ``d`` while
+      declaring only ``{c}`` → RW001 (and the secret read escapes the
+      self-loop's node union → CG002 co-fires);
+    - ``conv_d`` uses a :class:`_LyingAssignment` that writes ``e``
+      without declaring it → RW002 (``e`` is also never read → VT001);
+    - ``conv_sh`` over-declares a read of ``o`` its symbolic guard and
+      right-hand sides never consult → RW003;
+    - ``conv_g`` has the symbolically unsatisfiable guard
+      ``g != 0 and g > 5`` over ``g in 0..3`` → GD001 (and a violated
+      constraint with a disabled action → TH001 co-fires);
+    - ``conv_w`` "establishes" ``w == 0`` by writing ``w := 1`` → TH001;
+    - ``conv_o`` reads ``{c, d}`` which span two source nodes → CG002;
+    - nodes ``O1`` and ``O2`` both label ``shared`` → CG001.
+    """
+    bit = IntegerRangeDomain(0, 1)
+    variables = [
+        Variable("a", bit),
+        Variable("b", bit),
+        Variable("c", IntegerRangeDomain(0, 2)),
+        Variable("d", bit),
+        Variable("e", bit),
+        Variable("g", IntegerRangeDomain(0, 3)),
+        Variable("o", IntegerRangeDomain(0, 2)),
+        Variable("shared", bit),
+        Variable("w", bit),
+    ]
+
+    a, b, c, d, g, o, shared, w = (
+        V("a"), V("b"), V("c"), V("d"), V("g"), V("o"), V("shared"), V("w"),
+    )
+
+    # CG003: conv_a and conv_b form the cycle A <-> B.
+    constraint_a = Constraint("Ca", a == b)
+    conv_a = expr_action("conv_a", a != b, {"a": b})
+    constraint_b = Constraint("Cb", b == a)
+    conv_b = expr_action("conv_b", b != a, {"b": a})
+
+    # RW001: the guard consults d but declares (and supports) only {c}.
+    def _sneaky_guard(state: Any) -> bool:
+        return state["c"] != 0 and state["d"] >= 0
+
+    constraint_c = Constraint("Cc", c == 0)
+    conv_c = Action(
+        "conv_c",
+        Predicate(_sneaky_guard, name="c != 0 (secretly reads d)", support={"c"}),
+        Assignment({"c": 0}),
+        reads={"c"},
+    )
+
+    # RW002: the statement produces a write to e it does not declare.
+    constraint_d = Constraint("Cd", d == 0)
+    conv_d = Action(
+        "conv_d",
+        (d != 0).predicate(),
+        _LyingAssignment({"d": 0, "e": 0}, declared=frozenset({"d"})),
+        reads={"d"},
+    )
+
+    # RW003: declares a read of o that is provably never consulted.
+    constraint_sh = Constraint("Csh", shared == 0)
+    conv_sh = Action(
+        "conv_sh",
+        (shared != 0).predicate(),
+        Assignment({"shared": 0}),
+        reads={"shared", "o"},
+    )
+
+    # GD001: g != 0 and g > 5 has no satisfying value in 0..3.
+    constraint_g = Constraint("Cg", g == 0)
+    conv_g = expr_action("conv_g", (g != 0) & (g > 5), {"g": 0})
+
+    # TH001: fires when w != 0 but establishes w == 1, not w == 0.
+    constraint_w = Constraint("Cw", w == 0)
+    conv_w = expr_action("conv_w", w != 0, {"w": 1})
+
+    # CG002: external reads {c, d} span the two nodes C and D.
+    constraint_o = Constraint("Co", o == 0)
+    conv_o = expr_action("conv_o", (o != 0) & (c >= 0) & (d >= 0), {"o": 0})
+
+    constraints = (
+        constraint_a,
+        constraint_b,
+        constraint_c,
+        constraint_d,
+        constraint_sh,
+        constraint_g,
+        constraint_w,
+        constraint_o,
+    )
+    closure = Program("ill-formed-closure", variables, [])
+    candidate = CandidateTriple(
+        program=closure,
+        invariant=conjunction(constraints, name="S"),
+        constraints=constraints,
+    )
+    bindings = [
+        ConvergenceBinding(constraint_a, conv_a),
+        ConvergenceBinding(constraint_b, conv_b),
+        ConvergenceBinding(constraint_c, conv_c),
+        ConvergenceBinding(constraint_d, conv_d),
+        ConvergenceBinding(constraint_sh, conv_sh),
+        ConvergenceBinding(constraint_g, conv_g),
+        ConvergenceBinding(constraint_w, conv_w),
+        ConvergenceBinding(constraint_o, conv_o),
+    ]
+    nodes = [
+        GraphNode("A", frozenset({"a"})),
+        GraphNode("B", frozenset({"b"})),
+        GraphNode("C", frozenset({"c"})),
+        GraphNode("D", frozenset({"d", "e"})),
+        GraphNode("G", frozenset({"g"})),
+        GraphNode("W", frozenset({"w"})),
+        GraphNode("O1", frozenset({"o", "shared"})),
+        GraphNode("O2", frozenset({"shared"})),  # CG001: shared twice
+    ]
+    return NonmaskingDesign("ill-formed", candidate, bindings, nodes)
+
+
+def selftest() -> "tuple[Any, frozenset[str]]":
+    """Lint the fixture; return ``(report, codes that failed to fire)``.
+
+    An empty second element means the full catalog is exercised — the
+    linter's smoke test, also used by the test suite.
+    """
+    from repro.staticcheck.passes import lint_design
+
+    report = lint_design(ill_formed_design())
+    return report, EXPECTED_CODES - report.codes()

@@ -94,6 +94,19 @@ class ServiceVerdict:
 
     def describe(self) -> str:
         suffix = f" [cache: {self.cache_layer}]" if self.cached else ""
+        if "lint" in self.record:
+            lint = self.record["lint"]
+            counts = lint["counts"]
+            lines = [
+                f"lint precheck FAILED for {self.record['case']}: "
+                f"{counts['error']} error(s), {counts['warning']} warning(s) — "
+                "state-space verification was not attempted",
+            ]
+            lines.extend(
+                f"  {d['code']} {d['severity']}: {d['subject']}: {d['message']}"
+                for d in lint["diagnostics"]
+            )
+            return "\n".join(lines)
         if self.report is not None:
             return self.report.describe() + suffix
         r = self.record
@@ -288,6 +301,7 @@ class VerificationService:
         fairness: str = "weak",
         case: str | None = None,
         states_key: str | None = None,
+        lint: bool = False,
     ) -> ServiceVerdict:
         """Cached equivalent of :func:`repro.verification.check_tolerance`.
 
@@ -302,9 +316,41 @@ class VerificationService:
             fairness: Computation model for convergence.
             case: Display name recorded in the verdict.
             states_key: Cache discriminator for the state set.
+            lint: Run the :mod:`repro.staticcheck` passes first and, on
+                any error-severity finding, short-circuit with a failed
+                verdict carrying the lint report under ``record["lint"]``
+                instead of exploring the state space. The lint costs
+                O(actions x probe states); a failed precheck is never
+                cached (fixing the declarations must retrigger it).
         """
         span = fault_span if fault_span is not None else TRUE
         started = time.perf_counter()
+        if lint:
+            from repro.staticcheck import lint_program
+
+            lint_report = lint_program(
+                program,
+                invariant=invariant,
+                tracer=self.tracer,
+                metrics=self.metrics,
+                subject=case if case is not None else program.name,
+            )
+            if not lint_report.ok:
+                elapsed = time.perf_counter() - started
+                return ServiceVerdict(
+                    record={
+                        "case": case if case is not None else program.name,
+                        "ok": False,
+                        "lint_ok": False,
+                        "lint": lint_report.as_dict(),
+                        "fairness": fairness,
+                        "seconds": elapsed,
+                    },
+                    report=None,
+                    cached=False,
+                    cache_layer="",
+                    seconds=elapsed,
+                )
         if states is None:
             state_list: list[State] | None = None
             extra = ("states=full",)

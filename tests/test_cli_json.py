@@ -135,3 +135,70 @@ class TestSimulateObservability:
         assert "trials" in out
         assert "stabilized" in out
         assert "action.fired" in out
+
+
+LINT_CASE_KEYS = {
+    "subject",
+    "ok",
+    "strict_ok",
+    "probes",
+    "seconds",
+    "counts",
+    "diagnostics",
+}
+
+LINT_DIAGNOSTIC_KEYS = {"code", "severity", "message", "subject", "location", "hint"}
+
+
+class TestLintJson:
+    def test_schema_is_stable(self, tmp_path, capsys):
+        path = tmp_path / "lint.json"
+        assert main(["lint", "--case", "diffusing-chain", "--case", "mis-cycle",
+                     "--json", str(path)]) == 0
+        assert f"lint report written to {path}" in capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        assert set(payload) == {
+            "command",
+            "strict",
+            "probes",
+            "ok",
+            "strict_ok",
+            "wall_clock_seconds",
+            "cases",
+        }
+        assert payload["command"] == "lint"
+        assert payload["strict"] is False
+        assert payload["probes"] == 32
+        assert payload["ok"] is True
+        assert payload["strict_ok"] is True
+        assert payload["wall_clock_seconds"] > 0.0
+        assert len(payload["cases"]) == 2
+        for case in payload["cases"]:
+            assert set(case) == LINT_CASE_KEYS
+            assert set(case["counts"]) == {"error", "warning", "info"}
+            for entry in case["diagnostics"]:
+                assert set(entry) == LINT_DIAGNOSTIC_KEYS
+
+    def test_full_library_is_clean_under_strict(self, capsys):
+        # The shipped protocol library must lint clean at the strict bar;
+        # this is the CI gate in miniature.
+        assert main(["lint", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert "FAIL" not in out
+
+    def test_unknown_case_is_usage_error(self, capsys):
+        assert main(["lint", "--case", "no-such-case"]) == 2
+        assert "unknown verification case" in capsys.readouterr().err
+
+    def test_trace_and_metrics_flags(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["lint", "--case", "mis-cycle",
+                     "--trace", str(trace), "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {trace}" in out
+        assert "lint.runs" in out  # the --metrics report
+        kinds = [json.loads(line)["kind"]
+                 for line in trace.read_text().splitlines()]
+        assert kinds[0] == "lint.start"
+        assert kinds[-1] == "lint.finish"

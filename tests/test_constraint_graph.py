@@ -8,6 +8,7 @@ from repro.core import (
     Constraint,
     ConstraintGraph,
     ConvergenceBinding,
+    GraphEdge,
     GraphNode,
     IllFormedGraphError,
     Predicate,
@@ -212,3 +213,129 @@ class TestRefinements:
         )
         refined = graph.restricted_to_states([State({"x": 0, "y": 0})])
         assert len(refined.edges) == 0
+
+
+class TestClassificationEdgeCases:
+    """Pin the classification of degenerate and borderline shapes."""
+
+    def test_single_node_no_edges_is_self_looping(self):
+        graph = ConstraintGraph.from_bindings([node("X", "x")], [])
+        assert not graph.is_out_tree()  # no active nodes, no root
+        assert graph.is_self_looping()
+        assert graph.classification() == "self-looping"
+
+    def test_single_node_self_loop_is_self_looping(self):
+        graph = ConstraintGraph.from_bindings(
+            [node("X", "x")], [binding("c", ("x",), "x")]
+        )
+        # The self-loop counts toward indegree, so this is not an
+        # out-tree even though the underlying shape is a single node.
+        assert not graph.is_out_tree()
+        assert graph.classification() == "self-looping"
+
+    def test_self_loop_mixed_into_out_tree_demotes_it(self):
+        nodes = [node("X", "x"), node("Y", "y")]
+        chain = binding("c1", ("x", "y"), "y")
+        loop = binding("c2", ("y",), "y")
+        assert ConstraintGraph.from_bindings(
+            nodes, [chain]
+        ).classification() == "out-tree"
+        graph = ConstraintGraph.from_bindings(nodes, [chain, loop])
+        assert graph.classification() == "self-looping"
+        # Ranks stay defined: the self-loop is ignored by the rank order.
+        ranks = {n.name: r for n, r in graph.ranks().items()}
+        assert ranks == {"X": 1, "Y": 2}
+
+    def test_disconnected_components_are_not_an_out_tree(self):
+        nodes = [node("X", "x"), node("Y", "y"), node("Z", "z"), node("W", "w")]
+        graph = ConstraintGraph.from_bindings(
+            nodes,
+            [binding("c1", ("x", "y"), "y"), binding("c2", ("z", "w"), "w")],
+        )
+        # Two acyclic trees: two roots, not weakly connected.
+        assert not graph.is_weakly_connected()
+        assert not graph.is_out_tree()
+        assert graph.classification() == "self-looping"
+
+    def test_multi_edge_pair_same_direction(self):
+        nodes = [node("X", "x"), node("Y", "y")]
+        graph = ConstraintGraph.from_bindings(
+            nodes,
+            [binding("c1", ("x", "y"), "y"), binding("c2", ("x", "y"), "y")],
+        )
+        # Parallel edges give the target indegree 2 — not an out-tree,
+        # but still acyclic, so Theorem 2 applies.
+        assert len(graph.edges) == 2
+        assert graph.indegree(graph.edges[0].target) == 2
+        assert graph.classification() == "self-looping"
+
+    def test_multi_edge_pair_opposite_directions_is_cyclic(self):
+        nodes = [node("X", "x"), node("Y", "y")]
+        graph = ConstraintGraph.from_bindings(
+            nodes,
+            [binding("c1", ("x", "y"), "y"), binding("c2", ("x", "y"), "x")],
+        )
+        assert graph.has_proper_cycle()
+        assert graph.classification() == "cyclic"
+        with pytest.raises(IllFormedGraphError, match="self-looping"):
+            graph.ranks()
+
+
+class TestValidateMessages:
+    """The well-formedness errors name the action, the edge, and the
+    exact offending variable set (satellite of the staticcheck PR)."""
+
+    def _edge(self, reads, writes, source, target):
+        b = binding("c", reads, writes)
+        return GraphEdge(source=source, target=target, binding=b)
+
+    def test_write_escape_names_action_edge_and_variables(self):
+        x, y = node("X", "x"), node("Y", "y")
+        # The action writes x but the edge claims target Y.
+        edge = self._edge(("x",), "x", x, y)
+        with pytest.raises(
+            IllFormedGraphError,
+            match=r"action 'fix-c' on edge 'X' -> 'Y' writes \['x'\] outside "
+                  r"its target node 'Y' \(label \['y'\]\)",
+        ):
+            ConstraintGraph([x, y], [edge])
+
+    def test_read_escape_names_action_edge_and_variables(self):
+        x, y, z = node("X", "x"), node("Y", "y"), node("Z", "z")
+        edge = self._edge(("x", "z"), "x", y, x)
+        with pytest.raises(
+            IllFormedGraphError,
+            match=r"action 'fix-c' on edge 'Y' -> 'X' reads \['z'\] outside "
+                  r"the union of its nodes \(label \['x', 'y'\]\)",
+        ):
+            ConstraintGraph([x, y, z], [edge])
+
+    def test_constraint_support_escape_names_constraint_and_edge(self):
+        x, y, z = node("X", "x"), node("Y", "y"), node("Z", "z")
+        constraint = Constraint(
+            name="c",
+            predicate=Predicate(lambda s: True, name="c", support=("x", "z")),
+        )
+        action = Action(
+            "fix-c",
+            Predicate(lambda s: False, name="g", support=("x",)),
+            Assignment({"x": 0}),
+            reads=("x",),
+        )
+        # The constraint consults z, but the edge Y -> X does not cover it.
+        bad_edge = GraphEdge(
+            source=y, target=x,
+            binding=ConvergenceBinding(constraint=constraint, action=action),
+        )
+        with pytest.raises(
+            IllFormedGraphError,
+            match=r"constraint 'c' on edge 'Y' -> 'X' reads \['z'\] outside "
+                  r"the union of its nodes \(label \['x', 'y'\]\)",
+        ):
+            ConstraintGraph([x, y, z], [bad_edge])
+        # The matching placement (Z -> X covers z) is accepted.
+        good_edge = GraphEdge(
+            source=z, target=x,
+            binding=ConvergenceBinding(constraint=constraint, action=action),
+        )
+        assert len(ConstraintGraph([x, y, z], [good_edge]).edges) == 1

@@ -12,6 +12,8 @@ from repro.core import (
     State,
 )
 from repro.core.constraints import conjunction
+from repro.core.errors import LintError
+from repro.core.expr import V
 
 
 def nonneg() -> Constraint:
@@ -106,3 +108,55 @@ class TestConvergenceBinding:
         # But still establishes and covers violations.
         assert merged.violated_implies_enabled(STATES)
         assert merged.establishes_constraint(STATES)
+
+
+class TestConstraintSymbolicSupport:
+    """Support auto-derivation from the expression DSL (staticcheck PR)."""
+
+    def test_bool_expr_accepted_directly(self):
+        c = Constraint(name="c", predicate=(V("x") >= 0))
+        assert isinstance(c.predicate, Predicate)
+        assert c.support == frozenset({"x"})
+
+    def test_bool_expr_support_spans_all_variables(self):
+        c = Constraint(name="c", predicate=(V("x") == V("y")))
+        assert c.support == frozenset({"x", "y"})
+
+    def test_redundant_matching_declaration_accepted(self):
+        c = Constraint(
+            name="c", predicate=(V("x") >= 0), declared_support=("x",)
+        )
+        assert c.support == frozenset({"x"})
+
+    def test_disagreeing_declaration_is_lint_error(self):
+        with pytest.raises(LintError, match="symbolic variables"):
+            Constraint(
+                name="c", predicate=(V("x") >= 0), declared_support=("x", "y")
+            )
+
+    def test_opaque_predicate_with_explicit_declaration(self):
+        c = Constraint(
+            name="c",
+            predicate=Predicate(lambda s: s["x"] >= 0, name="x >= 0"),
+            declared_support=("x",),
+        )
+        assert c.support == frozenset({"x"})
+
+    def test_opaque_predicate_disagreeing_declaration_is_lint_error(self):
+        with pytest.raises(LintError, match="support"):
+            Constraint(
+                name="c",
+                predicate=Predicate(lambda s: s["x"] >= 0, name="g", support=("x",)),
+                declared_support=("x", "y"),
+            )
+
+    def test_symbolic_inferred_support_is_exact(self):
+        c = Constraint(name="c", predicate=(V("x") >= 0))
+        inferred = c.inferred_support(STATES)
+        assert inferred.exact
+        assert inferred.reads == frozenset({"x"})
+
+    def test_opaque_inferred_support_is_probed(self):
+        inferred = nonneg().inferred_support(STATES)
+        assert not inferred.exact
+        assert inferred.reads == frozenset({"x"})

@@ -1,0 +1,163 @@
+"""Unit tests for read/write-set inference (repro.core.introspect)."""
+
+from repro.core import (
+    Action,
+    Assignment,
+    Predicate,
+    RecordingState,
+    State,
+    callable_location,
+    infer_action_support,
+    infer_effect_support,
+    infer_predicate_reads,
+)
+from repro.core.expr import V, expr_action
+
+STATES = [State({"x": v, "y": v % 2, "z": 0}) for v in range(4)]
+
+
+class TestRecordingState:
+    def test_getitem_recorded(self):
+        proxy = RecordingState(State({"x": 1, "y": 2}))
+        assert proxy["x"] == 1
+        assert proxy.accessed == {"x"}
+
+    def test_contains_recorded(self):
+        proxy = RecordingState(State({"x": 1}))
+        assert "x" in proxy
+        assert "ghost" not in proxy
+        assert proxy.accessed == {"x", "ghost"}
+
+    def test_iteration_reads_everything(self):
+        proxy = RecordingState(State({"x": 1, "y": 2}))
+        assert sorted(proxy) == ["x", "y"]
+        assert proxy.accessed == {"x", "y"}
+
+    def test_len_is_not_a_read(self):
+        proxy = RecordingState(State({"x": 1, "y": 2}))
+        assert len(proxy) == 2
+        assert proxy.accessed == set()
+
+
+class TestPredicateReads:
+    def test_symbolic_is_exact_without_probing(self):
+        predicate = ((V("x") == V("y"))).predicate()
+        inferred = infer_predicate_reads(predicate, STATES)
+        assert inferred.reads == {"x", "y"}
+        assert inferred.method == "symbolic"
+        assert inferred.exact
+        assert inferred.probes == 0
+
+    def test_opaque_is_probed(self):
+        predicate = Predicate(lambda s: s["x"] > 0, name="x>0", support=("x",))
+        inferred = infer_predicate_reads(predicate, STATES)
+        assert inferred.reads == {"x"}
+        assert inferred.method == "probe"
+        assert not inferred.exact
+        assert inferred.probes == len(STATES)
+
+    def test_probe_sees_through_a_lying_support(self):
+        # Declared support says {x}; the body also reads y.
+        predicate = Predicate(
+            lambda s: s["x"] > 0 and s["y"] == 0, name="liar", support=("x",)
+        )
+        inferred = infer_predicate_reads(predicate, STATES)
+        assert inferred.reads == {"x", "y"}
+
+    def test_probe_keeps_partial_reads_on_exception(self):
+        def raises(state):
+            state["x"]
+            raise RuntimeError("after reading x")
+
+        predicate = Predicate(raises, name="raises", support=("x",))
+        inferred = infer_predicate_reads(predicate, STATES)
+        assert inferred.reads == {"x"}
+
+    def test_probe_underapproximates_short_circuits(self):
+        # On the probe battery z is always 0, so the z-branch never reads y.
+        predicate = Predicate(
+            lambda s: s["y"] > 9 if s["z"] != 0 else s["x"] >= 0,
+            name="short-circuit",
+            support=("x", "y", "z"),
+        )
+        inferred = infer_predicate_reads(predicate, STATES)
+        assert "y" not in inferred.reads  # the documented under-approximation
+        assert {"x", "z"} <= inferred.reads
+
+
+class TestEffectSupport:
+    def test_symbolic_rhs_exact(self):
+        effect = Assignment({"x": V("y") + 1})
+        inferred = infer_effect_support(effect, STATES)
+        assert inferred.reads == {"y"}
+        assert inferred.writes == {"x"}
+        assert inferred.method == "symbolic"
+
+    def test_constant_rhs_reads_nothing(self):
+        inferred = infer_effect_support(Assignment({"x": 7}), STATES)
+        assert inferred.reads == frozenset()
+        assert inferred.writes == {"x"}
+
+    def test_opaque_rhs_probed(self):
+        effect = Assignment({"x": lambda s: s["y"] + s["z"]})
+        inferred = infer_effect_support(effect, STATES)
+        assert inferred.reads == {"y", "z"}
+        assert inferred.writes == {"x"}
+        assert inferred.method == "probe"
+
+    def test_mixed_rhs(self):
+        effect = Assignment({"x": V("y"), "z": lambda s: s["x"]})
+        inferred = infer_effect_support(effect, STATES)
+        assert inferred.reads == {"x", "y"}
+        assert inferred.writes == {"x", "z"}
+        assert inferred.method == "mixed"
+
+    def test_lying_writes_subclass_caught(self):
+        class Lying(Assignment):
+            @property
+            def writes(self):
+                return frozenset({"x"})
+
+        inferred = infer_effect_support(Lying({"x": 0, "y": 1}), STATES)
+        assert inferred.writes == {"x", "y"}
+
+
+class TestActionSupport:
+    def test_dsl_action_is_fully_symbolic(self):
+        action = expr_action("step", V("x") != V("y"), {"y": V("x")})
+        inferred = infer_action_support(action, STATES)
+        assert inferred.reads == {"x", "y"}
+        assert inferred.writes == {"y"}
+        assert inferred.exact
+
+    def test_action_method_mixes(self):
+        action = Action(
+            "opaque",
+            Predicate(lambda s: s["x"] > 0, name="x>0", support=("x",)),
+            Assignment({"y": V("x")}),
+            reads=("x", "y"),
+        )
+        inferred = infer_action_support(action, STATES)
+        assert inferred.reads == {"x"}
+        assert inferred.writes == {"y"}
+        assert inferred.method == "mixed"
+
+    def test_inferred_support_method_on_action(self):
+        action = expr_action("step", V("x") != 0, {"x": 0})
+        assert action.inferred_support(STATES).reads == {"x"}
+
+
+class TestCallableLocation:
+    def test_lambda_has_location(self):
+        location = callable_location(lambda s: s["x"])
+        assert location is not None
+        assert location.startswith("test_introspect.py:")
+
+    def test_predicate_unwrapped(self):
+        predicate = Predicate(lambda s: True, name="t", support=())
+        location = callable_location(predicate)
+        assert location is not None
+        assert location.startswith("test_introspect.py:")
+
+    def test_builtin_has_none(self):
+        assert callable_location(len) is None

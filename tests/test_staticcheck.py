@@ -1,0 +1,302 @@
+"""Tests for the protocol linter (repro.staticcheck).
+
+Covers the diagnostic catalog (via the seeded ill-formed fixture, which
+must trigger every code), the support-table inference layer, the public
+lint entry points, the service's opt-in lint precheck, and the lint.*
+observability events.
+"""
+
+import pytest
+
+from repro.core import Predicate, Program, Variable
+from repro.core.domains import IntegerRangeDomain
+from repro.core.errors import ValidationError
+from repro.core.expr import V, expr_action
+from repro.observability import (
+    LINT_DIAGNOSTIC,
+    LINT_FINISH,
+    LINT_START,
+    MetricsRegistry,
+    RingBufferSink,
+    Tracer,
+)
+from repro.staticcheck import (
+    CODES,
+    ERROR,
+    EXPECTED_CODES,
+    INFO,
+    SEVERITIES,
+    WARNING,
+    LintReport,
+    build_support_table,
+    diagnostic,
+    ill_formed_design,
+    lint_case,
+    lint_design,
+    lint_library,
+    lint_program,
+    selftest,
+)
+from repro.verification.service import VerificationService
+
+DIAGNOSTIC_KEYS = {"code", "severity", "message", "subject", "location", "hint"}
+REPORT_KEYS = {"subject", "ok", "strict_ok", "probes", "seconds", "counts", "diagnostics"}
+
+
+def _bit(name):
+    return Variable(name, IntegerRangeDomain(0, 1))
+
+
+def _drifting_program():
+    """A program whose opaque guard reads a variable it never declared."""
+    action = expr_action("fix-x", V("x") != 0, {"x": 0})
+    sneaky = Predicate(lambda s: s["y"] != 0 and s["x"] == 0, name="sneaky", support=("y",))
+    from repro.core import Action, Assignment
+
+    drift = Action("drift", sneaky, Assignment({"y": 0}), reads=("y",))
+    return Program("drifting", [_bit("x"), _bit("y")], [action, drift])
+
+
+def _clean_program():
+    actions = [
+        expr_action("fix-x", V("x") != 0, {"x": 0}),
+        expr_action("fix-y", (V("x") == 0) & (V("y") != 0), {"y": 0}),
+    ]
+    return Program("clean", [_bit("x"), _bit("y")], actions)
+
+
+class TestCatalog:
+    def test_every_code_has_severity_title_hint(self):
+        assert set(CODES) == EXPECTED_CODES
+        for code, (severity, title, hint) in CODES.items():
+            assert severity in SEVERITIES
+            assert title
+            assert hint
+
+    def test_severity_partition(self):
+        by_severity = {s: {c for c, (sev, _, _) in CODES.items() if sev == s} for s in SEVERITIES}
+        assert by_severity[ERROR] == {"RW001", "RW002", "CG001", "CG002", "CG003", "TH001"}
+        assert by_severity[WARNING] == {"GD001", "VT001"}
+        assert by_severity[INFO] == {"RW003"}
+
+    def test_factory_fills_catalog_fields(self):
+        d = diagnostic("RW001", "msg", subject="a", location="f.py:1")
+        assert d.severity == ERROR
+        assert d.hint == CODES["RW001"][2]
+        assert d.as_dict().keys() == DIAGNOSTIC_KEYS
+
+    def test_factory_rejects_unknown_code(self):
+        with pytest.raises(KeyError):
+            diagnostic("XX999", "msg", subject="a")
+
+
+class TestSelftest:
+    """The seeded ill-formed fixture triggers the full catalog."""
+
+    def test_every_code_fires(self):
+        report, missing = selftest()
+        assert missing == frozenset()
+        assert report.codes() == EXPECTED_CODES
+
+    def test_fixture_reports_dirty(self):
+        report, _ = selftest()
+        assert not report.ok
+        assert not report.strict_ok
+        assert not report  # __bool__ mirrors ok
+
+    def test_errors_ordered_first(self):
+        report, _ = selftest()
+        severities = [d.severity for d in report.diagnostics]
+        assert severities == sorted(
+            severities, key=[ERROR, WARNING, INFO].index
+        )
+
+    def test_diagnostics_carry_locations_where_known(self):
+        report, _ = selftest()
+        # The sneaky opaque guard is a def in selftest.py; RW001 must
+        # point at it.
+        rw001 = report.by_code("RW001")
+        assert any(d.location and "selftest.py" in d.location for d in rw001)
+
+    def test_fixture_is_constructible_without_linting(self):
+        design = ill_formed_design()
+        assert design.name == "ill-formed"
+        assert len(design.bindings) >= 8
+
+
+class TestSupportTable:
+    def test_rows_cover_actions_and_constraints(self):
+        program = _clean_program()
+        table = build_support_table(program)
+        assert {row.name for row in table.actions()} == {"fix-x", "fix-y"}
+        assert table.row("fix-x").inferred.exact
+
+    def test_undeclared_read_surfaces(self):
+        table = build_support_table(_drifting_program())
+        row = table.row("drift")
+        assert "x" in row.undeclared_reads
+
+    def test_sound_direction_only_for_probes(self):
+        # The probe is not exact, so over-declared reads must be empty
+        # even if the probe never saw a declared variable read.
+        program = _drifting_program()
+        table = build_support_table(program)
+        row = table.row("drift")
+        assert not row.inferred.exact
+        assert row.over_declared_reads == frozenset()
+
+    def test_as_dict_round_trips(self):
+        table = build_support_table(_clean_program())
+        payload = table.as_dict()
+        assert payload["subject"] == "clean"
+        assert len(payload["rows"]) == 2
+
+
+class TestLintProgram:
+    def test_clean_program_is_strict_clean(self):
+        report = lint_program(_clean_program())
+        assert report.ok
+        assert report.strict_ok
+        assert report.codes() == frozenset()
+
+    def test_declaration_drift_is_rw001(self):
+        report = lint_program(_drifting_program())
+        assert not report.ok
+        assert "RW001" in report.codes()
+        [d] = report.by_code("RW001")
+        assert "drift" in d.subject
+        assert "'x'" in d.message
+
+    def test_unsatisfiable_guard_is_gd001(self):
+        stuck = expr_action("stuck", (V("x") == 0) & (V("x") == 1), {"y": 1})
+        program = Program("gd", [_bit("x"), _bit("y")], [stuck])
+        report = lint_program(program)
+        assert "GD001" in report.codes()
+        assert report.ok  # GD001 is a warning, not an error
+
+    def test_never_read_variable_is_vt001(self):
+        program = Program(
+            "vt",
+            [_bit("x"), _bit("dead")],
+            [expr_action("fix-x", V("x") != 0, {"x": 0})],
+        )
+        report = lint_program(program)
+        [d] = report.by_code("VT001")
+        assert "dead" in d.subject
+
+    def test_invariant_support_counts_as_reading(self):
+        program = Program(
+            "vt-inv",
+            [_bit("x"), _bit("watched")],
+            [expr_action("fix-x", V("x") != 0, {"x": 0})],
+        )
+        invariant = (V("watched") == 0).predicate(name="S")
+        report = lint_program(program, invariant=invariant)
+        assert "VT001" not in report.codes()
+
+    def test_report_schema_is_stable(self):
+        report = lint_program(_drifting_program())
+        payload = report.as_dict()
+        assert payload.keys() == REPORT_KEYS
+        assert payload["counts"].keys() == {"error", "warning", "info"}
+        for entry in payload["diagnostics"]:
+            assert entry.keys() == DIAGNOSTIC_KEYS
+
+    def test_run_report_carries_counters(self):
+        report = lint_program(_drifting_program())
+        run = report.run_report().as_dict()
+        assert run["counters"]["lint.errors"] >= 1
+        assert "lint" in run["timers"]
+
+
+class TestLintDesign:
+    def test_ill_formed_design_full_catalog(self):
+        report = lint_design(ill_formed_design())
+        assert report.codes() == EXPECTED_CODES
+
+    def test_theorem_3_with_layers_suppresses_cg003(self):
+        report = lint_design(ill_formed_design(), theorem="3")
+        # theorem 3 tolerates cycles, but the fixture declares no layers.
+        assert "CG003" in report.codes()
+
+
+class TestLintCaseAndLibrary:
+    def test_unknown_case_raises(self):
+        with pytest.raises(ValidationError):
+            lint_case("no-such-case")
+
+    def test_case_subject_names_size(self):
+        report = lint_case("diffusing-chain", 3)
+        assert report.subject == "diffusing-chain (n=3)"
+
+    def test_library_is_strict_clean(self):
+        # The acceptance bar: the whole shipped library lints clean.
+        reports = lint_library()
+        assert reports  # non-empty
+        dirty = {name: r.codes() for name, r in reports.items() if not r.strict_ok}
+        assert dirty == {}
+
+    def test_library_subset_selection(self):
+        reports = lint_library(names=["mis-cycle"])
+        assert list(reports) == ["mis-cycle"]
+
+
+class TestServicePrecheck:
+    def test_lint_precheck_short_circuits(self):
+        program = _drifting_program()
+        invariant = Predicate(lambda s: True, name="S", support=())
+        service = VerificationService()
+        verdict = service.verify_tolerance(program, invariant, lint=True)
+        assert verdict.record["ok"] is False
+        assert verdict.record["lint_ok"] is False
+        assert verdict.report is None
+        assert not verdict.cached
+        lint_payload = verdict.record["lint"]
+        assert lint_payload.keys() == REPORT_KEYS
+        assert "lint precheck FAILED" in verdict.describe()
+
+    def test_lint_precheck_never_cached(self):
+        program = _drifting_program()
+        invariant = Predicate(lambda s: True, name="S", support=())
+        service = VerificationService()
+        service.verify_tolerance(program, invariant, lint=True)
+        again = service.verify_tolerance(program, invariant, lint=True)
+        assert not again.cached  # fixing declarations must retrigger
+
+    def test_clean_program_passes_through(self):
+        program = _clean_program()
+        invariant = ((V("x") == 0) & (V("y") == 0)).predicate(name="S")
+        service = VerificationService()
+        verdict = service.verify_tolerance(program, invariant, lint=True)
+        assert "lint" not in verdict.record
+        assert verdict.report is not None
+
+    def test_lint_off_by_default(self):
+        program = _drifting_program()
+        invariant = Predicate(lambda s: True, name="S", support=())
+        verdict = VerificationService().verify_tolerance(program, invariant)
+        assert "lint" not in verdict.record
+
+
+class TestObservability:
+    def test_lint_emits_trace_events(self):
+        sink = RingBufferSink()
+        tracer = Tracer([sink])
+        report = lint_program(_drifting_program(), tracer=tracer)
+        kinds = [event.kind for event in sink.events]
+        assert kinds[0] == LINT_START
+        assert kinds[-1] == LINT_FINISH
+        assert kinds.count(LINT_DIAGNOSTIC) == len(report.diagnostics)
+
+    def test_lint_updates_metrics(self):
+        metrics = MetricsRegistry()
+        report = lint_program(_drifting_program(), metrics=metrics)
+        snapshot = metrics.report().as_dict()
+        assert snapshot["counters"]["lint.runs"] == 1
+        assert snapshot["counters"]["lint.diagnostics"] == len(report.diagnostics)
+
+    def test_lint_report_is_frozen(self):
+        report = lint_program(_clean_program())
+        assert isinstance(report, LintReport)
+        with pytest.raises(AttributeError):
+            report.subject = "other"
