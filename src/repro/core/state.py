@@ -55,6 +55,20 @@ class State(Mapping[str, Any]):
         self._values = dict(values)
         self._hash: int | None = None
 
+    @classmethod
+    def _adopt(cls, values: dict[str, Any]) -> "State":
+        """Build a state that takes ownership of ``values`` without copying.
+
+        Internal constructor for hot paths (state enumeration, ``update``,
+        the packed kernel's decoder) that already hold a fresh dict no one
+        else references. The caller must never mutate ``values`` afterwards
+        — states are immutable by contract.
+        """
+        state = object.__new__(cls)
+        state._values = values
+        state._hash = None
+        return state
+
     def __getitem__(self, name: str) -> Any:
         try:
             return self._values[name]
@@ -83,7 +97,7 @@ class State(Mapping[str, Any]):
                 )
         merged = dict(self._values)
         merged.update(changes)
-        return State(merged)
+        return State._adopt(merged)
 
     def project(self, names: Iterable[str]) -> "State":
         """Return the restriction of this state to ``names``.
@@ -91,7 +105,7 @@ class State(Mapping[str, Any]):
         Useful for reasoning about the local state of one process or one
         constraint-graph node.
         """
-        return State({name: self[name] for name in names})
+        return State._adopt({name: self[name] for name in names})
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, State):
@@ -171,7 +185,7 @@ def enumerate_states(
     names = [variable.name for variable in ordered]
     domains = [tuple(variable.domain.values()) for variable in ordered]
     for combo in itertools.product(*domains):
-        yield State(dict(zip(names, combo)))
+        yield State._adopt(dict(zip(names, combo)))
 
 
 def random_state(variables: Iterable[Variable], rng: Any) -> State:
@@ -187,4 +201,4 @@ def random_state(variables: Iterable[Variable], rng: Any) -> State:
     """
     ordered = list(variables)
     _require_unique_names(ordered)
-    return State({v.name: v.domain.sample(rng) for v in ordered})
+    return State._adopt({v.name: v.domain.sample(rng) for v in ordered})

@@ -1,0 +1,403 @@
+"""Packed-engine T-tolerance verification.
+
+``check_tolerance_packed`` reproduces
+:func:`repro.verification.checker.check_tolerance` bit-for-bit — same
+verdicts, same closure witnesses in the same order, same error messages
+— but runs on packed codes:
+
+- With ``states=None`` (the common service path) the full state space is
+  swept **once**: one pass computes the ``S``/``T`` membership masks and
+  the complete successor graph as flat arrays. The dict engine walks the
+  space four times (implication, two closures, span construction) and
+  re-executes every action per walk.
+- Both closure checks then run over the cached graph without calling a
+  single guard again, and the ``T``-span transition system handed to the
+  convergence checker is carved out of the same arrays.
+
+Successor values that leave their variable's domain are kept as raw
+:class:`State` markers inside the graph so closure witnesses and escape
+lists match the dict engine exactly.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Iterable, Sequence
+
+from repro.core.errors import StateSpaceTooLargeError
+from repro.core.predicates import TRUE, Predicate
+from repro.core.program import Program
+from repro.core.state import DEFAULT_MAX_STATES, State
+from repro.kernel.engine import PackedTransitionSystem, compile_program
+from repro.verification.checker import ToleranceReport
+from repro.verification.closure import ClosureResult, ClosureWitness
+from repro.verification.convergence import ConvergenceResult, check_convergence
+
+__all__ = ["check_tolerance_packed"]
+
+#: Mirrors ``check_closure``'s default ``max_witnesses``.
+_MAX_WITNESSES = 5
+
+
+def _always_true(values) -> bool:
+    return True
+
+
+class _PackedGraph:
+    """The successor graph of a state list, as flat arrays.
+
+    ``entries[offsets[i]:offsets[i+1]]`` are the successors of state
+    ``i`` in action order: a non-negative entry is a packed successor
+    code; entry ``-(k+1)`` is ``raws[k]``, a successor carrying an
+    out-of-domain value (kept inline so escape/witness order is
+    identical to the dict engine).
+    """
+
+    __slots__ = ("offsets", "entries", "action_ids", "raws")
+
+    def __init__(self) -> None:
+        self.offsets = array("q", [0])
+        self.entries = array("q")
+        self.action_ids = array("h")
+        self.raws: list[State] = []
+
+    def append_successor(self, successor, action_id: int) -> None:
+        if type(successor) is int:
+            self.entries.append(successor)
+        else:
+            self.entries.append(-len(self.raws) - 1)
+            self.raws.append(successor)
+        self.action_ids.append(action_id)
+
+    def close_row(self) -> None:
+        self.offsets.append(len(self.entries))
+
+
+def check_tolerance_packed(
+    program: Program,
+    invariant: Predicate,
+    fault_span: Predicate,
+    states: Iterable[State] | None = None,
+    *,
+    fairness: str = "weak",
+    tracer=None,
+    metrics=None,
+) -> ToleranceReport:
+    """Packed counterpart of :func:`~repro.verification.checker.check_tolerance`.
+
+    Args:
+        states: The state set, or ``None`` for the program's full state
+            space (the fast path: codes are enumerated, never encoded).
+
+    Raises:
+        PackedUnsupported: if the program or a supplied state cannot be
+            packed; ``engine="auto"`` callers catch this and fall back.
+    """
+    kernel = compile_program(program, tracer=tracer, metrics=metrics)
+    table_entries_before = kernel.table_entries() if metrics is not None else 0
+    codec = kernel.codec
+    s_fn = kernel.predicate_fn(invariant)
+    # TRUE is the stabilization fault-span; skip 1 call/state for it.
+    t_always = fault_span is TRUE
+    t_fn = None if t_always else kernel.predicate_fn(fault_span)
+    successor_fns = tuple(
+        (action_id, action.successor)
+        for action_id, action in enumerate(kernel.actions)
+    )
+    names = kernel.action_names
+    graph = _PackedGraph()
+    entries = graph.entries
+    entries_append = entries.append
+    ids_append = graph.action_ids.append
+    offsets_append = graph.offsets.append
+    raws = graph.raws
+
+    if states is None:
+        # Full space: position == code, membership masks are per-code.
+        # Same guard (and message) as ``enumerate_states`` on the dict path.
+        if codec.size > DEFAULT_MAX_STATES:
+            raise StateSpaceTooLargeError(
+                f"state space has {codec.size} states, above the limit of "
+                f"{DEFAULT_MAX_STATES}"
+            )
+        count = codec.size
+        state_list: list[State] | None = None
+        codes = None
+        s_mask = bytearray(count)
+        t_mask = bytearray(b"\x01") * count if t_always else bytearray(count)
+        for code, digits, values in kernel.iter_space():
+            if s_fn(values):
+                s_mask[code] = 1
+            if not t_always and t_fn(values):
+                t_mask[code] = 1
+            for action_id, successor_fn in successor_fns:
+                successor = successor_fn(code, digits, values)
+                if successor is None:
+                    continue
+                if type(successor) is int:
+                    entries_append(successor)
+                else:
+                    entries_append(-len(raws) - 1)
+                    raws.append(successor)
+                ids_append(action_id)
+            offsets_append(len(entries))
+
+        def position_state(position: int) -> State:
+            return codec.decode_state(position)
+
+        def code_of(position: int) -> int:
+            return position
+
+        def code_holds(mask, memo, fn, code: int) -> bool:
+            return bool(mask[code])
+
+        s_memo = t_memo = None
+    else:
+        state_list = list(states)
+        codes = array("q", (codec.encode_state(state) for state in state_list))
+        count = len(codes)
+        s_mask = bytearray(count)
+        t_mask = bytearray(count)
+        # Successor codes may fall outside the supplied set; predicate
+        # values of such codes are memoized per code.
+        s_memo: dict[int, bool] = {}
+        t_memo: dict[int, bool] = {}
+        for position, code in enumerate(codes):
+            digits, values = kernel.analyze_code(code)
+            s_value = bool(s_fn(values))
+            t_value = True if t_always else bool(t_fn(values))
+            s_mask[position] = s_value
+            t_mask[position] = t_value
+            s_memo[code] = s_value
+            t_memo[code] = t_value
+            for action_id, successor_fn in successor_fns:
+                successor = successor_fn(code, digits, values)
+                if successor is None:
+                    continue
+                if type(successor) is int:
+                    entries_append(successor)
+                else:
+                    entries_append(-len(raws) - 1)
+                    raws.append(successor)
+                ids_append(action_id)
+            offsets_append(len(entries))
+
+        def position_state(position: int) -> State:
+            return state_list[position]
+
+        def code_of(position: int) -> int:
+            return codes[position]
+
+        def code_holds(mask, memo, fn, code: int) -> bool:
+            try:
+                return memo[code]
+            except KeyError:
+                value = bool(fn(codec.decode_values(code)))
+                memo[code] = value
+                return value
+
+    offsets = graph.offsets
+    action_ids = graph.action_ids
+
+    implication_ok = t_always or all(
+        t_mask[position] for position in range(count) if s_mask[position]
+    )
+
+    def closure(mask, memo, fn, predicate: Predicate) -> ClosureResult:
+        checked = 0
+        witnesses: list[ClosureWitness] = []
+        for position in range(count):
+            if not mask[position]:
+                continue
+            checked += 1
+            for k in range(offsets[position], offsets[position + 1]):
+                entry = entries[k]
+                if entry >= 0:
+                    if code_holds(mask, memo, fn, entry):
+                        continue
+                    after = codec.decode_state(entry)
+                else:
+                    after = raws[-entry - 1]
+                    if predicate(after):
+                        continue
+                witnesses.append(
+                    ClosureWitness(
+                        before=position_state(position),
+                        action_name=names[action_ids[k]],
+                        after=after,
+                    )
+                )
+                if len(witnesses) >= _MAX_WITNESSES:
+                    return ClosureResult(
+                        predicate_name=predicate.name,
+                        ok=False,
+                        checked=checked,
+                        witnesses=tuple(witnesses),
+                    )
+        return ClosureResult(
+            predicate_name=predicate.name,
+            ok=not witnesses,
+            checked=checked,
+            witnesses=tuple(witnesses),
+        )
+
+    s_closure = closure(s_mask, s_memo, s_fn, invariant)
+    if t_always:
+        # TRUE holds on every successor (raw or not): the walk cannot
+        # produce a witness, and ``checked`` is the full state count.
+        t_closure = ClosureResult(
+            predicate_name=fault_span.name, ok=True, checked=count, witnesses=()
+        )
+    else:
+        t_closure = closure(t_mask, t_memo, t_fn, fault_span)
+
+    # ------------------------------------------------------------------
+    # Carve the T-span transition system out of the cached graph.
+    # ------------------------------------------------------------------
+    if t_always:
+        span_positions: Sequence[int] = range(count)
+    else:
+        span_positions = [
+            position for position in range(count) if t_mask[position]
+        ]
+    span_count = len(span_positions)
+
+    if states is None:
+        # Full space: a successor code *is* a position, membership is a
+        # mask lookup.
+        span_index = None
+        if span_count == count:
+            span_of = None  # identity
+        else:
+            span_of = array("q", [-1]) * count
+            for new_position, position in enumerate(span_positions):
+                span_of[position] = new_position
+
+        def span_target(entry_code: int) -> int | None:
+            if not t_mask[entry_code]:
+                return None
+            return entry_code if span_of is None else span_of[entry_code]
+
+    else:
+        # Subset: membership is "equals one of the supplied T-states",
+        # resolved through a last-occurrence-wins code index exactly
+        # like the dict engine's ``{state: position}`` map.
+        span_index = {}
+        for new_position, position in enumerate(span_positions):
+            span_index[codes[position]] = new_position
+
+        def span_target(entry_code: int) -> int | None:
+            return span_index.get(entry_code)
+
+    if states is None and span_count == count and not raws:
+        # Stabilizing full-space case: reuse the arrays wholesale.
+        span_codes = array("q", range(count))
+        span_offsets, span_targets, span_action_ids = offsets, entries, action_ids
+        span_escapes: list[tuple[int, str, State]] = []
+        span_states_preset = None
+    else:
+        span_codes = array("q", (code_of(position) for position in span_positions))
+        span_offsets = array("q", [0])
+        span_targets = array("q")
+        span_action_ids = array("h")
+        span_escapes = []
+        span_states_preset = (
+            None
+            if state_list is None
+            else [state_list[position] for position in span_positions]
+        )
+        for new_position, position in enumerate(span_positions):
+            for k in range(offsets[position], offsets[position + 1]):
+                entry = entries[k]
+                if entry >= 0:
+                    target = span_target(entry)
+                    if target is not None:
+                        span_targets.append(target)
+                        span_action_ids.append(action_ids[k])
+                        continue
+                    escape_state = codec.decode_state(entry)
+                else:
+                    escape_state = raws[-entry - 1]
+                span_escapes.append(
+                    (new_position, names[action_ids[k]], escape_state)
+                )
+            span_offsets.append(len(span_targets))
+
+    span_system = PackedTransitionSystem(
+        codec,
+        span_codes,
+        span_offsets,
+        span_targets,
+        span_action_ids,
+        names,
+        span_escapes,
+        states=span_states_preset,
+    )
+    # The convergence checker partitions the span by the invariant; both
+    # predicates were already evaluated on every span state, so hand the
+    # answers over instead of re-running them.
+    span_system._satisfying_cache[id(invariant)] = (
+        invariant,
+        tuple(
+            new_position
+            for new_position, position in enumerate(span_positions)
+            if s_mask[position]
+        ),
+    )
+    span_system._satisfying_cache[id(fault_span)] = (
+        fault_span,
+        tuple(range(span_count)),
+    )
+
+    if span_system.escapes:
+        if t_closure.ok:
+            # T-states stepping outside the supplied set even though T is
+            # closed: the caller gave a strict subset of the instance.
+            raise ValueError(
+                "the supplied states do not contain every successor of a "
+                "T-state; pass the full extension of T on this instance"
+            )
+        # T is not closed, so convergence relative to T is undefined;
+        # report it failed without a cycle counterexample.
+        convergence = ConvergenceResult(
+            ok=False,
+            fairness=fairness,
+            span_states=span_count,
+            bad_states=sum(
+                1 for position in span_positions if not s_mask[position]
+            ),
+        )
+    else:
+        convergence = check_convergence(
+            program,
+            span_system.states,
+            invariant,
+            fairness=fairness,
+            system=span_system,
+        )
+
+    masking = s_mask == t_mask
+    stabilizing = span_count == count
+    if metrics is not None:
+        # Successor tables fill lazily, so misses are the sweep's table
+        # growth; every action ran exactly once per state.
+        modes = kernel.modes()
+        misses = kernel.table_entries() - table_entries_before
+        calls = count * modes["table"]
+        metrics.counter("kernel.table_hits").add(calls - misses)
+        metrics.counter("kernel.table_misses").add(misses)
+        metrics.counter("kernel.direct_evals").add(
+            count * (modes["direct"] + modes["fallback"])
+        )
+        if modes["fallback"]:
+            metrics.counter("kernel.fallback_actions").add(modes["fallback"])
+    return ToleranceReport(
+        ok=implication_ok and s_closure.ok and t_closure.ok and convergence.ok,
+        implication_ok=implication_ok,
+        s_closure=s_closure,
+        t_closure=t_closure,
+        convergence=convergence,
+        classification="masking" if masking else "nonmasking",
+        stabilizing=stabilizing,
+        total_states=count,
+    )

@@ -18,7 +18,8 @@ Event kinds are plain strings, namespaced ``component.what``:
 - batch verification: :data:`BATCH_START`, :data:`WORKER_TASK_START`,
   :data:`WORKER_TASK_FINISH`, :data:`BATCH_FINISH`;
 - protocol linter: :data:`LINT_START`, :data:`LINT_DIAGNOSTIC`,
-  :data:`LINT_FINISH`.
+  :data:`LINT_FINISH`;
+- packed exploration kernel: :data:`KERNEL_BUILD`.
 
 Custom emitters are free to add their own kinds; the constants exist so
 the built-in ones are greppable and typo-proof.
@@ -39,6 +40,7 @@ __all__ = [
     "CONSTRAINT_VIOLATED",
     "EVENT_KINDS",
     "FAULT_INJECTED",
+    "KERNEL_BUILD",
     "LINT_DIAGNOSTIC",
     "LINT_FINISH",
     "LINT_START",
@@ -88,6 +90,8 @@ LINT_START = "lint.start"
 LINT_DIAGNOSTIC = "lint.diagnostic"
 #: The linter finished a subject (finding counts, wall-clock).
 LINT_FINISH = "lint.finish"
+#: The packed kernel compiled a program (codec size, action modes, time).
+KERNEL_BUILD = "kernel.build"
 
 #: Every kind the built-in instrumentation emits.
 EVENT_KINDS: tuple[str, ...] = (
@@ -109,6 +113,7 @@ EVENT_KINDS: tuple[str, ...] = (
     LINT_START,
     LINT_DIAGNOSTIC,
     LINT_FINISH,
+    KERNEL_BUILD,
 )
 
 

@@ -271,6 +271,7 @@ def library_tasks(
     names: Iterable[str] | None = None,
     sizes: dict[str, int] | None = None,
     fairness: str = "weak",
+    engine: str = "auto",
 ) -> list[VerificationTask]:
     """Verification tasks for the whole library (or the named subset)."""
     chosen = list(names) if names is not None else case_names()
@@ -286,6 +287,7 @@ def library_tasks(
                 builder="repro.protocols.library:build_case",
                 args=(name, size),
                 fairness=fairness,
+                engine=engine,
             )
         )
     return tasks

@@ -23,7 +23,7 @@ from repro.core.program import Program
 from repro.core.state import State
 from repro.verification.closure import ClosureResult, check_closure
 from repro.verification.convergence import ConvergenceResult, check_convergence
-from repro.verification.explorer import build_transition_system
+from repro.verification.explorer import _validate_engine, build_transition_system
 
 __all__ = ["ToleranceReport", "check_tolerance"]
 
@@ -64,9 +64,12 @@ def check_tolerance(
     program: Program,
     invariant: Predicate,
     fault_span: Predicate,
-    states: Iterable[State],
+    states: Iterable[State] | None = None,
     *,
     fairness: str = "weak",
+    engine: str = "auto",
+    tracer=None,
+    metrics=None,
 ) -> ToleranceReport:
     """Verify that ``program`` is ``fault_span``-tolerant for ``invariant``.
 
@@ -76,11 +79,44 @@ def check_tolerance(
         fault_span: ``T``.
         states: The full state set of the finite instance (or any superset
             of the ``T``-extension); the checker filters to ``T``-states
-            for the convergence phase.
+            for the convergence phase. ``None`` means the program's full
+            state space — the packed engine then sweeps it in a single
+            enumeration pass without materializing ``State`` objects.
         fairness: Computation model for convergence (``"weak"`` is the
             paper's; ``"none"`` checks the stronger unfair guarantee).
+        engine: ``"packed"`` runs the flat-array kernel
+            (:mod:`repro.kernel`) and raises
+            :class:`~repro.kernel.codec.PackedUnsupported` when the
+            instance cannot be packed; ``"dict"`` forces the original
+            dict-backed path; ``"auto"`` (default) tries packed, falls
+            back to dict. Verdicts and counterexamples are identical
+            either way.
+        tracer: Optional :class:`~repro.observability.trace.Tracer`
+            receiving ``kernel.build`` events (packed engine only).
+        metrics: Optional metrics registry receiving ``kernel.*``
+            counters (packed engine only).
     """
-    all_states = list(states)
+    _validate_engine(engine)
+    if engine != "dict":
+        from repro.kernel.codec import PackedUnsupported
+        from repro.kernel.verify import check_tolerance_packed
+
+        if states is not None:
+            states = list(states)
+        try:
+            return check_tolerance_packed(
+                program,
+                invariant,
+                fault_span,
+                states,
+                fairness=fairness,
+                tracer=tracer,
+                metrics=metrics,
+            )
+        except PackedUnsupported:
+            if engine == "packed":
+                raise
+    all_states = list(states) if states is not None else list(program.state_space())
     implication_ok = all(
         fault_span(state) for state in all_states if invariant(state)
     )
@@ -88,7 +124,7 @@ def check_tolerance(
     t_closure = check_closure(fault_span, program, all_states)
 
     span_states = [state for state in all_states if fault_span(state)]
-    system = build_transition_system(program, span_states)
+    system = build_transition_system(program, span_states, engine="dict")
     if system.escapes:
         if t_closure.ok:
             # T-states stepping outside the supplied set even though T is

@@ -141,6 +141,37 @@ def _strongly_connected_components(
     return components
 
 
+def _internal_successors(
+    ts: TransitionSystem,
+    bad: list[int],
+    bad_set: set[int],
+) -> dict[int, list[int]]:
+    """Per-bad-state successors staying inside the bad region.
+
+    Reads the packed engine's CSR arrays directly when the system carries
+    them, skipping ``ts.edges``'s per-edge tuple materialization.
+    """
+    offsets = getattr(ts, "offsets", None)
+    if offsets is None:
+        return {
+            position: [
+                target_index
+                for _, target_index in ts.edges[position]
+                if target_index in bad_set
+            ]
+            for position in bad
+        }
+    targets = ts.targets
+    return {
+        position: [
+            targets[k]
+            for k in range(offsets[position], offsets[position + 1])
+            if targets[k] in bad_set
+        ]
+        for position in bad
+    }
+
+
 def _component_has_internal_edge(
     component: list[int],
     successors: dict[int, list[int]],
@@ -214,11 +245,20 @@ def check_convergence(
             f"{ts.states[index]!r} --{action_name}--> {successor!r} leaves the span"
         )
 
-    bad = [position for position, state in enumerate(ts.states) if not target(state)]
+    # satisfying() is memoized on the system, so the tolerance checker's
+    # earlier invariant evaluations are reused here (the packed engine
+    # pre-populates the memo from its membership masks).
+    good = set(ts.satisfying(target))
+    bad = [position for position in range(len(ts)) if position not in good]
     bad_set = set(bad)
 
+    offsets = getattr(ts, "offsets", None)
     for position in bad:
-        if not ts.edges[position]:
+        if (
+            offsets[position] == offsets[position + 1]
+            if offsets is not None
+            else not ts.edges[position]
+        ):
             return ConvergenceResult(
                 ok=False,
                 fairness=fairness,
@@ -229,14 +269,7 @@ def check_convergence(
                 ),
             )
 
-    internal: dict[int, list[int]] = {
-        position: [
-            target_index
-            for _, target_index in ts.edges[position]
-            if target_index in bad_set
-        ]
-        for position in bad
-    }
+    internal = _internal_successors(ts, bad, bad_set)
 
     components = _strongly_connected_components(bad, internal)
     for component in components:
@@ -301,16 +334,10 @@ def worst_case_convergence_steps(
     convergence forever.
     """
     ts = system if system is not None else build_transition_system(program, span_states)
-    bad = [position for position, state in enumerate(ts.states) if not target(state)]
+    good = set(ts.satisfying(target))
+    bad = [position for position in range(len(ts)) if position not in good]
     bad_set = set(bad)
-    internal: dict[int, list[int]] = {
-        position: [
-            target_index
-            for _, target_index in ts.edges[position]
-            if target_index in bad_set
-        ]
-        for position in bad
-    }
+    internal = _internal_successors(ts, bad, bad_set)
     components = _strongly_connected_components(bad, internal)
     for component in components:
         if _component_has_internal_edge(component, internal):

@@ -16,7 +16,13 @@ from repro.core.predicates import Predicate
 from repro.core.program import Program
 from repro.core.state import DEFAULT_MAX_STATES, State
 
-__all__ = ["Transition", "TransitionSystem", "build_transition_system", "explore"]
+__all__ = [
+    "ENGINES",
+    "Transition",
+    "TransitionSystem",
+    "build_transition_system",
+    "explore",
+]
 
 
 @dataclass(frozen=True)
@@ -63,7 +69,7 @@ class TransitionSystem:
         }
         # satisfying() memo: id(predicate) -> (predicate, indices). The
         # predicate object is kept alive so its id cannot be recycled.
-        self._satisfying_cache: dict[int, tuple[Predicate, list[int]]] = {}
+        self._satisfying_cache: dict[int, tuple[Predicate, tuple[int, ...]]] = {}
 
     def __getstate__(self) -> dict:
         # The index is rebuilt and the satisfying() memo (which holds
@@ -84,36 +90,70 @@ class TransitionSystem:
     def successors(self, index: int) -> list[tuple[str, int]]:
         return self.edges[index]
 
-    def satisfying(self, predicate: Predicate) -> list[int]:
+    def satisfying(self, predicate: Predicate) -> tuple[int, ...]:
         """Indices of states where ``predicate`` holds.
 
         The result is computed once per predicate object and memoized —
         verification passes query the same invariant/fault-span predicates
-        repeatedly over the same system. Treat the returned list as
-        read-only.
+        repeatedly over the same system. The tuple is immutable, so the
+        memoized value cannot be corrupted by callers.
         """
         cached = self._satisfying_cache.get(id(predicate))
         if cached is not None:
             return cached[1]
-        result = [
+        result = tuple(
             position
             for position, state in enumerate(self.states)
             if predicate(state)
-        ]
+        )
         self._satisfying_cache[id(predicate)] = (predicate, result)
         return result
+
+
+#: Valid values of the ``engine`` switch on exploration entry points.
+ENGINES = ("auto", "packed", "dict")
+
+
+def _validate_engine(engine: str) -> None:
+    if engine not in ENGINES:
+        from repro.core.errors import ValidationError
+
+        raise ValidationError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
 
 
 def build_transition_system(
     program: Program,
     states: Iterable[State],
+    *,
+    engine: str = "auto",
 ) -> TransitionSystem:
     """The transition graph of ``program`` over exactly ``states``.
 
     Transitions leaving the set are recorded in ``escapes`` rather than
     silently dropped.
+
+    Args:
+        engine: ``"packed"`` builds a flat-array
+            :class:`~repro.kernel.engine.PackedTransitionSystem` (same
+            interface, raises
+            :class:`~repro.kernel.codec.PackedUnsupported` when a domain
+            is infinite or a state cannot be packed); ``"dict"`` forces
+            this module's dict-backed system; ``"auto"`` (default) tries
+            packed and falls back to dict.
     """
+    _validate_engine(engine)
     state_list = list(states)
+    if engine != "dict":
+        from repro.kernel.codec import PackedUnsupported
+        from repro.kernel.engine import build_packed_system
+
+        try:
+            return build_packed_system(program, state_list)
+        except PackedUnsupported:
+            if engine == "packed":
+                raise
     index = {state: position for position, state in enumerate(state_list)}
     edges: list[list[tuple[str, int]]] = []
     escapes: list[tuple[int, str, State]] = []
@@ -134,13 +174,31 @@ def explore(
     roots: Iterable[State],
     *,
     max_states: int = DEFAULT_MAX_STATES,
+    engine: str = "auto",
 ) -> TransitionSystem:
     """The transition graph reachable from ``roots`` (BFS).
+
+    Args:
+        engine: As in :func:`build_transition_system`; ``"auto"`` falls
+            back to the dict engine when the program, a root, or a
+            reached successor cannot be packed.
 
     Raises:
         StateSpaceTooLargeError: if more than ``max_states`` states become
             reachable.
     """
+    _validate_engine(engine)
+    root_list = list(roots)
+    if engine != "dict":
+        from repro.kernel.codec import PackedUnsupported
+        from repro.kernel.engine import explore_packed
+
+        try:
+            return explore_packed(program, root_list, max_states=max_states)
+        except PackedUnsupported:
+            if engine == "packed":
+                raise
+    roots = root_list
     state_list: list[State] = []
     index: dict[State, int] = {}
     root_count = 0

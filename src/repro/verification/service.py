@@ -47,7 +47,11 @@ from repro.observability.metrics import MetricsRegistry
 from repro.observability.report import RunReport
 from repro.observability.tracer import Tracer
 from repro.verification.checker import ToleranceReport, check_tolerance
-from repro.verification.explorer import TransitionSystem, build_transition_system
+from repro.verification.explorer import (
+    TransitionSystem,
+    _validate_engine,
+    build_transition_system,
+)
 
 # Compatibility re-exports: this module's previous contents.
 from repro.verification.liveness import (  # noqa: F401
@@ -128,10 +132,11 @@ class ServiceVerdict:
 
 
 def _tolerance_record(
-    report: ToleranceReport, *, case: str, fairness: str, seconds: float
+    report: ToleranceReport, *, case: str, fairness: str, engine: str, seconds: float
 ) -> dict[str, Any]:
     return {
         "case": case,
+        "engine": engine,
         "ok": report.ok,
         "implication_ok": report.implication_ok,
         "s_closure_ok": report.s_closure.ok,
@@ -273,17 +278,21 @@ class VerificationService:
         states: Iterable[State],
         *,
         states_key: str,
+        engine: str = "auto",
     ) -> TransitionSystem:
         """The (memoized) transition graph of ``program`` over ``states``.
 
         ``states_key`` discriminates different state sets of the same
         program (e.g. ``"full"`` vs a window label); the full key also
-        covers the program fingerprint.
+        covers the program fingerprint. ``engine`` selects the packed or
+        dict representation (see :func:`build_transition_system`) and is
+        part of the memo key — the two representations are behaviourally
+        interchangeable but not the same object shape.
         """
-        key = f"{fingerprint_program(program)}:{states_key}"
+        key = f"{fingerprint_program(program)}:{states_key}:{engine}"
         system = self._systems.get(key)
         if system is None:
-            system = build_transition_system(program, states)
+            system = build_transition_system(program, states, engine=engine)
             self._systems[key] = system
         return system
 
@@ -299,6 +308,7 @@ class VerificationService:
         states: Iterable[State] | None = None,
         *,
         fairness: str = "weak",
+        engine: str = "auto",
         case: str | None = None,
         states_key: str | None = None,
         lint: bool = False,
@@ -314,6 +324,11 @@ class VerificationService:
                 subset** — the default discriminator is only the set's
                 size, which cannot tell two different windows apart.
             fairness: Computation model for convergence.
+            engine: ``"packed"``, ``"dict"`` or ``"auto"`` (see
+                :func:`~repro.verification.check_tolerance`). The engine
+                is **not** part of the cache key — both engines produce
+                identical verdicts — but the record notes which one
+                computed it under ``record["engine"]``.
             case: Display name recorded in the verdict.
             states_key: Cache discriminator for the state set.
             lint: Run the :mod:`repro.staticcheck` passes first and, on
@@ -323,6 +338,7 @@ class VerificationService:
                 O(actions x probe states); a failed precheck is never
                 cached (fixing the declarations must retrigger it).
         """
+        _validate_engine(engine)
         span = fault_span if fault_span is not None else TRUE
         started = time.perf_counter()
         if lint:
@@ -365,18 +381,51 @@ class VerificationService:
         name = case if case is not None else program.name
 
         def compute() -> dict[str, Any]:
+            from repro.kernel import kernel_supported
+
             compute_started = time.perf_counter()
-            report = check_tolerance(
-                program,
-                invariant,
-                span,
-                state_list if state_list is not None else program.state_space(),
-                fairness=fairness,
-            )
+            resolved = engine
+            if resolved == "auto":
+                resolved = "packed" if kernel_supported(program) else "dict"
+            if resolved == "packed" and engine == "auto":
+                # ``kernel_supported`` vets the program, but a *supplied*
+                # state can still carry an out-of-domain value only the
+                # codec notices; fall back per the auto contract.
+                from repro.kernel import PackedUnsupported
+
+                try:
+                    report = check_tolerance(
+                        program,
+                        invariant,
+                        span,
+                        state_list,
+                        fairness=fairness,
+                        engine="packed",
+                        tracer=self.tracer,
+                        metrics=self.metrics,
+                    )
+                except PackedUnsupported:
+                    resolved = "dict"
+                    report = check_tolerance(
+                        program, invariant, span, state_list,
+                        fairness=fairness, engine="dict",
+                    )
+            else:
+                report = check_tolerance(
+                    program,
+                    invariant,
+                    span,
+                    state_list,
+                    fairness=fairness,
+                    engine=resolved,
+                    tracer=self.tracer,
+                    metrics=self.metrics,
+                )
             seconds = time.perf_counter() - compute_started
             self._reports[key] = report
             return _tolerance_record(
-                report, case=name, fairness=fairness, seconds=seconds
+                report, case=name, fairness=fairness, engine=resolved,
+                seconds=seconds,
             )
 
         record, layer = self.memo("tolerance", key, compute)
@@ -487,6 +536,11 @@ class VerificationService:
             "records": int(stats["records"]),
             "systems": int(stats["systems"]),
         }
+        if self.metrics is not None:
+            # Surface registry-only counters (e.g. the packed engine's
+            # ``kernel.*``) next to the service's own cache counters.
+            for name, counter in sorted(self.metrics.counters.items()):
+                counters.setdefault(name, counter.count)
         timers = (
             {
                 name: timer.snapshot()

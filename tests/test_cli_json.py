@@ -37,6 +37,7 @@ class TestVerifyJson:
             "cached",
             "call_seconds",
             "command",
+            "engine",
             "fairness",
             "protocol",
             "record",
@@ -46,6 +47,7 @@ class TestVerifyJson:
         assert payload["protocol"] == "dijkstra-ring"
         assert payload["size"] == 3
         assert payload["fairness"] == "weak"
+        assert payload["engine"] == "auto"
         assert payload["cached"] is False
         assert payload["cache_layer"] == ""  # a miss has no cache layer
         assert payload["call_seconds"] > 0.0
@@ -73,7 +75,12 @@ class TestVerifyJson:
         assert f"trace written to {trace}" in out
         assert "cache.miss" in out  # the --metrics report
         events = [json.loads(line) for line in trace.read_text().splitlines()]
-        assert [event["kind"] for event in events] == ["cache.miss"]
+        # auto engine resolves to packed, so the kernel compilation event
+        # accompanies the cache miss.
+        assert [event["kind"] for event in events] == [
+            "cache.miss",
+            "kernel.build",
+        ]
         assert all({"seq", "time", "kind"} <= set(event) for event in events)
 
 
