@@ -28,7 +28,7 @@ from repro.refinement import refine_with_caches
 from repro.scheduler import PriorityScheduler, RandomScheduler
 from repro.simulation import run
 from repro.topology import balanced_tree, chain_tree, star_tree
-from repro.verification import check_tolerance
+from repro.verification.checker import _check_tolerance as check_tolerance
 
 TRIALS = 15
 

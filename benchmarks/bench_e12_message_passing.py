@@ -24,7 +24,7 @@ from repro.faults import LambdaFault, ScheduledFaults
 from repro.protocols.mp_token_ring import build_mp_token_ring, channel_var
 from repro.scheduler import RandomScheduler
 from repro.simulation import run, stabilization_trials
-from repro.verification import check_tolerance
+from repro.verification.checker import _check_tolerance as check_tolerance
 
 TRIALS = 20
 

@@ -28,10 +28,8 @@ from repro.protocols.independent_set import build_mis_program, mis_invariant
 from repro.protocols.matching import build_matching_program, matching_invariant
 from repro.protocols.token_ring import build_dijkstra_ring
 from repro.topology import chain_tree, complete_graph, cycle_graph, path_graph, star_tree
-from repro.verification import (
-    check_synchronous_convergence,
-    check_tolerance,
-)
+from repro.verification import check_synchronous_convergence
+from repro.verification.checker import _check_tolerance as check_tolerance
 
 
 def cases():

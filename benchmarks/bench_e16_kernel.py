@@ -24,7 +24,7 @@ from repro.core.predicates import TRUE
 from repro.protocols.diffusing import build_diffusing_design
 from repro.protocols.library import build_case, case_names
 from repro.topology import balanced_tree, star_tree
-from repro.verification.checker import check_tolerance
+from repro.verification.checker import _check_tolerance as check_tolerance
 
 #: The cold-verification speedup the kernel PR promises per shape.
 MIN_SPEEDUP = 5.0

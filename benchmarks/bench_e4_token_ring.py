@@ -20,7 +20,7 @@ from repro.protocols.token_ring import build_dijkstra_ring, privileged_nodes
 from repro.scheduler import RandomScheduler
 from repro.simulation import stabilization_trials, run
 from repro.topology import Ring
-from repro.verification import check_tolerance
+from repro.verification.checker import _check_tolerance as check_tolerance
 
 TRIALS = 25
 

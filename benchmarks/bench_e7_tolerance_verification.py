@@ -18,7 +18,8 @@ from repro.analysis import render_table
 from repro.core import TRUE
 from repro.observability import MetricsRegistry
 from repro.protocols.library import build_case, case_names
-from repro.verification import VerificationService, check_tolerance
+from repro.verification import VerificationService
+from repro.verification.checker import _check_tolerance as check_tolerance
 
 #: Record fields that must be bit-identical between the sequential
 #: checker and the service, cold and warm.

@@ -61,10 +61,15 @@ def run_quick() -> int:
     from repro.verification import batch_report, run_batch, verdicts_ok
 
     from bench_e16_kernel import run_quick as run_kernel_quick
+    from bench_e17_compositional import run_quick as run_compositional_quick
     from conftest import record_verification_timings
 
     # Packed-kernel parity first: identical verdicts, packed not slower.
     kernel_status = run_kernel_quick()
+    print()
+
+    # Compositional certifier: differential agreement plus the n=200 chain.
+    compositional_status = run_compositional_quick()
     print()
 
     tasks = library_tasks(names=QUICK_CASES)
@@ -141,6 +146,8 @@ def run_quick() -> int:
 
     if kernel_status != 0:
         failures.append("kernel perf smoke failed (see above)")
+    if compositional_status != 0:
+        failures.append("compositional perf smoke failed (see above)")
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)

@@ -25,13 +25,13 @@ from __future__ import annotations
 
 import random
 
+import repro
 from repro.core import (
     CandidateTriple,
     Constraint,
     ConvergenceBinding,
     NonmaskingDesign,
     Program,
-    TRUE,
     Variable,
     all_of,
     render_program,
@@ -42,7 +42,6 @@ from repro.protocols.base import process_nodes
 from repro.scheduler import RandomScheduler
 from repro.simulation import run
 from repro.topology import RootedTree, balanced_tree, random_tree
-from repro.verification import check_tolerance
 
 
 SENSOR_READING = 7  # the root's fixed input, to broadcast everywhere
@@ -120,8 +119,8 @@ def main() -> None:
     print(report.selected.describe())
     assert report.ok
 
-    tolerance = check_tolerance(
-        design.program, design.candidate.invariant, TRUE, states
+    tolerance = repro.verify(
+        design.program, s=design.candidate.invariant, states=states
     )
     print(f"model checker agrees: {tolerance.ok}\n")
 

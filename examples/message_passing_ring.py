@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 
-from repro.core import TRUE
+import repro
 from repro.faults import LambdaFault, ScheduledFaults
 from repro.protocols.mp_token_ring import (
     build_mp_token_ring,
@@ -28,12 +28,11 @@ from repro.protocols.mp_token_ring import (
 from repro.scheduler import FirstEnabledScheduler, RandomScheduler
 from repro.simulation import run
 from repro.topology import Ring
-from repro.verification import check_tolerance
 
 
 def verify() -> None:
     program, spec = build_mp_token_ring(3, 4)
-    report = check_tolerance(program, spec, TRUE, program.state_space())
+    report = repro.verify(program, s=spec, states=program.state_space())
     print("exhaustive verification (3 nodes, K=4):")
     print(report.describe())
     print()

@@ -11,8 +11,8 @@ Run:  python examples/protocol_zoo.py
 
 from __future__ import annotations
 
+import repro
 from repro.analysis import print_table
-from repro.core import TRUE
 from repro.protocols.coloring import build_coloring_design, coloring_invariant
 from repro.protocols.diffusing import build_diffusing_design, diffusing_invariant
 from repro.protocols.leader_election import (
@@ -38,7 +38,7 @@ from repro.protocols.token_ring import (
 from repro.scheduler import RandomScheduler
 from repro.simulation import stabilization_trials
 from repro.topology import balanced_tree, chain_tree, random_connected_graph, random_tree
-from repro.verification import check_stair, check_tolerance
+from repro.verification import check_stair
 
 
 def main() -> None:
@@ -113,8 +113,8 @@ def main() -> None:
 
     graph = random_connected_graph(5, 2, seed=3)
     program = build_matching_program(graph)
-    check = check_tolerance(program, matching_invariant(graph), TRUE,
-                            program.state_space())
+    check = repro.verify(program, s=matching_invariant(graph),
+                         states=program.state_space())
     big_graph = random_connected_graph(24, 10, seed=4)
     big_program = build_matching_program(big_graph)
     stats = stabilization_trials(

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 
-from repro.core import TRUE
+import repro
 from repro.faults import ScheduledFaults, corrupt_everything
 from repro.protocols.diffusing import (
     all_green_state,
@@ -27,7 +27,7 @@ from repro.protocols.diffusing import (
 from repro.scheduler import RandomScheduler
 from repro.simulation import run
 from repro.topology import balanced_tree
-from repro.verification import check_tolerance, format_state
+from repro.verification import format_state
 
 
 def main() -> None:
@@ -50,7 +50,7 @@ def main() -> None:
 
     # --- 3. Independent model check ----------------------------------------
     invariant = diffusing_invariant(tree)
-    tolerance = check_tolerance(design.program, invariant, TRUE, states)
+    tolerance = repro.verify(design.program, s=invariant, states=states)
     print(tolerance.describe())
     assert tolerance.ok
     print()

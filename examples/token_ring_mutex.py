@@ -23,8 +23,8 @@ from __future__ import annotations
 
 import random
 
+import repro
 from repro.analysis import print_table
-from repro.core import TRUE
 from repro.faults import ScheduledFaults, corrupt_everything
 from repro.protocols.token_ring import (
     build_dijkstra_ring,
@@ -37,7 +37,6 @@ from repro.protocols.token_ring import (
 from repro.scheduler import RandomScheduler
 from repro.simulation import run
 from repro.topology import Ring
-from repro.verification import check_tolerance
 
 
 def validate_design() -> None:
@@ -97,7 +96,7 @@ def k_threshold_sweep() -> None:
         verdicts = []
         for k in range(2, size + 2):
             program, spec = build_dijkstra_ring(size, k)
-            report = check_tolerance(program, spec, TRUE, program.state_space())
+            report = repro.verify(program, s=spec, states=program.state_space())
             verdicts.append((k, report.ok))
         minimal = next(k for k, ok in verdicts if ok)
         rows.append(

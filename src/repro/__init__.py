@@ -30,8 +30,17 @@ Quickstart::
     states = list(design.program.state_space())
     report = design.validate(states)       # Theorem 1 certificate
     assert report.ok
+
+or, through the stable facade (cached, lint-aware, and compositional
+when the theorems apply — see ``docs/API.md``)::
+
+    import repro
+
+    verdict = repro.verify("diffusing-chain", size=4)
+    assert verdict.ok
 """
 
+from repro.api import Verdict, verify
 from repro.core import (
     Action,
     Assignment,
@@ -60,5 +69,7 @@ __all__ = [
     "Program",
     "State",
     "Variable",
+    "Verdict",
     "__version__",
+    "verify",
 ]

@@ -10,9 +10,11 @@ Exposes the library's protocol registry for quick exploration::
     python -m repro simulate dijkstra-ring --size 10 --trials 20
     python -m repro render token-ring --size 5
 
-``verify`` runs exhaustive T-tolerance checking on a small instance of
-the chosen protocol through the cached verification service (pass
-``--cache DIR`` to persist verdicts across invocations); ``verify-all``
+``verify`` runs T-tolerance checking on a small instance of the chosen
+protocol through the cached verification service (pass ``--cache DIR``
+to persist verdicts across invocations, ``--method compositional`` to
+certify from per-edge projections without building the product state
+space — sizes far beyond the exhaustive budget work); ``verify-all``
 fans the whole case library out over a worker pool; ``lint`` runs the
 static side-condition checks of :mod:`repro.staticcheck` over the case
 library without touching any state space; ``simulate`` measures
@@ -69,6 +71,9 @@ class RegisteredProtocol:
     default_size: int
     #: Largest size safe for exhaustive verification.
     max_verify_size: int
+    #: size -> NonmaskingDesign, when the protocol ships its constraint
+    #: graph decomposition (enables ``verify --method compositional``).
+    build_design: Callable[[int], object] | None = None
 
 
 def _build_diffusing(size: int):
@@ -119,6 +124,27 @@ def _build_leader(size: int):
     tree = random_tree(size, seed=1)
     design = build_leader_election_design(tree)
     return design.program, election_invariant(tree)
+
+
+def _design_diffusing(size: int):
+    from repro.protocols.diffusing import build_diffusing_design
+    from repro.topology import random_tree
+
+    return build_diffusing_design(random_tree(size, seed=1))
+
+
+def _design_coloring(size: int):
+    from repro.protocols.coloring import build_coloring_design
+    from repro.topology import random_tree
+
+    return build_coloring_design(random_tree(size, seed=1), k=3)
+
+
+def _design_leader(size: int):
+    from repro.protocols.leader_election import build_leader_election_design
+    from repro.topology import random_tree
+
+    return build_leader_election_design(random_tree(size, seed=1))
 
 
 def _build_spanning(size: int):
@@ -182,7 +208,7 @@ PROTOCOLS: dict[str, RegisteredProtocol] = {
     for p in [
         RegisteredProtocol(
             "diffusing", "stabilizing diffusing computation (paper S5.1)",
-            _build_diffusing, 7, 7,
+            _build_diffusing, 7, 7, build_design=_design_diffusing,
         ),
         RegisteredProtocol(
             "token-ring", "the paper's token ring over unbounded counters (S7.1)",
@@ -198,10 +224,11 @@ PROTOCOLS: dict[str, RegisteredProtocol] = {
         ),
         RegisteredProtocol(
             "coloring", "stabilizing tree coloring", _build_coloring, 6, 6,
+            build_design=_design_coloring,
         ),
         RegisteredProtocol(
             "leader-election", "stabilizing leader election on a tree",
-            _build_leader, 5, 5,
+            _build_leader, 5, 5, build_design=_design_leader,
         ),
         RegisteredProtocol(
             "spanning-tree", "stabilizing BFS spanning tree",
@@ -256,8 +283,10 @@ def _resolve(name: str) -> RegisteredProtocol:
     try:
         return PROTOCOLS[name]
     except KeyError:
+        # Usage error: message on stderr, exit 2 (the lint convention).
         known = ", ".join(PROTOCOLS)
-        raise SystemExit(f"unknown protocol {name!r}; known: {known}")
+        print(f"unknown protocol {name!r}; known: {known}", file=sys.stderr)
+        raise SystemExit(2) from None
 
 
 def _command_verify(args: argparse.Namespace) -> int:
@@ -265,19 +294,36 @@ def _command_verify(args: argparse.Namespace) -> int:
     size = args.size if args.size is not None else min(
         entry.default_size, entry.max_verify_size or entry.default_size
     )
-    if entry.max_verify_size == 0:
+    design = None
+    if args.method != "full" and entry.build_design is not None:
+        design = entry.build_design(size)
+    if args.method == "compositional" and design is None:
         print(
-            f"{entry.name} uses unbounded domains; exhaustive verification "
-            "is unavailable — use `simulate`, or verify `dijkstra-ring`."
+            f"{entry.name} has no registered design; --method compositional "
+            "needs the constraint-graph decomposition",
+            file=sys.stderr,
         )
         return 2
-    if size > entry.max_verify_size:
-        print(
-            f"size {size} exceeds the exhaustive budget for {entry.name} "
-            f"(max {entry.max_verify_size})"
-        )
-        return 2
-    program, invariant = entry.build(size)
+    # The exhaustive-budget guards only apply when the product state
+    # space may actually be built; an explicit compositional request
+    # never builds it (the certifier refuses oversize projections).
+    if args.method != "compositional":
+        if entry.max_verify_size == 0:
+            print(
+                f"{entry.name} uses unbounded domains; exhaustive verification "
+                "is unavailable — use `simulate`, or verify `dijkstra-ring`."
+            )
+            return 2
+        if size > entry.max_verify_size:
+            print(
+                f"size {size} exceeds the exhaustive budget for {entry.name} "
+                f"(max {entry.max_verify_size})"
+            )
+            return 2
+    if design is not None:
+        program, invariant = design.program, design.candidate.invariant
+    else:
+        program, invariant = entry.build(size)
     tracer = _open_tracer(args)
     metrics = MetricsRegistry() if args.metrics else None
     try:
@@ -289,6 +335,8 @@ def _command_verify(args: argparse.Namespace) -> int:
             invariant,
             fairness=args.fairness,
             engine=args.engine,
+            method=args.method,
+            design=design,
             case=f"{entry.name} (n={size})",
         )
     finally:
@@ -309,6 +357,7 @@ def _command_verify(args: argparse.Namespace) -> int:
                 "size": size,
                 "fairness": args.fairness,
                 "engine": args.engine,
+                "method": args.method,
                 "record": verdict.record,
                 "cached": verdict.cached,
                 "cache_layer": verdict.cache_layer,
@@ -331,8 +380,10 @@ def _command_verify_all(args: argparse.Namespace) -> int:
             engine=args.engine,
         )
     except ValidationError as error:
+        # Usage error: message on stderr, exit 2 (the lint convention).
         known = ", ".join(case_names())
-        raise SystemExit(f"{error}; known cases: {known}") from None
+        print(f"{error}; known cases: {known}", file=sys.stderr)
+        return 2
     tracer = _open_tracer(args)
     started = time.perf_counter()
     try:
@@ -553,6 +604,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=("auto", "packed", "dict"), default="auto",
         help="exploration engine: packed integer kernel, dict states, or "
         "auto (packed with dict fallback); verdicts are identical",
+    )
+    verify.add_argument(
+        "--method", choices=("auto", "full", "compositional"), default="auto",
+        help="verification method: full product-space exploration, "
+        "compositional per-edge certification (repro.compositional; needs "
+        "a protocol with a registered design), or auto (compositional "
+        "when a design is available, falling back to full on refusal)",
     )
     verify.add_argument(
         "--cache", default=None, metavar="DIR",

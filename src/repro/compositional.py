@@ -1,0 +1,818 @@
+"""Compositional convergence certification over projected state spaces.
+
+The paper's whole point (Theorems 1–3, Section 4) is that the theorem
+antecedents can be discharged *per constraint-graph edge* without ever
+enumerating the product state space. The full checkers in
+:mod:`repro.verification` and :mod:`repro.kernel` do enumerate it, which
+caps them at roughly ``10^5`` states; this module discharges the same
+antecedents over *projections* — for the edge ``v -> w`` only the joint
+state space of ``vars(v) | vars(w)`` is built — so a 200-node out-tree
+whose product space has ``4^200`` states certifies in milliseconds.
+
+Why a projection suffices
+-------------------------
+
+Every obligation the theorems impose has the shape
+
+    for all states s:  guard(s) and context(s)  =>  post(a(s))
+
+and the truth of the body depends only on the variables in
+``P = reads(a) | writes(a) | support(context) | support(post)``. Domains
+are independent, so every assignment to ``P`` extends to a full state:
+checking the body over the projected space of ``P`` is *equivalent* to
+checking it over the full space — **provided the declared read/write/
+support sets are truthful**. Truthfulness is certified up front with the
+same battery-probe discipline the packed kernel uses
+(:func:`repro.kernel.compile.action_supports_ok`, the RW001–RW003 bar)
+plus :func:`repro.core.introspect.infer_predicate_reads` for constraint
+supports, and backstopped at runtime: a lying opaque callable that reads
+outside ``P`` raises :class:`~repro.core.errors.UnknownVariableError` on
+the partial state, which converts to a refusal, never a wrong verdict.
+
+Refusals, not negatives
+-----------------------
+
+The theorems are sufficient, not necessary. A failed obligation therefore
+never yields a negative verdict — the certifier emits a *structured
+refusal* naming the failed obligation, and callers (the verification
+service, the CLI's ``--method auto``) fall back to full exploration.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.constraint_graph import ConstraintGraph
+from repro.core.constraints import Constraint, ConvergenceBinding
+from repro.core.design import NonmaskingDesign
+from repro.core.errors import (
+    IllFormedGraphError,
+    UnknownVariableError,
+    ValidationError,
+)
+from repro.core.fingerprint import probe_states
+from repro.core.introspect import infer_predicate_reads
+from repro.core.predicates import TRUE, Predicate
+from repro.core.state import State
+from repro.kernel.codec import StateCodec
+from repro.kernel.compile import action_supports_ok
+from repro.observability import MetricsRegistry, Tracer
+
+__all__ = [
+    "DEFAULT_PROJECTION_LIMIT",
+    "Obligation",
+    "CompositionalCertificate",
+    "certify_compositional",
+]
+
+#: Largest projected state space an obligation may enumerate. Projections
+#: above this refuse rather than silently degrade into full exploration.
+DEFAULT_PROJECTION_LIMIT = 65_536
+
+#: Theorem labels, matching :mod:`repro.core.theorems` verbatim.
+_THEOREM_1 = "Theorem 1 (out-tree constraint graph)"
+_THEOREM_2 = "Theorem 2 (self-looping constraint graph)"
+
+
+@dataclass(frozen=True)
+class Obligation:
+    """One discharged proof obligation of the certificate.
+
+    Attributes:
+        name: Which theorem antecedent this discharges, e.g.
+            ``"closure-preserves"`` or ``"establishes-in-one-step"``.
+        subject: The (action, constraint) pair or edge the obligation is
+            about, e.g. ``"propagate.2 preserves R.3"``.
+        variables: The projection the obligation was enumerated over
+            (empty when discharged symbolically).
+        space: Size of the projected state space (0 when not enumerated).
+        checked: States actually visited (after guard/context filtering).
+        discharged_by: ``"enumerated"`` (projection swept),
+            ``"disjoint-writes"`` (writes miss the support — preservation
+            is vacuous), or ``"trivial"`` (antecedent holds by identity,
+            e.g. preserving ``T == true``).
+        seconds: Wall-clock cost of discharging this obligation.
+    """
+
+    name: str
+    subject: str
+    variables: tuple[str, ...]
+    space: int
+    checked: int
+    discharged_by: str
+    seconds: float
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "subject": self.subject,
+            "variables": list(self.variables),
+            "space": self.space,
+            "checked": self.checked,
+            "discharged_by": self.discharged_by,
+            "seconds": self.seconds,
+        }
+
+
+@dataclass(frozen=True)
+class CompositionalCertificate:
+    """A machine-checkable record of a compositional certification.
+
+    ``status == "certified"`` means every theorem antecedent was
+    discharged over sound projections, so the design is nonmasking
+    ``T``-tolerant by the theorem — without building the product space.
+    ``status == "refused"`` means some obligation could not be discharged
+    locally; ``refusal`` names it. A refusal says nothing about the
+    design (the theorems are sufficient, not necessary) — callers fall
+    back to full exploration.
+    """
+
+    design: str
+    theorem: str
+    status: str  # "certified" | "refused"
+    classification: str  # "masking" | "nonmasking" | "" when refused
+    stabilizing: bool
+    obligations: tuple[Obligation, ...]
+    refusal: str
+    total_states: int
+    max_projection: int
+    seconds: float
+    edges: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "certified"
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def describe(self) -> str:
+        if not self.ok:
+            return (
+                f"compositional certification REFUSED for {self.design!r}: "
+                f"{self.refusal}"
+            )
+        enumerated = sum(
+            1 for ob in self.obligations if ob.discharged_by == "enumerated"
+        )
+        return (
+            f"compositional certificate for {self.design!r}: {self.theorem}; "
+            f"{self.classification} (stabilizing={self.stabilizing}); "
+            f"{len(self.obligations)} obligations over {self.edges} edges "
+            f"({enumerated} enumerated, max projection {self.max_projection} "
+            f"states vs {self.total_states} total) in {self.seconds:.3f}s"
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "design": self.design,
+            "theorem": self.theorem,
+            "status": self.status,
+            "ok": self.ok,
+            "classification": self.classification,
+            "stabilizing": self.stabilizing,
+            "refusal": self.refusal,
+            "total_states": self.total_states,
+            "max_projection": self.max_projection,
+            "edges": self.edges,
+            "seconds": self.seconds,
+            "obligations": [ob.as_dict() for ob in self.obligations],
+        }
+
+
+class _Refusal(Exception):
+    """Internal control flow: an obligation could not be discharged."""
+
+    def __init__(self, obligation: str, detail: str) -> None:
+        super().__init__(f"{obligation}: {detail}")
+        self.obligation = obligation
+        self.detail = detail
+
+
+class _Projector:
+    """Builds and sweeps projected state spaces with packed codecs."""
+
+    def __init__(self, design: NonmaskingDesign, limit: int) -> None:
+        self._variables = design.program.variables
+        self._limit = limit
+        self._codecs: dict[frozenset[str], StateCodec] = {}
+        self.max_projection = 0
+        self.projected_states = 0
+
+    def codec(self, names: frozenset[str], *, subject: str) -> StateCodec:
+        codec = self._codecs.get(names)
+        if codec is not None:
+            return codec
+        ordered = sorted(names)
+        domains = []
+        for name in ordered:
+            domain = self._variables[name].domain
+            if not domain.is_finite:
+                raise _Refusal(
+                    "finite-projection",
+                    f"{subject}: variable {name!r} has an infinite domain; "
+                    "the projection cannot be enumerated",
+                )
+            domains.append(tuple(domain.values()))
+        codec = StateCodec(ordered, domains)
+        if codec.size > self._limit:
+            raise _Refusal(
+                "projection-size",
+                f"{subject}: projection over {ordered} has {codec.size} "
+                f"states, above the limit of {self._limit}",
+            )
+        self._codecs[names] = codec
+        self.max_projection = max(self.max_projection, codec.size)
+        return codec
+
+    def states(self, codec: StateCodec) -> Iterator[State]:
+        self.projected_states += codec.size
+        for code in range(codec.size):
+            yield codec.decode_state(code)
+
+
+def _certify(
+    design: NonmaskingDesign,
+    *,
+    fairness: str,
+    projector: _Projector,
+    obligations: list[Obligation],
+) -> tuple[str, str, bool, int, int]:
+    """Discharge every obligation; raise :class:`_Refusal` on the first failure.
+
+    Returns ``(theorem, classification, stabilizing, edges, max_projection)``.
+    """
+    candidate = design.candidate
+    program = design.program
+    constraints = candidate.constraints
+
+    # -- applicability -------------------------------------------------
+    if fairness != "weak":
+        raise _Refusal(
+            "fairness",
+            f"theorems guarantee convergence under weak fairness only, "
+            f"got fairness={fairness!r}",
+        )
+    if candidate.fault_span is not TRUE:
+        raise _Refusal(
+            "fault-span",
+            "projected closure of a non-trivial fault span is not supported; "
+            "only stabilizing designs (T == true) certify compositionally",
+        )
+    if design.layers is not None:
+        raise _Refusal(
+            "layered",
+            "Theorem 3's contextual obligations quantify over lower-layer "
+            "constraints and do not project edge-locally",
+        )
+    try:
+        graph = design.graph
+    except IllFormedGraphError as error:
+        raise _Refusal("constraint-graph", str(error)) from error
+
+    shape = graph.classification()
+    if shape == "out-tree":
+        theorem = _THEOREM_1
+    elif shape == "self-looping":
+        theorem = _THEOREM_2
+    else:
+        raise _Refusal(
+            "graph-shape",
+            f"constraint graph is {shape!r}; Theorems 1 and 2 require an "
+            "out-tree or self-looping graph",
+        )
+
+    # -- declared supports must be truthful (projection soundness) -----
+    battery = probe_states(program)
+    started = time.perf_counter()
+    checked_actions = {action.name: action for action in candidate.program.actions}
+    for binding in design.bindings:
+        checked_actions[binding.action.name] = binding.action
+    for action in checked_actions.values():
+        if not action_supports_ok(action, battery):
+            raise _Refusal(
+                "support-honesty",
+                f"action {action.name!r} consults variables outside its "
+                "declared read/write sets; projections over the declared "
+                "sets would be unsound",
+            )
+    for constraint in constraints:
+        inferred = infer_predicate_reads(constraint.predicate, battery)
+        if not inferred.reads <= constraint.support:
+            extra = sorted(inferred.reads - constraint.support)
+            raise _Refusal(
+                "support-honesty",
+                f"constraint {constraint.name!r} reads {extra} outside its "
+                "declared support",
+            )
+    obligations.append(
+        Obligation(
+            name="support-honesty",
+            subject=f"{len(checked_actions)} actions, "
+            f"{len(constraints)} constraints",
+            variables=(),
+            space=0,
+            checked=len(battery),
+            discharged_by="enumerated",
+            seconds=time.perf_counter() - started,
+        )
+    )
+
+    # -- the invariant must be the conjunction of the constraints ------
+    _check_decomposition(candidate.invariant, constraints, battery, obligations)
+
+    # -- closure: every closure action preserves every constraint ------
+    # Theorems 1 and 2 state this antecedent over the *closure* program;
+    # binding actions (including merged replacements) are covered by the
+    # per-binding merged-behaviour obligation below.
+    _closure_obligations(candidate.program, constraints, projector, obligations)
+
+    # -- per-binding convergence obligations ---------------------------
+    merged_disjoint = 0
+    for binding in design.bindings:
+        merged_disjoint += _binding_obligations(
+            binding, constraints, projector, obligations
+        )
+    if merged_disjoint:
+        obligations.append(
+            Obligation(
+                name="merged-behaviour",
+                subject=f"{merged_disjoint} binding/constraint pairs with "
+                "writes disjoint from the constraint support",
+                variables=(),
+                space=0,
+                checked=merged_disjoint,
+                discharged_by="disjoint-writes",
+                seconds=0.0,
+            )
+        )
+    # Every convergence action preserves T — trivial, T == true here.
+    obligations.append(
+        Obligation(
+            name="preserves-fault-span",
+            subject=f"{len(design.bindings)} convergence actions preserve "
+            "T == true",
+            variables=(),
+            space=0,
+            checked=len(design.bindings),
+            discharged_by="trivial",
+            seconds=0.0,
+        )
+    )
+
+    # -- Theorem 2 only: per-node linear orders ------------------------
+    if theorem == _THEOREM_2:
+        _order_obligations(graph, projector, obligations)
+
+    # -- classification ------------------------------------------------
+    classification = _classify(candidate.invariant, constraints, battery, projector)
+    # T == true, so the fault span is the whole space: stabilizing.
+    stabilizing = True
+
+    total_states = 1
+    for variable in program.variables.values():
+        total_states *= len(tuple(variable.domain.values()))
+    return theorem, classification, stabilizing, len(graph.edges), total_states
+
+
+def _check_decomposition(
+    invariant: Predicate,
+    constraints: Sequence[Constraint],
+    battery: Sequence[State],
+    obligations: list[Obligation],
+) -> None:
+    """Probe that ``S`` agrees with the conjunction of the constraints.
+
+    The design method's contract (Section 3) is ``S == (and of all
+    constraints) and T``; the theorem conclusions are about the
+    conjunction, so a stronger ``S`` would make a certificate overclaim.
+    The supports must agree exactly, and the predicates must agree on the
+    probe battery — the same sound-direction probing bar staticcheck
+    uses. A disagreement refuses; agreement plus the support check is the
+    decomposition contract the theorem validators already assume.
+    """
+    started = time.perf_counter()
+    union = frozenset().union(*(c.support for c in constraints))
+    if invariant.support is None or not invariant.support <= union:
+        raise _Refusal(
+            "invariant-decomposition",
+            f"invariant {invariant.name!r} has support outside the union of "
+            "the constraint supports; S must be the conjunction of the "
+            "constraints (and T)",
+        )
+    checked = 0
+    for state in battery:
+        checked += 1
+        if invariant(state) != all(c.holds(state) for c in constraints):
+            raise _Refusal(
+                "invariant-decomposition",
+                f"invariant {invariant.name!r} disagrees with the "
+                "conjunction of the constraints on a probe state",
+            )
+    obligations.append(
+        Obligation(
+            name="invariant-decomposition",
+            subject=invariant.name,
+            variables=(),
+            space=0,
+            checked=checked,
+            discharged_by="enumerated",
+            seconds=time.perf_counter() - started,
+        )
+    )
+
+
+def _sweep(
+    name: str,
+    subject: str,
+    variables: frozenset[str],
+    projector: _Projector,
+    body,  # Callable[[State], bool]
+) -> Obligation:
+    """Enumerate the projection of ``variables`` and require ``body`` on it."""
+    started = time.perf_counter()
+    codec = projector.codec(variables, subject=subject)
+    checked = 0
+    try:
+        for state in projector.states(codec):
+            checked += 1
+            if not body(state):
+                raise _Refusal(name, f"{subject}: fails at {dict(state)!r}")
+    except UnknownVariableError as error:
+        # Runtime soundness backstop: an opaque callable read outside the
+        # certified support sets. Never a wrong verdict — a refusal.
+        raise _Refusal(
+            "support-honesty",
+            f"{subject}: a callable read a variable outside the projection "
+            f"({error}); declared supports are not truthful",
+        ) from error
+    return Obligation(
+        name=name,
+        subject=subject,
+        variables=tuple(codec.names),
+        space=codec.size,
+        checked=checked,
+        discharged_by="enumerated",
+        seconds=time.perf_counter() - started,
+    )
+
+
+def _closure_obligations(
+    program,
+    constraints: Sequence[Constraint],
+    projector: _Projector,
+    obligations: list[Obligation],
+) -> None:
+    """Every program action preserves every constraint (closure of ``S``).
+
+    This is the first antecedent of Theorems 1 and 2 with the fault span
+    ``T == true``. An action whose writes miss a constraint's support
+    preserves it vacuously — those pairs discharge without enumeration,
+    which prunes the ``O(actions x constraints)`` pair space to the
+    ``O(n)`` neighbouring pairs on bounded-degree topologies. The vacuous
+    pairs are aggregated into one summary obligation to keep the
+    certificate compact.
+    """
+    disjoint = 0
+    for action in program.actions:
+        for constraint in constraints:
+            subject = f"{action.name} preserves {constraint.name}"
+            if not action.writes & constraint.support:
+                disjoint += 1
+                continue
+            joint = action.reads | action.writes | constraint.support
+
+            def body(state, action=action, constraint=constraint):
+                if not action.enabled(state):
+                    return True
+                if not constraint.holds(state):
+                    return True
+                return constraint.holds(action.execute(state))
+
+            obligations.append(
+                _sweep("closure-preserves", subject, joint, projector, body)
+            )
+    if disjoint:
+        obligations.append(
+            Obligation(
+                name="closure-preserves",
+                subject=f"{disjoint} action/constraint pairs with writes "
+                "disjoint from the constraint support",
+                variables=(),
+                space=0,
+                checked=disjoint,
+                discharged_by="disjoint-writes",
+                seconds=0.0,
+            )
+        )
+
+
+def _binding_obligations(
+    binding: ConvergenceBinding,
+    constraints: Sequence[Constraint],
+    projector: _Projector,
+    obligations: list[Obligation],
+) -> int:
+    """The per-binding antecedents shared by Theorems 1 and 2.
+
+    Returns the number of merged-behaviour pairs discharged vacuously by
+    disjoint writes (the caller aggregates them into one obligation).
+    """
+    action = binding.action
+    own = binding.constraint
+
+    # not c  =>  the convergence action is enabled.
+    subject = f"{own.name} violated => {action.name} enabled"
+
+    def enabled_body(state):
+        return binding.constraint.holds(state) or action.enabled(state)
+
+    obligations.append(
+        _sweep(
+            "enabled-when-violated",
+            subject,
+            own.support | action.reads,
+            projector,
+            enabled_body,
+        )
+    )
+
+    # Executing the action establishes c in one step.
+    subject = f"{action.name} establishes {own.name}"
+
+    def establishes_body(state):
+        if not action.enabled(state):
+            return True
+        return own.holds(action.execute(state))
+
+    obligations.append(
+        _sweep(
+            "establishes-in-one-step",
+            subject,
+            action.reads | action.writes | own.support,
+            projector,
+            establishes_body,
+        )
+    )
+
+    # Merged behaviour: given its own constraint already holds, the
+    # action preserves every other constraint (so firing inside S stays
+    # inside S even for merged closure/convergence actions).
+    disjoint = 0
+    for other in constraints:
+        subject = f"{action.name} preserves {other.name} given {own.name}"
+        if not action.writes & other.support:
+            disjoint += 1
+            continue
+
+        def merged_body(state, action=action, own=own, other=other):
+            if not action.enabled(state):
+                return True
+            if not own.holds(state) or not other.holds(state):
+                return True
+            return other.holds(action.execute(state))
+
+        obligations.append(
+            _sweep(
+                "merged-behaviour",
+                subject,
+                action.reads | action.writes | other.support | own.support,
+                projector,
+                merged_body,
+            )
+        )
+    return disjoint
+
+
+def _order_obligations(
+    graph: ConstraintGraph,
+    projector: _Projector,
+    obligations: list[Obligation],
+) -> None:
+    """Theorem 2's third antecedent, per target node, over projections.
+
+    For each node with several incoming convergence actions, a linear
+    order must exist in which each action preserves the constraints of
+    its predecessors. The greedy construction from
+    :func:`repro.core.theorems.find_linear_order` is reused with each
+    pairwise preservation check swept over the pair's own projection.
+    """
+    memo: dict[tuple[int, int], bool] = {}
+
+    def pair_preserves(action, constraint: Constraint) -> bool:
+        key = (id(action), id(constraint))
+        if key not in memo:
+            if not action.writes & constraint.support:
+                memo[key] = True
+            else:
+                joint = action.reads | action.writes | constraint.support
+
+                def body(state):
+                    if not action.enabled(state):
+                        return True
+                    if not constraint.holds(state):
+                        return True
+                    return constraint.holds(action.execute(state))
+
+                try:
+                    _sweep(
+                        "linear-order",
+                        f"{action.name} preserves {constraint.name}",
+                        joint,
+                        projector,
+                        body,
+                    )
+                    memo[key] = True
+                except _Refusal as refusal:
+                    if refusal.obligation != "linear-order":
+                        raise
+                    memo[key] = False
+        return memo[key]
+
+    for node in graph.active_nodes():
+        incoming = [edge.binding for edge in graph.incoming(node)]
+        if len(incoming) <= 1:
+            continue
+        started = time.perf_counter()
+        remaining = list(incoming)
+        order: list[ConvergenceBinding] = []
+        while remaining:
+            pick = None
+            for candidate_binding in remaining:
+                others = [b for b in remaining if b is not candidate_binding]
+                if all(
+                    pair_preserves(other.action, candidate_binding.constraint)
+                    for other in others
+                ):
+                    pick = candidate_binding
+                    break
+            if pick is None:
+                names = [b.constraint.name for b in incoming]
+                raise _Refusal(
+                    "linear-order",
+                    f"node {node.name!r}: no linear order among {names} in "
+                    "which each action preserves the constraints of its "
+                    "predecessors",
+                )
+            order.append(pick)
+            remaining.remove(pick)
+        obligations.append(
+            Obligation(
+                name="linear-order",
+                subject=f"node {node.name}: "
+                + " -> ".join(b.constraint.name for b in order),
+                variables=(),
+                space=0,
+                checked=len(incoming),
+                discharged_by="enumerated",
+                seconds=time.perf_counter() - started,
+            )
+        )
+
+
+def _classify(
+    invariant: Predicate,
+    constraints: Sequence[Constraint],
+    battery: Sequence[State],
+    projector: _Projector,
+) -> str:
+    """Classify as masking or nonmasking without enumerating the space.
+
+    With ``T == true`` the tolerance is *masking* iff ``S`` is
+    tautological. ``S is TRUE`` certifies masking by identity. For
+    nonmasking, a concrete witness is produced: a constraint falsifiable
+    on its own support projection is overlaid onto a probe state and
+    ``S`` is evaluated directly at the resulting full state — one
+    evaluation, cheap at any ``n``. No witness found refuses — this
+    classification must stay bit-identical to the full method's.
+    """
+    if invariant is TRUE:
+        return "masking"
+    base = battery[0]
+    for constraint in constraints:
+        codec = projector.codec(
+            constraint.support, subject=f"classification of {constraint.name}"
+        )
+        for state in projector.states(codec):
+            if not constraint.holds(state):
+                witness = base.update(dict(state))
+                if not invariant(witness):
+                    return "nonmasking"
+                break  # this constraint's falsification did not falsify S
+    raise _Refusal(
+        "classification",
+        f"could not decide whether {invariant.name!r} is tautological "
+        "without enumerating the full space",
+    )
+
+
+def certify_compositional(
+    design: NonmaskingDesign,
+    *,
+    fairness: str = "weak",
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    projection_limit: int = DEFAULT_PROJECTION_LIMIT,
+) -> CompositionalCertificate:
+    """Certify a design nonmasking tolerant from per-edge projections.
+
+    Args:
+        design: The complete design (candidate triple, bindings, nodes).
+        fairness: Scheduling fairness; the theorems require ``"weak"`` —
+            anything else refuses.
+        tracer: Optional tracer; emits ``compositional.start`` and one of
+            ``compositional.certified`` / ``compositional.refused``.
+        metrics: Optional registry; counts obligations, projected states
+            and outcomes, and times the certification.
+        projection_limit: Largest projected space an obligation may
+            enumerate before refusing.
+
+    Returns:
+        A :class:`CompositionalCertificate` — ``status == "certified"``
+        with the full obligation list, or ``status == "refused"`` naming
+        the failed obligation. Never a negative verdict.
+
+    Raises:
+        ValidationError: for ill-typed arguments (not a design).
+    """
+    if not isinstance(design, NonmaskingDesign):
+        raise ValidationError(
+            "compositional certification requires a NonmaskingDesign, "
+            f"got {type(design).__name__}"
+        )
+    if tracer is not None:
+        tracer.emit("compositional.start", design=design.name, fairness=fairness)
+    started = time.perf_counter()
+    obligations: list[Obligation] = []
+    projector = _Projector(design, projection_limit)
+
+    def finish(certificate: CompositionalCertificate) -> CompositionalCertificate:
+        if metrics is not None:
+            metrics.timer("compositional").record(certificate.seconds)
+            metrics.counter("compositional.obligations").add(
+                len(certificate.obligations)
+            )
+            metrics.counter(
+                "compositional.certified"
+                if certificate.ok
+                else "compositional.refused"
+            ).add(1)
+            metrics.counter("compositional.projected_states").add(
+                projector.projected_states
+            )
+        if tracer is not None:
+            kind = (
+                "compositional.certified"
+                if certificate.ok
+                else "compositional.refused"
+            )
+            tracer.emit(
+                kind,
+                design=certificate.design,
+                theorem=certificate.theorem,
+                obligations=len(certificate.obligations),
+                max_projection=certificate.max_projection,
+                refusal=certificate.refusal,
+            )
+        return certificate
+
+    try:
+        theorem, classification, stabilizing, edges, total = _certify(
+            design,
+            fairness=fairness,
+            projector=projector,
+            obligations=obligations,
+        )
+    except _Refusal as refusal:
+        return finish(
+            CompositionalCertificate(
+                design=design.name,
+                theorem="",
+                status="refused",
+                classification="",
+                stabilizing=False,
+                obligations=tuple(obligations),
+                refusal=str(refusal),
+                total_states=0,
+                max_projection=projector.max_projection,
+                seconds=time.perf_counter() - started,
+            )
+        )
+    return finish(
+        CompositionalCertificate(
+            design=design.name,
+            theorem=theorem,
+            status="certified",
+            classification=classification,
+            stabilizing=stabilizing,
+            obligations=tuple(obligations),
+            refusal="",
+            total_states=total,
+            max_projection=projector.max_projection,
+            seconds=time.perf_counter() - started,
+            edges=edges,
+        )
+    )

@@ -91,6 +91,17 @@ class TheoremCertificate:
                 lines.append(f"         witness: {violation.describe()}")
         return "\n".join(lines)
 
+    def to_json(self) -> dict:
+        """JSON-able summary (the :class:`~repro.api.Verdict` shape)."""
+        return {
+            "theorem": self.theorem,
+            "ok": self.ok,
+            "conditions": [
+                {"name": c.name, "ok": c.ok, "detail": c.detail}
+                for c in self.conditions
+            ],
+        }
+
 
 class _PreservationCache:
     """Memoizes preservation checks keyed by (action, predicate, context).

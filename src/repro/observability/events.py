@@ -19,7 +19,9 @@ Event kinds are plain strings, namespaced ``component.what``:
   :data:`WORKER_TASK_FINISH`, :data:`BATCH_FINISH`;
 - protocol linter: :data:`LINT_START`, :data:`LINT_DIAGNOSTIC`,
   :data:`LINT_FINISH`;
-- packed exploration kernel: :data:`KERNEL_BUILD`.
+- packed exploration kernel: :data:`KERNEL_BUILD`;
+- compositional certifier: :data:`COMPOSITIONAL_START`,
+  :data:`COMPOSITIONAL_CERTIFIED`, :data:`COMPOSITIONAL_REFUSED`.
 
 Custom emitters are free to add their own kinds; the constants exist so
 the built-in ones are greppable and typo-proof.
@@ -36,6 +38,9 @@ __all__ = [
     "BATCH_START",
     "CACHE_HIT",
     "CACHE_MISS",
+    "COMPOSITIONAL_CERTIFIED",
+    "COMPOSITIONAL_REFUSED",
+    "COMPOSITIONAL_START",
     "CONSTRAINT_ESTABLISHED",
     "CONSTRAINT_VIOLATED",
     "EVENT_KINDS",
@@ -92,6 +97,14 @@ LINT_DIAGNOSTIC = "lint.diagnostic"
 LINT_FINISH = "lint.finish"
 #: The packed kernel compiled a program (codec size, action modes, time).
 KERNEL_BUILD = "kernel.build"
+#: The compositional certifier began on a design (design, fairness).
+COMPOSITIONAL_START = "compositional.start"
+#: Every obligation discharged: a certificate was emitted (theorem,
+#: obligation count, largest projection).
+COMPOSITIONAL_CERTIFIED = "compositional.certified"
+#: An obligation could not be discharged locally (the named refusal);
+#: callers fall back to full exploration.
+COMPOSITIONAL_REFUSED = "compositional.refused"
 
 #: Every kind the built-in instrumentation emits.
 EVENT_KINDS: tuple[str, ...] = (
@@ -114,6 +127,9 @@ EVENT_KINDS: tuple[str, ...] = (
     LINT_DIAGNOSTIC,
     LINT_FINISH,
     KERNEL_BUILD,
+    COMPOSITIONAL_START,
+    COMPOSITIONAL_CERTIFIED,
+    COMPOSITIONAL_REFUSED,
 )
 
 

@@ -8,7 +8,8 @@ property family they check:
 - ``CG*`` — the constraint-graph side conditions of Section 4;
 - ``GD*`` — guard-level sanity (statically unsatisfiable guards);
 - ``VT*`` — variable usage (dead variables);
-- ``TH*`` — theorem preconditions prechecked on sampled states.
+- ``TH*`` — theorem preconditions prechecked on sampled states;
+- ``CP*`` — compositional-certification feasibility (projection sizes).
 
 Severities: an **error** is a finding that, if real, makes the paper's
 side conditions fail or the declared model a lie; a **warning** is a
@@ -105,6 +106,13 @@ CODES: dict[str, tuple[str, str, str]] = {
         "theorem precondition fails on sampled states",
         "a convergence binding must be enabled whenever its constraint "
         "is violated and must establish it when fired (Section 3)",
+    ),
+    "CP001": (
+        WARNING,
+        "declared supports block compositional projection",
+        "the joint variable set of this binding (action reads/writes plus "
+        "constraint support) cannot be enumerated within the projection "
+        "limit; shrink the declared sets or verify with --method full",
     ),
 }
 
@@ -238,6 +246,10 @@ class LintReport:
             },
             "diagnostics": [d.as_dict() for d in self.diagnostics],
         }
+
+    def to_json(self) -> dict[str, object]:
+        """:class:`~repro.api.Verdict` spelling of :meth:`as_dict`."""
+        return self.as_dict()
 
     def describe(self) -> str:
         """Human-readable rendering, one line per finding plus a summary."""

@@ -5,7 +5,8 @@ Entry points, from narrowest to widest:
 - :func:`lint_program` — the ``RW*``/``GD001``/``VT001`` passes over one
   program (optionally counting an invariant's reads for ``VT001``);
 - :func:`lint_design` — everything above plus the constraint-graph side
-  conditions (``CG*``) and theorem prechecks (``TH001``) of a
+  conditions (``CG*``), theorem prechecks (``TH001``), and the
+  compositional-projection feasibility check (``CP001``) of a
   :class:`~repro.core.design.NonmaskingDesign`;
 - :func:`lint_case` / :func:`lint_library` — the registered protocol
   library, by case name.
@@ -465,6 +466,52 @@ def _theorem_diagnostics(
     return out
 
 
+def _cp_diagnostics(design: NonmaskingDesign) -> list[Diagnostic]:
+    """CP001: bindings whose joint variable set defeats projection.
+
+    The compositional certifier (:mod:`repro.compositional`) enumerates,
+    per binding, the joint space of the action's reads/writes and the
+    constraint's support. When a variable in that set has an infinite
+    domain, or the product of the domain sizes exceeds
+    :data:`~repro.compositional.DEFAULT_PROJECTION_LIMIT`, the certifier
+    will refuse that obligation — worth knowing before verification.
+    """
+    from repro.compositional import DEFAULT_PROJECTION_LIMIT
+
+    program = design.program
+    out: list[Diagnostic] = []
+    for binding in design.bindings:
+        action = binding.action
+        joint = action.reads | action.writes | binding.constraint.support
+        combinations = 1
+        blocker: str | None = None
+        for name in sorted(joint):
+            variable = program.variables.get(name)
+            if variable is None:
+                continue
+            if not variable.domain.is_finite:
+                blocker = f"variable {name!r} has an infinite domain"
+                break
+            combinations *= max(len(list(variable.domain.values())), 1)
+            if combinations > DEFAULT_PROJECTION_LIMIT:
+                blocker = (
+                    f"the joint space of {sorted(joint)} exceeds "
+                    f"{DEFAULT_PROJECTION_LIMIT} states"
+                )
+                break
+        if blocker is not None:
+            out.append(
+                diagnostic(
+                    "CP001",
+                    f"binding for {binding.constraint.name!r} cannot be "
+                    f"certified compositionally: {blocker}",
+                    subject=action.name,
+                    location=callable_location(action.guard),
+                )
+            )
+    return out
+
+
 # ----------------------------------------------------------------------
 # Entry points
 # ----------------------------------------------------------------------
@@ -583,6 +630,7 @@ def lint_design(
         diagnostics.extend(found)
     diagnostics.extend(_shape_diagnostics(design, edges, theorem))
     diagnostics.extend(_theorem_diagnostics(design.bindings, states))
+    diagnostics.extend(_cp_diagnostics(design))
     return _finish(design.name, diagnostics, len(states), started, tracer, metrics)
 
 

@@ -42,6 +42,7 @@ EXPECTED_CODES = frozenset(
         "GD001",
         "VT001",
         "TH001",
+        "CP001",
     }
 )
 
@@ -81,7 +82,10 @@ def ill_formed_design() -> NonmaskingDesign:
       constraint with a disabled action → TH001 co-fires);
     - ``conv_w`` "establishes" ``w == 0`` by writing ``w := 1`` → TH001;
     - ``conv_o`` reads ``{c, d}`` which span two source nodes → CG002;
-    - nodes ``O1`` and ``O2`` both label ``shared`` → CG001.
+    - nodes ``O1`` and ``O2`` both label ``shared`` → CG001;
+    - ``conv_big`` converges a variable with 100000 values, too many to
+      project compositionally (and too many for guard enumeration, so
+      GD001 stays quiet) → CP001.
     """
     bit = IntegerRangeDomain(0, 1)
     variables = [
@@ -94,10 +98,12 @@ def ill_formed_design() -> NonmaskingDesign:
         Variable("o", IntegerRangeDomain(0, 2)),
         Variable("shared", bit),
         Variable("w", bit),
+        Variable("big", IntegerRangeDomain(0, 99_999)),
     ]
 
-    a, b, c, d, g, o, shared, w = (
+    a, b, c, d, g, o, shared, w, big = (
         V("a"), V("b"), V("c"), V("d"), V("g"), V("o"), V("shared"), V("w"),
+        V("big"),
     )
 
     # CG003: conv_a and conv_b form the cycle A <-> B.
@@ -148,6 +154,11 @@ def ill_formed_design() -> NonmaskingDesign:
     constraint_o = Constraint("Co", o == 0)
     conv_o = expr_action("conv_o", (o != 0) & (c >= 0) & (d >= 0), {"o": 0})
 
+    # CP001: 100000 values defeat the 65536-state projection limit (and
+    # the 20000-combination guard enumeration, keeping GD001 quiet).
+    constraint_big = Constraint("Cbig", big == 0)
+    conv_big = expr_action("conv_big", big != 0, {"big": 0})
+
     constraints = (
         constraint_a,
         constraint_b,
@@ -157,6 +168,7 @@ def ill_formed_design() -> NonmaskingDesign:
         constraint_g,
         constraint_w,
         constraint_o,
+        constraint_big,
     )
     closure = Program("ill-formed-closure", variables, [])
     candidate = CandidateTriple(
@@ -173,6 +185,7 @@ def ill_formed_design() -> NonmaskingDesign:
         ConvergenceBinding(constraint_g, conv_g),
         ConvergenceBinding(constraint_w, conv_w),
         ConvergenceBinding(constraint_o, conv_o),
+        ConvergenceBinding(constraint_big, conv_big),
     ]
     nodes = [
         GraphNode("A", frozenset({"a"})),
@@ -183,6 +196,7 @@ def ill_formed_design() -> NonmaskingDesign:
         GraphNode("W", frozenset({"w"})),
         GraphNode("O1", frozenset({"o", "shared"})),
         GraphNode("O2", frozenset({"shared"})),  # CG001: shared twice
+        GraphNode("BIG", frozenset({"big"})),
     ]
     return NonmaskingDesign("ill-formed", candidate, bindings, nodes)
 

@@ -21,10 +21,12 @@ from repro.verification.counterexample import (
     format_states,
 )
 from repro.verification.explorer import (
+    ENGINES,
     Transition,
     TransitionSystem,
     build_transition_system,
     explore,
+    validate_engine,
 )
 from repro.verification.fairness_free import (
     ClosureComputationReport,
@@ -44,7 +46,12 @@ from repro.verification.parallel import (
     run_batch,
     verdicts_ok,
 )
-from repro.verification.service import ServiceVerdict, VerificationService
+from repro.verification.service import (
+    METHODS,
+    ServiceVerdict,
+    VerificationService,
+    validate_method,
+)
 from repro.verification.stairs import StairReport, StairStep, check_stair
 from repro.verification.synchronous import (
     SynchronousOrbit,
@@ -54,6 +61,8 @@ from repro.verification.synchronous import (
 )
 
 __all__ = [
+    "ENGINES",
+    "METHODS",
     "ClosureComputationReport",
     "ClosureResult",
     "ClosureWitness",
@@ -90,6 +99,8 @@ __all__ = [
     "format_state_diff",
     "format_states",
     "run_batch",
+    "validate_engine",
+    "validate_method",
     "verdicts_ok",
     "worst_case_convergence_steps",
 ]

@@ -15,15 +15,17 @@ every state of the instance).
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Iterable
 from dataclasses import dataclass
+from typing import Any
 
 from repro.core.predicates import Predicate
 from repro.core.program import Program
 from repro.core.state import State
 from repro.verification.closure import ClosureResult, check_closure
 from repro.verification.convergence import ConvergenceResult, check_convergence
-from repro.verification.explorer import _validate_engine, build_transition_system
+from repro.verification.explorer import build_transition_system, validate_engine
 
 __all__ = ["ToleranceReport", "check_tolerance"]
 
@@ -59,8 +61,59 @@ class ToleranceReport:
                 lines.append(f"    {result.predicate_name}: {witness.describe()}")
         return "\n".join(lines)
 
+    def to_json(self) -> dict[str, Any]:
+        """JSON-able summary (the same fields the service records)."""
+        return {
+            "ok": self.ok,
+            "implication_ok": self.implication_ok,
+            "s_closure_ok": self.s_closure.ok,
+            "t_closure_ok": self.t_closure.ok,
+            "convergence_ok": self.convergence.ok,
+            "classification": self.classification,
+            "stabilizing": self.stabilizing,
+            "total_states": self.total_states,
+            "span_states": self.convergence.span_states,
+            "bad_states": self.convergence.bad_states,
+            "fairness": self.convergence.fairness,
+        }
+
 
 def check_tolerance(
+    program: Program,
+    invariant: Predicate,
+    fault_span: Predicate,
+    states: Iterable[State] | None = None,
+    *,
+    fairness: str = "weak",
+    engine: str = "auto",
+    tracer=None,
+    metrics=None,
+) -> ToleranceReport:
+    """Deprecated alias for :func:`repro.verify` — see :mod:`repro.api`.
+
+    Still fully functional and returns the legacy
+    :class:`ToleranceReport`; new code should call :func:`repro.verify`,
+    which adds caching, lint prechecks and the compositional method.
+    """
+    warnings.warn(
+        "check_tolerance() is deprecated; use the repro.verify() facade "
+        "(see docs/API.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _check_tolerance(
+        program,
+        invariant,
+        fault_span,
+        states,
+        fairness=fairness,
+        engine=engine,
+        tracer=tracer,
+        metrics=metrics,
+    )
+
+
+def _check_tolerance(
     program: Program,
     invariant: Predicate,
     fault_span: Predicate,
@@ -96,7 +149,7 @@ def check_tolerance(
         metrics: Optional metrics registry receiving ``kernel.*``
             counters (packed engine only).
     """
-    _validate_engine(engine)
+    validate_engine(engine)
     if engine != "dict":
         from repro.kernel.codec import PackedUnsupported
         from repro.kernel.verify import check_tolerance_packed

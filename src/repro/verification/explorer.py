@@ -22,6 +22,7 @@ __all__ = [
     "TransitionSystem",
     "build_transition_system",
     "explore",
+    "validate_engine",
 ]
 
 
@@ -114,13 +115,19 @@ class TransitionSystem:
 ENGINES = ("auto", "packed", "dict")
 
 
-def _validate_engine(engine: str) -> None:
+def validate_engine(engine: str) -> None:
+    """Raise :class:`~repro.core.errors.ValidationError` unless ``engine``
+    is one of :data:`ENGINES`."""
     if engine not in ENGINES:
         from repro.core.errors import ValidationError
 
         raise ValidationError(
             f"unknown engine {engine!r}; expected one of {ENGINES}"
         )
+
+
+#: Backwards-compatible alias — ``validate_engine`` is the public name.
+_validate_engine = validate_engine
 
 
 def build_transition_system(

@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.core.design import NonmaskingDesign
+from repro.core.errors import ValidationError
 from repro.core.fingerprint import (
     fingerprint_instance,
     fingerprint_predicate,
@@ -46,29 +47,58 @@ from repro.observability import events as ev
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.report import RunReport
 from repro.observability.tracer import Tracer
-from repro.verification.checker import ToleranceReport, check_tolerance
+from repro.verification.checker import ToleranceReport, _check_tolerance
 from repro.verification.explorer import (
     TransitionSystem,
-    _validate_engine,
     build_transition_system,
-)
-
-# Compatibility re-exports: this module's previous contents.
-from repro.verification.liveness import (  # noqa: F401
-    RecurrentClass,
-    ServiceReport,
-    check_service,
-    recurrent_classes,
+    validate_engine,
 )
 
 __all__ = [
+    "METHODS",
     "ServiceVerdict",
     "VerificationService",
+    "validate_method",
+]
+
+#: Valid values of the ``method`` switch on :meth:`verify_tolerance`.
+METHODS = ("auto", "full", "compositional")
+
+#: The historical liveness analysis moved to
+#: :mod:`repro.verification.liveness`; importing its names from this
+#: module is deprecated.
+_MOVED_TO_LIVENESS = (
     "RecurrentClass",
     "ServiceReport",
     "check_service",
     "recurrent_classes",
-]
+)
+
+
+def __getattr__(name: str) -> Any:
+    if name in _MOVED_TO_LIVENESS:
+        import warnings
+
+        warnings.warn(
+            f"importing {name} from repro.verification.service is "
+            f"deprecated; import it from repro.verification.liveness "
+            "(or the repro.verification package)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.verification import liveness
+
+        return getattr(liveness, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def validate_method(method: str) -> None:
+    """Raise :class:`~repro.core.errors.ValidationError` unless ``method``
+    is one of :data:`METHODS`."""
+    if method not in METHODS:
+        raise ValidationError(
+            f"unknown method {method!r}; expected one of {METHODS}"
+        )
 
 
 @dataclass(frozen=True)
@@ -96,8 +126,33 @@ class ServiceVerdict:
     def __bool__(self) -> bool:
         return self.ok
 
+    def to_json(self) -> dict[str, Any]:
+        """JSON-able verdict: the cached record plus call provenance."""
+        return {
+            **self.record,
+            "cached": self.cached,
+            "cache_layer": self.cache_layer,
+            "call_seconds": self.seconds,
+        }
+
     def describe(self) -> str:
         suffix = f" [cache: {self.cache_layer}]" if self.cached else ""
+        if self.record.get("method") == "compositional":
+            r = self.record
+            if r.get("status") == "refused":
+                return (
+                    f"compositional certification REFUSED for {r['case']}: "
+                    f"{r['refusal']}"
+                )
+            kind = r["classification"] + (
+                " (stabilizing)" if r["stabilizing"] else ""
+            )
+            return (
+                f"T-tolerant for S [{kind}] by {r['theorem']}{suffix}\n"
+                f"  compositional: {r['obligations']} obligations over "
+                f"{r['edges']} edges, max projection {r['max_projection']} "
+                f"of {r['total_states']} states"
+            )
         if "lint" in self.record:
             lint = self.record["lint"]
             counts = lint["counts"]
@@ -137,6 +192,7 @@ def _tolerance_record(
     return {
         "case": case,
         "engine": engine,
+        "method": "full",
         "ok": report.ok,
         "implication_ok": report.implication_ok,
         "s_closure_ok": report.s_closure.ok,
@@ -150,6 +206,41 @@ def _tolerance_record(
         "fairness": fairness,
         "seconds": seconds,
     }
+
+
+def _compositional_record(
+    certificate, *, case: str, fairness: str, seconds: float
+) -> dict[str, Any]:
+    counts = {"enumerated": 0, "disjoint-writes": 0, "trivial": 0}
+    for obligation in certificate.obligations:
+        counts[obligation.discharged_by] += 1
+    return {
+        "case": case,
+        "method": "compositional",
+        "ok": certificate.ok,
+        "status": certificate.status,
+        "refusal": certificate.refusal,
+        "theorem": certificate.theorem,
+        "classification": certificate.classification,
+        "stabilizing": certificate.stabilizing,
+        "obligations": len(certificate.obligations),
+        "enumerated": counts["enumerated"],
+        "vacuous": counts["disjoint-writes"],
+        "trivial": counts["trivial"],
+        "edges": certificate.edges,
+        "max_projection": certificate.max_projection,
+        "total_states": certificate.total_states,
+        "fairness": fairness,
+        "seconds": seconds,
+    }
+
+
+class _CompositionalRefused(Exception):
+    """Internal: the certifier refused — never cache, maybe fall back."""
+
+    def __init__(self, certificate) -> None:
+        super().__init__(certificate.refusal)
+        self.certificate = certificate
 
 
 class VerificationService:
@@ -309,11 +400,13 @@ class VerificationService:
         *,
         fairness: str = "weak",
         engine: str = "auto",
+        method: str = "auto",
+        design: NonmaskingDesign | None = None,
         case: str | None = None,
         states_key: str | None = None,
         lint: bool = False,
     ) -> ServiceVerdict:
-        """Cached equivalent of :func:`repro.verification.check_tolerance`.
+        """Cached tolerance verification (the engine behind :func:`repro.verify`).
 
         Args:
             program: The augmented program.
@@ -325,10 +418,24 @@ class VerificationService:
                 size, which cannot tell two different windows apart.
             fairness: Computation model for convergence.
             engine: ``"packed"``, ``"dict"`` or ``"auto"`` (see
-                :func:`~repro.verification.check_tolerance`). The engine
-                is **not** part of the cache key — both engines produce
-                identical verdicts — but the record notes which one
-                computed it under ``record["engine"]``.
+                :func:`~repro.verification.checker.check_tolerance`). The
+                engine is **not** part of the cache key — both engines
+                produce identical verdicts — but the record notes which
+                one computed it under ``record["engine"]``.
+            method: ``"full"`` explores the product state space;
+                ``"compositional"`` certifies from per-edge projections
+                (:mod:`repro.compositional` — requires ``design`` and the
+                full state space, and returns a failed, *uncached*
+                verdict naming the refused obligation when the theorems
+                do not apply); ``"auto"`` (default) tries compositional
+                when a design is available and silently falls back to
+                full exploration on refusal. The method **is** part of
+                the cache key — the two methods certify through different
+                evidence — and is recorded under ``record["method"]``.
+            design: The :class:`~repro.core.design.NonmaskingDesign` the
+                instance came from; enables the compositional method.
+                ``design.program`` must be the same instance as
+                ``program``.
             case: Display name recorded in the verdict.
             states_key: Cache discriminator for the state set.
             lint: Run the :mod:`repro.staticcheck` passes first and, on
@@ -338,7 +445,14 @@ class VerificationService:
                 O(actions x probe states); a failed precheck is never
                 cached (fixing the declarations must retrigger it).
         """
-        _validate_engine(engine)
+        validate_engine(engine)
+        validate_method(method)
+        if method == "compositional" and design is None:
+            raise ValidationError(
+                "method='compositional' requires the design= argument; "
+                "only a NonmaskingDesign carries the constraint graph the "
+                "certifier decomposes over"
+            )
         span = fault_span if fault_span is not None else TRUE
         started = time.perf_counter()
         if lint:
@@ -375,10 +489,29 @@ class VerificationService:
             extra = (
                 states_key if states_key is not None else f"states=n{len(state_list)}",
             )
-        key = fingerprint_instance(
-            program, invariant, span, fairness=fairness, extra=extra
-        )
         name = case if case is not None else program.name
+
+        if method != "full" and design is not None:
+            verdict = self._verify_compositional(
+                program,
+                invariant,
+                span,
+                design,
+                fairness=fairness,
+                method=method,
+                extra=extra,
+                name=name,
+                supplied_states=states is not None,
+                started=started,
+            )
+            if verdict is not None:
+                return verdict
+            # auto: the certifier refused — fall back to full exploration.
+
+        key = fingerprint_instance(
+            program, invariant, span, fairness=fairness,
+            extra=extra + ("method=full",),
+        )
 
         def compute() -> dict[str, Any]:
             from repro.kernel import kernel_supported
@@ -394,7 +527,7 @@ class VerificationService:
                 from repro.kernel import PackedUnsupported
 
                 try:
-                    report = check_tolerance(
+                    report = _check_tolerance(
                         program,
                         invariant,
                         span,
@@ -406,12 +539,12 @@ class VerificationService:
                     )
                 except PackedUnsupported:
                     resolved = "dict"
-                    report = check_tolerance(
+                    report = _check_tolerance(
                         program, invariant, span, state_list,
                         fairness=fairness, engine="dict",
                     )
             else:
-                report = check_tolerance(
+                report = _check_tolerance(
                     program,
                     invariant,
                     span,
@@ -434,6 +567,102 @@ class VerificationService:
         return ServiceVerdict(
             record=record,
             report=self._reports.get(key),
+            cached=bool(layer),
+            cache_layer=layer,
+            seconds=elapsed,
+        )
+
+    def _verify_compositional(
+        self,
+        program: Program,
+        invariant: Predicate,
+        span: Predicate,
+        design: NonmaskingDesign,
+        *,
+        fairness: str,
+        method: str,
+        extra: tuple[str, ...],
+        name: str,
+        supplied_states: bool,
+        started: float,
+    ) -> ServiceVerdict | None:
+        """The compositional leg of :meth:`verify_tolerance`.
+
+        Returns a :class:`ServiceVerdict` when the request is answered
+        compositionally — a (cached) certificate, or a failed *uncached*
+        refusal when ``method="compositional"`` was explicit. Returns
+        ``None`` when ``method="auto"`` and the certifier refused, so the
+        caller falls back to full exploration. Refused certifications are
+        never cached: they carry no verdict, and fixing the design must
+        retrigger them.
+        """
+        from repro.compositional import certify_compositional
+
+        key = fingerprint_instance(
+            program, invariant, span, fairness=fairness,
+            extra=extra + ("method=compositional",),
+        )
+
+        def compute() -> dict[str, Any]:
+            compute_started = time.perf_counter()
+            if supplied_states:
+                # A state subset cannot be certified edge-locally: the
+                # projections quantify over the full product space.
+                from repro.compositional import CompositionalCertificate
+
+                raise _CompositionalRefused(
+                    CompositionalCertificate(
+                        design=design.name,
+                        theorem="",
+                        status="refused",
+                        classification="",
+                        stabilizing=False,
+                        obligations=(),
+                        refusal="supplied-states: compositional "
+                        "certification covers the full state space only",
+                        total_states=0,
+                        max_projection=0,
+                        seconds=0.0,
+                    )
+                )
+            certificate = certify_compositional(
+                design,
+                fairness=fairness,
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
+            if not certificate.ok:
+                raise _CompositionalRefused(certificate)
+            return _compositional_record(
+                certificate,
+                case=name,
+                fairness=fairness,
+                seconds=time.perf_counter() - compute_started,
+            )
+
+        try:
+            record, layer = self.memo("tolerance", key, compute)
+        except _CompositionalRefused as refused:
+            if method != "compositional":
+                return None  # auto: fall back to full exploration
+            elapsed = time.perf_counter() - started
+            return ServiceVerdict(
+                record=_compositional_record(
+                    refused.certificate,
+                    case=name,
+                    fairness=fairness,
+                    seconds=elapsed,
+                ),
+                report=None,
+                cached=False,
+                cache_layer="",
+                seconds=elapsed,
+            )
+        elapsed = time.perf_counter() - started
+        self._note_verdict("verify_tolerance", layer, elapsed)
+        return ServiceVerdict(
+            record=record,
+            report=None,
             cached=bool(layer),
             cache_layer=layer,
             seconds=elapsed,

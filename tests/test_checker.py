@@ -12,7 +12,7 @@ from repro.core import (
     TRUE,
     Variable,
 )
-from repro.verification import check_tolerance
+from repro.verification.checker import _check_tolerance as check_tolerance
 
 
 def make_program(actions):

@@ -33,9 +33,11 @@ class TestVerify:
         assert main(["verify", "diffusing", "--size", "50"]) == 2
         assert "exceeds" in capsys.readouterr().out
 
-    def test_unknown_protocol(self):
-        with pytest.raises(SystemExit):
+    def test_unknown_protocol(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
             main(["verify", "quantum-ring"])
+        assert excinfo.value.code == 2  # usage errors share lint's exit code
+        assert "unknown protocol" in capsys.readouterr().err
 
 
 class TestSimulate:

@@ -24,6 +24,26 @@ VERIFY_RECORD_KEYS = {
     "bad_states",
 }
 
+COMPOSITIONAL_RECORD_KEYS = {
+    "case",
+    "method",
+    "ok",
+    "status",
+    "refusal",
+    "theorem",
+    "classification",
+    "stabilizing",
+    "obligations",
+    "enumerated",
+    "vacuous",
+    "trivial",
+    "edges",
+    "max_projection",
+    "total_states",
+    "fairness",
+    "seconds",
+}
+
 
 class TestVerifyJson:
     def test_schema_is_stable(self, tmp_path, capsys):
@@ -39,6 +59,7 @@ class TestVerifyJson:
             "command",
             "engine",
             "fairness",
+            "method",
             "protocol",
             "record",
             "size",
@@ -48,12 +69,29 @@ class TestVerifyJson:
         assert payload["size"] == 3
         assert payload["fairness"] == "weak"
         assert payload["engine"] == "auto"
+        assert payload["method"] == "auto"
         assert payload["cached"] is False
         assert payload["cache_layer"] == ""  # a miss has no cache layer
         assert payload["call_seconds"] > 0.0
         assert VERIFY_RECORD_KEYS <= set(payload["record"])
         assert payload["record"]["ok"] is True
         assert payload["record"]["stabilizing"] is True
+
+    def test_compositional_record_schema_is_stable(self, tmp_path):
+        path = tmp_path / "verdict.json"
+        assert main(["verify", "diffusing", "--size", "4",
+                     "--method", "compositional", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["method"] == "compositional"
+        record = payload["record"]
+        assert set(record) == COMPOSITIONAL_RECORD_KEYS
+        assert record["ok"] is True
+        assert record["status"] == "certified"
+        assert not record["refusal"]
+        assert record["method"] == "compositional"
+        assert record["obligations"] == (
+            record["enumerated"] + record["vacuous"] + record["trivial"]
+        )
 
     def test_warm_cache_recorded_in_json(self, tmp_path):
         cache = tmp_path / "cache"
@@ -209,3 +247,78 @@ class TestLintJson:
                  for line in trace.read_text().splitlines()]
         assert kinds[0] == "lint.start"
         assert kinds[-1] == "lint.finish"
+
+
+class TestVerdictToJson:
+    """Every Verdict type's ``to_json()`` key set is stable."""
+
+    def test_tolerance_report(self):
+        from repro.core.predicates import TRUE
+        from repro.protocols.library import build_case
+        from repro.verification.checker import _check_tolerance
+
+        program, invariant = build_case("coloring-chain", 3)
+        report = _check_tolerance(program, invariant, TRUE)
+        payload = report.to_json()
+        assert set(payload) == {
+            "ok", "implication_ok", "s_closure_ok", "t_closure_ok",
+            "convergence_ok", "classification", "stabilizing",
+            "total_states", "span_states", "bad_states", "fairness",
+        }
+        assert payload == json.loads(json.dumps(payload))
+
+    def test_compositional_certificate(self):
+        from repro.compositional import certify_compositional
+        from repro.protocols.library import CASES
+
+        certificate = certify_compositional(
+            CASES["diffusing-chain"].build_design(3)
+        )
+        payload = certificate.to_json()
+        assert set(payload) == {
+            "design", "theorem", "status", "ok", "classification",
+            "stabilizing", "refusal", "total_states", "max_projection",
+            "edges", "seconds", "obligations",
+        }
+        for obligation in payload["obligations"]:
+            assert set(obligation) == {
+                "name", "subject", "variables", "space", "checked",
+                "discharged_by", "seconds",
+            }
+        assert payload == json.loads(json.dumps(payload))
+
+    def test_theorem_certificate(self):
+        from repro.protocols.library import CASES
+
+        design = CASES["diffusing-chain"].build_design(3)
+        report = design.validate(list(design.program.state_space()))
+        payload = report.selected.to_json()
+        assert set(payload) == {"theorem", "ok", "conditions"}
+        for condition in payload["conditions"]:
+            assert set(condition) == {"name", "ok", "detail"}
+        assert payload == json.loads(json.dumps(payload))
+
+    def test_lint_report(self):
+        from repro.staticcheck import lint_case
+
+        report = lint_case("diffusing-chain")
+        assert report.to_json() == report.as_dict()
+        assert set(report.to_json()) == LINT_CASE_KEYS
+
+    def test_service_verdict(self):
+        import repro
+        from repro.verification import VerificationService
+
+        service = VerificationService()
+        verdict = repro.verify(
+            "coloring-chain", size=3, method="full", service=service
+        )
+        payload = verdict.to_json()
+        assert {"cached", "cache_layer", "call_seconds"} <= set(payload)
+        assert VERIFY_RECORD_KEYS <= set(payload)
+        assert payload == json.loads(json.dumps(payload))
+
+        compositional = repro.verify(
+            "coloring-chain", size=3, method="compositional", service=service
+        )
+        assert COMPOSITIONAL_RECORD_KEYS <= set(compositional.to_json())

@@ -1,0 +1,275 @@
+"""The compositional certifier (:mod:`repro.compositional`).
+
+Three layers of guarantees:
+
+- **Soundness by agreement** — on every instance small enough for full
+  exploration, a certified verdict agrees bit-for-bit with the full
+  checker (``ok``, ``classification``, ``stabilizing``);
+- **Scale** — a 200-node chain (``4^200`` product states) certifies in
+  well under a second while both full engines refuse to even build the
+  state space;
+- **Refusals, never negatives** — every inapplicable situation yields a
+  structured refusal naming the failed obligation, and the service's
+  ``auto`` method falls back to full exploration.
+"""
+
+import dataclasses
+
+import pytest
+
+import repro
+from repro.compositional import (
+    DEFAULT_PROJECTION_LIMIT,
+    CompositionalCertificate,
+    certify_compositional,
+)
+from repro.core.candidate import CandidateTriple
+from repro.core.constraint_graph import GraphNode
+from repro.core.constraints import Constraint, ConvergenceBinding, conjunction
+from repro.core.design import NonmaskingDesign
+from repro.core.domains import IntegerRangeDomain
+from repro.core.errors import StateSpaceTooLargeError, ValidationError
+from repro.kernel.codec import PackedUnsupported
+from repro.core.expr import V, expr_action
+from repro.core.predicates import TRUE
+from repro.core.program import Program
+from repro.core.variables import Variable
+from repro.observability import MetricsRegistry, Tracer
+from repro.protocols.library import CASES
+from repro.verification import VerificationService
+from repro.verification.checker import _check_tolerance
+
+DESIGN_CASES = (
+    "diffusing-chain",
+    "diffusing-star",
+    "coloring-chain",
+    "leader-election-star",
+)
+
+
+def _two_node_cycle() -> NonmaskingDesign:
+    """A well-formed design whose constraint graph is a 2-cycle."""
+    bit = IntegerRangeDomain(0, 1)
+    a, b = V("a"), V("b")
+    constraint_a = Constraint("Ca", a == b)
+    constraint_b = Constraint("Cb", b == a)
+    constraints = (constraint_a, constraint_b)
+    closure = Program("cycle", [Variable("a", bit), Variable("b", bit)], [])
+    candidate = CandidateTriple(
+        program=closure,
+        invariant=conjunction(constraints, name="S"),
+        constraints=constraints,
+    )
+    bindings = [
+        ConvergenceBinding(constraint_a, expr_action("conv_a", a != b, {"a": b})),
+        ConvergenceBinding(constraint_b, expr_action("conv_b", b != a, {"b": a})),
+    ]
+    nodes = [GraphNode("A", frozenset({"a"})), GraphNode("B", frozenset({"b"}))]
+    return NonmaskingDesign("cycle", candidate, bindings, nodes)
+
+
+def _oversized_projection() -> NonmaskingDesign:
+    """One binding whose own variable defeats the projection limit."""
+    big = V("big")
+    constraint = Constraint("Cbig", big == 0)
+    closure = Program(
+        "big", [Variable("big", IntegerRangeDomain(0, DEFAULT_PROJECTION_LIMIT))], []
+    )
+    candidate = CandidateTriple(
+        program=closure,
+        invariant=conjunction((constraint,), name="S"),
+        constraints=(constraint,),
+    )
+    bindings = [
+        ConvergenceBinding(constraint, expr_action("conv_big", big != 0, {"big": 0}))
+    ]
+    return NonmaskingDesign(
+        "big", candidate, bindings, [GraphNode("BIG", frozenset({"big"}))]
+    )
+
+
+class TestCertification:
+    @pytest.mark.parametrize("name", DESIGN_CASES)
+    def test_small_library_designs_certify(self, name):
+        certificate = certify_compositional(CASES[name].build_design(3))
+        assert certificate.ok
+        assert bool(certificate)
+        assert certificate.status == "certified"
+        assert certificate.theorem.startswith("Theorem")
+        assert certificate.stabilizing  # all library designs have T == true
+        assert certificate.obligations
+        assert certificate.max_projection <= DEFAULT_PROJECTION_LIMIT
+        assert "obligation" in certificate.describe()
+
+    @pytest.mark.parametrize("size", (2, 3, 4))
+    @pytest.mark.parametrize("name", DESIGN_CASES)
+    def test_agrees_with_full_exploration(self, name, size):
+        design = CASES[name].build_design(size)
+        certificate = certify_compositional(design)
+        assert certificate.ok, certificate.refusal
+        full = _check_tolerance(
+            design.program, design.candidate.invariant, TRUE
+        )
+        assert certificate.ok == full.ok
+        assert certificate.classification == full.classification
+        assert certificate.stabilizing == full.stabilizing
+
+    def test_certifies_where_full_exploration_cannot(self):
+        design = CASES["diffusing-chain"].build_design(200)
+        # The packed engine cannot even encode 4^200 states in its code
+        # range; the dict engine (and auto, which falls back to it)
+        # refuses before yielding a single state.
+        with pytest.raises(PackedUnsupported):
+            _check_tolerance(
+                design.program, design.candidate.invariant, TRUE,
+                engine="packed",
+            )
+        for engine in ("dict", "auto"):
+            with pytest.raises(StateSpaceTooLargeError):
+                _check_tolerance(
+                    design.program, design.candidate.invariant, TRUE,
+                    engine=engine,
+                )
+        certificate = certify_compositional(design)
+        assert certificate.ok
+        assert certificate.theorem == "Theorem 1 (out-tree constraint graph)"
+        assert certificate.total_states == 4 ** 200
+        assert certificate.max_projection <= DEFAULT_PROJECTION_LIMIT
+        assert certificate.seconds < 30.0
+
+    def test_rejects_non_design_subject(self):
+        with pytest.raises(ValidationError):
+            certify_compositional("diffusing-chain")  # type: ignore[arg-type]
+
+
+class TestRefusals:
+    def _refusal(self, certificate: CompositionalCertificate) -> str:
+        assert not certificate.ok
+        assert certificate.status == "refused"
+        assert certificate.refusal
+        return certificate.refusal
+
+    def test_fairness(self):
+        design = CASES["diffusing-chain"].build_design(3)
+        refusal = self._refusal(
+            certify_compositional(design, fairness="none")
+        )
+        assert refusal.startswith("fairness:")
+
+    def test_fault_span(self):
+        design = CASES["diffusing-chain"].build_design(3)
+        candidate = dataclasses.replace(
+            design.candidate, fault_span=design.candidate.invariant
+        )
+        masked = NonmaskingDesign(
+            design.name, candidate, list(design.bindings), list(design.nodes)
+        )
+        assert self._refusal(
+            certify_compositional(masked)
+        ).startswith("fault-span:")
+
+    def test_graph_shape(self):
+        assert self._refusal(
+            certify_compositional(_two_node_cycle())
+        ).startswith("graph-shape:")
+
+    def test_projection_size(self):
+        assert self._refusal(
+            certify_compositional(_oversized_projection())
+        ).startswith("projection-size:")
+
+    def test_projection_limit_is_adjustable(self):
+        design = _oversized_projection()
+        certificate = certify_compositional(
+            design, projection_limit=DEFAULT_PROJECTION_LIMIT * 2
+        )
+        assert certificate.ok
+
+
+class TestServiceIntegration:
+    def test_explicit_compositional_requires_design(self):
+        program, invariant = CASES["dijkstra-ring"].build(3)
+        with pytest.raises(ValidationError, match="design="):
+            VerificationService().verify_tolerance(
+                program, invariant, method="compositional"
+            )
+
+    def test_supplied_states_refuse_and_are_not_cached(self):
+        design = CASES["diffusing-chain"].build_design(3)
+        service = VerificationService()
+        states = list(design.program.state_space())
+        verdict = service.verify_tolerance(
+            design.program,
+            design.candidate.invariant,
+            states=states,
+            method="compositional",
+            design=design,
+        )
+        assert not verdict.ok
+        assert "supplied-states" in verdict.record["refusal"]
+        assert not verdict.cached
+        again = service.verify_tolerance(
+            design.program,
+            design.candidate.invariant,
+            states=states,
+            method="compositional",
+            design=design,
+        )
+        assert not again.cached  # refusals never enter the cache
+
+    def test_auto_falls_back_to_full_on_refusal(self):
+        design = _two_node_cycle()
+        service = VerificationService()
+        verdict = service.verify_tolerance(
+            design.program,
+            design.candidate.invariant,
+            method="auto",
+            design=design,
+        )
+        assert verdict.record["method"] == "full"
+        assert verdict.ok  # the cycle converges; only the theorems refuse
+
+    def test_explicit_refusal_is_a_failed_verdict(self):
+        design = _two_node_cycle()
+        verdict = VerificationService().verify_tolerance(
+            design.program,
+            design.candidate.invariant,
+            method="compositional",
+            design=design,
+        )
+        assert not verdict.ok
+        assert verdict.record["status"] == "refused"
+        assert verdict.record["refusal"].startswith("graph-shape:")
+        assert "REFUSED" in verdict.describe()
+
+
+class TestObservability:
+    def test_events_and_metrics(self):
+        tracer = Tracer.buffered()
+        metrics = MetricsRegistry()
+        certificate = certify_compositional(
+            CASES["diffusing-chain"].build_design(3),
+            tracer=tracer,
+            metrics=metrics,
+        )
+        assert certificate.ok
+        kinds = [event.kind for event in tracer.events]
+        assert kinds[0] == "compositional.start"
+        assert kinds[-1] == "compositional.certified"
+        report = metrics.report()
+        assert report.counters["compositional.certified"] == 1
+        assert report.counters["compositional.obligations"] == len(
+            certificate.obligations
+        )
+
+    def test_refusal_event(self):
+        tracer = Tracer.buffered()
+        metrics = MetricsRegistry()
+        certificate = certify_compositional(
+            _two_node_cycle(), tracer=tracer, metrics=metrics
+        )
+        assert not certificate.ok
+        assert [event.kind for event in tracer.events][-1] == (
+            "compositional.refused"
+        )
+        assert metrics.report().counters["compositional.refused"] == 1

@@ -33,7 +33,8 @@ from repro.scheduler import (
 )
 from repro.simulation import convergence_action_work, run, stabilization_trials
 from repro.topology import balanced_tree, chain_tree
-from repro.verification import check_convergence, check_tolerance, explore
+from repro.verification import check_convergence, explore
+from repro.verification.checker import _check_tolerance as check_tolerance
 
 
 class TestTheoremsAgreeWithModelChecker:

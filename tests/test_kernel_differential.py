@@ -23,7 +23,7 @@ from repro.core import (
 from repro.core.predicates import TRUE
 from repro.kernel import PackedUnsupported
 from repro.protocols.library import build_case, case_names
-from repro.verification.checker import check_tolerance
+from repro.verification.checker import _check_tolerance as check_tolerance
 from repro.verification.explorer import build_transition_system
 
 

@@ -30,7 +30,7 @@ from repro.scheduler import (
 )
 from repro.simulation import run
 from repro.topology import balanced_tree, chain_tree, random_tree, star_tree
-from repro.verification import check_tolerance
+from repro.verification.checker import _check_tolerance as check_tolerance
 
 
 class TestConstruction:

@@ -37,7 +37,8 @@ from repro.topology import (
     random_connected_graph,
     random_tree,
 )
-from repro.verification import check_stair, check_tolerance
+from repro.verification import check_stair
+from repro.verification.checker import _check_tolerance as check_tolerance
 
 
 class TestColoring:

@@ -14,7 +14,7 @@ from repro.protocols.four_state_ring import (
 )
 from repro.scheduler import FirstEnabledScheduler, RandomScheduler
 from repro.simulation import run
-from repro.verification import check_tolerance
+from repro.verification.checker import _check_tolerance as check_tolerance
 
 
 class TestExhaustive:

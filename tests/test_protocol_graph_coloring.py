@@ -20,7 +20,8 @@ from repro.topology import (
     path_graph,
     random_connected_graph,
 )
-from repro.verification import check_synchronous_convergence, check_tolerance
+from repro.verification import check_synchronous_convergence
+from repro.verification.checker import _check_tolerance as check_tolerance
 
 
 class TestCentralDaemon:

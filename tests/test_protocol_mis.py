@@ -19,7 +19,7 @@ from repro.topology import (
     path_graph,
     random_connected_graph,
 )
-from repro.verification import check_tolerance
+from repro.verification.checker import _check_tolerance as check_tolerance
 
 
 class TestExhaustive:

@@ -15,7 +15,7 @@ from repro.protocols.mp_token_ring import (
 from repro.scheduler import FirstEnabledScheduler, RandomScheduler
 from repro.simulation import run
 from repro.topology import Ring
-from repro.verification import check_tolerance
+from repro.verification.checker import _check_tolerance as check_tolerance
 
 
 def legitimate_state(program, n, k, position=0):

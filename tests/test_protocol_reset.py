@@ -10,7 +10,7 @@ from repro.protocols.reset import app_var, build_reset_program, reset_target
 from repro.scheduler import RandomScheduler
 from repro.simulation import run
 from repro.topology import balanced_tree, random_tree
-from repro.verification import check_tolerance
+from repro.verification.checker import _check_tolerance as check_tolerance
 
 
 class TestConstruction:

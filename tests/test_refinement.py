@@ -27,7 +27,7 @@ from repro.refinement import cache_coherence, cache_var, refine_with_caches
 from repro.scheduler import FirstEnabledScheduler, PriorityScheduler, RandomScheduler
 from repro.simulation import run
 from repro.topology import balanced_tree, chain_tree, star_tree
-from repro.verification import check_tolerance
+from repro.verification.checker import _check_tolerance as check_tolerance
 
 
 def owner_of(name: str) -> str:

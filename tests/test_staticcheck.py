@@ -76,7 +76,7 @@ class TestCatalog:
     def test_severity_partition(self):
         by_severity = {s: {c for c, (sev, _, _) in CODES.items() if sev == s} for s in SEVERITIES}
         assert by_severity[ERROR] == {"RW001", "RW002", "CG001", "CG002", "CG003", "TH001"}
-        assert by_severity[WARNING] == {"GD001", "VT001"}
+        assert by_severity[WARNING] == {"GD001", "VT001", "CP001"}
         assert by_severity[INFO] == {"RW003"}
 
     def test_factory_fills_catalog_fields(self):

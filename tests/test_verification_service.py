@@ -12,10 +12,10 @@ from repro.protocols.library import build_case, case_names, library_tasks
 from repro.verification import (
     VerificationService,
     VerificationTask,
-    check_tolerance,
     run_batch,
     verdicts_ok,
 )
+from repro.verification.checker import _check_tolerance as check_tolerance
 from repro.verification.parallel import resolve_builder
 
 # Small enough to model-check exhaustively in a unit-test run.
