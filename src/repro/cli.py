@@ -338,6 +338,7 @@ def _command_verify(args: argparse.Namespace) -> int:
             method=args.method,
             design=design,
             case=f"{entry.name} (n={size})",
+            shards=args.shards,
         )
     finally:
         if tracer is not None:
@@ -604,6 +605,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=("auto", "packed", "dict"), default="auto",
         help="exploration engine: packed integer kernel, dict states, or "
         "auto (packed with dict fallback); verdicts are identical",
+    )
+    verify.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="shard the packed engine's vectorized full-space sweep over N "
+        "contiguous code ranges (default: auto; results are bit-identical "
+        "for any shard count)",
     )
     verify.add_argument(
         "--method", choices=("auto", "full", "compositional"), default="auto",

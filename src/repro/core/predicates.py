@@ -25,7 +25,7 @@ from typing import Any
 
 from repro.core.state import State
 
-__all__ = ["Predicate", "TRUE", "FALSE", "all_of", "any_of", "var_equals"]
+__all__ = ["Predicate", "TRUE", "FALSE", "all_of", "any_of", "count_of", "var_equals"]
 
 
 class Predicate:
@@ -41,9 +41,20 @@ class Predicate:
             opaque callables. When present, static analysis can recover
             the *exact* read set via ``source.variables()`` instead of
             trusting the declared support.
+        parts: The combinator structure this predicate was built from,
+            or ``None`` for a leaf. Combinators record their operator
+            and operand predicates — ``("and", (p, q))``, ``("or", (p,
+            q))``, ``("not", (p,))``, ``("implies", (p, q))``, ``("all",
+            operands)``, ``("any", operands)`` and ``("count", operands,
+            k)`` — so analyses (the vectorized kernel sweeps) can
+            decompose a predicate into small-support leaves instead of
+            treating the composed callable as opaque. The recorded
+            operands are the predicates actually evaluated by the
+            wrapped function, so any structural evaluation is
+            extensionally identical to calling the predicate.
     """
 
-    __slots__ = ("_fn", "name", "support", "source")
+    __slots__ = ("_fn", "name", "support", "source", "parts")
 
     def __init__(
         self,
@@ -52,11 +63,13 @@ class Predicate:
         name: str | None = None,
         support: Iterable[str] | None = None,
         source: Any = None,
+        parts: tuple | None = None,
     ) -> None:
         self._fn = fn
         self.name = name if name is not None else getattr(fn, "__name__", "<predicate>")
         self.support = frozenset(support) if support is not None else None
         self.source = source
+        self.parts = parts
 
     def __call__(self, state: State) -> bool:
         return bool(self._fn(state))
@@ -79,6 +92,7 @@ class Predicate:
             lambda state: self(state) and other(state),
             name=f"({self.name} and {other.name})",
             support=self._merged_support(other),
+            parts=("and", (self, other)),
         )
 
     def __or__(self, other: "Predicate") -> "Predicate":
@@ -86,6 +100,7 @@ class Predicate:
             lambda state: self(state) or other(state),
             name=f"({self.name} or {other.name})",
             support=self._merged_support(other),
+            parts=("or", (self, other)),
         )
 
     def __invert__(self) -> "Predicate":
@@ -93,6 +108,7 @@ class Predicate:
             lambda state: not self(state),
             name=f"not ({self.name})",
             support=self.support,
+            parts=("not", (self,)),
         )
 
     def implies(self, other: "Predicate") -> "Predicate":
@@ -101,15 +117,28 @@ class Predicate:
             lambda state: (not self(state)) or other(state),
             name=f"({self.name} => {other.name})",
             support=self._merged_support(other),
+            parts=("implies", (self, other)),
         )
 
     def renamed(self, name: str) -> "Predicate":
         """A copy of this predicate carrying a new display name."""
-        return Predicate(self._fn, name=name, support=self.support, source=self.source)
+        return Predicate(
+            self._fn,
+            name=name,
+            support=self.support,
+            source=self.source,
+            parts=self.parts,
+        )
 
     def with_support(self, support: Iterable[str]) -> "Predicate":
         """A copy of this predicate carrying an explicit support."""
-        return Predicate(self._fn, name=self.name, support=support, source=self.source)
+        return Predicate(
+            self._fn,
+            name=self.name,
+            support=support,
+            source=self.source,
+            parts=self.parts,
+        )
 
     def __repr__(self) -> str:
         return f"Predicate({self.name!r})"
@@ -141,6 +170,7 @@ def all_of(predicates: Iterable[Predicate], *, name: str | None = None) -> Predi
         lambda state: all(p(state) for p in preds),
         name=display,
         support=support,
+        parts=("all", tuple(preds)),
     )
 
 
@@ -158,6 +188,38 @@ def any_of(predicates: Iterable[Predicate], *, name: str | None = None) -> Predi
         lambda state: any(p(state) for p in preds),
         name=display,
         support=support,
+        parts=("any", tuple(preds)),
+    )
+
+
+def count_of(
+    predicates: Iterable[Predicate], count: int, *, name: str | None = None
+) -> Predicate:
+    """The predicate "exactly ``count`` of ``predicates`` hold".
+
+    A counting combinator: global specifications like a token ring's
+    "exactly one node is privileged" are conjunctions over *how many*
+    local conditions hold, not which — recording the count structure
+    keeps every operand's small support visible (each privilege tests
+    two adjacent counters) where a hand-written monolithic callable
+    would force readers of the predicate to treat the whole variable
+    set as one opaque block.
+    """
+    preds = list(predicates)
+    supports = [p.support for p in preds]
+    support = None
+    if all(s is not None for s in supports):
+        support = frozenset().union(*supports)  # type: ignore[arg-type]
+    display = (
+        name
+        if name is not None
+        else f"exactly {count} of [" + ", ".join(p.name for p in preds) + "]"
+    )
+    return Predicate(
+        lambda state: sum(1 for p in preds if p(state)) == count,
+        name=display,
+        support=support,
+        parts=("count", tuple(preds), count),
     )
 
 

@@ -133,6 +133,40 @@ class PackedKernel:
         )
         return ((code, digits, values) for code, (digits, values) in enumerate(pairs))
 
+    def iter_range(self, lo: int, hi: int):
+        """Yield ``(code, digits, values)`` over ``lo .. hi-1`` in code order.
+
+        The contiguous-range counterpart of :meth:`iter_space` for shard
+        workers: one decode seeds the odometer at ``lo``, then digits and
+        values advance in place (the yielded lists are shared and mutated
+        between yields, exactly like the compiled actions expect).
+        """
+        codec = self.codec
+        radices = codec.radices
+        domain_values = codec.domain_values
+        last = len(radices) - 1
+        digits = codec.decode_digits(lo)
+        values = [
+            domain_values[position][digit]
+            for position, digit in enumerate(digits)
+        ]
+
+        def generate():
+            for code in range(lo, hi):
+                yield code, digits, values
+                position = last
+                while position >= 0:
+                    digit = digits[position] + 1
+                    if digit < radices[position]:
+                        digits[position] = digit
+                        values[position] = domain_values[position][digit]
+                        break
+                    digits[position] = 0
+                    values[position] = domain_values[position][0]
+                    position -= 1
+
+        return generate()
+
     def analyze_code(self, code: int) -> tuple[list[int], list[Any]]:
         """The digit and value lists of one packed code."""
         digits = self.codec.decode_digits(code)
@@ -179,16 +213,22 @@ def compile_program(
 
 
 class _DecodedStates(Sequence):
-    """Lazy, cached ``Sequence[State]`` over an array of packed codes."""
+    """Lazy, cached ``Sequence[State]`` over an array of packed codes.
 
-    __slots__ = ("_codec", "_codes", "_cache")
+    Without a preset the cache is a dict keyed by index, so a sparse
+    consumer of a huge space (a witness decode out of 10^8 states) pays
+    per state touched, not per state stored.
+    """
+
+    __slots__ = ("_codec", "_codes", "_preset", "_cache")
 
     def __init__(self, codec: StateCodec, codes, preset=None) -> None:
         self._codec = codec
         self._codes = codes
-        self._cache: list[State | None] = (
-            list(preset) if preset is not None else [None] * len(codes)
+        self._preset: list[State] | None = (
+            list(preset) if preset is not None else None
         )
+        self._cache: dict[int, State] = {}
 
     def __len__(self) -> int:
         return len(self._codes)
@@ -196,9 +236,14 @@ class _DecodedStates(Sequence):
     def __getitem__(self, index):
         if isinstance(index, slice):
             return [self[i] for i in range(*index.indices(len(self)))]
-        state = self._cache[index]
+        if self._preset is not None:
+            return self._preset[index]
+        index = int(index)
+        if index < 0:
+            index += len(self._codes)
+        state = self._cache.get(index)
         if state is None:
-            state = self._codec.decode_state(self._codes[index])
+            state = self._codec.decode_state(int(self._codes[index]))
             self._cache[index] = state
         return state
 

@@ -14,6 +14,12 @@ verdicts, same closure witnesses in the same order, same error messages
   single guard again, and the ``T``-span transition system handed to the
   convergence checker is carved out of the same arrays.
 
+With numpy available, full-space sweeps of large instances dispatch to
+the vectorized kernel (:mod:`repro.kernel.sweeps`, optionally sharded
+over a process pool via :mod:`repro.kernel.shard`); instances outside
+the vectorized fragment — and every run without numpy — take the scalar
+loop below, whose results the vectorized path reproduces bit-for-bit.
+
 Successor values that leave their variable's domain are kept as raw
 :class:`State` markers inside the graph so closure witnesses and escape
 lists match the dict engine exactly.
@@ -28,10 +34,18 @@ from repro.core.errors import StateSpaceTooLargeError
 from repro.core.predicates import TRUE, Predicate
 from repro.core.program import Program
 from repro.core.state import DEFAULT_MAX_STATES, State
-from repro.kernel.engine import PackedTransitionSystem, compile_program
+from repro.kernel.engine import (
+    PackedKernel,
+    PackedTransitionSystem,
+    compile_program,
+)
 from repro.verification.checker import ToleranceReport
 from repro.verification.closure import ClosureResult, ClosureWitness
-from repro.verification.convergence import ConvergenceResult, check_convergence
+from repro.verification.convergence import (
+    ConvergenceCounterexample,
+    ConvergenceResult,
+    check_convergence,
+)
 
 __all__ = ["check_tolerance_packed"]
 
@@ -80,6 +94,8 @@ def check_tolerance_packed(
     states: Iterable[State] | None = None,
     *,
     fairness: str = "weak",
+    max_states: int | None = None,
+    shards: int | None = None,
     tracer=None,
     metrics=None,
 ) -> ToleranceReport:
@@ -88,6 +104,15 @@ def check_tolerance_packed(
     Args:
         states: The state set, or ``None`` for the program's full state
             space (the fast path: codes are enumerated, never encoded).
+        max_states: Full-space size guard; ``None`` means
+            :data:`~repro.core.state.DEFAULT_MAX_STATES`. Uses the same
+            comparison and message as
+            :func:`~repro.core.state.enumerate_states`, so both engines
+            agree — verdict or identical error — at the boundary.
+        shards: Shard count for the vectorized full-space sweep
+            (``None`` = auto heuristic, see
+            :func:`~repro.kernel.shard.plan_shards`). Sharding never
+            changes results; it is ignored on the scalar fallback paths.
 
     Raises:
         PackedUnsupported: if the program or a supplied state cannot be
@@ -96,6 +121,30 @@ def check_tolerance_packed(
     kernel = compile_program(program, tracer=tracer, metrics=metrics)
     table_entries_before = kernel.table_entries() if metrics is not None else 0
     codec = kernel.codec
+    if states is None:
+        # Same guard (comparison and message) as ``enumerate_states`` on
+        # the dict path, with the caller's limit threaded through.
+        limit = DEFAULT_MAX_STATES if max_states is None else max_states
+        if codec.size > limit:
+            raise StateSpaceTooLargeError(
+                f"state space has {codec.size} states, above the limit of "
+                f"{limit}"
+            )
+        report = _vectorized_full_space(
+            kernel,
+            program,
+            invariant,
+            fault_span,
+            fairness=fairness,
+            shards=shards,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        if report is not None:
+            _note_sweep_metrics(
+                kernel, metrics, table_entries_before, codec.size
+            )
+            return report
     s_fn = kernel.predicate_fn(invariant)
     # TRUE is the stabilization fault-span; skip 1 call/state for it.
     t_always = fault_span is TRUE
@@ -113,13 +162,8 @@ def check_tolerance_packed(
     raws = graph.raws
 
     if states is None:
-        # Full space: position == code, membership masks are per-code.
-        # Same guard (and message) as ``enumerate_states`` on the dict path.
-        if codec.size > DEFAULT_MAX_STATES:
-            raise StateSpaceTooLargeError(
-                f"state space has {codec.size} states, above the limit of "
-                f"{DEFAULT_MAX_STATES}"
-            )
+        # Full space (scalar sweep): position == code, membership masks
+        # are per-code. The size guard already ran above.
         count = codec.size
         state_list: list[State] | None = None
         codes = None
@@ -378,19 +422,7 @@ def check_tolerance_packed(
 
     masking = s_mask == t_mask
     stabilizing = span_count == count
-    if metrics is not None:
-        # Successor tables fill lazily, so misses are the sweep's table
-        # growth; every action ran exactly once per state.
-        modes = kernel.modes()
-        misses = kernel.table_entries() - table_entries_before
-        calls = count * modes["table"]
-        metrics.counter("kernel.table_hits").add(calls - misses)
-        metrics.counter("kernel.table_misses").add(misses)
-        metrics.counter("kernel.direct_evals").add(
-            count * (modes["direct"] + modes["fallback"])
-        )
-        if modes["fallback"]:
-            metrics.counter("kernel.fallback_actions").add(modes["fallback"])
+    _note_sweep_metrics(kernel, metrics, table_entries_before, count)
     return ToleranceReport(
         ok=implication_ok and s_closure.ok and t_closure.ok and convergence.ok,
         implication_ok=implication_ok,
@@ -399,5 +431,244 @@ def check_tolerance_packed(
         convergence=convergence,
         classification="masking" if masking else "nonmasking",
         stabilizing=stabilizing,
+        total_states=count,
+    )
+
+
+def _note_sweep_metrics(
+    kernel: PackedKernel, metrics, table_entries_before: int, count: int
+) -> None:
+    """Fold one full sweep into the ``kernel.*`` counters.
+
+    Successor tables fill lazily, so misses are the sweep's table
+    growth; every action ran (scalar) or was resolved (vectorized)
+    exactly once per state.
+    """
+    if metrics is None:
+        return
+    modes = kernel.modes()
+    misses = kernel.table_entries() - table_entries_before
+    calls = count * modes["table"]
+    metrics.counter("kernel.table_hits").add(calls - misses)
+    metrics.counter("kernel.table_misses").add(misses)
+    metrics.counter("kernel.direct_evals").add(
+        count * (modes["direct"] + modes["fallback"])
+    )
+    if modes["fallback"]:
+        metrics.counter("kernel.fallback_actions").add(modes["fallback"])
+
+
+def _vectorized_full_space(
+    kernel: PackedKernel,
+    program: Program,
+    invariant: Predicate,
+    fault_span: Predicate,
+    *,
+    fairness: str,
+    shards: int | None,
+    tracer=None,
+    metrics=None,
+) -> ToleranceReport | None:
+    """The vectorized (optionally sharded) full-space sweep.
+
+    Returns ``None`` when the instance stays on the scalar sweep: numpy
+    missing, the space too small to pay numpy's fixed overhead (unless
+    sharding was requested explicitly), or any construct outside the
+    vectorized fragment (:class:`~repro.kernel.sweeps.SweepUnsupported`).
+    The produced report is bit-identical to the scalar sweep's — same
+    verdicts, witness order, counterexamples and counts — which the
+    differential suite pins.
+    """
+    from repro.kernel import shard as sharding
+    from repro.kernel import sweeps
+
+    size = kernel.codec.size
+    if not sweeps.HAVE_NUMPY:
+        return None
+    if shards is None and size < sweeps.VECTOR_MIN_STATES:
+        return None
+    try:
+        plan = sweeps.SweepPlan(
+            kernel,
+            invariant,
+            None if fault_span is TRUE else fault_span,
+        )
+        ranges = sharding.plan_shards(size, shards)
+        fragments = sharding.sweep_sharded(plan, ranges, metrics=metrics)
+        s_mask, t_mask, offsets, targets, action_ids = sweeps.merge_fragments(
+            fragments
+        )
+    except sweeps.SweepUnsupported:
+        return None
+    import numpy as np
+
+    codec = kernel.codec
+    names = kernel.action_names
+    count = size
+    if tracer is not None:
+        from repro.observability.events import (
+            KERNEL_SHARD_MERGED,
+            KERNEL_SWEEP,
+        )
+
+        tracer.emit(
+            KERNEL_SWEEP,
+            program=program.name,
+            states=count,
+            shards=len(ranges),
+            edges=int(offsets[-1]),
+        )
+        if len(ranges) > 1:
+            tracer.emit(KERNEL_SHARD_MERGED, shards=len(ranges))
+
+    implication_ok = t_mask is None or not bool(np.any(s_mask & ~t_mask))
+
+    def decode(code) -> State:
+        return codec.decode_state(int(code))
+
+    def closure_result(mask, predicate: Predicate) -> ClosureResult:
+        ok, checked, witness_edges = sweeps.closure_scan(
+            mask, offsets, targets, max_witnesses=_MAX_WITNESSES
+        )
+        witnesses = tuple(
+            ClosureWitness(
+                before=decode(
+                    np.searchsorted(offsets, k, side="right") - 1
+                ),
+                action_name=names[action_ids[k]],
+                after=decode(targets[k]),
+            )
+            for k in witness_edges
+        )
+        return ClosureResult(
+            predicate_name=predicate.name,
+            ok=ok,
+            checked=checked,
+            witnesses=witnesses,
+        )
+
+    s_closure = closure_result(s_mask, invariant)
+    if t_mask is None:
+        # TRUE holds on every successor: the scan cannot produce a
+        # witness, and ``checked`` is the full state count.
+        t_closure = ClosureResult(
+            predicate_name=fault_span.name, ok=True, checked=count, witnesses=()
+        )
+    else:
+        t_closure = closure_result(t_mask, fault_span)
+
+    # ------------------------------------------------------------------
+    # Convergence over the T-span.
+    # ------------------------------------------------------------------
+    if t_mask is None:
+        span_rows = None
+        span_count = count
+        span_offsets, span_targets, span_ids = offsets, targets, action_ids
+        bad_mask = ~s_mask
+    else:
+        span_rows = np.flatnonzero(t_mask)
+        span_count = int(span_rows.size)
+    if t_mask is not None and not t_closure.ok:
+        # T is not closed (on the full space every closure witness is an
+        # escaping edge), so convergence relative to T is undefined;
+        # report it failed without a cycle counterexample — exactly the
+        # scalar engines' escape branch.
+        convergence = ConvergenceResult(
+            ok=False,
+            fairness=fairness,
+            span_states=span_count,
+            bad_states=int(np.count_nonzero(t_mask & ~s_mask)),
+        )
+    else:
+        if t_mask is not None:
+            # Carve the span-induced CSR; T is closed, so every edge out
+            # of a T-state stays inside the span.
+            span_of = np.cumsum(t_mask, dtype=np.int64) - 1
+            degrees = np.diff(offsets)
+            keep = np.repeat(t_mask, degrees)
+            span_targets = span_of[targets[keep]]
+            span_ids = action_ids[keep]
+            span_offsets = np.empty(span_count + 1, dtype=np.int64)
+            span_offsets[0] = 0
+            np.cumsum(degrees[span_rows], out=span_offsets[1:])
+            bad_mask = ~s_mask[span_rows]
+        bad_count = int(np.count_nonzero(bad_mask))
+        deadlock = sweeps.first_bad_deadlock(bad_mask, span_offsets)
+        if deadlock is not None:
+            state = decode(
+                deadlock if span_rows is None else span_rows[deadlock]
+            )
+            convergence = ConvergenceResult(
+                ok=False,
+                fairness=fairness,
+                span_states=span_count,
+                bad_states=bad_count,
+                counterexample=ConvergenceCounterexample(
+                    kind="deadlock", states=(state,)
+                ),
+            )
+        elif sweeps.bad_region_acyclic(bad_mask, span_offsets, span_targets):
+            # No bad deadlock and no bad cycle: convergence holds under
+            # any fairness, with no SCC analysis and no span system.
+            convergence = ConvergenceResult(
+                ok=True,
+                fairness=fairness,
+                span_states=span_count,
+                bad_states=bad_count,
+            )
+        else:
+            # A bad cycle exists somewhere: hand the span to the exact
+            # checker for the scalar engines' counterexample, seeding its
+            # predicate memo from the masks like the scalar sweep does.
+            span_codes = (
+                np.arange(count, dtype=np.int64)
+                if span_rows is None
+                else span_rows
+            )
+            span_system = PackedTransitionSystem(
+                codec,
+                span_codes,
+                span_offsets,
+                span_targets,
+                span_ids,
+                names,
+                [],
+            )
+            good = (
+                np.flatnonzero(s_mask)
+                if span_rows is None
+                else np.flatnonzero(s_mask[span_rows])
+            )
+            span_system._satisfying_cache[id(invariant)] = (
+                invariant,
+                tuple(good.tolist()),
+            )
+            span_system._satisfying_cache[id(fault_span)] = (
+                fault_span,
+                tuple(range(span_count)),
+            )
+            convergence = check_convergence(
+                program,
+                span_system.states,
+                invariant,
+                fairness=fairness,
+                system=span_system,
+            )
+
+    if t_mask is None:
+        masking = bool(s_mask.all())
+    else:
+        masking = bool(np.array_equal(s_mask, t_mask))
+    return ToleranceReport(
+        ok=implication_ok
+        and s_closure.ok
+        and t_closure.ok
+        and convergence.ok,
+        implication_ok=implication_ok,
+        s_closure=s_closure,
+        t_closure=t_closure,
+        convergence=convergence,
+        classification="masking" if masking else "nonmasking",
+        stabilizing=span_count == count,
         total_states=count,
     )

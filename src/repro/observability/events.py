@@ -19,7 +19,8 @@ Event kinds are plain strings, namespaced ``component.what``:
   :data:`WORKER_TASK_FINISH`, :data:`BATCH_FINISH`;
 - protocol linter: :data:`LINT_START`, :data:`LINT_DIAGNOSTIC`,
   :data:`LINT_FINISH`;
-- packed exploration kernel: :data:`KERNEL_BUILD`;
+- packed exploration kernel: :data:`KERNEL_BUILD`, :data:`KERNEL_SWEEP`,
+  :data:`KERNEL_SHARD_MERGED`;
 - compositional certifier: :data:`COMPOSITIONAL_START`,
   :data:`COMPOSITIONAL_CERTIFIED`, :data:`COMPOSITIONAL_REFUSED`.
 
@@ -46,6 +47,8 @@ __all__ = [
     "EVENT_KINDS",
     "FAULT_INJECTED",
     "KERNEL_BUILD",
+    "KERNEL_SHARD_MERGED",
+    "KERNEL_SWEEP",
     "LINT_DIAGNOSTIC",
     "LINT_FINISH",
     "LINT_START",
@@ -97,6 +100,10 @@ LINT_DIAGNOSTIC = "lint.diagnostic"
 LINT_FINISH = "lint.finish"
 #: The packed kernel compiled a program (codec size, action modes, time).
 KERNEL_BUILD = "kernel.build"
+#: A vectorized full-space sweep ran (states, shard count, edge count).
+KERNEL_SWEEP = "kernel.sweep.vectorized"
+#: Per-shard CSR fragments were merged into one system (shard count).
+KERNEL_SHARD_MERGED = "kernel.shard.merged"
 #: The compositional certifier began on a design (design, fairness).
 COMPOSITIONAL_START = "compositional.start"
 #: Every obligation discharged: a certificate was emitted (theorem,
@@ -127,6 +134,8 @@ EVENT_KINDS: tuple[str, ...] = (
     LINT_DIAGNOSTIC,
     LINT_FINISH,
     KERNEL_BUILD,
+    KERNEL_SWEEP,
+    KERNEL_SHARD_MERGED,
     COMPOSITIONAL_START,
     COMPOSITIONAL_CERTIFIED,
     COMPOSITIONAL_REFUSED,

@@ -37,7 +37,7 @@ from repro.core.candidate import CandidateTriple
 from repro.core.constraints import Constraint, ConvergenceBinding
 from repro.core.design import NonmaskingDesign
 from repro.core.domains import IntegerDomain, ModularDomain
-from repro.core.predicates import Predicate
+from repro.core.predicates import Predicate, count_of
 from repro.core.program import Program
 from repro.core.state import State
 from repro.core.variables import Variable
@@ -48,6 +48,7 @@ __all__ = [
     "x_var",
     "ring_invariant",
     "privileged_nodes",
+    "privilege_predicate",
     "exactly_one_privilege",
     "build_token_ring_design",
     "build_dijkstra_ring",
@@ -76,13 +77,33 @@ def privileged_nodes(ring: Ring, state: State) -> list[int]:
     return privileged
 
 
+def privilege_predicate(ring: Ring, node: int) -> Predicate:
+    """The predicate "node ``node`` holds a privilege".
+
+    Each privilege tests exactly two adjacent counters, so these are the
+    small-support building blocks of the ring's specification.
+    """
+    if node == 0:
+        a, b = x_var(0), x_var(ring.last)
+        return Predicate(
+            lambda s: s[a] == s[b], name=f"{a} = {b}", support=(a, b)
+        )
+    a, b = x_var(node - 1), x_var(node)
+    return Predicate(lambda s: s[a] != s[b], name=f"{a} != {b}", support=(a, b))
+
+
 def exactly_one_privilege(ring: Ring) -> Predicate:
-    """The specification predicate: exactly one node is privileged."""
-    names = [x_var(j) for j in ring.nodes]
-    return Predicate(
-        lambda s: len(privileged_nodes(ring, s)) == 1,
+    """The specification predicate: exactly one node is privileged.
+
+    Built as a counting combinator over the per-node privilege
+    predicates, so the two-variable support of each privilege stays
+    visible to structural analyses. Extensionally identical to counting
+    :func:`privileged_nodes`.
+    """
+    return count_of(
+        [privilege_predicate(ring, node) for node in ring.nodes],
+        1,
         name="exactly one privileged node",
-        support=names,
     )
 
 

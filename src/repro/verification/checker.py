@@ -86,6 +86,8 @@ def check_tolerance(
     *,
     fairness: str = "weak",
     engine: str = "auto",
+    max_states: int | None = None,
+    shards: int | None = None,
     tracer=None,
     metrics=None,
 ) -> ToleranceReport:
@@ -108,6 +110,8 @@ def check_tolerance(
         states,
         fairness=fairness,
         engine=engine,
+        max_states=max_states,
+        shards=shards,
         tracer=tracer,
         metrics=metrics,
     )
@@ -121,6 +125,8 @@ def _check_tolerance(
     *,
     fairness: str = "weak",
     engine: str = "auto",
+    max_states: int | None = None,
+    shards: int | None = None,
     tracer=None,
     metrics=None,
 ) -> ToleranceReport:
@@ -137,6 +143,12 @@ def _check_tolerance(
             enumeration pass without materializing ``State`` objects.
         fairness: Computation model for convergence (``"weak"`` is the
             paper's; ``"none"`` checks the stronger unfair guarantee).
+        max_states: Full-space size guard (``None`` means
+            :data:`~repro.core.state.DEFAULT_MAX_STATES`). Threaded to
+            both engines with identical comparisons and messages, so
+            dict and packed agree — verdict or error — at the boundary.
+        shards: Shard count for the packed engine's vectorized full-space
+            sweep (``None`` = auto). Never changes results.
         engine: ``"packed"`` runs the flat-array kernel
             (:mod:`repro.kernel`) and raises
             :class:`~repro.kernel.codec.PackedUnsupported` when the
@@ -163,13 +175,21 @@ def _check_tolerance(
                 fault_span,
                 states,
                 fairness=fairness,
+                max_states=max_states,
+                shards=shards,
                 tracer=tracer,
                 metrics=metrics,
             )
         except PackedUnsupported:
             if engine == "packed":
                 raise
-    all_states = list(states) if states is not None else list(program.state_space())
+    if states is not None:
+        all_states = list(states)
+    else:
+        from repro.core.state import DEFAULT_MAX_STATES
+
+        limit = DEFAULT_MAX_STATES if max_states is None else max_states
+        all_states = list(program.state_space(max_states=limit))
     implication_ok = all(
         fault_span(state) for state in all_states if invariant(state)
     )

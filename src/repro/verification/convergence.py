@@ -299,6 +299,29 @@ def check_convergence(
             if target_index in members
         }
         if always_enabled <= internal_actions:
+            # Emit an actual followable cycle, not the whole component:
+            # ``describe()`` claims a cycle, so the listed states must
+            # form one. Prefer a cycle along always-enabled actions (a
+            # weakly-fair daemon can repeat it verbatim); when those
+            # edges do not close a cycle on their own, any internal
+            # cycle of the component still witnesses the trap.
+            cycle = None
+            if always_enabled:
+                restricted = {
+                    node: [
+                        target_index
+                        for name, target_index in ts.edges[node]
+                        if target_index in members and name in always_enabled
+                    ]
+                    for node in component
+                }
+                if all(restricted[node] for node in component):
+                    try:
+                        cycle = _find_cycle_in_component(component, restricted)
+                    except ValidationError:
+                        cycle = None
+            if cycle is None:
+                cycle = _find_cycle_in_component(component, internal)
             return ConvergenceResult(
                 ok=False,
                 fairness=fairness,
@@ -306,7 +329,7 @@ def check_convergence(
                 bad_states=len(bad),
                 counterexample=ConvergenceCounterexample(
                     kind="cycle",
-                    states=tuple(ts.states[node] for node in component),
+                    states=tuple(ts.states[node] for node in cycle),
                 ),
             )
     return ConvergenceResult(

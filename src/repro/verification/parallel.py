@@ -12,17 +12,19 @@ disk.
 
 Results always come back in task order, regardless of which worker
 finished first. The pool degrades gracefully: ``workers <= 1``, a task
-that does not pickle, or an executor that cannot start (restricted
-environments) all fall back to in-process sequential execution with
-identical results.
+that does not pickle, an executor that cannot start (restricted
+environments), or a worker killed mid-batch (OOM, signal — the pool
+reports :class:`BrokenProcessPool`) all fall back to in-process
+sequential execution with identical results.
 """
 
 from __future__ import annotations
 
 import pickle
 import time
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from importlib import import_module
 from multiprocessing import current_process
@@ -44,6 +46,7 @@ __all__ = [
     "pack_states",
     "resolve_builder",
     "run_batch",
+    "run_on_pool",
     "verdicts_ok",
 ]
 
@@ -81,6 +84,10 @@ class VerificationTask:
     states_key: str | None = field(default=None)
     engine: str = "auto"
     packed_states: bytes | None = field(default=None)
+    #: Full-space size guard, forwarded as ``max_states`` (None = default).
+    max_states: int | None = field(default=None)
+    #: Shard count for the packed engine's vectorized full-space sweep.
+    shards: int | None = field(default=None)
 
 
 def pack_states(program: Program, states: Sequence[State]) -> bytes:
@@ -148,6 +155,8 @@ def _execute(
         engine=task.engine,
         case=task.case,
         states_key=task.states_key,
+        max_states=task.max_states,
+        shards=task.shards,
     )
     record = dict(verdict.record)
     record["cached"] = verdict.cached
@@ -175,11 +184,53 @@ def _run_sequential(
 
 
 def _picklable(tasks: Sequence[VerificationTask]) -> bool:
+    # Probe one representative: tasks in a batch share their spec shape,
+    # and ``submit`` pickles each task again anyway, so serializing the
+    # whole tuple here would pay the full transport cost twice. A task
+    # that defeats the probe (an unpicklable builder arg later in the
+    # batch) is caught at submit time and degrades to sequential.
     try:
-        pickle.dumps(tuple(tasks))
+        pickle.dumps(tasks[0])
         return True
     except Exception:
         return False
+
+
+def run_on_pool(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    *,
+    workers: int,
+) -> list[Any]:
+    """Map ``fn`` over ``items`` on a process pool, **in item order**.
+
+    The generic degradation contract shared by batch verification and
+    the kernel's sharded sweeps: ``workers <= 1``, an executor that
+    cannot start, a worker killed mid-run
+    (:class:`~concurrent.futures.process.BrokenProcessPool`) or an
+    argument that will not pickle all fall back to calling ``fn``
+    sequentially in-process, so results are identical either way. A
+    worker raising an ordinary exception is not masked — it propagates
+    (and would propagate identically from the sequential path).
+    """
+    items = list(items)
+    if not items:
+        return []
+    if workers <= 1 or len(items) == 1:
+        return [fn(item) for item in items]
+    try:
+        executor = ProcessPoolExecutor(max_workers=min(workers, len(items)))
+    except (OSError, ValueError):
+        return [fn(item) for item in items]
+    try:
+        with executor:
+            futures = [executor.submit(fn, item) for item in items]
+            return [future.result() for future in futures]
+    except (BrokenProcessPool, pickle.PicklingError, TypeError, AttributeError):
+        # Pool infrastructure failure (a worker died, or transport could
+        # not serialize): rerun everything in-process. Deterministic
+        # worker errors re-raise here identically.
+        return [fn(item) for item in items]
 
 
 def run_batch(
@@ -245,21 +296,31 @@ def _run_batch_inner(
         executor = ProcessPoolExecutor(max_workers=workers)
     except (OSError, ValueError):
         return _run_sequential(tasks, cache_dir, tracer)
-    with executor:
-        futures = [executor.submit(_execute, task, cache_dir) for task in tasks]
-        records = []
-        for future in futures:
-            record = future.result()
-            if tracer is not None:
-                tracer.emit(
-                    ev.WORKER_TASK_FINISH,
-                    case=record["case"],
-                    worker=record["worker"],
-                    cached=record["cached"],
-                    task_seconds=record["task_seconds"],
-                )
-            records.append(record)
-        return records
+    try:
+        with executor:
+            futures = [
+                executor.submit(_execute, task, cache_dir) for task in tasks
+            ]
+            records = []
+            for future in futures:
+                record = future.result()
+                if tracer is not None:
+                    tracer.emit(
+                        ev.WORKER_TASK_FINISH,
+                        case=record["case"],
+                        worker=record["worker"],
+                        cached=record["cached"],
+                        task_seconds=record["task_seconds"],
+                    )
+                records.append(record)
+            return records
+    except (BrokenProcessPool, pickle.PicklingError, TypeError, AttributeError):
+        # A worker died mid-batch (OOM, signal) or a task past the
+        # representative probe failed to serialize: degrade to the
+        # documented sequential fallback. Completed tasks re-answer from
+        # the shared cache; deterministic verification errors still
+        # propagate (they reproduce sequentially).
+        return _run_sequential(tasks, cache_dir, tracer)
 
 
 def verdicts_ok(records: Sequence[dict[str, Any]]) -> bool:

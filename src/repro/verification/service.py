@@ -405,6 +405,8 @@ class VerificationService:
         case: str | None = None,
         states_key: str | None = None,
         lint: bool = False,
+        max_states: int | None = None,
+        shards: int | None = None,
     ) -> ServiceVerdict:
         """Cached tolerance verification (the engine behind :func:`repro.verify`).
 
@@ -444,6 +446,15 @@ class VerificationService:
                 instead of exploring the state space. The lint costs
                 O(actions x probe states); a failed precheck is never
                 cached (fixing the declarations must retrigger it).
+            max_states: Full-space size guard threaded to both engines
+                (``None`` means the library default). Like the engine, it
+                is not part of the cache key: it never changes a verdict,
+                only whether oversize instances error out before one.
+            shards: Shard count for the packed engine's vectorized
+                full-space sweep; ``None`` picks automatically (one shard
+                until the space is large enough to amortize worker
+                startup). Sharded and unsharded runs are bit-identical,
+                so this is not part of the cache key either.
         """
         validate_engine(engine)
         validate_method(method)
@@ -534,6 +545,8 @@ class VerificationService:
                         state_list,
                         fairness=fairness,
                         engine="packed",
+                        max_states=max_states,
+                        shards=shards,
                         tracer=self.tracer,
                         metrics=self.metrics,
                     )
@@ -542,6 +555,7 @@ class VerificationService:
                     report = _check_tolerance(
                         program, invariant, span, state_list,
                         fairness=fairness, engine="dict",
+                        max_states=max_states,
                     )
             else:
                 report = _check_tolerance(
@@ -551,6 +565,8 @@ class VerificationService:
                     state_list,
                     fairness=fairness,
                     engine=resolved,
+                    max_states=max_states,
+                    shards=shards,
                     tracer=self.tracer,
                     metrics=self.metrics,
                 )

@@ -163,6 +163,105 @@ class TestWeakFairConvergence:
         assert result.counterexample.kind == "deadlock"
 
 
+def _assert_followable_cycle(program, states):
+    """The listed states must form an actual cycle of the program: each
+    state steps to the next by some enabled action, and the last steps
+    back to the first."""
+    assert states, "a cycle counterexample cannot be empty"
+    for before, after in zip(states, states[1:] + (states[0],)):
+        stepped = any(
+            action.enabled(before) and action.effect.apply(before) == after
+            for action in program.actions
+        )
+        assert stepped, f"no action steps {dict(before)} -> {dict(after)}"
+
+
+class TestCycleCounterexampleShape:
+    """``describe()`` claims a cycle, so the states must actually be one."""
+
+    def _figure_eight_actions(self):
+        # Bad SCC {1, 2, 3} shaped like a figure eight: 1<->2 and 1<->3.
+        # The component is strongly connected but is NOT itself a cycle
+        # (no single cycle visits all three states), so emitting the
+        # whole SCC would not be followable.
+        def hop(name, source, target):
+            return Action(
+                name,
+                Predicate(
+                    lambda s, source=source: s["n"] == source,
+                    name=f"n = {source}",
+                    support=("n",),
+                ),
+                Assignment({"n": target}),
+                reads=("n",),
+            )
+
+        return [hop("a12", 1, 2), hop("a21", 2, 1), hop("a13", 1, 3), hop("a31", 3, 1)]
+
+    @pytest.mark.parametrize("fairness", ["weak", "none"])
+    def test_figure_eight_emits_followable_cycle(self, fairness):
+        program = program_with(self._figure_eight_actions())
+        states = [State({"n": v}) for v in (0, 1, 2, 3)]
+        result = check_convergence(program, states, TARGET, fairness=fairness)
+        assert not result.ok
+        ce = result.counterexample
+        assert ce.kind == "cycle"
+        values = {s["n"] for s in ce.states}
+        assert values <= {1, 2, 3}
+        _assert_followable_cycle(program, ce.states)
+
+    def test_always_enabled_trap_emits_followable_cycle(self):
+        # up/down oscillation plus a self-loop everywhere: "loop" is
+        # always enabled and internal, so the trap is fair; the emitted
+        # states must still chain into a cycle.
+        up = Action(
+            "up",
+            Predicate(lambda s: s["n"] == 1, name="n = 1", support=("n",)),
+            Assignment({"n": 2}),
+            reads=("n",),
+        )
+        down = Action(
+            "down",
+            Predicate(lambda s: s["n"] == 2, name="n = 2", support=("n",)),
+            Assignment({"n": 1}),
+            reads=("n",),
+        )
+        loop = Action(
+            "loop",
+            Predicate(lambda s: s["n"] in (1, 2), name="n in {1,2}", support=("n",)),
+            Assignment({"n": lambda s: s["n"]}),
+            reads=("n",),
+        )
+        program = program_with([up, down, loop])
+        states = [State({"n": v}) for v in (0, 1, 2)]
+        result = check_convergence(program, states, TARGET, fairness="weak")
+        assert not result.ok
+        assert result.counterexample.kind == "cycle"
+        _assert_followable_cycle(program, result.counterexample.states)
+
+    def test_both_engines_emit_the_same_followable_cycle(self):
+        from repro.core import IntegerRangeDomain, Program, Variable
+        from repro.core.predicates import TRUE
+        from repro.verification.checker import _check_tolerance
+
+        # Restrict the domain so the full space is exactly the span;
+        # n = 0 satisfies the invariant, so the figure eight is the
+        # whole bad region and the counterexample must be a cycle.
+        program = Program(
+            "figure-eight",
+            [Variable("n", IntegerRangeDomain(0, 3))],
+            self._figure_eight_actions(),
+        )
+        reports = [
+            _check_tolerance(program, TARGET, TRUE, fairness="weak", engine=engine)
+            for engine in ("dict", "packed")
+        ]
+        assert reports[0] == reports[1]
+        ce = reports[0].convergence.counterexample
+        assert ce is not None and ce.kind == "cycle"
+        _assert_followable_cycle(program, ce.states)
+
+
 class TestValidation:
     def test_unknown_fairness_rejected(self):
         with pytest.raises(ValidationError, match="fairness"):
