@@ -570,6 +570,42 @@ def _command_render(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.verification.server import serve
+
+    tracer = _open_tracer(args)
+    try:
+        daemon = asyncio.run(
+            serve(
+                host=args.host,
+                port=args.port,
+                cache_dir=args.cache,
+                workers=args.workers,
+                batch_window=args.batch_window,
+                max_batch=args.max_batch,
+                store_shards=args.store_shards,
+                warm_capacity=args.warm_capacity,
+                store_entries=args.store_entries,
+                store_bytes=args.store_bytes,
+                tracer=tracer,
+            )
+        )
+    except KeyboardInterrupt:
+        # Loops without signal-handler support: ^C lands here after the
+        # drain path could not run; exit quietly anyway.
+        return 0
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if args.metrics:
+        print(daemon.report().describe())
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    return 0
+
+
 def _add_observability_flags(command: argparse.ArgumentParser) -> None:
     command.add_argument(
         "--trace", default=None, metavar="FILE",
@@ -701,6 +737,55 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("protocol")
     render.add_argument("--size", type=int, default=None)
     render.set_defaults(handler=_command_render)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the HTTP/JSON verification daemon (see docs/SERVICE.md)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default: loopback only)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8421,
+        help="TCP port (0 = pick an ephemeral port)",
+    )
+    serve.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="persist verdicts in a sharded store under DIR "
+        "(default: memory only)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="process-pool width for batched verification misses",
+    )
+    serve.add_argument(
+        "--batch-window", type=float, default=0.01, metavar="SECONDS",
+        help="how long cache-missing requests are collected before one "
+        "batch is dispatched to the pool",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=16, metavar="N",
+        help="largest batch handed to the pool at once",
+    )
+    serve.add_argument(
+        "--store-shards", type=int, default=16, metavar="N",
+        help="bucket directories in the verdict store",
+    )
+    serve.add_argument(
+        "--warm-capacity", type=int, default=128, metavar="N",
+        help="decoded records kept in the store's in-memory LRU tier",
+    )
+    serve.add_argument(
+        "--store-entries", type=int, default=None, metavar="N",
+        help="evict least-recently-used verdicts beyond N entries",
+    )
+    serve.add_argument(
+        "--store-bytes", type=int, default=None, metavar="BYTES",
+        help="evict least-recently-used verdicts beyond this on-disk size",
+    )
+    _add_observability_flags(serve)
+    serve.set_defaults(handler=_command_serve)
 
     return parser
 

@@ -47,6 +47,13 @@ from repro.observability.events import (
     RUN_FINISH,
     RUN_START,
     SCHEDULER_STEP,
+    SERVICE_BATCH_DISPATCH,
+    SERVICE_REQUEST_DEDUPED,
+    SERVICE_REQUEST_FINISH,
+    SERVICE_REQUEST_START,
+    STORE_EVICT,
+    STORE_HIT,
+    STORE_MISS,
     TARGET_ESTABLISHED,
     TARGET_VIOLATED,
     WORKER_TASK_FINISH,
@@ -87,7 +94,14 @@ __all__ = [
     "RUN_START",
     "RunReport",
     "SCHEDULER_STEP",
+    "SERVICE_BATCH_DISPATCH",
+    "SERVICE_REQUEST_DEDUPED",
+    "SERVICE_REQUEST_FINISH",
+    "SERVICE_REQUEST_START",
     "Sink",
+    "STORE_EVICT",
+    "STORE_HIT",
+    "STORE_MISS",
     "TARGET_ESTABLISHED",
     "TARGET_VIOLATED",
     "Timer",

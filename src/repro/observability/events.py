@@ -22,7 +22,12 @@ Event kinds are plain strings, namespaced ``component.what``:
 - packed exploration kernel: :data:`KERNEL_BUILD`, :data:`KERNEL_SWEEP`,
   :data:`KERNEL_SHARD_MERGED`;
 - compositional certifier: :data:`COMPOSITIONAL_START`,
-  :data:`COMPOSITIONAL_CERTIFIED`, :data:`COMPOSITIONAL_REFUSED`.
+  :data:`COMPOSITIONAL_CERTIFIED`, :data:`COMPOSITIONAL_REFUSED`;
+- verification daemon: :data:`SERVICE_REQUEST_START`,
+  :data:`SERVICE_REQUEST_FINISH`, :data:`SERVICE_REQUEST_DEDUPED`,
+  :data:`SERVICE_BATCH_DISPATCH`;
+- verdict store: :data:`STORE_HIT`, :data:`STORE_MISS`,
+  :data:`STORE_EVICT`.
 
 Custom emitters are free to add their own kinds; the constants exist so
 the built-in ones are greppable and typo-proof.
@@ -55,6 +60,13 @@ __all__ = [
     "RUN_FINISH",
     "RUN_START",
     "SCHEDULER_STEP",
+    "SERVICE_BATCH_DISPATCH",
+    "SERVICE_REQUEST_DEDUPED",
+    "SERVICE_REQUEST_FINISH",
+    "SERVICE_REQUEST_START",
+    "STORE_EVICT",
+    "STORE_HIT",
+    "STORE_MISS",
     "TARGET_ESTABLISHED",
     "TARGET_VIOLATED",
     "TraceEvent",
@@ -112,6 +124,20 @@ COMPOSITIONAL_CERTIFIED = "compositional.certified"
 #: An obligation could not be discharged locally (the named refusal);
 #: callers fall back to full exploration.
 COMPOSITIONAL_REFUSED = "compositional.refused"
+#: The daemon accepted one HTTP request (endpoint, fingerprint prefix).
+SERVICE_REQUEST_START = "service.request.start"
+#: The daemon answered one HTTP request (status, wall-clock, cache layer).
+SERVICE_REQUEST_FINISH = "service.request.finish"
+#: An in-flight duplicate coalesced onto an earlier request's future.
+SERVICE_REQUEST_DEDUPED = "service.request.deduped"
+#: The daemon flushed a batch of cache-missing requests onto the pool.
+SERVICE_BATCH_DISPATCH = "service.batch.dispatch"
+#: The verdict store answered from its warm or disk tier.
+STORE_HIT = "store.hit"
+#: The verdict store had no (readable) entry for the fingerprint.
+STORE_MISS = "store.miss"
+#: The verdict store evicted an LRU entry to stay inside its budget.
+STORE_EVICT = "store.evict"
 
 #: Every kind the built-in instrumentation emits.
 EVENT_KINDS: tuple[str, ...] = (
@@ -139,6 +165,13 @@ EVENT_KINDS: tuple[str, ...] = (
     COMPOSITIONAL_START,
     COMPOSITIONAL_CERTIFIED,
     COMPOSITIONAL_REFUSED,
+    SERVICE_REQUEST_START,
+    SERVICE_REQUEST_FINISH,
+    SERVICE_REQUEST_DEDUPED,
+    SERVICE_BATCH_DISPATCH,
+    STORE_HIT,
+    STORE_MISS,
+    STORE_EVICT,
 )
 
 

@@ -27,7 +27,14 @@ from repro.verification.parallel import VerificationTask
 if TYPE_CHECKING:
     from repro.core.design import NonmaskingDesign
 
-__all__ = ["CASES", "VerificationCase", "build_case", "case_names", "library_tasks"]
+__all__ = [
+    "CASES",
+    "VerificationCase",
+    "build_case",
+    "build_case_design",
+    "case_names",
+    "library_tasks",
+]
 
 
 @dataclass(frozen=True)
@@ -264,6 +271,31 @@ def build_case(name: str, size: int | None = None) -> tuple[Program, Predicate]:
             f"unknown verification case {name!r}; known cases: {known}"
         ) from None
     return case.build(size if size is not None else case.default_size)
+
+
+def build_case_design(name: str, size: int | None = None) -> "NonmaskingDesign":
+    """Build the full design of case ``name``, for design-aware workers.
+
+    The picklable counterpart of :func:`build_case` for cases that
+    register a design: reference it as
+    ``design_builder="repro.protocols.library:build_case_design"`` on a
+    :class:`~repro.verification.parallel.VerificationTask` to let the
+    worker certify compositionally.
+    """
+    try:
+        case = CASES[name]
+    except KeyError:
+        known = ", ".join(CASES)
+        raise ValidationError(
+            f"unknown verification case {name!r}; known cases: {known}"
+        ) from None
+    if case.build_design is None:
+        raise ValidationError(
+            f"case {name!r} registers no design; only "
+            f"{[n for n, c in CASES.items() if c.build_design is not None]} "
+            "can be built as designs"
+        )
+    return case.build_design(size if size is not None else case.default_size)
 
 
 def library_tasks(

@@ -1,0 +1,14 @@
+"""``repro.service`` — the documented service surface of the daemon.
+
+The implementation lives with its collaborators (the verification
+service, store and pool) in :mod:`repro.verification.server`; this
+package is the stable import path the docs and operators use::
+
+    from repro.service import VerificationDaemon, DaemonThread, serve
+
+See ``docs/SERVICE.md`` for the endpoint reference.
+"""
+
+from repro.service.server import DaemonThread, VerificationDaemon, serve
+
+__all__ = ["DaemonThread", "VerificationDaemon", "serve"]

@@ -1,0 +1,23 @@
+"""Alias module: the daemon implementation, under its service name.
+
+``repro.service.server`` is the name the documentation uses for the
+daemon; the code lives in :mod:`repro.verification.server` next to the
+:class:`~repro.verification.service.VerificationService` and
+:class:`~repro.verification.store.VerdictStore` it orchestrates.
+"""
+
+from repro.verification.server import (
+    PROVENANCE_KEYS,
+    DaemonThread,
+    VerificationDaemon,
+    serve,
+)
+from repro.verification.store import VerdictStore
+
+__all__ = [
+    "PROVENANCE_KEYS",
+    "DaemonThread",
+    "VerdictStore",
+    "VerificationDaemon",
+    "serve",
+]

@@ -66,6 +66,16 @@ class VerificationTask:
         fairness: Computation model for the convergence check.
         engine: Exploration engine, forwarded to the service
             (``"auto"``, ``"packed"`` or ``"dict"``).
+        method: Verification method, forwarded to the service
+            (``"auto"``, ``"full"`` or ``"compositional"``). Methods
+            other than ``"full"`` only differ when ``design_builder``
+            supplies the constraint-graph decomposition.
+        design_builder: Optional dotted reference (same form as
+            ``builder``) to a callable returning the instance's
+            :class:`~repro.core.design.NonmaskingDesign`. When given it
+            replaces ``builder`` — the worker verifies
+            ``design.program`` against ``design.candidate.invariant``
+            and the service may certify compositionally.
         packed_states: Optional explicit state subset as packed codes
             (the bytes from :func:`pack_states`). The mixed-radix codec
             is a pure function of the program's variable declarations, so
@@ -88,6 +98,11 @@ class VerificationTask:
     max_states: int | None = field(default=None)
     #: Shard count for the packed engine's vectorized full-space sweep.
     shards: int | None = field(default=None)
+    #: Verification method (``"auto"``, ``"full"`` or ``"compositional"``).
+    method: str = "auto"
+    #: Dotted reference to a NonmaskingDesign builder (enables the
+    #: compositional method on the worker).
+    design_builder: str | None = field(default=None)
 
 
 def pack_states(program: Program, states: Sequence[State]) -> bytes:
@@ -131,13 +146,21 @@ def _execute(
     started = time.perf_counter()
     if tracer is not None:
         tracer.emit(ev.WORKER_TASK_START, case=task.case)
-    builder = resolve_builder(task.builder)
-    built = builder(*task.args, **dict(task.kwargs))
-    if len(built) == 2:
-        program, invariant = built
+    design = None
+    if task.design_builder is not None:
+        design = resolve_builder(task.design_builder)(
+            *task.args, **dict(task.kwargs)
+        )
+        program, invariant = design.program, design.candidate.invariant
         fault_span = None
     else:
-        program, invariant, fault_span = built
+        builder = resolve_builder(task.builder)
+        built = builder(*task.args, **dict(task.kwargs))
+        if len(built) == 2:
+            program, invariant = built
+            fault_span = None
+        else:
+            program, invariant, fault_span = built
     service = VerificationService(cache_dir=cache_dir, tracer=tracer)
     states = None
     if task.packed_states is not None:
@@ -153,6 +176,8 @@ def _execute(
         states,
         fairness=task.fairness,
         engine=task.engine,
+        method=task.method,
+        design=design,
         case=task.case,
         states_key=task.states_key,
         max_states=task.max_states,

@@ -26,7 +26,6 @@ for compatibility.
 
 from __future__ import annotations
 
-import json
 import time
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
@@ -53,11 +52,13 @@ from repro.verification.explorer import (
     build_transition_system,
     validate_engine,
 )
+from repro.verification.store import VerdictStore
 
 __all__ = [
     "METHODS",
     "ServiceVerdict",
     "VerificationService",
+    "tolerance_fingerprint",
     "validate_method",
 ]
 
@@ -90,6 +91,30 @@ def __getattr__(name: str) -> Any:
 
         return getattr(liveness, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def tolerance_fingerprint(
+    program: Program,
+    invariant: Predicate,
+    fault_span: Predicate | None = None,
+    *,
+    fairness: str = "weak",
+    method: str = "full",
+    states_extra: tuple[str, ...] = ("states=full",),
+) -> str:
+    """The cache key of one tolerance verdict, as the service computes it.
+
+    Exposed so out-of-process callers (the daemon, pool orchestration)
+    can address the same cache entries the service reads and writes —
+    ``method`` must be the *resolved* method (``"full"`` or
+    ``"compositional"``), never ``"auto"``.
+    """
+    return fingerprint_instance(
+        program, invariant,
+        fault_span if fault_span is not None else TRUE,
+        fairness=fairness,
+        extra=states_extra + (f"method={method}",),
+    )
 
 
 def validate_method(method: str) -> None:
@@ -264,12 +289,23 @@ class VerificationService:
         self,
         cache_dir: str | Path | None = None,
         *,
+        store: VerdictStore | None = None,
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
-        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
-        if self.cache_dir is not None:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        if store is not None:
+            self.store: VerdictStore | None = store
+        elif cache_dir is not None:
+            # Flat, unbounded, no warm tier: byte-identical to the
+            # historical layout, so pool workers sharing a cache_dir
+            # keep interoperating across versions. No tracer/metrics —
+            # the service's own cache.hit/cache.miss layer already
+            # covers this store one-to-one; ``store.*`` events belong
+            # to explicitly constructed (daemon-grade) stores.
+            self.store = VerdictStore(cache_dir, shards=0, warm_capacity=0)
+        else:
+            self.store = None
+        self.cache_dir = self.store.root if self.store is not None else None
         self.tracer = tracer
         self.metrics = metrics
         self._records: dict[tuple[str, str], dict[str, Any]] = {}
@@ -287,11 +323,6 @@ class VerificationService:
     # ------------------------------------------------------------------
     # Generic record memoization (in-memory + on-disk JSON)
     # ------------------------------------------------------------------
-
-    def _disk_path(self, kind: str, key: str) -> Path | None:
-        if self.cache_dir is None:
-            return None
-        return self.cache_dir / f"{kind}-{key[:40]}.json"
 
     def _note_hit(self, kind: str, key: str, layer: str) -> None:
         self.hits += 1
@@ -340,12 +371,8 @@ class VerificationService:
         if record is not None:
             self._note_hit(kind, key, "memory")
             return record, "memory"
-        path = self._disk_path(kind, key)
-        if path is not None and path.exists():
-            try:
-                record = json.loads(path.read_text())
-            except (OSError, ValueError):
-                record = None  # corrupt/racing entry: recompute below
+        if self.store is not None:
+            record = self.store.get(kind, key)
             if record is not None:
                 self._records[memo_key] = record
                 self._note_hit(kind, key, "disk")
@@ -353,11 +380,51 @@ class VerificationService:
         self._note_miss(kind, key)
         record = compute()
         self._records[memo_key] = record
-        if path is not None:
-            tmp = path.with_suffix(f".tmp-{id(self)}")
-            tmp.write_text(json.dumps(record, indent=2, sort_keys=True))
-            tmp.replace(path)  # atomic: concurrent workers race benignly
+        if self.store is not None:
+            # Atomic tempfile + os.replace publication inside the store:
+            # concurrent workers race benignly and an interrupted writer
+            # can never leave a partial (cache-poisoning) entry behind.
+            self.store.put(kind, key, record)
         return record, ""
+
+    def cached_record(
+        self, kind: str, key: str, *, count_miss: bool = False
+    ) -> tuple[dict[str, Any], str] | None:
+        """Peek the cache for ``(kind, key)`` without ever computing.
+
+        Returns ``(record, layer)`` on a hit (counting it as usual), or
+        ``None`` — the daemon uses this to answer warm requests inline
+        and route only true misses onto the worker pool. A miss is
+        normally silent (probing several candidate keys for one request
+        must not inflate the counters); pass ``count_miss=True`` on the
+        last probe so each fully-missed request counts exactly once.
+        """
+        memo_key = (kind, key)
+        record = self._records.get(memo_key)
+        if record is not None:
+            self._note_hit(kind, key, "memory")
+            return record, "memory"
+        if self.store is not None:
+            record = self.store.get(kind, key)
+            if record is not None:
+                self._records[memo_key] = record
+                self._note_hit(kind, key, "disk")
+                return record, "disk"
+        if count_miss:
+            self._note_miss(kind, key)
+        return None
+
+    def ingest(self, kind: str, key: str, record: dict[str, Any]) -> None:
+        """Adopt an externally computed ``record`` into every cache layer.
+
+        The daemon verifies cache misses on the process pool (whose
+        workers cannot share this service's memory); ingesting the
+        returned records makes later duplicates memory hits here and
+        persists them through the store.
+        """
+        self._records[(kind, key)] = record
+        if self.store is not None:
+            self.store.put(kind, key, record)
 
     # ------------------------------------------------------------------
     # Transition systems
@@ -519,9 +586,9 @@ class VerificationService:
                 return verdict
             # auto: the certifier refused — fall back to full exploration.
 
-        key = fingerprint_instance(
+        key = tolerance_fingerprint(
             program, invariant, span, fairness=fairness,
-            extra=extra + ("method=full",),
+            method="full", states_extra=extra,
         )
 
         def compute() -> dict[str, Any]:
@@ -614,9 +681,9 @@ class VerificationService:
         """
         from repro.compositional import certify_compositional
 
-        key = fingerprint_instance(
+        key = tolerance_fingerprint(
             program, invariant, span, fairness=fairness,
-            extra=extra + ("method=compositional",),
+            method="compositional", states_extra=extra,
         )
 
         def compute() -> dict[str, Any]:

@@ -1,0 +1,610 @@
+"""The verification daemon and the sharded verdict store.
+
+The daemon tests run a real :class:`DaemonThread` and speak HTTP to it
+with :mod:`http.client` — no mocked transport — pinning:
+
+- the endpoint schemas against the ``--json`` schemas of
+  ``tests/test_cli_json.py`` (a daemon answer is the CLI record plus
+  call provenance);
+- in-flight dedup: N concurrent identical requests cause exactly one
+  verification;
+- ``/healthz`` responsiveness while every executor thread is blocked;
+- graceful shutdown draining accepted requests.
+
+The store tests cover the sharded layout, the LRU warm tier,
+size-bounded eviction, index recovery across restarts, and the
+truncated-entry-is-a-miss contract behind the atomic-write fix.
+"""
+
+import json
+import http.client
+import threading
+import time
+
+import pytest
+
+from repro.observability import (
+    EVENT_KINDS,
+    RingBufferSink,
+    Tracer,
+)
+from repro.verification.server import (
+    PROVENANCE_KEYS,
+    DaemonThread,
+    VerificationDaemon,
+)
+from repro.verification.service import VerificationService
+from repro.verification.store import VerdictStore
+
+from tests.test_cli_json import (
+    COMPOSITIONAL_RECORD_KEYS,
+    LINT_CASE_KEYS,
+    VERIFY_RECORD_KEYS,
+)
+
+# ----------------------------------------------------------------------
+# HTTP helpers
+# ----------------------------------------------------------------------
+
+
+def _request(handle, method, path, body=None, timeout=60):
+    conn = http.client.HTTPConnection(handle.host, handle.port, timeout=timeout)
+    try:
+        payload = json.dumps(body) if body is not None else None
+        headers = {"Content-Type": "application/json"} if body is not None else {}
+        conn.request(method, path, payload, headers)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def post(handle, path, body, timeout=60):
+    return _request(handle, "POST", path, body, timeout)
+
+
+def get(handle, path, timeout=60):
+    return _request(handle, "GET", path, timeout=timeout)
+
+
+@pytest.fixture
+def daemon():
+    handle = DaemonThread(workers=1, batch_window=0.005).start()
+    yield handle
+    handle.stop()
+
+
+# ----------------------------------------------------------------------
+# Endpoint schemas (pinned against the CLI --json schemas)
+# ----------------------------------------------------------------------
+
+
+class TestEndpointSchemas:
+    def test_verify_record_matches_cli_schema(self, daemon):
+        status, record = post(daemon, "/verify", {"case": "dijkstra-ring", "size": 3})
+        assert status == 200
+        assert VERIFY_RECORD_KEYS <= set(record)
+        assert set(PROVENANCE_KEYS) <= set(record)
+        assert record["ok"] is True
+        assert record["method"] == "full"
+        assert record["cached"] is False and record["cache_layer"] == ""
+
+    def test_verify_repeat_is_memory_hit(self, daemon):
+        body = {"case": "dijkstra-ring", "size": 3}
+        post(daemon, "/verify", body)
+        status, record = post(daemon, "/verify", body)
+        assert status == 200
+        assert record["cached"] is True
+        assert record["cache_layer"] == "memory"
+        assert record["deduped"] is False
+
+    def test_compositional_record_matches_cli_schema(self, daemon):
+        status, record = post(
+            daemon, "/verify",
+            {"case": "diffusing-chain", "size": 3, "method": "compositional"},
+        )
+        assert status == 200
+        assert set(record) == COMPOSITIONAL_RECORD_KEYS | set(PROVENANCE_KEYS)
+        assert record["ok"] is True
+        assert record["status"] == "certified"
+
+    def test_auto_method_prefers_cached_compositional(self, daemon):
+        body = {"case": "diffusing-chain", "size": 3}
+        post(daemon, "/verify", {**body, "method": "compositional"})
+        status, record = post(daemon, "/verify", body)  # method=auto
+        assert status == 200
+        assert record["method"] == "compositional"
+        assert record["cached"] is True
+
+    def test_lint_record_matches_cli_schema(self, daemon):
+        status, record = post(daemon, "/lint", {"case": "coloring-chain"})
+        assert status == 200
+        assert set(record) == LINT_CASE_KEYS | set(PROVENANCE_KEYS)
+        assert record["ok"] is True
+
+    def test_simulate_is_seeded_and_cached(self, daemon):
+        body = {"case": "dijkstra-ring", "size": 3, "trials": 4,
+                "max_steps": 5000, "seed": 7}
+        status, first = post(daemon, "/simulate", body)
+        assert status == 200
+        assert first["trials"] == 4 and first["seed"] == 7
+        assert first["all_stabilized"] is True
+        assert first["steps"]["count"] >= 1
+        status, second = post(daemon, "/simulate", body)
+        assert second["cached"] is True
+        assert {k: second[k] for k in first if k not in PROVENANCE_KEYS} == {
+            k: first[k] for k in first if k not in PROVENANCE_KEYS
+        }
+
+    def test_healthz_and_stats(self, daemon):
+        status, health = get(daemon, "/healthz")
+        assert status == 200
+        assert health["status"] == "ok"
+        post(daemon, "/verify", {"case": "dijkstra-ring", "size": 3})
+        status, stats = get(daemon, "/stats")
+        assert status == 200
+        assert stats["requests"]["verify"] == 1
+        assert stats["requests"]["computed"] == 1
+        assert stats["service"]["misses"] >= 1
+        assert stats["store"] is None  # no cache_dir on this daemon
+
+    def test_index_lists_endpoints(self, daemon):
+        status, payload = get(daemon, "/")
+        assert status == 200
+        assert "/verify" in payload["endpoints"]
+
+
+class TestRequestValidation:
+    def test_unknown_endpoint_is_404(self, daemon):
+        status, payload = post(daemon, "/nope", {})
+        assert status == 404
+        assert "no such endpoint" in payload["error"]
+
+    def test_wrong_method_is_405(self, daemon):
+        status, _ = get(daemon, "/verify")
+        assert status == 405
+        status, _ = post(daemon, "/healthz", {})
+        assert status == 405
+
+    def test_unknown_case_is_400(self, daemon):
+        status, payload = post(daemon, "/verify", {"case": "nope"})
+        assert status == 400
+        assert "unknown verification case" in payload["error"]
+
+    def test_unknown_field_is_400(self, daemon):
+        status, payload = post(
+            daemon, "/verify", {"case": "dijkstra-ring", "bogus": 1}
+        )
+        assert status == 400
+        assert "bogus" in payload["error"]
+
+    def test_non_json_body_is_400(self, daemon):
+        conn = http.client.HTTPConnection(daemon.host, daemon.port, timeout=30)
+        try:
+            conn.request("POST", "/verify", "{ not json",
+                         {"Content-Type": "application/json"})
+            response = conn.getresponse()
+            assert response.status == 400
+            assert "not JSON" in json.loads(response.read())["error"]
+        finally:
+            conn.close()
+
+    def test_compositional_without_design_is_400(self, daemon):
+        status, payload = post(
+            daemon, "/verify",
+            {"case": "dijkstra-ring", "method": "compositional"},
+        )
+        assert status == 400
+        assert "registers no design" in payload["error"]
+
+    def test_errors_do_not_kill_the_daemon(self, daemon):
+        post(daemon, "/verify", {"case": "nope"})
+        status, record = post(daemon, "/verify", {"case": "dijkstra-ring", "size": 3})
+        assert status == 200 and record["ok"] is True
+
+
+# ----------------------------------------------------------------------
+# Dedup, batching, saturation, shutdown
+# ----------------------------------------------------------------------
+
+
+class TestDedupAndBatching:
+    def test_concurrent_identical_requests_compute_once(self):
+        handle = DaemonThread(workers=1, batch_window=0.25).start()
+        try:
+            results = []
+
+            def fire():
+                results.append(
+                    post(handle, "/verify", {"case": "mis-cycle", "size": 5})
+                )
+
+            threads = [threading.Thread(target=fire) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert all(status == 200 for status, _ in results)
+            assert all(record["ok"] for _, record in results)
+            # Exactly one verification ran; every other request either
+            # coalesced onto its future or (arriving after ingestion)
+            # hit the cache.
+            assert handle.daemon.requests["computed"] == 1
+            followers = [
+                record for _, record in results
+                if record["deduped"] or record["cached"]
+            ]
+            assert len(followers) == 5
+        finally:
+            handle.stop()
+
+    def test_distinct_requests_share_one_batch_dispatch(self):
+        handle = DaemonThread(workers=1, batch_window=0.25).start()
+        try:
+            bodies = [
+                {"case": "dijkstra-ring", "size": 3},
+                {"case": "mis-cycle", "size": 4},
+                {"case": "matching-cycle", "size": 3},
+            ]
+            results = []
+
+            def fire(body):
+                results.append(post(handle, "/verify", body))
+
+            threads = [threading.Thread(target=fire, args=(b,)) for b in bodies]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert all(status == 200 for status, _ in results)
+            assert handle.daemon.requests["computed"] == 3
+            assert handle.daemon.requests["batches"] == 1
+        finally:
+            handle.stop()
+
+    def test_lint_coalesces_concurrent_duplicates(self):
+        handle = DaemonThread(workers=2).start()
+        try:
+            release = threading.Event()
+            service = handle.daemon.service
+            original = service.memo
+
+            def blocking_memo(kind, key, compute):
+                release.wait(timeout=30)
+                return original(kind, key, compute)
+
+            service.memo = blocking_memo
+            results = []
+
+            def fire():
+                results.append(post(handle, "/lint", {"case": "coloring-chain"}))
+
+            threads = [threading.Thread(target=fire) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            deadline = time.time() + 10
+            while handle.daemon.requests["deduped"] < 2 and time.time() < deadline:
+                time.sleep(0.01)
+            release.set()
+            for thread in threads:
+                thread.join()
+            assert all(status == 200 for status, _ in results)
+            assert handle.daemon.requests["deduped"] == 2
+            # The leader computed; the two followers coalesced.
+            assert service.misses == 1
+        finally:
+            handle.stop()
+
+
+class TestSaturationAndShutdown:
+    def test_healthz_answers_while_pool_is_saturated(self):
+        handle = DaemonThread(workers=1).start()
+        try:
+            release = threading.Event()
+            service = handle.daemon.service
+            original = service.memo
+
+            def blocking_memo(kind, key, compute):
+                release.wait(timeout=30)
+                return original(kind, key, compute)
+
+            service.memo = blocking_memo
+            # Saturate every executor thread (workers + 1) with blocked
+            # lints of distinct cases so nothing coalesces.
+            cases = ["coloring-chain", "dijkstra-ring", "mis-cycle"]
+            threads = [
+                threading.Thread(
+                    target=post, args=(handle, "/lint", {"case": case})
+                )
+                for case in cases
+            ]
+            for thread in threads:
+                thread.start()
+            deadline = time.time() + 10
+            while handle.daemon.inflight < len(cases) and time.time() < deadline:
+                time.sleep(0.01)
+            started = time.perf_counter()
+            status, health = get(handle, "/healthz", timeout=5)
+            elapsed = time.perf_counter() - started
+            assert status == 200 and health["status"] == "ok"
+            assert health["inflight"] >= len(cases)
+            assert elapsed < 2.0  # inline on the loop, not behind the pool
+            release.set()
+            for thread in threads:
+                thread.join()
+        finally:
+            handle.stop()
+
+    def test_graceful_stop_drains_inflight_requests(self):
+        handle = DaemonThread(workers=1).start()
+        release = threading.Event()
+        service = handle.daemon.service
+        original = service.memo
+
+        def blocking_memo(kind, key, compute):
+            release.wait(timeout=30)
+            return original(kind, key, compute)
+
+        service.memo = blocking_memo
+        results = []
+        thread = threading.Thread(
+            target=lambda: results.append(
+                post(handle, "/lint", {"case": "coloring-chain"})
+            )
+        )
+        thread.start()
+        deadline = time.time() + 10
+        while handle.daemon.inflight < 1 and time.time() < deadline:
+            time.sleep(0.01)
+        # Release the blocked request shortly after shutdown begins.
+        threading.Timer(0.2, release.set).start()
+        handle.stop(drain=True)
+        thread.join(timeout=10)
+        assert results and results[0][0] == 200
+        assert results[0][1]["ok"] is True
+
+
+class TestObservability:
+    def test_request_events_are_emitted_and_registered(self):
+        ring = RingBufferSink()
+        tracer = Tracer(sinks=[ring])
+        handle = DaemonThread(workers=1, tracer=tracer).start()
+        try:
+            post(handle, "/verify", {"case": "dijkstra-ring", "size": 3})
+            post(handle, "/verify", {"case": "dijkstra-ring", "size": 3})
+        finally:
+            handle.stop()
+        kinds = [event.kind for event in ring.events]
+        assert "service.request.start" in kinds
+        assert "service.request.finish" in kinds
+        assert "service.batch.dispatch" in kinds
+        assert set(kinds) <= set(EVENT_KINDS) | {"cache.hit", "cache.miss"}
+
+    def test_report_rolls_up_request_counters(self, daemon):
+        post(daemon, "/verify", {"case": "dijkstra-ring", "size": 3})
+        report = daemon.daemon.report(run="test")
+        assert report.counters["service.request.verify"] == 1
+        assert report.counters["service.request.total"] == 1
+        assert report.meta["run"] == "test"
+
+
+# ----------------------------------------------------------------------
+# The sharded store behind the daemon
+# ----------------------------------------------------------------------
+
+
+class TestDaemonStore:
+    def test_verdicts_persist_across_daemon_restart(self, tmp_path):
+        handle = DaemonThread(workers=1, cache_dir=tmp_path).start()
+        try:
+            status, record = post(
+                handle, "/verify", {"case": "dijkstra-ring", "size": 3}
+            )
+            assert status == 200 and record["cached"] is False
+        finally:
+            handle.stop()
+        # Entries landed in sharded bucket directories, not flat.
+        buckets = [child for child in tmp_path.iterdir() if child.is_dir()]
+        assert buckets
+        assert list(buckets[0].glob("tolerance-*.json"))
+
+        handle = DaemonThread(workers=1, cache_dir=tmp_path).start()
+        try:
+            status, record = post(
+                handle, "/verify", {"case": "dijkstra-ring", "size": 3}
+            )
+            assert status == 200
+            assert record["cached"] is True
+            assert record["cache_layer"] == "disk"
+            _, stats = get(handle, "/stats")
+            assert stats["store"]["hits_disk"] >= 1
+        finally:
+            handle.stop()
+
+    def test_eviction_under_small_budget(self, tmp_path):
+        handle = DaemonThread(
+            workers=1, cache_dir=tmp_path, store_entries=1
+        ).start()
+        try:
+            post(handle, "/verify", {"case": "dijkstra-ring", "size": 3})
+            post(handle, "/verify", {"case": "mis-cycle", "size": 4})
+            _, stats = get(handle, "/stats")
+            assert stats["store"]["entries"] == 1
+            assert stats["store"]["evictions"] >= 1
+        finally:
+            handle.stop()
+        on_disk = list(tmp_path.rglob("tolerance-*.json"))
+        assert len(on_disk) == 1
+
+
+def _key(index: int) -> str:
+    """A 64-hex-digit fingerprint whose *leading* digits vary.
+
+    Store filenames keep only the first 40 digits of a key, so test
+    keys must differ in their prefix (real fingerprints are hashes and
+    always do).
+    """
+    return f"{index:x}".ljust(64, "e")
+
+
+class TestVerdictStore:
+    def test_flat_layout_matches_historical_paths(self, tmp_path):
+        store = VerdictStore(tmp_path, shards=0, warm_capacity=0)
+        path = store.put("tolerance", "a" * 64, {"ok": True})
+        assert path.parent == tmp_path
+        assert path.name == f"tolerance-{'a' * 40}.json"
+
+    def test_sharded_layout_buckets_by_key_prefix(self, tmp_path):
+        store = VerdictStore(tmp_path, shards=16)
+        key = "00ff" * 16
+        path = store.put("tolerance", key, {"ok": True})
+        assert path.parent.parent == tmp_path
+        assert path.parent.name == f"{int(key[:8], 16) % 16:02x}"
+        assert store.get("tolerance", key) == {"ok": True}
+
+    def test_warm_tier_avoids_disk(self, tmp_path):
+        store = VerdictStore(tmp_path, shards=4, warm_capacity=8)
+        store.put("tolerance", "b" * 64, {"ok": True})
+        store.path("tolerance", "b" * 64).unlink()  # force: warm only
+        assert store.get("tolerance", "b" * 64) == {"ok": True}
+        assert store.hits_warm == 1
+
+    def test_warm_tier_capacity_is_bounded(self, tmp_path):
+        store = VerdictStore(tmp_path, shards=0, warm_capacity=2)
+        for index in range(4):
+            store.put("tolerance", _key(index), {"index": index})
+        assert store.stats()["warm_entries"] == 2
+        # Evicted-from-warm entries still hit via disk.
+        assert store.get("tolerance", _key(0)) == {"index": 0}
+        assert store.hits_disk == 1
+
+    def test_truncated_entry_is_a_miss_and_deleted(self, tmp_path):
+        store = VerdictStore(tmp_path, shards=4, warm_capacity=0)
+        path = store.put("tolerance", "c" * 64, {"ok": True})
+        path.write_text('{"ok": tru')  # interrupted pre-fix writer
+        assert store.get("tolerance", "c" * 64) is None
+        assert not path.exists()
+        assert store.misses == 1
+        # A rewrite recovers the entry.
+        store.put("tolerance", "c" * 64, {"ok": False})
+        assert store.get("tolerance", "c" * 64) == {"ok": False}
+
+    def test_atomic_put_leaves_no_partial_files(self, tmp_path):
+        store = VerdictStore(tmp_path, shards=4)
+        store.put("tolerance", "d" * 64, {"ok": True})
+        leftovers = [
+            entry for entry in tmp_path.rglob("*") if entry.suffix == ".tmp"
+        ]
+        assert leftovers == []
+
+    def test_unserializable_record_does_not_poison_the_entry(self, tmp_path):
+        store = VerdictStore(tmp_path, shards=0)
+        store.put("tolerance", "e" * 64, {"ok": True})
+        with pytest.raises(TypeError):
+            store.put("tolerance", "e" * 64, {"ok": object()})
+        # The previous complete entry survives the failed write.
+        assert store.get("tolerance", "e" * 64) == {"ok": True}
+
+    def test_max_entries_evicts_least_recently_used(self, tmp_path):
+        store = VerdictStore(tmp_path, shards=0, max_entries=2)
+        for index in range(3):
+            store.put("tolerance", _key(index), {"index": index})
+        assert len(store) == 2
+        assert store.get("tolerance", _key(0)) is None  # LRU evicted
+        assert store.get("tolerance", _key(2)) == {"index": 2}
+        assert store.evictions == 1
+
+    def test_get_refreshes_recency(self, tmp_path):
+        store = VerdictStore(tmp_path, shards=0, max_entries=2)
+        store.put("tolerance", _key(0), {"index": 0})
+        store.put("tolerance", _key(1), {"index": 1})
+        store.get("tolerance", _key(0))  # touch 0 → 1 becomes LRU
+        store.put("tolerance", _key(2), {"index": 2})
+        assert store.get("tolerance", _key(1)) is None
+        assert store.get("tolerance", _key(0)) == {"index": 0}
+
+    def test_max_bytes_evicts_until_under_budget(self, tmp_path):
+        store = VerdictStore(tmp_path, shards=0, max_bytes=1)
+        store.put("tolerance", _key(0), {"index": 0})
+        store.put("tolerance", _key(1), {"index": 1})
+        # Budget of one byte: everything but at most the newest goes.
+        assert store.stats()["evictions"] >= 1
+
+    def test_index_reloads_across_restart_in_mtime_order(self, tmp_path):
+        store = VerdictStore(tmp_path, shards=4)
+        for index in range(3):
+            store.put("tolerance", _key(index), {"index": index})
+        reopened = VerdictStore(tmp_path, shards=4, max_entries=2)
+        assert len(reopened) == 3  # budget enforced on next write
+        reopened.put("tolerance", _key(3), {"index": 3})
+        assert len(reopened) == 2
+
+    def test_stats_hit_rate(self, tmp_path):
+        store = VerdictStore(tmp_path, shards=0)
+        store.put("tolerance", "f" * 64, {"ok": True})
+        store.get("tolerance", "f" * 64)
+        store.get("tolerance", "0" * 64)
+        stats = store.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert stats["writes"] == 1
+
+
+class TestServiceStoreIntegration:
+    def test_service_flat_store_interoperates_with_legacy_layout(self, tmp_path):
+        from repro.protocols.library import build_case
+
+        first = VerificationService(cache_dir=tmp_path)
+        program, invariant = build_case("dijkstra-ring", 3)
+        verdict = first.verify_tolerance(program, invariant, case="ring")
+        assert verdict.cached is False
+        # Flat files directly under cache_dir: pool workers and older
+        # service versions share this layout.
+        assert list(tmp_path.glob("tolerance-*.json"))
+        assert not [child for child in tmp_path.iterdir() if child.is_dir()]
+
+        second = VerificationService(cache_dir=tmp_path)
+        verdict = second.verify_tolerance(program, invariant, case="ring")
+        assert verdict.cached is True and verdict.cache_layer == "disk"
+
+    def test_service_truncated_disk_entry_recomputes(self, tmp_path):
+        from repro.protocols.library import build_case
+
+        service = VerificationService(cache_dir=tmp_path)
+        program, invariant = build_case("dijkstra-ring", 3)
+        service.verify_tolerance(program, invariant, case="ring")
+        (entry,) = tmp_path.glob("tolerance-*.json")
+        entry.write_text('{"case": "ring", "ok"')  # truncated write
+        fresh = VerificationService(cache_dir=tmp_path)
+        verdict = fresh.verify_tolerance(program, invariant, case="ring")
+        assert verdict.cached is False
+        assert verdict.ok
+
+
+# ----------------------------------------------------------------------
+# The service namespace and the CLI surface
+# ----------------------------------------------------------------------
+
+
+class TestServiceNamespace:
+    def test_documented_import_path(self):
+        from repro.service import DaemonThread as NamespaceThread
+        from repro.service import VerificationDaemon as NamespaceDaemon
+        from repro.service import serve
+        from repro.service.server import VerdictStore as NamespaceStore
+
+        assert NamespaceDaemon is VerificationDaemon
+        assert NamespaceThread is DaemonThread
+        assert callable(serve)
+        assert NamespaceStore is VerdictStore
+
+    def test_cli_parser_accepts_serve(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "3", "--store-entries", "10"]
+        )
+        assert args.port == 0
+        assert args.workers == 3
+        assert args.store_entries == 10
+        assert callable(args.handler)

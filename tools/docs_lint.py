@@ -1,0 +1,143 @@
+"""Documentation link lint: dead relative links fail the build.
+
+Two checks over every tracked Markdown file:
+
+1. **Resolution** — every relative Markdown link target
+   (``[text](path)``, optionally with a ``#fragment``) must exist on
+   disk, and an explicit ``path#fragment`` into a Markdown file must
+   name a real heading anchor in that file.
+2. **Reachability** — every file under ``docs/`` must be linked from
+   ``docs/INDEX.md``, so the index stays the complete map of the
+   documentation surface.
+
+External links (``http(s)://``, ``mailto:``) are out of scope — this
+lint must pass offline. Bare-fragment links (``#section``) are checked
+against the current file's own headings.
+
+Usage (the CI ``docs-lint`` step)::
+
+    python tools/docs_lint.py            # lint the repository
+    python tools/docs_lint.py --root DIR # lint another tree
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+#: ``[text](target)`` — target captured up to the closing paren;
+#: images (``![alt](...)``) match too, which is intended.
+_LINK = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+#: Fenced code blocks are stripped before link extraction — snippets
+#: routinely contain ``dict[str](...)``-shaped text that is not a link.
+_FENCE = re.compile(r"^(```|~~~)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def _anchor(heading: str) -> str:
+    """GitHub's heading → anchor slug (the subset these docs use)."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _markdown_files(root: Path) -> list[Path]:
+    skipped = {".git", "node_modules", "__pycache__", ".pytest_cache"}
+    return sorted(
+        path
+        for path in root.rglob("*.md")
+        if not (set(path.relative_to(root).parts[:-1]) & skipped)
+    )
+
+
+def _links_and_anchors(path: Path) -> tuple[list[str], set[str]]:
+    links: list[str] = []
+    anchors: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        heading = _HEADING.match(line)
+        if heading:
+            anchors.add(_anchor(heading.group(1)))
+        links.extend(_LINK.findall(line))
+    return links, anchors
+
+
+def lint(root: Path) -> list[str]:
+    files = _markdown_files(root)
+    parsed = {path: _links_and_anchors(path) for path in files}
+    problems: list[str] = []
+
+    for path, (links, own_anchors) in parsed.items():
+        rel = path.relative_to(root)
+        for target in links:
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            base, _, fragment = target.partition("#")
+            if not base:
+                if fragment and _anchor(fragment) not in own_anchors:
+                    problems.append(f"{rel}: dead self-anchor '#{fragment}'")
+                continue
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                problems.append(f"{rel}: dead link '{target}'")
+                continue
+            if fragment and resolved.suffix == ".md":
+                target_anchors = parsed.get(resolved)
+                if target_anchors is None:
+                    target_anchors = _links_and_anchors(resolved)
+                if _anchor(fragment) not in target_anchors[1]:
+                    problems.append(
+                        f"{rel}: link '{target}' names a missing anchor"
+                    )
+
+    index = root / "docs" / "INDEX.md"
+    if index.exists():
+        linked = {
+            (index.parent / link.partition("#")[0]).resolve()
+            for link, in ((t,) for t in parsed[index][0])
+            if not link.startswith(("http://", "https://", "mailto:", "#"))
+        }
+        for path in files:
+            if path.parent == root / "docs" and path != index:
+                if path.resolve() not in linked:
+                    problems.append(
+                        f"docs/INDEX.md: does not link docs/{path.name}"
+                    )
+    else:
+        problems.append("docs/INDEX.md: missing (the index is mandatory)")
+
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", type=Path, default=Path(__file__).resolve().parent.parent,
+        help="repository root to lint (default: this checkout)",
+    )
+    arguments = parser.parse_args(argv)
+    root = arguments.root.resolve()
+    problems = lint(root)
+    for problem in problems:
+        print(f"docs-lint: {problem}", file=sys.stderr)
+    checked = len(_markdown_files(root))
+    if problems:
+        print(
+            f"docs-lint: {len(problems)} problem(s) in {checked} files",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"docs-lint: {checked} Markdown files ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
