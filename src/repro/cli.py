@@ -451,6 +451,7 @@ def _command_lint(args: argparse.Namespace) -> int:
         reports = lint_library(
             names=args.case if args.case else None,
             probes=args.probes,
+            semantic=args.semantic,
             tracer=tracer,
             metrics=metrics,
         )
@@ -485,6 +486,7 @@ def _command_lint(args: argparse.Namespace) -> int:
             rows,
             title=f"lint: {len(reports)} case(s), probes={args.probes}, "
             f"strict={'on' if args.strict else 'off'}, "
+            f"semantic={'on' if args.semantic else 'off'}, "
             f"{elapsed * 1000:.0f}ms wall-clock",
         )
     )
@@ -509,6 +511,7 @@ def _command_lint(args: argparse.Namespace) -> int:
             {
                 "command": "lint",
                 "strict": args.strict,
+                "semantic": args.semantic,
                 "probes": args.probes,
                 "ok": all_ok,
                 "strict_ok": all_strict,
@@ -712,6 +715,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--strict", action="store_true",
         help="exit 1 on any finding, not just error-severity ones",
+    )
+    lint.add_argument(
+        "--semantic", action=argparse.BooleanOptionalAction, default=True,
+        help="run the abstract-interpretation (DF*) and interference "
+        "(IF*) passes on top of the classic declaration checks",
     )
     lint.add_argument(
         "--json", default=None, metavar="PATH",

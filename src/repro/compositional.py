@@ -60,6 +60,7 @@ from repro.core.state import State
 from repro.kernel.codec import StateCodec
 from repro.kernel.compile import action_supports_ok
 from repro.observability import MetricsRegistry, Tracer
+from repro.staticcheck.interference import StaticCertificate, StaticDischarger
 
 __all__ = [
     "DEFAULT_PROJECTION_LIMIT",
@@ -92,8 +93,11 @@ class Obligation:
         checked: States actually visited (after guard/context filtering).
         discharged_by: ``"enumerated"`` (projection swept),
             ``"disjoint-writes"`` (writes miss the support — preservation
-            is vacuous), or ``"trivial"`` (antecedent holds by identity,
-            e.g. preserving ``T == true``).
+            is vacuous), ``"static"`` (proved by the abstract
+            interpreter over the expression DSL, with a matching
+            :class:`~repro.staticcheck.interference.StaticCertificate`
+            in the certificate), or ``"trivial"`` (antecedent holds by
+            identity, e.g. preserving ``T == true``).
         seconds: Wall-clock cost of discharging this obligation.
     """
 
@@ -141,6 +145,7 @@ class CompositionalCertificate:
     max_projection: int
     seconds: float
     edges: int = 0
+    static_certificates: tuple[StaticCertificate, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -158,11 +163,15 @@ class CompositionalCertificate:
         enumerated = sum(
             1 for ob in self.obligations if ob.discharged_by == "enumerated"
         )
+        static = sum(
+            1 for ob in self.obligations if ob.discharged_by == "static"
+        )
         return (
             f"compositional certificate for {self.design!r}: {self.theorem}; "
             f"{self.classification} (stabilizing={self.stabilizing}); "
             f"{len(self.obligations)} obligations over {self.edges} edges "
-            f"({enumerated} enumerated, max projection {self.max_projection} "
+            f"({enumerated} enumerated, {static} static, "
+            f"max projection {self.max_projection} "
             f"states vs {self.total_states} total) in {self.seconds:.3f}s"
         )
 
@@ -180,6 +189,10 @@ class CompositionalCertificate:
             "edges": self.edges,
             "seconds": self.seconds,
             "obligations": [ob.as_dict() for ob in self.obligations],
+            "static_certificates": [
+                certificate.as_dict()
+                for certificate in self.static_certificates
+            ],
         }
 
 
@@ -234,12 +247,44 @@ class _Projector:
             yield codec.decode_state(code)
 
 
+def _discharge_static(
+    name: str,
+    subject: str,
+    certificate: StaticCertificate | None,
+    started: float,
+    obligations: list[Obligation],
+    certificates: list[StaticCertificate],
+) -> bool:
+    """Record a successful static discharge; ``False`` means don't know.
+
+    The static route is one-directional: a ``None`` certificate only
+    sends the obligation to the projected sweep, never to a refusal.
+    """
+    if certificate is None:
+        return False
+    certificates.append(certificate)
+    obligations.append(
+        Obligation(
+            name=name,
+            subject=subject,
+            variables=(),
+            space=0,
+            checked=certificate.cases,
+            discharged_by="static",
+            seconds=time.perf_counter() - started,
+        )
+    )
+    return True
+
+
 def _certify(
     design: NonmaskingDesign,
     *,
     fairness: str,
     projector: _Projector,
     obligations: list[Obligation],
+    discharger: StaticDischarger | None,
+    certificates: list[StaticCertificate],
 ) -> tuple[str, str, bool, int, int]:
     """Discharge every obligation; raise :class:`_Refusal` on the first failure.
 
@@ -328,13 +373,20 @@ def _certify(
     # Theorems 1 and 2 state this antecedent over the *closure* program;
     # binding actions (including merged replacements) are covered by the
     # per-binding merged-behaviour obligation below.
-    _closure_obligations(candidate.program, constraints, projector, obligations)
+    _closure_obligations(
+        candidate.program,
+        constraints,
+        projector,
+        obligations,
+        discharger,
+        certificates,
+    )
 
     # -- per-binding convergence obligations ---------------------------
     merged_disjoint = 0
     for binding in design.bindings:
         merged_disjoint += _binding_obligations(
-            binding, constraints, projector, obligations
+            binding, constraints, projector, obligations, discharger, certificates
         )
     if merged_disjoint:
         obligations.append(
@@ -365,7 +417,7 @@ def _certify(
 
     # -- Theorem 2 only: per-node linear orders ------------------------
     if theorem == _THEOREM_2:
-        _order_obligations(graph, projector, obligations)
+        _order_obligations(graph, projector, obligations, discharger, certificates)
 
     # -- classification ------------------------------------------------
     classification = _classify(candidate.invariant, constraints, battery, projector)
@@ -465,6 +517,8 @@ def _closure_obligations(
     constraints: Sequence[Constraint],
     projector: _Projector,
     obligations: list[Obligation],
+    discharger: StaticDischarger | None,
+    certificates: list[StaticCertificate],
 ) -> None:
     """Every program action preserves every constraint (closure of ``S``).
 
@@ -474,7 +528,8 @@ def _closure_obligations(
     which prunes the ``O(actions x constraints)`` pair space to the
     ``O(n)`` neighbouring pairs on bounded-degree topologies. The vacuous
     pairs are aggregated into one summary obligation to keep the
-    certificate compact.
+    certificate compact. Remaining pairs are first offered to the static
+    discharger; only pairs it cannot prove are swept.
     """
     disjoint = 0
     for action in program.actions:
@@ -483,6 +538,17 @@ def _closure_obligations(
             if not action.writes & constraint.support:
                 disjoint += 1
                 continue
+            if discharger is not None:
+                started = time.perf_counter()
+                if _discharge_static(
+                    "closure-preserves",
+                    subject,
+                    discharger.closure_preserves(action, constraint, subject),
+                    started,
+                    obligations,
+                    certificates,
+                ):
+                    continue
             joint = action.reads | action.writes | constraint.support
 
             def body(state, action=action, constraint=constraint):
@@ -515,6 +581,8 @@ def _binding_obligations(
     constraints: Sequence[Constraint],
     projector: _Projector,
     obligations: list[Obligation],
+    discharger: StaticDischarger | None,
+    certificates: list[StaticCertificate],
 ) -> int:
     """The per-binding antecedents shared by Theorems 1 and 2.
 
@@ -526,37 +594,61 @@ def _binding_obligations(
 
     # not c  =>  the convergence action is enabled.
     subject = f"{own.name} violated => {action.name} enabled"
-
-    def enabled_body(state):
-        return binding.constraint.holds(state) or action.enabled(state)
-
-    obligations.append(
-        _sweep(
+    started = time.perf_counter()
+    if not (
+        discharger is not None
+        and _discharge_static(
             "enabled-when-violated",
             subject,
-            own.support | action.reads,
-            projector,
-            enabled_body,
+            discharger.enabled_when_violated(binding, subject),
+            started,
+            obligations,
+            certificates,
         )
-    )
+    ):
+
+        def enabled_body(state):
+            return binding.constraint.holds(state) or action.enabled(state)
+
+        obligations.append(
+            _sweep(
+                "enabled-when-violated",
+                subject,
+                own.support | action.reads,
+                projector,
+                enabled_body,
+            )
+        )
 
     # Executing the action establishes c in one step.
     subject = f"{action.name} establishes {own.name}"
-
-    def establishes_body(state):
-        if not action.enabled(state):
-            return True
-        return own.holds(action.execute(state))
-
-    obligations.append(
-        _sweep(
+    started = time.perf_counter()
+    if not (
+        discharger is not None
+        and _discharge_static(
             "establishes-in-one-step",
             subject,
-            action.reads | action.writes | own.support,
-            projector,
-            establishes_body,
+            discharger.establishes(binding, subject),
+            started,
+            obligations,
+            certificates,
         )
-    )
+    ):
+
+        def establishes_body(state):
+            if not action.enabled(state):
+                return True
+            return own.holds(action.execute(state))
+
+        obligations.append(
+            _sweep(
+                "establishes-in-one-step",
+                subject,
+                action.reads | action.writes | own.support,
+                projector,
+                establishes_body,
+            )
+        )
 
     # Merged behaviour: given its own constraint already holds, the
     # action preserves every other constraint (so firing inside S stays
@@ -567,6 +659,17 @@ def _binding_obligations(
         if not action.writes & other.support:
             disjoint += 1
             continue
+        if discharger is not None:
+            started = time.perf_counter()
+            if _discharge_static(
+                "merged-behaviour",
+                subject,
+                discharger.merged_behaviour(binding, other, subject),
+                started,
+                obligations,
+                certificates,
+            ):
+                continue
 
         def merged_body(state, action=action, own=own, other=other):
             if not action.enabled(state):
@@ -591,23 +694,37 @@ def _order_obligations(
     graph: ConstraintGraph,
     projector: _Projector,
     obligations: list[Obligation],
+    discharger: StaticDischarger | None,
+    certificates: list[StaticCertificate],
 ) -> None:
     """Theorem 2's third antecedent, per target node, over projections.
 
     For each node with several incoming convergence actions, a linear
     order must exist in which each action preserves the constraints of
     its predecessors. The greedy construction from
-    :func:`repro.core.theorems.find_linear_order` is reused with each
-    pairwise preservation check swept over the pair's own projection.
+    :func:`repro.core.theorems.find_linear_order` is reused; each
+    pairwise preservation check is offered to the static discharger
+    first and swept over the pair's own projection when it abstains.
     """
     memo: dict[tuple[int, int], bool] = {}
+    sweeps = 0
 
     def pair_preserves(action, constraint: Constraint) -> bool:
+        nonlocal sweeps
         key = (id(action), id(constraint))
         if key not in memo:
             if not action.writes & constraint.support:
                 memo[key] = True
             else:
+                subject = f"{action.name} preserves {constraint.name}"
+                if discharger is not None:
+                    certificate = discharger.order_preserves(
+                        action, constraint, subject
+                    )
+                    if certificate is not None:
+                        certificates.append(certificate)
+                        memo[key] = True
+                        return True
                 joint = action.reads | action.writes | constraint.support
 
                 def body(state):
@@ -618,17 +735,13 @@ def _order_obligations(
                     return constraint.holds(action.execute(state))
 
                 try:
-                    _sweep(
-                        "linear-order",
-                        f"{action.name} preserves {constraint.name}",
-                        joint,
-                        projector,
-                        body,
-                    )
+                    _sweep("linear-order", subject, joint, projector, body)
+                    sweeps += 1
                     memo[key] = True
                 except _Refusal as refusal:
                     if refusal.obligation != "linear-order":
                         raise
+                    sweeps += 1
                     memo[key] = False
         return memo[key]
 
@@ -636,6 +749,7 @@ def _order_obligations(
         incoming = [edge.binding for edge in graph.incoming(node)]
         if len(incoming) <= 1:
             continue
+        sweeps_before = sweeps
         started = time.perf_counter()
         remaining = list(incoming)
         order: list[ConvergenceBinding] = []
@@ -667,7 +781,14 @@ def _order_obligations(
                 variables=(),
                 space=0,
                 checked=len(incoming),
-                discharged_by="enumerated",
+                # "static" when the order was found without a single new
+                # projected sweep (all pairs proved statically, vacuous by
+                # disjoint writes, or already memoised without sweeping).
+                discharged_by=(
+                    "static"
+                    if discharger is not None and sweeps == sweeps_before
+                    else "enumerated"
+                ),
                 seconds=time.perf_counter() - started,
             )
         )
@@ -716,6 +837,7 @@ def certify_compositional(
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
     projection_limit: int = DEFAULT_PROJECTION_LIMIT,
+    semantic: bool = True,
 ) -> CompositionalCertificate:
     """Certify a design nonmasking tolerant from per-edge projections.
 
@@ -729,6 +851,12 @@ def certify_compositional(
             and outcomes, and times the certification.
         projection_limit: Largest projected space an obligation may
             enumerate before refusing.
+        semantic: Offer each obligation to the abstract-interpretation
+            discharger (:mod:`repro.staticcheck.interference`) before
+            sweeping its projection. Sound in one direction only — a
+            static proof skips the sweep, a static "don't know" falls
+            back to it — so verdicts are bit-identical either way;
+            ``False`` disables the fast path entirely.
 
     Returns:
         A :class:`CompositionalCertificate` — ``status == "certified"``
@@ -747,7 +875,13 @@ def certify_compositional(
         tracer.emit("compositional.start", design=design.name, fairness=fairness)
     started = time.perf_counter()
     obligations: list[Obligation] = []
+    certificates: list[StaticCertificate] = []
     projector = _Projector(design, projection_limit)
+    discharger = (
+        StaticDischarger(design, tracer=tracer, metrics=metrics)
+        if semantic
+        else None
+    )
 
     def finish(certificate: CompositionalCertificate) -> CompositionalCertificate:
         if metrics is not None:
@@ -785,6 +919,8 @@ def certify_compositional(
             fairness=fairness,
             projector=projector,
             obligations=obligations,
+            discharger=discharger,
+            certificates=certificates,
         )
     except _Refusal as refusal:
         return finish(
@@ -799,6 +935,7 @@ def certify_compositional(
                 total_states=0,
                 max_projection=projector.max_projection,
                 seconds=time.perf_counter() - started,
+                static_certificates=tuple(certificates),
             )
         )
     return finish(
@@ -814,5 +951,6 @@ def certify_compositional(
             max_projection=projector.max_projection,
             seconds=time.perf_counter() - started,
             edges=edges,
+            static_certificates=tuple(certificates),
         )
     )

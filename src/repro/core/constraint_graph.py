@@ -95,7 +95,9 @@ class ConstraintGraph:
         node_list = list(nodes)
         owner: dict[str, GraphNode] = {}
         for node in node_list:
-            for variable in node.variables:
+            # Sorted so a multi-way label overlap names the same variable
+            # every run (set iteration order varies with hash seeding).
+            for variable in sorted(node.variables):
                 if variable in owner:
                     raise IllFormedGraphError(
                         f"variable {variable!r} appears in the labels of both "
@@ -158,7 +160,9 @@ class ConstraintGraph:
         role: str,
     ) -> GraphNode:
         found: set[GraphNode] = set()
-        for variable in variables:
+        # Sorted so the uncovered-variable error names the same variable
+        # every run, not whichever the set happens to yield first.
+        for variable in sorted(variables):
             if variable not in owner:
                 raise IllFormedGraphError(
                     f"action {action_name!r} {role} variable {variable!r} "
@@ -176,7 +180,7 @@ class ConstraintGraph:
     def _validate(self) -> None:
         owner: dict[str, GraphNode] = {}
         for node in self.nodes:
-            for variable in node.variables:
+            for variable in sorted(node.variables):
                 if variable in owner and owner[variable] != node:
                     raise IllFormedGraphError(
                         f"variable {variable!r} labels two nodes"

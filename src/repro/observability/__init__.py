@@ -32,6 +32,8 @@ Quickstart::
 """
 
 from repro.observability.events import (
+    ABSINT_FINISH,
+    ABSINT_TRANSFER,
     ACTION_FIRED,
     BATCH_FINISH,
     BATCH_START,
@@ -41,6 +43,8 @@ from repro.observability.events import (
     CONSTRAINT_VIOLATED,
     EVENT_KINDS,
     FAULT_INJECTED,
+    INTERFERENCE_DISCHARGED,
+    INTERFERENCE_FINISH,
     LINT_DIAGNOSTIC,
     LINT_FINISH,
     LINT_START,
@@ -72,6 +76,8 @@ from repro.observability.sinks import (
 from repro.observability.tracer import Tracer
 
 __all__ = [
+    "ABSINT_FINISH",
+    "ABSINT_TRANSFER",
     "ACTION_FIRED",
     "BATCH_FINISH",
     "BATCH_START",
@@ -83,6 +89,8 @@ __all__ = [
     "CountingSink",
     "EVENT_KINDS",
     "FAULT_INJECTED",
+    "INTERFERENCE_DISCHARGED",
+    "INTERFERENCE_FINISH",
     "JsonlSink",
     "LINT_DIAGNOSTIC",
     "LINT_FINISH",

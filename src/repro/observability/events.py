@@ -19,6 +19,9 @@ Event kinds are plain strings, namespaced ``component.what``:
   :data:`WORKER_TASK_FINISH`, :data:`BATCH_FINISH`;
 - protocol linter: :data:`LINT_START`, :data:`LINT_DIAGNOSTIC`,
   :data:`LINT_FINISH`;
+- abstract interpreter: :data:`ABSINT_TRANSFER`, :data:`ABSINT_FINISH`;
+- interference analysis: :data:`INTERFERENCE_DISCHARGED`,
+  :data:`INTERFERENCE_FINISH`;
 - packed exploration kernel: :data:`KERNEL_BUILD`, :data:`KERNEL_SWEEP`,
   :data:`KERNEL_SHARD_MERGED`;
 - compositional certifier: :data:`COMPOSITIONAL_START`,
@@ -39,6 +42,8 @@ from dataclasses import dataclass, field
 from typing import Any
 
 __all__ = [
+    "ABSINT_FINISH",
+    "ABSINT_TRANSFER",
     "ACTION_FIRED",
     "BATCH_FINISH",
     "BATCH_START",
@@ -51,6 +56,8 @@ __all__ = [
     "CONSTRAINT_VIOLATED",
     "EVENT_KINDS",
     "FAULT_INJECTED",
+    "INTERFERENCE_DISCHARGED",
+    "INTERFERENCE_FINISH",
     "KERNEL_BUILD",
     "KERNEL_SHARD_MERGED",
     "KERNEL_SWEEP",
@@ -110,6 +117,16 @@ LINT_START = "lint.start"
 LINT_DIAGNOSTIC = "lint.diagnostic"
 #: The linter finished a subject (finding counts, wall-clock).
 LINT_FINISH = "lint.finish"
+#: The abstract interpreter analysed one action's transfer function
+#: (subject, guard satisfiability, proofs attempted).
+ABSINT_TRANSFER = "staticcheck.absint.transfer"
+#: The abstract-interpretation pass finished (actions analysed, proofs).
+ABSINT_FINISH = "staticcheck.absint.finish"
+#: One proof obligation was discharged statically (obligation, subject,
+#: rule, truth-table rows).
+INTERFERENCE_DISCHARGED = "staticcheck.interference.discharged"
+#: The interference pass finished (pairs examined, findings).
+INTERFERENCE_FINISH = "staticcheck.interference.finish"
 #: The packed kernel compiled a program (codec size, action modes, time).
 KERNEL_BUILD = "kernel.build"
 #: A vectorized full-space sweep ran (states, shard count, edge count).
@@ -159,6 +176,10 @@ EVENT_KINDS: tuple[str, ...] = (
     LINT_START,
     LINT_DIAGNOSTIC,
     LINT_FINISH,
+    ABSINT_TRANSFER,
+    ABSINT_FINISH,
+    INTERFERENCE_DISCHARGED,
+    INTERFERENCE_FINISH,
     KERNEL_BUILD,
     KERNEL_SWEEP,
     KERNEL_SHARD_MERGED,

@@ -27,6 +27,7 @@ from repro.core.candidate import CandidateTriple
 from repro.core.constraints import Constraint, ConvergenceBinding
 from repro.core.design import NonmaskingDesign
 from repro.core.domains import ModularDomain
+from repro.core.expr import C, V
 from repro.core.predicates import Predicate, all_of
 from repro.core.program import Program
 from repro.core.variables import Variable
@@ -49,12 +50,12 @@ def color_var(j: Hashable) -> str:
 def _constraint(tree: RootedTree, j: Hashable) -> Constraint:
     parent = tree.parent(j)
     mine, theirs = color_var(j), color_var(parent)
+    # Symbolic predicate: the static analyzer reads the comparison
+    # directly instead of probing an opaque lambda.
     return Constraint(
         name=f"D.{j}",
-        predicate=Predicate(
-            lambda s: s[mine] != s[theirs],
-            name=f"color.{j} != color.{parent}",
-            support=(mine, theirs),
+        predicate=(V(mine) != V(theirs)).predicate(
+            name=f"color.{j} != color.{parent}"
         ),
     )
 
@@ -96,7 +97,7 @@ def build_coloring_design(tree: RootedTree, k: int = 2) -> NonmaskingDesign:
         action = Action(
             f"recolor.{j}",
             (~constraint.predicate).renamed(f"color.{j} = color.{parent}"),
-            Assignment({mine: lambda s, theirs=theirs: (s[theirs] + 1) % k}),
+            Assignment({mine: (V(theirs) + C(1)) % C(k)}),
             reads=(mine, theirs),
             process=j,
         )

@@ -42,9 +42,9 @@ from repro.core.candidate import CandidateTriple
 from repro.core.constraints import Constraint, ConvergenceBinding
 from repro.core.design import NonmaskingDesign
 from repro.core.domains import BooleanDomain, EnumDomain
+from repro.core.expr import BoolExpr, C, V, ite
 from repro.core.predicates import Predicate, all_of
 from repro.core.program import Program
-from repro.core.state import State
 from repro.core.variables import Variable
 from repro.protocols.base import process_nodes
 from repro.topology.tree import RootedTree
@@ -93,14 +93,13 @@ def diffusing_variables(tree: RootedTree) -> list[Variable]:
 def _initiate_action(tree: RootedTree) -> Action:
     root = tree.root
     c_root, sn_root = color_var(root), session_var(root)
+    # Guards and right-hand sides are expression-DSL terms, so the
+    # static analyzer sees exact supports and symbolic transfer
+    # functions; semantics and display names match the paper's listing.
     return Action(
         "initiate",
-        Predicate(
-            lambda s: s[c_root] == GREEN,
-            name=f"c.{root} = green",
-            support=(c_root,),
-        ),
-        Assignment({c_root: RED, sn_root: lambda s: not s[sn_root]}),
+        (V(c_root) == C(GREEN)).predicate(name=f"c.{root} = green"),
+        Assignment({c_root: RED, sn_root: V(sn_root) == C(False)}),
         reads=(c_root, sn_root),
         process=root,
     )
@@ -110,10 +109,11 @@ def _propagate_guard(tree: RootedTree, j: Hashable) -> Predicate:
     parent = tree.parent(j)
     c_j, sn_j = color_var(j), session_var(j)
     c_p, sn_p = color_var(parent), session_var(parent)
-    return Predicate(
-        lambda s: s[c_j] == GREEN and s[c_p] == RED and s[sn_j] != s[sn_p],
-        name=f"c.{j} = green and c.{parent} = red and sn.{j} != sn.{parent}",
-        support=(c_j, c_p, sn_j, sn_p),
+    expr = (
+        (V(c_j) == C(GREEN)) & (V(c_p) == C(RED)) & (V(sn_j) != V(sn_p))
+    )
+    return expr.predicate(
+        name=f"c.{j} = green and c.{parent} = red and sn.{j} != sn.{parent}"
     )
 
 
@@ -121,7 +121,7 @@ def _copy_parent_effect(tree: RootedTree, j: Hashable) -> Assignment:
     parent = tree.parent(j)
     c_j, sn_j = color_var(j), session_var(j)
     c_p, sn_p = color_var(parent), session_var(parent)
-    return Assignment({c_j: lambda s: s[c_p], sn_j: lambda s: s[sn_p]})
+    return Assignment({c_j: V(c_p), sn_j: V(sn_p)})
 
 
 def _propagate_action(tree: RootedTree, j: Hashable, *, name: str) -> Action:
@@ -141,20 +141,23 @@ def _reflect_action(tree: RootedTree, j: Hashable) -> Action:
     children = tree.children(j)
     child_vars = [(color_var(k), session_var(k)) for k in children]
 
-    def guard_fn(s: State) -> bool:
-        if s[c_j] != RED:
-            return False
-        return all(s[c_k] == GREEN and s[sn_k] == s[sn_j] for c_k, sn_k in child_vars)
-
-    reads = [c_j, sn_j]
+    guard_expr: BoolExpr = V(c_j) == C(RED)
+    for c_k, sn_k in child_vars:
+        guard_expr = guard_expr & (
+            (V(c_k) == C(GREEN)) & (V(sn_k) == V(sn_j))
+        )
+    # A leaf's guard consults only c.j (the child conjunction is empty),
+    # so its read set is exactly {c.j}; declaring sn.j too would be an
+    # over-declaration the exact symbolic inference flags as RW003.
+    reads = [c_j]
+    if child_vars:
+        reads.append(sn_j)
     for c_k, sn_k in child_vars:
         reads.extend((c_k, sn_k))
     return Action(
         f"reflect.{j}",
-        Predicate(
-            guard_fn,
-            name=f"c.{j} = red and all children of {j} green with matching sn",
-            support=reads,
+        guard_expr.predicate(
+            name=f"c.{j} = red and all children of {j} green with matching sn"
         ),
         Assignment({c_j: GREEN}),
         reads=reads,
@@ -179,14 +182,14 @@ def diffusing_constraint(tree: RootedTree, j: Hashable) -> Constraint:
     parent = tree.parent(j)
     c_j, sn_j = color_var(j), session_var(j)
     c_p, sn_p = color_var(parent), session_var(parent)
-    predicate = Predicate(
-        lambda s: (s[c_j] == s[c_p] and s[sn_j] == s[sn_p])
-        or (s[c_j] == GREEN and s[c_p] == RED),
+    expr = ((V(c_j) == V(c_p)) & (V(sn_j) == V(sn_p))) | (
+        (V(c_j) == C(GREEN)) & (V(c_p) == C(RED))
+    )
+    predicate = expr.predicate(
         name=(
             f"(c.{j} = c.{parent} and sn.{j} ≡ sn.{parent}) or "
             f"(c.{j} = green and c.{parent} = red)"
-        ),
-        support=(c_j, sn_j, c_p, sn_p),
+        )
     )
     return Constraint(name=f"R.{j}", predicate=predicate)
 
@@ -207,10 +210,11 @@ def _convergence_action(tree: RootedTree, j: Hashable, variant: str) -> Action:
     constraint = diffusing_constraint(tree, j)
 
     if variant == "merged":
-        guard = Predicate(
-            lambda s: s[sn_j] != s[sn_p] or (s[c_j] == RED and s[c_p] == GREEN),
-            name=f"sn.{j} != sn.{parent} or (c.{j} = red and c.{parent} = green)",
-            support=reads,
+        guard_expr = (V(sn_j) != V(sn_p)) | (
+            (V(c_j) == C(RED)) & (V(c_p) == C(GREEN))
+        )
+        guard = guard_expr.predicate(
+            name=f"sn.{j} != sn.{parent} or (c.{j} = red and c.{parent} = green)"
         )
         return Action(
             f"propagate.{j}",
@@ -227,7 +231,7 @@ def _convergence_action(tree: RootedTree, j: Hashable, variant: str) -> Action:
         effect = Assignment(
             {
                 c_j: GREEN,
-                sn_j: lambda s: s[sn_j] if s[c_p] == RED else s[sn_p],
+                sn_j: ite(V(c_p) == C(RED), V(sn_j), V(sn_p)),
             }
         )
     else:

@@ -26,6 +26,7 @@ from repro.core.candidate import CandidateTriple
 from repro.core.constraints import Constraint, ConvergenceBinding
 from repro.core.design import NonmaskingDesign
 from repro.core.domains import FiniteDomain
+from repro.core.expr import C, V
 from repro.core.predicates import Predicate, all_of
 from repro.core.program import Program
 from repro.core.variables import Variable
@@ -45,20 +46,12 @@ def election_invariant(tree: RootedTree) -> Predicate:
     root_name = leader_var(tree.root)
     root = tree.root
     parts = [
-        Predicate(
-            lambda s: s[root_name] == root,
-            name=f"ldr.{root} = {root}",
-            support=(root_name,),
-        )
+        (V(root_name) == C(root)).predicate(name=f"ldr.{root} = {root}")
     ]
     for j in tree.non_root_nodes():
         mine, theirs = leader_var(j), leader_var(tree.parent(j))
         parts.append(
-            Predicate(
-                lambda s, mine=mine, theirs=theirs: s[mine] == s[theirs],
-                name=f"{mine} = {theirs}",
-                support=(mine, theirs),
-            )
+            (V(mine) == V(theirs)).predicate(name=f"{mine} = {theirs}")
         )
     return all_of(parts, name="S(leader-election)")
 
@@ -73,12 +66,12 @@ def build_leader_election_design(tree: RootedTree) -> NonmaskingDesign:
 
     root = tree.root
     root_name = leader_var(root)
+    # Symbolic predicates let the static analyzer discharge closure and
+    # establishment obligations without enumerating the state space.
     root_constraint = Constraint(
         name=f"L.{root}",
-        predicate=Predicate(
-            lambda s: s[root_name] == root,
-            name=f"ldr.{root} = {root}",
-            support=(root_name,),
+        predicate=(V(root_name) == C(root)).predicate(
+            name=f"ldr.{root} = {root}"
         ),
     )
     root_action = Action(
@@ -95,16 +88,14 @@ def build_leader_election_design(tree: RootedTree) -> NonmaskingDesign:
         mine, theirs = leader_var(j), leader_var(tree.parent(j))
         constraint = Constraint(
             name=f"L.{j}",
-            predicate=Predicate(
-                lambda s, mine=mine, theirs=theirs: s[mine] == s[theirs],
-                name=f"{mine} = {theirs}",
-                support=(mine, theirs),
+            predicate=(V(mine) == V(theirs)).predicate(
+                name=f"{mine} = {theirs}"
             ),
         )
         action = Action(
             f"adopt.{j}",
             (~constraint.predicate).renamed(f"{mine} != {theirs}"),
-            Assignment({mine: lambda s, theirs=theirs: s[theirs]}),
+            Assignment({mine: V(theirs)}),
             reads=(mine, theirs),
             process=j,
         )

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
+from functools import lru_cache
 
 from typing import TYPE_CHECKING
 
@@ -64,6 +65,12 @@ def _diffusing_chain(size: int):
     return build_diffusing_design(tree).program, diffusing_invariant(tree)
 
 
+# Design builders are deterministic and designs immutable, so instances
+# are shared across callers: the verify/certify caches, the static
+# discharger's proof caches and the serve daemon all key on object
+# identity somewhere, and rebuilding the same (family, size) would
+# defeat every one of them.
+@lru_cache(maxsize=64)
 def _diffusing_chain_design(size: int):
     from repro.protocols.diffusing import build_diffusing_design
     from repro.topology import chain_tree
@@ -79,6 +86,7 @@ def _diffusing_star(size: int):
     return build_diffusing_design(tree).program, diffusing_invariant(tree)
 
 
+@lru_cache(maxsize=64)
 def _diffusing_star_design(size: int):
     from repro.protocols.diffusing import build_diffusing_design
     from repro.topology import star_tree
@@ -100,6 +108,7 @@ def _coloring_chain(size: int):
     return build_coloring_design(tree, k=3).program, coloring_invariant(tree)
 
 
+@lru_cache(maxsize=64)
 def _coloring_chain_design(size: int):
     from repro.protocols.coloring import build_coloring_design
     from repro.topology import chain_tree
@@ -118,6 +127,7 @@ def _leader_election_star(size: int):
     return build_leader_election_design(tree).program, election_invariant(tree)
 
 
+@lru_cache(maxsize=64)
 def _leader_election_star_design(size: int):
     from repro.protocols.leader_election import build_leader_election_design
     from repro.topology import star_tree

@@ -10,10 +10,17 @@ sets. This package closes the gap:
   :class:`SupportTable` — exactly for symbolic (DSL-built) callables,
   soundly-in-one-direction for opaque ones via a recording-state probe;
 - :mod:`~repro.staticcheck.passes` checks the side conditions and emits
-  :class:`Diagnostic` findings with stable codes (``RW001`` … ``TH001``),
+  :class:`Diagnostic` findings with stable codes (``RW001`` … ``IF004``),
   severities, source locations, and fix hints;
 - :mod:`~repro.staticcheck.diagnostics` defines the code catalog and the
   :class:`LintReport` with its stable JSON schema;
+- :mod:`~repro.staticcheck.absint` is an abstract interpreter over the
+  expression DSL (finite-set x interval x parity domains) powering the
+  semantic ``DF*`` diagnostics and the static proof routes;
+- :mod:`~repro.staticcheck.interference` detects pairwise interference
+  (``IF*``) and statically discharges compositional obligations into
+  :class:`StaticCertificate` records consumed by
+  :func:`repro.compositional.certify_compositional`;
 - :mod:`~repro.staticcheck.selftest` is a seeded ill-formed design that
   triggers every code — the linter's own smoke test.
 
@@ -39,29 +46,48 @@ from repro.staticcheck.diagnostics import (
     LintReport,
     diagnostic,
 )
+from repro.staticcheck.absint import (
+    AbstractContext,
+    AbstractValue,
+    Proof,
+    eval_expr,
+)
 from repro.staticcheck.infer import SupportRow, SupportTable, build_support_table
+from repro.staticcheck.interference import StaticCertificate, StaticDischarger
 from repro.staticcheck.passes import (
     lint_case,
     lint_design,
     lint_library,
     lint_program,
 )
-from repro.staticcheck.selftest import EXPECTED_CODES, ill_formed_design, selftest
+from repro.staticcheck.selftest import (
+    EXPECTED_CODES,
+    ill_formed_design,
+    ill_formed_faults,
+    selftest,
+)
 
 __all__ = [
+    "AbstractContext",
+    "AbstractValue",
     "CODES",
     "Diagnostic",
     "ERROR",
     "EXPECTED_CODES",
     "INFO",
     "LintReport",
+    "Proof",
     "SEVERITIES",
+    "StaticCertificate",
+    "StaticDischarger",
     "SupportRow",
     "SupportTable",
     "WARNING",
     "build_support_table",
     "diagnostic",
+    "eval_expr",
     "ill_formed_design",
+    "ill_formed_faults",
     "lint_case",
     "lint_design",
     "lint_library",

@@ -9,7 +9,12 @@ property family they check:
 - ``GD*`` — guard-level sanity (statically unsatisfiable guards);
 - ``VT*`` — variable usage (dead variables);
 - ``TH*`` — theorem preconditions prechecked on sampled states;
-- ``CP*`` — compositional-certification feasibility (projection sizes).
+- ``CP*`` — compositional-certification feasibility (projection sizes);
+- ``DF*`` — dataflow facts proved by the abstract interpreter over the
+  expression DSL (dead guards, out-of-domain writes, tautologies,
+  no-op assignments);
+- ``IF*`` — interference between actions (write-write races, linear
+  order conflicts, establishment failures, fault hazards).
 
 Severities: an **error** is a finding that, if real, makes the paper's
 side conditions fail or the declared model a lie; a **warning** is a
@@ -113,6 +118,61 @@ CODES: dict[str, tuple[str, str, str]] = {
         "the joint variable set of this binding (action reads/writes plus "
         "constraint support) cannot be enumerated within the projection "
         "limit; shrink the declared sets or verify with --method full",
+    ),
+    "DF001": (
+        WARNING,
+        "guard is provably unsatisfiable (abstract interpretation)",
+        "the abstract interpreter proved no reachable valuation enables "
+        "this action — it is dead; fix the guard or delete the action",
+    ),
+    "DF002": (
+        ERROR,
+        "assignment provably writes a value outside the variable's domain",
+        "every abstract value the right-hand side can take lies outside "
+        "the target domain; executing the action would corrupt the state",
+    ),
+    "DF003": (
+        INFO,
+        "guard is provably tautological under the invariant",
+        "the guard holds in every state satisfying the invariant, so the "
+        "condition is redundant inside S; simplify it to true or rely on "
+        "the invariant",
+    ),
+    "DF004": (
+        WARNING,
+        "action is provably a no-op",
+        "every assignment provably rewrites the current value, so firing "
+        "changes nothing and cannot help convergence; fix the right-hand "
+        "sides or delete the action",
+    ),
+    "IF001": (
+        WARNING,
+        "write-write race between actions of different processes",
+        "two concurrently enabled actions write the same variable with "
+        "provably different values; serialize them or make the guards "
+        "mutually exclusive",
+    ),
+    "IF002": (
+        WARNING,
+        "interference cycle defeats every linear order (Theorem 2)",
+        "the convergence actions at this node certainly break each "
+        "other's constraints, so no linear order discharges Theorem 2's "
+        "third antecedent; decouple the constraints or refine the actions",
+    ),
+    "IF003": (
+        ERROR,
+        "convergence action provably fails to establish its constraint",
+        "a concrete witness state exists where the action is enabled yet "
+        "its own constraint is false afterwards, violating the binding "
+        "contract of Section 3",
+    ),
+    "IF004": (
+        WARNING,
+        "fault writes reach a convergence guard outside the constraint",
+        "a declared fault writes variables the convergence guard reads "
+        "but the constraint does not mention, so faults can toggle "
+        "enabledness without violating the constraint; widen the "
+        "constraint support or narrow the guard",
     ),
 }
 
@@ -294,10 +354,22 @@ class LintReport:
 
 
 def ordered(diagnostics: Iterable[Diagnostic]) -> tuple[Diagnostic, ...]:
-    """Stable-sort findings by severity (errors first), then by code."""
+    """Sort findings by severity (errors first), then code, then location.
+
+    The full key is ``(severity, code, location, subject, message)``, so
+    two runs over the same subject produce byte-identical reports no
+    matter what order the detectors emitted in — the determinism the CLI
+    JSON output and the docs' examples rely on.
+    """
     return tuple(
         sorted(
             diagnostics,
-            key=lambda d: (_SEVERITY_ORDER.get(d.severity, 99), d.code),
+            key=lambda d: (
+                _SEVERITY_ORDER.get(d.severity, 99),
+                d.code,
+                d.location or "",
+                d.subject,
+                d.message,
+            ),
         )
     )

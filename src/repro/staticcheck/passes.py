@@ -11,10 +11,17 @@ Entry points, from narrowest to widest:
 - :func:`lint_case` / :func:`lint_library` — the registered protocol
   library, by case name.
 
+With ``semantic=True`` (the default) two analysis layers join in: the
+abstract interpreter of :mod:`repro.staticcheck.absint` proves dataflow
+facts per action (``DF*``), and the interference detectors of
+:mod:`repro.staticcheck.interference` examine action pairs (``IF*``).
+
 Every pass is O(actions x probe states) or O(nodes + edges) — none of
 them enumerates the state space, which is the point: the linter answers
 in milliseconds what exhaustive verification answers in seconds, and it
-answers *before* that cost is paid.
+answers *before* that cost is paid. The semantic passes obey the same
+bound: their case splits are over a formula's own variables, capped by
+the abstract interpreter's budget, never over the product space.
 
 Soundness policy: a diagnostic is only emitted when its premise is
 certain. Probe-recorded accesses are real reads, so ``RW001``/``RW002``
@@ -22,7 +29,11 @@ fire on probed evidence; the absence of an access proves nothing, so
 ``RW003`` requires symbolic exactness and an undecidable guard (one that
 raises during enumeration) never yields ``GD001``. Theorem prechecks
 (``TH001``) evaluate the paper's universally quantified conditions on
-genuine sampled states, so a failure is a genuine counterexample.
+genuine sampled states, so a failure is a genuine counterexample. The
+semantic passes inherit the discipline through the abstract
+interpreter's one-directional contract: an opaque callable or an
+exhausted budget yields "don't know", and "don't know" never becomes a
+diagnostic.
 """
 
 from __future__ import annotations
@@ -32,17 +43,35 @@ from collections.abc import Iterable, Mapping, Sequence
 from itertools import product
 from typing import Any
 
+from repro.core.actions import Action
 from repro.core.constraint_graph import GraphNode
 from repro.core.constraints import Constraint, ConvergenceBinding
 from repro.core.design import NonmaskingDesign
+from repro.core.expr import Expr, V, _Const, _Not
 from repro.core.fingerprint import PROBE_STATES, probe_states
 from repro.core.introspect import callable_location, infer_predicate_reads
 from repro.core.predicates import Predicate
 from repro.core.program import Program
 from repro.core.state import State
-from repro.observability.events import LINT_DIAGNOSTIC, LINT_FINISH, LINT_START
+from repro.observability.events import (
+    ABSINT_FINISH,
+    ABSINT_TRANSFER,
+    INTERFERENCE_FINISH,
+    LINT_DIAGNOSTIC,
+    LINT_FINISH,
+    LINT_START,
+)
+from repro.staticcheck.absint import AbstractContext, eval_expr
+from repro.staticcheck.absint import assume as absint_assume
 from repro.staticcheck.diagnostics import Diagnostic, LintReport, diagnostic, ordered
 from repro.staticcheck.infer import SupportTable, build_support_table
+from repro.staticcheck.interference import (
+    find_establish_failures,
+    find_fault_hazards,
+    find_order_conflicts,
+    find_write_write_races,
+    predicate_expr,
+)
 
 __all__ = ["lint_program", "lint_design", "lint_case", "lint_library"]
 
@@ -217,6 +246,226 @@ def _program_diagnostics(
 
 
 # ----------------------------------------------------------------------
+# Semantic passes (abstract interpretation + interference)
+# ----------------------------------------------------------------------
+
+
+def _abstract_context(program: Program) -> AbstractContext:
+    return AbstractContext(
+        {name: variable.domain for name, variable in program.variables.items()}
+    )
+
+
+def _format_witness(witness: Mapping[str, Any]) -> str:
+    return "{" + ", ".join(f"{k}={witness[k]!r}" for k in sorted(witness)) + "}"
+
+
+def _absint_diagnostics(
+    program: Program,
+    invariant: Predicate | None,
+    tracer=None,
+    metrics=None,
+) -> list[Diagnostic]:
+    """DF001–DF004: per-action facts proved by the abstract interpreter.
+
+    Each action's guard and right-hand sides are recovered symbolically
+    where possible (opaque callables degrade to ⊤ — silence, never a
+    finding):
+
+    - **DF001** — the guard is unsatisfiable over the variable domains.
+      Unlike ``GD001`` this is a symbolic proof (simplification,
+      abstract evaluation, or a bounded case split over the guard's own
+      variables), so it works where the product of the read domains is
+      too large to enumerate.
+    - **DF002** — some right-hand side's abstract value is disjoint from
+      the written variable's domain: every execution would corrupt the
+      state.
+    - **DF003** — the guard holds in every state (or in every state
+      satisfying the invariant): the condition is redundant inside S.
+    - **DF004** — every assignment provably rewrites the value the
+      variable already holds whenever the guard is true: a no-op.
+    """
+    context = _abstract_context(program)
+    invariant_expr = predicate_expr(invariant)
+    out: list[Diagnostic] = []
+    for action in program.actions:
+        before = len(out)
+        guard_expr = predicate_expr(action.guard)
+        location = callable_location(action.guard)
+        dead = False
+        if guard_expr is not None:
+            proof = context.prove_unsat(guard_expr)
+            if proof is not None:
+                dead = True
+                out.append(
+                    diagnostic(
+                        "DF001",
+                        f"guard {action.guard.name!r} is provably false for "
+                        f"every assignment of its variables "
+                        f"({proof.rule}, {proof.cases} cases)",
+                        subject=action.name,
+                        location=location,
+                    )
+                )
+            else:
+                proof = context.prove_valid(guard_expr)
+                if proof is None and invariant_expr is not None:
+                    proof = context.prove_valid(
+                        _Not(invariant_expr) | guard_expr
+                    )
+                if proof is not None:
+                    out.append(
+                        diagnostic(
+                            "DF003",
+                            f"guard {action.guard.name!r} is provably true "
+                            f"in every (invariant) state "
+                            f"({proof.rule}, {proof.cases} cases)",
+                            subject=action.name,
+                            location=location,
+                        )
+                    )
+        # DF002: abstract post-values disjoint from the target domain.
+        env = context.env
+        if guard_expr is not None and not dead:
+            env = absint_assume(guard_expr, env)
+        for name in sorted(action.effect.updates):
+            rhs = action.effect.updates[name]
+            if isinstance(rhs, Expr):
+                value = eval_expr(rhs, env)
+            elif not callable(rhs):
+                value = eval_expr(_Const(rhs), env)
+            else:
+                continue  # opaque: ⊤, nothing provable
+            domain_value = context.domain_value(name)
+            if not value.is_bottom and value.meet(domain_value).is_bottom:
+                out.append(
+                    diagnostic(
+                        "DF002",
+                        f"assigns {name!r} a value from {value} which is "
+                        f"disjoint from its domain {domain_value}",
+                        subject=action.name,
+                        location=location,
+                    )
+                )
+        # DF004: every (symbolic) assignment provably keeps the old value.
+        if not dead and action.effect.updates:
+            proofs = []
+            for name, rhs in action.effect.updates.items():
+                if callable(rhs) and not isinstance(rhs, Expr):
+                    proofs = None
+                    break
+                rhs_expr = rhs if isinstance(rhs, Expr) else _Const(rhs)
+                noop = V(name) == rhs_expr
+                if guard_expr is not None:
+                    noop = _Not(guard_expr) | noop
+                proof = context.prove_valid(noop)
+                if proof is None:
+                    proofs = None
+                    break
+                proofs.append(proof)
+            if proofs:
+                cases = sum(proof.cases for proof in proofs)
+                out.append(
+                    diagnostic(
+                        "DF004",
+                        f"every assignment provably rewrites the current "
+                        f"value whenever the guard holds ({cases} cases)",
+                        subject=action.name,
+                        location=location,
+                    )
+                )
+        if tracer is not None:
+            tracer.emit(
+                ABSINT_TRANSFER,
+                subject=action.name,
+                symbolic_guard=guard_expr is not None,
+                findings=len(out) - before,
+            )
+        if metrics is not None:
+            metrics.counter("staticcheck.absint.transfers").add()
+    if tracer is not None:
+        tracer.emit(
+            ABSINT_FINISH,
+            subject=program.name,
+            actions=len(program.actions),
+            findings=len(out),
+        )
+    if metrics is not None:
+        metrics.counter("staticcheck.absint.findings").add(len(out))
+    return out
+
+
+def _interference_diagnostics(
+    design: NonmaskingDesign,
+    faults: Sequence[Action] | None,
+    tracer=None,
+    metrics=None,
+) -> list[Diagnostic]:
+    """IF001–IF004: pairwise interference over inferred read/write sets.
+
+    Race and conflict premises must be *certain* — a concrete witness
+    state, a forced cycle, or containment of declared sets — before a
+    finding is emitted; opaque guards and right-hand sides stay silent.
+    """
+    context = _abstract_context(design.program)
+    out: list[Diagnostic] = []
+    actions = list(design.program.actions)
+    for first, second, name, witness in find_write_write_races(actions, context):
+        out.append(
+            diagnostic(
+                "IF001",
+                f"co-enabled with {second.name!r} (process "
+                f"{second.process!r}) at {_format_witness(witness)}, both "
+                f"writing {name!r} with provably different values",
+                subject=first.name,
+                location=callable_location(first.guard),
+            )
+        )
+    for node_name, names in find_order_conflicts(design, context):
+        out.append(
+            diagnostic(
+                "IF002",
+                f"the convergence actions for {names} certainly break each "
+                "other's constraints, so no Theorem 2 linear order exists "
+                "at this node",
+                subject=node_name,
+            )
+        )
+    for binding, witness in find_establish_failures(design, context):
+        out.append(
+            diagnostic(
+                "IF003",
+                f"action {binding.action.name!r} is enabled at "
+                f"{_format_witness(witness)} yet leaves "
+                f"{binding.constraint.name!r} false",
+                subject=binding.constraint.name,
+                location=callable_location(binding.action.guard),
+            )
+        )
+    for fault, binding, hazardous in find_fault_hazards(design, faults or ()):
+        out.append(
+            diagnostic(
+                "IF004",
+                f"fault {fault.name!r} writes {hazardous}, which the guard "
+                f"of {binding.action.name!r} reads but constraint "
+                f"{binding.constraint.name!r} does not observe",
+                subject=binding.action.name,
+                location=callable_location(binding.action.guard),
+            )
+        )
+    if tracer is not None:
+        tracer.emit(
+            INTERFERENCE_FINISH,
+            subject=design.name,
+            actions=len(actions),
+            findings=len(out),
+        )
+    if metrics is not None:
+        metrics.counter("staticcheck.interference.findings").add(len(out))
+    return out
+
+
+# ----------------------------------------------------------------------
 # Design-level passes (constraint graph + theorem preconditions)
 # ----------------------------------------------------------------------
 
@@ -282,7 +531,7 @@ def _edge_diagnostics(
             )
         )
     if len(owners) > 1:
-        names = [node.name for node in owners]
+        names = sorted(node.name for node in owners)
         out.append(
             diagnostic(
                 "CG002",
@@ -307,7 +556,7 @@ def _edge_diagnostics(
             )
         )
     if len(owners) > 1:
-        names = [node.name for node in owners]
+        names = sorted(node.name for node in owners)
         out.append(
             diagnostic(
                 "CG002",
@@ -566,18 +815,22 @@ def lint_program(
     tracer=None,
     metrics=None,
     subject: str | None = None,
+    semantic: bool = True,
 ) -> LintReport:
-    """Lint one program: RW001/RW002/RW003, GD001, VT001.
+    """Lint one program: RW001/RW002/RW003, GD001, VT001, DF001–DF004.
 
     Args:
         program: The program to analyse.
         invariant: Optional invariant whose reads count for ``VT001`` (a
-            variable only the invariant observes is not dead).
+            variable only the invariant observes is not dead) and that
+            contextualizes the ``DF003`` tautology check.
         probes: Size of the sampled-state battery for opaque callables.
         tracer: Optional :class:`~repro.observability.Tracer` receiving
             ``lint.*`` events.
         metrics: Optional :class:`~repro.observability.MetricsRegistry`.
         subject: Display name; defaults to the program name.
+        semantic: Run the abstract-interpretation pass (``DF*``);
+            ``False`` restricts to the probe-based passes.
     """
     started = time.perf_counter()
     name = subject if subject is not None else program.name
@@ -586,6 +839,10 @@ def lint_program(
     states = probe_states(program, limit=probes)
     table = build_support_table(program, states=states)
     diagnostics = _program_diagnostics(program, table, states, invariant)
+    if semantic:
+        diagnostics.extend(
+            _absint_diagnostics(program, invariant, tracer, metrics)
+        )
     return _finish(name, diagnostics, len(states), started, tracer, metrics)
 
 
@@ -596,6 +853,8 @@ def lint_design(
     probes: int = PROBE_STATES,
     tracer=None,
     metrics=None,
+    semantic: bool = True,
+    faults: Sequence[Action] | None = None,
 ) -> LintReport:
     """Lint a full nonmasking design: program passes plus CG*/TH001.
 
@@ -608,6 +867,11 @@ def lint_design(
         design: The design to analyse.
         theorem: The theorem selector the design will be validated with
             (as in :meth:`NonmaskingDesign.validate`); drives ``CG003``.
+        semantic: Run the abstract-interpretation (``DF*``) and
+            interference (``IF*``) passes as well.
+        faults: Optional declared fault actions; drives the ``IF004``
+            fault-hazard check (declared write sets versus convergence
+            guard supports).
     """
     started = time.perf_counter()
     program = design.program
@@ -631,6 +895,15 @@ def lint_design(
     diagnostics.extend(_shape_diagnostics(design, edges, theorem))
     diagnostics.extend(_theorem_diagnostics(design.bindings, states))
     diagnostics.extend(_cp_diagnostics(design))
+    if semantic:
+        diagnostics.extend(
+            _absint_diagnostics(
+                program, design.candidate.invariant, tracer, metrics
+            )
+        )
+        diagnostics.extend(
+            _interference_diagnostics(design, faults, tracer, metrics)
+        )
     return _finish(design.name, diagnostics, len(states), started, tracer, metrics)
 
 
@@ -641,6 +914,7 @@ def lint_case(
     probes: int = PROBE_STATES,
     tracer=None,
     metrics=None,
+    semantic: bool = True,
 ) -> LintReport:
     """Lint one registered protocol-library case by name.
 
@@ -662,7 +936,11 @@ def lint_case(
     if case.build_design is not None:
         design = case.build_design(chosen)
         report = lint_design(
-            design, probes=probes, tracer=tracer, metrics=metrics
+            design,
+            probes=probes,
+            tracer=tracer,
+            metrics=metrics,
+            semantic=semantic,
         )
         return LintReport(
             subject=subject,
@@ -678,6 +956,7 @@ def lint_case(
         tracer=tracer,
         metrics=metrics,
         subject=subject,
+        semantic=semantic,
     )
 
 
@@ -688,6 +967,7 @@ def lint_library(
     probes: int = PROBE_STATES,
     tracer=None,
     metrics=None,
+    semantic: bool = True,
 ) -> dict[str, LintReport]:
     """Lint the whole protocol library (or the named subset), by case."""
     from repro.protocols.library import case_names
@@ -701,6 +981,7 @@ def lint_library(
             probes=probes,
             tracer=tracer,
             metrics=metrics,
+            semantic=semantic,
         )
         for name in chosen
     }

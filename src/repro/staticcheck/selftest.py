@@ -23,12 +23,12 @@ from repro.core.constraint_graph import GraphNode
 from repro.core.constraints import Constraint, ConvergenceBinding, conjunction
 from repro.core.design import NonmaskingDesign
 from repro.core.domains import IntegerRangeDomain
-from repro.core.expr import V, expr_action
-from repro.core.predicates import Predicate
+from repro.core.expr import C, V, expr_action
+from repro.core.predicates import TRUE, Predicate
 from repro.core.program import Program
 from repro.core.variables import Variable
 
-__all__ = ["EXPECTED_CODES", "ill_formed_design", "selftest"]
+__all__ = ["EXPECTED_CODES", "ill_formed_design", "ill_formed_faults", "selftest"]
 
 #: Every code the fixture is designed to trigger — the full catalog.
 EXPECTED_CODES = frozenset(
@@ -43,6 +43,14 @@ EXPECTED_CODES = frozenset(
         "VT001",
         "TH001",
         "CP001",
+        "DF001",
+        "DF002",
+        "DF003",
+        "DF004",
+        "IF001",
+        "IF002",
+        "IF003",
+        "IF004",
     }
 )
 
@@ -85,7 +93,26 @@ def ill_formed_design() -> NonmaskingDesign:
     - nodes ``O1`` and ``O2`` both label ``shared`` → CG001;
     - ``conv_big`` converges a variable with 100000 values, too many to
       project compositionally (and too many for guard enumeration, so
-      GD001 stays quiet) → CP001.
+      GD001 stays quiet) → CP001;
+    - ``conv_g``'s unsatisfiable guard is also *symbolic*, so the
+      abstract interpreter proves it dead → DF001 (alongside GD001);
+    - ``conv_dfx`` assigns ``x2 + 10`` with ``x2 in 0..3`` — every
+      abstract post-value lies outside the domain → DF002;
+    - ``conv_taut`` guards on ``x3 >= 0``, true for the whole domain →
+      DF003;
+    - ``conv_noop`` assigns ``x4 := x4`` — provably a no-op → DF004;
+    - closure actions ``race_one``/``race_two`` on different processes
+      are co-enabled at ``r = 0`` and write ``r`` with the provably
+      different values 1 and 2 → IF001;
+    - the two bindings targeting node ``Y`` certainly break each
+      other's constraints (each resets its own variable while setting
+      the other's to 1), so no Theorem 2 linear order exists → IF002;
+    - ``conv_w`` is enabled at ``w = 1`` yet leaves ``Cw`` false —
+      a concrete establishment-failure witness → IF003 (and TH001 via
+      the probe route);
+    - the declared fault of :func:`ill_formed_faults` writes ``c``,
+      which ``conv_o``'s guard reads but ``Co`` does not observe →
+      IF004 when the faults are passed to ``lint_design``.
     """
     bit = IntegerRangeDomain(0, 1)
     variables = [
@@ -99,12 +126,19 @@ def ill_formed_design() -> NonmaskingDesign:
         Variable("shared", bit),
         Variable("w", bit),
         Variable("big", IntegerRangeDomain(0, 99_999)),
+        Variable("x2", IntegerRangeDomain(0, 3)),
+        Variable("x3", IntegerRangeDomain(0, 3)),
+        Variable("x4", IntegerRangeDomain(0, 3)),
+        Variable("y1", bit),
+        Variable("y2", bit),
+        Variable("r", IntegerRangeDomain(0, 2)),
     ]
 
     a, b, c, d, g, o, shared, w, big = (
         V("a"), V("b"), V("c"), V("d"), V("g"), V("o"), V("shared"), V("w"),
         V("big"),
     )
+    x2, x3, x4, y1, y2, r = V("x2"), V("x3"), V("x4"), V("y1"), V("y2"), V("r")
 
     # CG003: conv_a and conv_b form the cycle A <-> B.
     constraint_a = Constraint("Ca", a == b)
@@ -159,6 +193,30 @@ def ill_formed_design() -> NonmaskingDesign:
     constraint_big = Constraint("Cbig", big == 0)
     conv_big = expr_action("conv_big", big != 0, {"big": 0})
 
+    # DF002: x2 + 10 lands in 10..13, disjoint from x2's domain 0..3.
+    constraint_dfx = Constraint("Cx2", x2 == 0)
+    conv_dfx = expr_action("conv_dfx", x2 != 0, {"x2": x2 + C(10)})
+
+    # DF003: x3 >= 0 holds for the whole domain 0..3.
+    constraint_taut = Constraint("Cx3", x3 == 0)
+    conv_taut = expr_action("conv_taut", x3 >= 0, {"x3": 0})
+
+    # DF004: x4 := x4 provably changes nothing.
+    constraint_noop = Constraint("Cx4", x4 == 0)
+    conv_noop = expr_action("conv_noop", x4 != 0, {"x4": x4})
+
+    # IF002: each Y-binding resets its own variable but sets the other's
+    # to 1 — certain mutual breaks force a must-follow cycle.
+    constraint_y1 = Constraint("Cy1", y1 == 0)
+    conv_y1 = expr_action("conv_y1", y1 != 0, {"y1": 0, "y2": 1})
+    constraint_y2 = Constraint("Cy2", y2 == 0)
+    conv_y2 = expr_action("conv_y2", y2 != 0, {"y2": 0, "y1": 1})
+
+    # IF001: closure actions of different processes, co-enabled at
+    # r = 0, writing r with provably different values.
+    race_one = expr_action("race_one", r == 0, {"r": 1}, process="p1")
+    race_two = expr_action("race_two", r == 0, {"r": 2}, process="p2")
+
     constraints = (
         constraint_a,
         constraint_b,
@@ -169,8 +227,13 @@ def ill_formed_design() -> NonmaskingDesign:
         constraint_w,
         constraint_o,
         constraint_big,
+        constraint_dfx,
+        constraint_taut,
+        constraint_noop,
+        constraint_y1,
+        constraint_y2,
     )
-    closure = Program("ill-formed-closure", variables, [])
+    closure = Program("ill-formed-closure", variables, [race_one, race_two])
     candidate = CandidateTriple(
         program=closure,
         invariant=conjunction(constraints, name="S"),
@@ -186,6 +249,11 @@ def ill_formed_design() -> NonmaskingDesign:
         ConvergenceBinding(constraint_w, conv_w),
         ConvergenceBinding(constraint_o, conv_o),
         ConvergenceBinding(constraint_big, conv_big),
+        ConvergenceBinding(constraint_dfx, conv_dfx),
+        ConvergenceBinding(constraint_taut, conv_taut),
+        ConvergenceBinding(constraint_noop, conv_noop),
+        ConvergenceBinding(constraint_y1, conv_y1),
+        ConvergenceBinding(constraint_y2, conv_y2),
     ]
     nodes = [
         GraphNode("A", frozenset({"a"})),
@@ -197,8 +265,23 @@ def ill_formed_design() -> NonmaskingDesign:
         GraphNode("O1", frozenset({"o", "shared"})),
         GraphNode("O2", frozenset({"shared"})),  # CG001: shared twice
         GraphNode("BIG", frozenset({"big"})),
+        GraphNode("X2", frozenset({"x2"})),
+        GraphNode("X3", frozenset({"x3"})),
+        GraphNode("X4", frozenset({"x4"})),
+        GraphNode("Y", frozenset({"y1", "y2"})),  # IF002: two incoming
+        GraphNode("R", frozenset({"r"})),
     ]
     return NonmaskingDesign("ill-formed", candidate, bindings, nodes)
+
+
+def ill_formed_faults() -> "list[Action]":
+    """Declared faults for the fixture: one fault writing ``c``.
+
+    ``conv_o``'s guard reads ``c`` but its constraint ``Co`` observes
+    only ``o``, so the fault can toggle the action's enabledness
+    invisibly to the constraint → IF004.
+    """
+    return [Action("fault.c", TRUE, Assignment({"c": 1}), reads=())]
 
 
 def selftest() -> "tuple[Any, frozenset[str]]":
@@ -209,5 +292,5 @@ def selftest() -> "tuple[Any, frozenset[str]]":
     """
     from repro.staticcheck.passes import lint_design
 
-    report = lint_design(ill_formed_design())
+    report = lint_design(ill_formed_design(), faults=ill_formed_faults())
     return report, EXPECTED_CODES - report.codes()

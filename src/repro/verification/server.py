@@ -719,7 +719,7 @@ class VerificationDaemon:
         from repro.protocols.library import build_case
         from repro.staticcheck import lint_case
 
-        allowed = {"case", "size", "probes"}
+        allowed = {"case", "size", "probes", "semantic"}
         unknown = set(body) - allowed
         if unknown:
             raise RequestError(
@@ -730,19 +730,29 @@ class VerificationDaemon:
         probes = body.get("probes", 32)
         if not isinstance(probes, int) or probes < 1:
             raise RequestError(f'"probes" must be a positive integer, got {probes!r}')
+        semantic = body.get("semantic", True)
+        if not isinstance(semantic, bool):
+            raise RequestError(f'"semantic" must be a boolean, got {semantic!r}')
 
         started = time.perf_counter()
         loop = asyncio.get_event_loop()
 
         def compute() -> tuple[dict[str, Any], str]:
             program, _ = build_case(case, size)
-            key = f"{fingerprint_program(program)}:probes={probes}"
+            key = (
+                f"{fingerprint_program(program)}:probes={probes}"
+                f":semantic={semantic}"
+            )
             return self.service.memo(
                 "lint", key,
-                lambda: dict(lint_case(case, size, probes=probes).as_dict()),
+                lambda: dict(
+                    lint_case(
+                        case, size, probes=probes, semantic=semantic
+                    ).as_dict()
+                ),
             )
 
-        request_key = f"lint:{case}:{size}:{probes}"
+        request_key = f"lint:{case}:{size}:{probes}:{semantic}"
         record, layer, deduped = await self._coalesce(
             request_key, lambda: loop.run_in_executor(self._executor, compute)
         )

@@ -236,7 +236,7 @@ def _tolerance_record(
 def _compositional_record(
     certificate, *, case: str, fairness: str, seconds: float
 ) -> dict[str, Any]:
-    counts = {"enumerated": 0, "disjoint-writes": 0, "trivial": 0}
+    counts = {"enumerated": 0, "disjoint-writes": 0, "trivial": 0, "static": 0}
     for obligation in certificate.obligations:
         counts[obligation.discharged_by] += 1
     return {
@@ -252,6 +252,7 @@ def _compositional_record(
         "enumerated": counts["enumerated"],
         "vacuous": counts["disjoint-writes"],
         "trivial": counts["trivial"],
+        "static": counts["static"],
         "edges": certificate.edges,
         "max_projection": certificate.max_projection,
         "total_states": certificate.total_states,

@@ -1,0 +1,267 @@
+"""Tests for the abstract interpreter (repro.staticcheck.absint).
+
+Two families: algebraic laws of the reduced-product lattice, and
+soundness of the transfer functions checked differentially against
+exhaustive concrete evaluation on small domains — every concrete result
+must be admitted by the abstract one, and every definite three-valued
+answer must agree with the truth table.
+"""
+
+import pytest
+
+from repro.core.domains import FiniteDomain, IntegerRangeDomain
+from repro.core.expr import C, V, ite, max_, min_
+from repro.staticcheck.absint import (
+    BOTTOM,
+    DEFAULT_CASE_BUDGET,
+    TOP,
+    AbstractContext,
+    AbstractValue,
+    assume,
+    eval_bool,
+    eval_expr,
+    exprs_equal,
+    simplify,
+    substitute,
+)
+
+# A small but structurally varied sample of lattice points.
+SAMPLE = [
+    BOTTOM,
+    TOP,
+    AbstractValue.of(0),
+    AbstractValue.of(1),
+    AbstractValue.of(0, 1),
+    AbstractValue.of(0, 2, 4),
+    AbstractValue.of(1, 3),
+    AbstractValue.of("red", "green"),
+    AbstractValue.interval(0, 5),
+    AbstractValue.interval(2, 9),
+    AbstractValue.interval(None, 7),
+    AbstractValue.interval(3, None),
+]
+
+# No bool probe: Python's True == 1 makes finite sets admit True while
+# the interval component (integers only) rejects it — a representation
+# quirk, not a lattice property; concrete domains never mix the two.
+CONCRETE_PROBES = [-2, -1, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, "red", "blue"]
+
+
+class TestLatticeLaws:
+    @pytest.mark.parametrize("a", SAMPLE)
+    def test_join_meet_idempotent(self, a):
+        assert a.join(a).leq(a) and a.leq(a.join(a))
+        assert a.meet(a).leq(a) and a.leq(a.meet(a))
+
+    @pytest.mark.parametrize("a", SAMPLE)
+    @pytest.mark.parametrize("b", SAMPLE)
+    def test_join_is_upper_bound(self, a, b):
+        assert a.leq(a.join(b))
+        assert b.leq(a.join(b))
+
+    @pytest.mark.parametrize("a", SAMPLE)
+    @pytest.mark.parametrize("b", SAMPLE)
+    def test_meet_is_lower_bound(self, a, b):
+        assert a.meet(b).leq(a)
+        assert a.meet(b).leq(b)
+
+    @pytest.mark.parametrize("a", SAMPLE)
+    @pytest.mark.parametrize("b", SAMPLE)
+    def test_join_admits_union_of_concretisations(self, a, b):
+        joined = a.join(b)
+        for value in CONCRETE_PROBES:
+            if a.admits(value) or b.admits(value):
+                assert joined.admits(value)
+
+    @pytest.mark.parametrize("a", SAMPLE)
+    @pytest.mark.parametrize("b", SAMPLE)
+    def test_meet_admits_intersection_exactly_on_probes(self, a, b):
+        met = a.meet(b)
+        for value in CONCRETE_PROBES:
+            if a.admits(value) and b.admits(value):
+                assert met.admits(value)
+            # The converse (met admits => both admit) holds for the
+            # finite-set component; interval meets may over-approximate
+            # only through parity, which admits() accounts for.
+            if a.values is not None and b.values is not None:
+                assert met.admits(value) == (a.admits(value) and b.admits(value))
+
+    @pytest.mark.parametrize("a", SAMPLE)
+    def test_top_and_bottom_are_extremes(self, a):
+        assert BOTTOM.leq(a)
+        assert a.leq(TOP)
+
+    @pytest.mark.parametrize("a", SAMPLE)
+    @pytest.mark.parametrize("b", SAMPLE)
+    def test_leq_agrees_with_admits_on_probes(self, a, b):
+        if a.leq(b):
+            for value in CONCRETE_PROBES:
+                if a.admits(value):
+                    assert b.admits(value)
+
+    def test_bottom_is_bottom(self):
+        assert BOTTOM.is_bottom
+        assert AbstractValue.of().is_bottom
+        assert AbstractValue.interval(5, 3).is_bottom
+        assert not TOP.is_bottom
+
+    def test_singleton(self):
+        one = AbstractValue.of(7)
+        assert one.is_singleton
+        assert one.singleton == 7
+        with pytest.raises(ValueError):
+            AbstractValue.of(1, 2).singleton
+
+    def test_from_domain_enumerates_finite(self):
+        value = AbstractValue.from_domain(IntegerRangeDomain(0, 3))
+        assert value.values == frozenset({0, 1, 2, 3})
+        assert value.lo == 0 and value.hi == 3
+
+    def test_large_domain_keeps_bounds_only(self):
+        value = AbstractValue.from_domain(IntegerRangeDomain(0, 10_000))
+        assert value.values is None
+        assert (value.lo, value.hi) == (0, 10_000)
+
+
+# Expressions over x in 0..3, y in 0..2 — small enough for the full
+# truth table, varied enough to cross every transfer function.
+X_DOMAIN = IntegerRangeDomain(0, 3)
+Y_DOMAIN = IntegerRangeDomain(0, 2)
+x, y = V("x"), V("y")
+
+ARITH_EXPRS = [
+    x + y,
+    x - y,
+    x * y,
+    (x + C(1)) % C(3),
+    ite(x > y, x, y),
+    min_(x, y, C(2)),
+    max_(x, y),
+    ite(x == C(0), y + C(5), x * C(2)),
+]
+
+BOOL_EXPRS = [
+    x == y,
+    x != y,
+    x < y,
+    x <= y,
+    x > y,
+    x >= C(0),
+    (x == C(0)) & (y != C(1)),
+    (x > C(2)) | (y == C(0)),
+    ~(x == y),
+    (x + y) >= C(0),
+    (x + y) > C(5),
+    (x != C(0)) & (x > C(5)),  # unsat over 0..3
+]
+
+
+def _states():
+    for vx in X_DOMAIN.values():
+        for vy in Y_DOMAIN.values():
+            yield {"x": vx, "y": vy}
+
+
+@pytest.fixture(scope="module")
+def context():
+    return AbstractContext({"x": X_DOMAIN, "y": Y_DOMAIN})
+
+
+class TestTransferSoundness:
+    @pytest.mark.parametrize("expr", ARITH_EXPRS, ids=[str(e) for e in ARITH_EXPRS])
+    def test_abstract_admits_every_concrete_result(self, expr, context):
+        abstract = eval_expr(expr, context.env)
+        for state in _states():
+            assert abstract.admits(expr(state)), (
+                f"{expr} = {expr(state)} at {state} not admitted by {abstract}"
+            )
+
+    @pytest.mark.parametrize("expr", BOOL_EXPRS, ids=[str(e) for e in BOOL_EXPRS])
+    def test_definite_truth_matches_truth_table(self, expr, context):
+        verdict = eval_bool(expr, context.env)
+        truth_table = {bool(expr(state)) for state in _states()}
+        if verdict is True:
+            assert truth_table == {True}
+        elif verdict is False:
+            assert truth_table == {False}
+        # None (don't know) is always sound.
+
+    @pytest.mark.parametrize("expr", BOOL_EXPRS, ids=[str(e) for e in BOOL_EXPRS])
+    def test_assume_keeps_every_satisfying_state(self, expr, context):
+        for truth in (True, False):
+            refined = assume(expr, context.env, truth)
+            for state in _states():
+                if bool(expr(state)) is truth:
+                    for name, value in state.items():
+                        assert refined[name].admits(value)
+
+    @pytest.mark.parametrize("expr", BOOL_EXPRS, ids=[str(e) for e in BOOL_EXPRS])
+    def test_prove_valid_agrees_with_truth_table(self, expr, context):
+        proof = context.prove_valid(expr)
+        if proof is not None:
+            assert all(bool(expr(state)) for state in _states())
+            assert proof.rule in {"simplify", "abstract", "case-split"}
+            assert proof.cases <= DEFAULT_CASE_BUDGET
+
+    @pytest.mark.parametrize("expr", BOOL_EXPRS, ids=[str(e) for e in BOOL_EXPRS])
+    def test_prove_unsat_agrees_with_truth_table(self, expr, context):
+        proof = context.prove_unsat(expr)
+        if proof is not None:
+            assert not any(bool(expr(state)) for state in _states())
+
+    def test_the_sampled_routes_are_all_reachable(self, context):
+        # simplify: reflexivity collapses to a constant.
+        assert context.prove_valid(x == x).rule == "simplify"
+        # abstract: definite over the domain bounds, no structure.
+        assert context.prove_valid(x >= C(0)).rule == "abstract"
+        # case-split: needs the truth table (x=0 ⟺ x<1 over 0..3).
+        split = context.prove_valid((x == C(0)) | (x >= C(1)))
+        assert split is not None and split.cases > 0
+
+    def test_find_witness_returns_a_model(self, context):
+        witness = context.find_witness((x == C(2)) & (y == C(1)))
+        assert witness == {"x": 2, "y": 1}
+        assert context.find_witness((x != C(0)) & (x > C(5))) is None
+
+    def test_budget_exhaustion_is_dont_know(self):
+        big = AbstractContext({"x": IntegerRangeDomain(0, 99_999)})
+        # Valid, but the table is unaffordable and the bounds can't
+        # decide the disjunction — must return None, never a wrong answer.
+        assert big.prove_valid((x == C(0)) | (x >= C(1)), budget=8) is None
+
+    def test_opaque_domain_degrades_to_top(self):
+        context = AbstractContext({})
+        assert eval_expr(x + y, context.env) == TOP
+        assert eval_bool(x == y, context.env) is None
+
+    def test_non_integer_finite_domain(self):
+        colors = AbstractContext(
+            {"c": FiniteDomain(("red", "green", "blue"))}
+        )
+        c = V("c")
+        assert colors.prove_valid(c != C("black")) is not None
+        assert colors.prove_unsat(c == C("black")) is not None
+        assert colors.prove_valid(c == C("red")) is None
+
+
+class TestStructuralHelpers:
+    def test_substitute_is_weakest_precondition(self):
+        post = (x == C(0)) & (y == C(1))
+        wp = substitute(post, {"x": C(0), "y": y})
+        assert wp is not None
+        for state in _states():
+            assert bool(wp(state)) == bool(post({"x": 0, "y": state["y"]}))
+
+    def test_simplify_reflexivity_and_units(self):
+        from repro.core.expr import _Const
+
+        assert isinstance(simplify(x == x), _Const)
+        assert simplify(x == x).value is True
+        assert simplify(x != x).value is False
+        folded = simplify(C(2) + C(3))
+        assert isinstance(folded, _Const) and folded.value == 5
+
+    def test_exprs_equal_is_structural(self):
+        assert exprs_equal(x + C(1), x + C(1))
+        assert not exprs_equal(x + C(1), C(1) + x)  # not commutative-aware
+        assert not exprs_equal(x, y)

@@ -37,6 +37,7 @@ COMPOSITIONAL_RECORD_KEYS = {
     "enumerated",
     "vacuous",
     "trivial",
+    "static",
     "edges",
     "max_projection",
     "total_states",
@@ -91,7 +92,9 @@ class TestVerifyJson:
         assert record["method"] == "compositional"
         assert record["obligations"] == (
             record["enumerated"] + record["vacuous"] + record["trivial"]
+            + record["static"]
         )
+        assert record["static"] > 0  # the DSL protocols discharge statically
 
     def test_warm_cache_recorded_in_json(self, tmp_path):
         cache = tmp_path / "cache"
@@ -205,6 +208,7 @@ class TestLintJson:
         assert set(payload) == {
             "command",
             "strict",
+            "semantic",
             "probes",
             "ok",
             "strict_ok",
@@ -213,6 +217,7 @@ class TestLintJson:
         }
         assert payload["command"] == "lint"
         assert payload["strict"] is False
+        assert payload["semantic"] is True
         assert payload["probes"] == 32
         assert payload["ok"] is True
         assert payload["strict_ok"] is True
@@ -225,12 +230,17 @@ class TestLintJson:
                 assert set(entry) == LINT_DIAGNOSTIC_KEYS
 
     def test_full_library_is_clean_under_strict(self, capsys):
-        # The shipped protocol library must lint clean at the strict bar;
-        # this is the CI gate in miniature.
-        assert main(["lint", "--strict"]) == 0
+        # The shipped protocol library must lint clean at the strict bar
+        # with the semantic passes on; this is the CI gate in miniature.
+        assert main(["lint", "--strict", "--semantic"]) == 0
         out = capsys.readouterr().out
         assert "clean" in out
         assert "FAIL" not in out
+
+    def test_no_semantic_flag_still_clean(self, capsys):
+        assert main(["lint", "--strict", "--no-semantic",
+                     "--case", "diffusing-chain"]) == 0
+        assert "semantic=off" in capsys.readouterr().out
 
     def test_unknown_case_is_usage_error(self, capsys):
         assert main(["lint", "--case", "no-such-case"]) == 2
@@ -278,12 +288,17 @@ class TestVerdictToJson:
         assert set(payload) == {
             "design", "theorem", "status", "ok", "classification",
             "stabilizing", "refusal", "total_states", "max_projection",
-            "edges", "seconds", "obligations",
+            "edges", "seconds", "obligations", "static_certificates",
         }
         for obligation in payload["obligations"]:
             assert set(obligation) == {
                 "name", "subject", "variables", "space", "checked",
                 "discharged_by", "seconds",
+            }
+        assert payload["static_certificates"]
+        for certificate_dict in payload["static_certificates"]:
+            assert set(certificate_dict) == {
+                "obligation", "subject", "rule", "cases", "detail",
             }
         assert payload == json.loads(json.dumps(payload))
 

@@ -339,3 +339,60 @@ class TestValidateMessages:
             binding=ConvergenceBinding(constraint=constraint, action=action),
         )
         assert len(ConstraintGraph([x, y, z], [good_edge]).edges) == 1
+
+
+class TestDeterministicMessages:
+    """Errors naming a variable or node set pick it deterministically.
+
+    Set iteration order varies with hash seeding, so every error path
+    must sort before choosing which variable to name — the same
+    determinism bar the lint report meets.
+    """
+
+    def test_overlap_error_names_lexicographically_first_variable(self):
+        first = node("N1", "p", "q", "z", "m", "a")
+        second = node("N2", "p", "q", "z", "m", "a")
+        with pytest.raises(
+            IllFormedGraphError,
+            match=r"variable 'a' appears in the labels of both 'N1' and 'N2'",
+        ):
+            ConstraintGraph.from_bindings([first, second], [])
+
+    def test_uncovered_error_names_lexicographically_first_variable(self):
+        # Neither write is covered; the error must name 'u', not
+        # whichever of {u, v} the set yields first.
+        b = binding("c", ("u", "v"), "u")
+        b = ConvergenceBinding(
+            constraint=b.constraint,
+            action=Action(
+                "fix-c",
+                b.action.guard,
+                Assignment({"v": 0, "u": 0}),
+                reads=("u", "v"),
+            ),
+        )
+        with pytest.raises(
+            IllFormedGraphError,
+            match=r"action 'fix-c' writes variable 'u' which no node label "
+                  r"covers",
+        ):
+            ConstraintGraph.from_bindings([node("X", "x")], [b])
+
+    def test_span_error_lists_nodes_sorted(self):
+        b = binding("c", ("u", "v"), "u")
+        b = ConvergenceBinding(
+            constraint=b.constraint,
+            action=Action(
+                "fix-c",
+                b.action.guard,
+                Assignment({"v": 0, "u": 0}),
+                reads=("u", "v"),
+            ),
+        )
+        with pytest.raises(
+            IllFormedGraphError,
+            match=r"writes span multiple nodes \['U', 'V'\]",
+        ):
+            ConstraintGraph.from_bindings(
+                [node("V", "v"), node("U", "u")], [b]
+            )

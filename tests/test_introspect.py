@@ -84,6 +84,38 @@ class TestPredicateReads:
         assert "y" not in inferred.reads  # the documented under-approximation
         assert {"x", "z"} <= inferred.reads
 
+    def test_underapproximation_never_becomes_a_false_rw001(self):
+        # The sound-direction contract end to end: a data-dependent read
+        # the probe battery never exercises must not turn into an RW001
+        # ("declared reads don't cover inferred") *or* an RW003 ("declared
+        # exceeds exact inferred") against the honest declaration. The
+        # guard only consults y when z != 0, and with only 2 bits of z=0
+        # domain pressure the default probes never take that branch.
+        from repro.core import Program, Variable
+        from repro.core.domains import IntegerRangeDomain
+        from repro.staticcheck import lint_program
+
+        bit = IntegerRangeDomain(0, 1)
+        guard = Predicate(
+            lambda s: s["y"] > 9 if s["z"] != 0 else s["x"] >= 0,
+            name="short-circuit",
+            support=("x", "y", "z"),
+        )
+        action = Action(
+            "touchy",
+            guard,
+            Assignment({"x": 0}),
+            reads=("x", "y", "z"),  # honest: y IS consulted on one branch
+        )
+        program = Program(
+            "probe-under",
+            [Variable("x", bit), Variable("y", bit), Variable("z", bit)],
+            [action],
+        )
+        report = lint_program(program)
+        assert "RW001" not in report.codes()
+        assert "RW003" not in report.codes()
+
 
 class TestEffectSupport:
     def test_symbolic_rhs_exact(self):

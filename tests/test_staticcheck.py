@@ -31,6 +31,7 @@ from repro.staticcheck import (
     build_support_table,
     diagnostic,
     ill_formed_design,
+    ill_formed_faults,
     lint_case,
     lint_design,
     lint_library,
@@ -75,9 +76,15 @@ class TestCatalog:
 
     def test_severity_partition(self):
         by_severity = {s: {c for c, (sev, _, _) in CODES.items() if sev == s} for s in SEVERITIES}
-        assert by_severity[ERROR] == {"RW001", "RW002", "CG001", "CG002", "CG003", "TH001"}
-        assert by_severity[WARNING] == {"GD001", "VT001", "CP001"}
-        assert by_severity[INFO] == {"RW003"}
+        assert by_severity[ERROR] == {
+            "RW001", "RW002", "CG001", "CG002", "CG003", "TH001",
+            "DF002", "IF003",
+        }
+        assert by_severity[WARNING] == {
+            "GD001", "VT001", "CP001", "DF001", "DF004",
+            "IF001", "IF002", "IF004",
+        }
+        assert by_severity[INFO] == {"RW003", "DF003"}
 
     def test_factory_fills_catalog_fields(self):
         d = diagnostic("RW001", "msg", subject="a", location="f.py:1")
@@ -211,8 +218,21 @@ class TestLintProgram:
 
 class TestLintDesign:
     def test_ill_formed_design_full_catalog(self):
-        report = lint_design(ill_formed_design())
+        report = lint_design(ill_formed_design(), faults=ill_formed_faults())
         assert report.codes() == EXPECTED_CODES
+
+    def test_without_faults_if004_is_silent(self):
+        report = lint_design(ill_formed_design())
+        assert "IF004" not in report.codes()
+        assert report.codes() == EXPECTED_CODES - {"IF004"}
+
+    def test_semantic_off_suppresses_df_and_if(self):
+        report = lint_design(
+            ill_formed_design(), faults=ill_formed_faults(), semantic=False
+        )
+        fired = report.codes()
+        assert not any(code.startswith(("DF", "IF")) for code in fired)
+        assert "RW001" in fired  # the classic passes still run
 
     def test_theorem_3_with_layers_suppresses_cg003(self):
         report = lint_design(ill_formed_design(), theorem="3")

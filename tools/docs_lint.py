@@ -56,6 +56,7 @@ def _markdown_files(root: Path) -> list[Path]:
 def _links_and_anchors(path: Path) -> tuple[list[str], set[str]]:
     links: list[str] = []
     anchors: set[str] = set()
+    counts: dict[str, int] = {}
     in_fence = False
     for line in path.read_text(encoding="utf-8").splitlines():
         if _FENCE.match(line.strip()):
@@ -65,7 +66,12 @@ def _links_and_anchors(path: Path) -> tuple[list[str], set[str]]:
             continue
         heading = _HEADING.match(line)
         if heading:
-            anchors.add(_anchor(heading.group(1)))
+            # GitHub disambiguates repeated headings by suffixing -1,
+            # -2, ... in document order; accept the same spellings.
+            slug = _anchor(heading.group(1))
+            seen = counts.get(slug, 0)
+            anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+            counts[slug] = seen + 1
         links.extend(_LINK.findall(line))
     return links, anchors
 
