@@ -58,6 +58,19 @@ SHAPES = (
 TRIALS = 3
 
 
+def _peak_rss_mb() -> int:
+    """The process's peak RSS in MB (``ru_maxrss`` high-water mark).
+
+    A whole-process high-water figure: per-entry values are therefore
+    monotone within one run and record the worst case *observed by* that
+    entry, not its isolated footprint (E20 measures isolated footprints
+    in subprocesses).
+    """
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss // 1024
+
+
 def _cold_pair(program, invariant):
     """Back-to-back cold dict and packed verifications of one instance.
 
@@ -125,6 +138,7 @@ def test_e16_kernel_speedup(benchmark, report, bench_timings):
                 "dict_seconds": [d for d, _ in trials],
                 "packed_seconds": [p for _, p in trials],
                 "speedup": speedup,
+                "peak_rss_mb": _peak_rss_mb(),
             }
         )
         assert speedup >= MIN_SPEEDUP, (
@@ -212,6 +226,7 @@ def test_e16_kernel_v2_vectorized_speedup(report, bench_timings):
                 "scalar_seconds": [s for s, _ in trials],
                 "vectorized_seconds": [v for _, v in trials],
                 "speedup": speedup,
+                "peak_rss_mb": _peak_rss_mb(),
             }
         )
         assert speedup >= MIN_VECTOR_SPEEDUP, (
@@ -258,8 +273,6 @@ def run_demo_1e8(shards: int | None = None) -> int:
     time in Python; extrapolating their measured per-state cost puts
     them at hours for the same instance.
     """
-    import resource
-
     from repro.protocols.token_ring import build_dijkstra_ring
 
     program, invariant = build_dijkstra_ring(DEMO_RING_NODES, DEMO_RING_K)
@@ -276,7 +289,7 @@ def run_demo_1e8(shards: int | None = None) -> int:
         shards=shards,
     )
     seconds = time.perf_counter() - started
-    peak_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss // 1024
+    peak_mb = _peak_rss_mb()
     print(
         f"  verified in {seconds:.1f}s (peak RSS {peak_mb} MB): "
         f"ok={report.ok} stabilizing={report.stabilizing} "
@@ -364,6 +377,15 @@ def run_quick(shards: int | None = None) -> int:
                 f"{name}: packed engine slower than dict "
                 f"({packed_seconds:.3f}s > {dict_seconds:.3f}s)"
             )
+    import os
+
+    leftovers = (
+        [f for f in os.listdir("/dev/shm") if f.startswith("rk3")]
+        if os.path.isdir("/dev/shm")
+        else []
+    )
+    if leftovers:
+        failures.append(f"leaked shared-memory segments: {leftovers}")
     if failures:
         import sys
 

@@ -72,6 +72,22 @@ def run_quick() -> int:
     compositional_status = run_compositional_quick()
     print()
 
+    # Kernel v3: every packed sweep must account its memory — the
+    # kernel.mem.peak_bytes counter is part of the observability
+    # contract (docs/PERFORMANCE.md), so its absence is a failure.
+    from repro.observability.metrics import MetricsRegistry
+    from repro.protocols.library import build_case
+    from repro.verification.service import VerificationService
+
+    mem_metrics = MetricsRegistry()
+    program, invariant = build_case(QUICK_CASES[0])
+    VerificationService(metrics=mem_metrics).verify_tolerance(
+        program, invariant, engine="packed", case="mem-smoke"
+    )
+    mem_peak = mem_metrics.report().counters.get("kernel.mem.peak_bytes", 0)
+    print(f"packed sweep memory accounting: kernel.mem.peak_bytes={mem_peak}")
+    print()
+
     tasks = library_tasks(names=QUICK_CASES)
     print(f"quick smoke: {len(tasks)} library cases, "
           f"sequential vs workers={QUICK_WORKERS}")
@@ -146,6 +162,10 @@ def run_quick() -> int:
 
     if kernel_status != 0:
         failures.append("kernel perf smoke failed (see above)")
+    if mem_peak <= 0:
+        failures.append(
+            "packed sweep did not report kernel.mem.peak_bytes"
+        )
     if compositional_status != 0:
         failures.append("compositional perf smoke failed (see above)")
     if failures:

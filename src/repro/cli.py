@@ -272,6 +272,24 @@ def _write_json(path: str, payload: dict) -> None:
         json.dump(payload, handle, indent=2, sort_keys=True)
 
 
+def _byte_size(text: str) -> int:
+    """Parse a byte count with an optional K/M/G suffix (``512M``)."""
+    scales = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}
+    raw = text.strip()
+    scale = scales.get(raw[-1:].upper(), 1)
+    digits = raw[:-1] if scale != 1 else raw
+    try:
+        value = int(digits) * scale
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not a byte count (expected an integer, optionally "
+            "suffixed K, M or G)"
+        ) from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError("byte count must be positive")
+    return value
+
+
 def _command_list(_args: argparse.Namespace) -> int:
     width = max(len(name) for name in PROTOCOLS)
     for name, entry in PROTOCOLS.items():
@@ -339,6 +357,7 @@ def _command_verify(args: argparse.Namespace) -> int:
             design=design,
             case=f"{entry.name} (n={size})",
             shards=args.shards,
+            memory_budget=args.memory_budget,
         )
     finally:
         if tracer is not None:
@@ -650,6 +669,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard the packed engine's vectorized full-space sweep over N "
         "contiguous code ranges (default: auto; results are bit-identical "
         "for any shard count)",
+    )
+    verify.add_argument(
+        "--memory-budget", type=_byte_size, default=None, metavar="BYTES",
+        help="peak-bytes target for the packed engine's full-space sweep "
+        "(accepts K/M/G suffixes, e.g. 512M); above it the streaming "
+        "count-only path runs shard-at-a-time — results are identical, "
+        "only peak memory changes (default: never stream)",
     )
     verify.add_argument(
         "--method", choices=("auto", "full", "compositional"), default="auto",

@@ -5,7 +5,8 @@ The dict-backed :class:`~repro.core.state.State` hashes via
 exhaustive verification cost. A :class:`StateCodec` replaces the dict
 with a single integer: each finite-domain variable contributes one
 mixed-radix digit, so a whole state is a Python ``int`` — hashable for
-free, comparable for free, and storable in flat ``array('q')`` buffers.
+free, comparable for free, and storable in flat integer buffers at the
+narrowest safe width (:attr:`StateCodec.code_typecode`).
 
 Digit layout: variables in *program order* ``v0 .. v(n-1)`` with the
 **last variable varying fastest** (weight 1), exactly mirroring
@@ -33,6 +34,15 @@ from repro.core.program import Program
 from repro.core.state import State
 
 __all__ = ["PackedUnsupported", "StateCodec"]
+
+#: Largest space whose codes fit a signed 16-bit buffer (codes are
+#: ``0 .. size-1``, so ``size == 2**15`` still tops out at 32767).
+_INT16_SPACE = 1 << 15
+#: Largest space whose codes fit a signed 32-bit buffer.
+_INT32_SPACE = 1 << 31
+
+_TYPECODE_BYTES = {"h": 2, "i": 4, "q": 8}
+_TYPECODE_DTYPE = {"h": "int16", "i": "int32", "q": "int64"}
 
 
 class PackedUnsupported(ReproError):
@@ -117,6 +127,35 @@ class StateCodec:
         """The digit position of variable ``name``."""
         return self._positions[name]
 
+    # ------------------------------------------------------------------
+    # Code width (kernel v3: arrays pick the narrowest safe dtype)
+    # ------------------------------------------------------------------
+
+    @property
+    def code_typecode(self) -> str:
+        """The narrowest ``array`` typecode that holds every code.
+
+        ``'h'`` (int16) when the space has at most 2^15 states, ``'i'``
+        (int32) up to 2^31, ``'q'`` (int64) beyond. Signed widths are
+        deliberate: sweep deltas (``successor - code``) range over
+        ``(-size, size)`` and must fit the same width as the codes.
+        """
+        if self.size <= _INT16_SPACE:
+            return "h"
+        if self.size <= _INT32_SPACE:
+            return "i"
+        return "q"
+
+    @property
+    def code_dtype(self) -> str:
+        """The numpy dtype name matching :attr:`code_typecode`."""
+        return _TYPECODE_DTYPE[self.code_typecode]
+
+    @property
+    def code_bytes(self) -> int:
+        """Bytes per packed code at the selected width (2, 4, or 8)."""
+        return _TYPECODE_BYTES[self.code_typecode]
+
     def encode_state(self, state: Mapping[str, Any]) -> int:
         """The packed code of ``state``.
 
@@ -165,12 +204,18 @@ class StateCodec:
     # ------------------------------------------------------------------
 
     def pack_codes(self, codes: Iterable[int]) -> bytes:
-        """Serialize packed codes as a flat ``array('q')`` byte buffer."""
-        return array("q", codes).tobytes()
+        """Serialize packed codes as a flat native-int byte buffer.
+
+        The buffer uses :attr:`code_typecode`, so a 10^4-state protocol
+        ships 2 bytes per state instead of 8. Both ends of the pool pipe
+        derive the codec from the same program, so the width always
+        agrees; the buffer is not a cross-machine wire format.
+        """
+        return array(self.code_typecode, codes).tobytes()
 
     def unpack_codes(self, buffer: bytes) -> array:
-        """The ``array('q')`` of codes serialized by :meth:`pack_codes`."""
-        codes = array("q")
+        """The code array serialized by :meth:`pack_codes` (same width)."""
+        codes = array(self.code_typecode)
         codes.frombytes(buffer)
         return codes
 

@@ -15,6 +15,13 @@ fork-started workers inherit it. On platforms without fork (or with a
 single CPU, or a pool that cannot start) the shards are swept
 sequentially in-process — the merge is deterministic either way, which
 is what makes ``shards=N`` results bit-identical to ``shards=1``.
+
+Fragment transfer back to the parent has two paths (kernel v3): the
+zero-copy path parks each fragment in a shared-memory segment and ships
+only a descriptor (:mod:`repro.kernel.shm`), and the original pickle
+path serializes fragments through the pool pipe. :func:`sweep_merged`
+picks automatically and reports which one ran; both produce
+bit-identical merged arrays.
 """
 
 from __future__ import annotations
@@ -22,13 +29,15 @@ from __future__ import annotations
 import multiprocessing
 import os
 
-from repro.kernel.sweeps import Fragment, SweepPlan
+from repro.kernel import shm
+from repro.kernel.sweeps import Fragment, SweepPlan, merge_fragments
 
 __all__ = [
     "SHARD_AUTO_THRESHOLD",
     "SHARD_TARGET",
     "MAX_AUTO_SHARDS",
     "plan_shards",
+    "sweep_merged",
     "sweep_sharded",
 ]
 
@@ -84,6 +93,34 @@ def _sweep_worker(bounds: tuple[int, int]) -> Fragment:
     return plan.sweep_range(*bounds)
 
 
+def _shm_sweep_worker(item: tuple[str, int, int, int]) -> shm.FragmentHandle:
+    """Sweep one shard and park the fragment in a shared segment.
+
+    The worker returns only the descriptor; the arrays never touch the
+    pool pipe. Also runs in-parent on the BrokenProcessPool rerun path,
+    where :func:`~repro.kernel.shm.export_fragment` reclaims any
+    same-name segment a crashed worker left half-written.
+    """
+    token, index, lo, hi = item
+    plan = _ACTIVE
+    if plan is None:
+        raise RuntimeError(
+            "no active sweep plan in this process; sharded sweeps share "
+            "the plan by fork inheritance only"
+        )
+    fragment = plan.sweep_range(lo, hi)
+    return shm.export_fragment(fragment, shm.segment_name(token, index))
+
+
+def _pool_usable(ranges, workers: int) -> bool:
+    if len(ranges) <= 1 or workers <= 1:
+        return False
+    try:
+        return multiprocessing.get_start_method() == "fork"
+    except Exception:
+        return False
+
+
 def sweep_sharded(
     plan: SweepPlan,
     ranges: list[tuple[int, int]],
@@ -104,13 +141,7 @@ def sweep_sharded(
     global _ACTIVE
     if workers is None:
         workers = min(len(ranges), os.cpu_count() or 1)
-    use_pool = len(ranges) > 1 and workers > 1
-    if use_pool:
-        try:
-            use_pool = multiprocessing.get_start_method() == "fork"
-        except Exception:
-            use_pool = False
-    if use_pool:
+    if _pool_usable(ranges, workers):
         from repro.verification.parallel import run_on_pool
 
         _ACTIVE = plan
@@ -125,3 +156,72 @@ def sweep_sharded(
         if len(ranges) > 1:
             metrics.counter("kernel.shard.merged").add(len(ranges))
     return fragments
+
+
+def sweep_merged(
+    plan: SweepPlan,
+    ranges: list[tuple[int, int]],
+    *,
+    workers: int | None = None,
+    metrics=None,
+):
+    """Sweep every range and merge, choosing the transfer path.
+
+    When the pool is in play and shared memory is usable, fragments
+    travel as segment descriptors and the merge slice-copies straight
+    out of the mapped segments; otherwise this is exactly
+    :func:`sweep_sharded` + :func:`~repro.kernel.sweeps.merge_fragments`.
+    Either way every segment is unlinked before returning — the token
+    backstop in the ``finally`` covers worker crashes rerouted through
+    the BrokenProcessPool rerun.
+
+    Returns ``((s_mask, t_mask, offsets, targets, action_ids),
+    transfer)`` with ``transfer`` one of ``"shm"``, ``"pickle"``, or
+    ``"inline"``. Counters match :func:`sweep_sharded`, plus
+    ``kernel.mem.shm_segments`` / ``kernel.mem.shm_unlinked`` on the
+    zero-copy path.
+    """
+    global _ACTIVE
+    if workers is None:
+        workers = min(len(ranges), os.cpu_count() or 1)
+    pool = _pool_usable(ranges, workers)
+    if not (pool and shm.shm_available()):
+        fragments = sweep_sharded(
+            plan, ranges, workers=workers, metrics=metrics
+        )
+        return merge_fragments(fragments), ("pickle" if pool else "inline")
+
+    from repro.verification.parallel import run_on_pool
+
+    token = shm.new_token()
+    items = [(token, index, lo, hi) for index, (lo, hi) in enumerate(ranges)]
+    # The tracker must exist before the fork, or each worker's private
+    # tracker unlinks its segments at worker exit (see shm docstring).
+    shm.ensure_tracker()
+    _ACTIVE = plan
+    segments: list = []
+    unlinked = 0
+    try:
+        handles = run_on_pool(_shm_sweep_worker, items, workers=workers)
+        fragments = []
+        for handle in handles:
+            fragment, segment = shm.import_fragment(handle)
+            fragments.append(fragment)
+            segments.append(segment)
+        merged = merge_fragments(fragments)
+        # Fragment arrays are views into the segments; merging >1
+        # fragments concatenates (copies), so dropping the views here
+        # lets every segment close cleanly.
+        del fragments
+        unlinked = shm.release_segments(segments)
+        segments = []
+    finally:
+        _ACTIVE = None
+        unlinked += shm.unlink_segments(token, len(ranges))
+    if metrics is not None:
+        metrics.counter("kernel.sweep.vectorized").add(len(ranges))
+        if len(ranges) > 1:
+            metrics.counter("kernel.shard.merged").add(len(ranges))
+        metrics.counter("kernel.mem.shm_segments").add(len(ranges))
+        metrics.counter("kernel.mem.shm_unlinked").add(unlinked)
+    return merged, "shm"

@@ -1,0 +1,264 @@
+"""Zero-copy shard transfer over POSIX shared memory.
+
+Sharded sweeps used to return each :class:`~repro.kernel.sweeps.Fragment`
+through the process-pool result pipe, which pickles every CSR byte twice
+(serialize in the worker, deserialize in the parent). At 10^8 states
+that is gigabytes of copying for arrays that already live in page-backed
+memory. This module parks each fragment in a
+:mod:`multiprocessing.shared_memory` segment instead: the worker writes
+its arrays once and returns only a tiny :class:`FragmentHandle`
+descriptor (segment name, field layout, dtypes); the parent maps the
+segment and reads the arrays in place, so the merge is a slice-copy
+straight out of shared pages.
+
+Lifecycle rules, learned the hard way:
+
+- The parent must start the ``multiprocessing`` resource tracker
+  *before* forking pool workers (:func:`ensure_tracker`). Otherwise
+  each worker lazily spawns its own tracker, which unlinks the worker's
+  segments the moment the worker exits — and pool shutdown happens
+  before the parent ever maps them.
+- ``SharedMemory.close()`` raises :class:`BufferError` while numpy views
+  of the buffer are alive; callers must drop every view before
+  releasing a segment (:func:`release_segments` tolerates stragglers by
+  still unlinking — the kernel frees the pages once the last mapping
+  dies with the process).
+- Segment names are deterministic per sweep (``rk3<token>s<index>``), so
+  the BrokenProcessPool rerun path can reclaim anything a crashed worker
+  left behind: creation retries after unlinking a stale same-name
+  segment, and :func:`unlink_segments` sweeps the whole token in a
+  ``finally``.
+
+Shared memory is an optimization, never a requirement: when the platform
+lacks it, the probe fails, or ``REPRO_KERNEL_NO_SHM`` is set, callers
+fall back to the pickle path with bit-identical results.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+
+try:  # pragma: no cover - absent only on exotic platforms
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover
+    _shm = None
+
+try:  # numpy is optional: without it the pickle path is used
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the fallback CI leg
+    _np = None
+
+__all__ = [
+    "DISABLE_ENV",
+    "FragmentHandle",
+    "ensure_tracker",
+    "export_fragment",
+    "import_fragment",
+    "new_token",
+    "release_segments",
+    "segment_name",
+    "shm_available",
+    "unlink_segments",
+]
+
+#: Set (to any non-empty value) to force the pickle transfer path.
+DISABLE_ENV = "REPRO_KERNEL_NO_SHM"
+
+#: Each array in a segment starts on a 16-byte boundary.
+_ALIGN = 16
+
+#: Cached result of the create/unlink probe (``None`` = not yet probed).
+_probe_result: bool | None = None
+
+
+def shm_available() -> bool:
+    """Whether zero-copy transfer can be used right now.
+
+    The environment override is consulted on every call (tests and CI
+    flip it); the platform probe — create, map, and unlink a tiny
+    segment — runs once per process.
+    """
+    global _probe_result
+    if _np is None or _shm is None:
+        return False
+    if os.environ.get(DISABLE_ENV):
+        return False
+    if _probe_result is None:
+        try:
+            segment = _shm.SharedMemory(create=True, size=16)
+        except Exception:
+            _probe_result = False
+        else:
+            try:
+                segment.close()
+                segment.unlink()
+            except Exception:
+                pass
+            _probe_result = True
+    return _probe_result
+
+
+def ensure_tracker() -> None:
+    """Start the resource tracker in this process, pre-fork.
+
+    Fork workers inherit the running tracker, so segments they create
+    stay registered with a process that outlives them; without this,
+    each worker's private tracker unlinks those segments at worker exit,
+    racing the parent's merge.
+    """
+    from multiprocessing import resource_tracker
+
+    resource_tracker.ensure_running()
+
+
+def new_token() -> str:
+    """A fresh per-sweep token for deterministic segment names."""
+    return secrets.token_hex(4)
+
+
+def segment_name(token: str, index: int) -> str:
+    """The segment name of shard ``index`` under ``token``.
+
+    Short and deterministic: POSIX caps names at 31 characters, and the
+    parent must be able to reconstruct every name for crash cleanup.
+    """
+    return f"rk3{token}s{index}"
+
+
+class FragmentHandle:
+    """Descriptor of one shard fragment parked in a shared segment.
+
+    This is all that crosses the pool pipe: the code range, the segment
+    name, and the field layout ``(field, byte offset, length, dtype)``.
+    ``t_mask`` is simply absent from the layout when the span is TRUE.
+    """
+
+    __slots__ = ("lo", "hi", "name", "nbytes", "arrays")
+
+    def __init__(self, lo, hi, name, nbytes, arrays) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.name = name
+        self.nbytes = nbytes
+        self.arrays = arrays
+
+    def __getstate__(self):
+        return (self.lo, self.hi, self.name, self.nbytes, self.arrays)
+
+    def __setstate__(self, state):
+        self.lo, self.hi, self.name, self.nbytes, self.arrays = state
+
+
+def export_fragment(fragment, name: str) -> FragmentHandle:
+    """Write ``fragment``'s arrays into a fresh segment named ``name``.
+
+    Runs in the shard worker. If a stale segment with this name survived
+    a crashed prior attempt, it is reclaimed (unlinked and recreated) —
+    names are deterministic precisely so this is safe.
+    """
+    fields = [("s_mask", fragment.s_mask)]
+    if fragment.t_mask is not None:
+        fields.append(("t_mask", fragment.t_mask))
+    fields.append(("offsets", fragment.offsets))
+    fields.append(("targets", fragment.targets))
+    fields.append(("action_ids", fragment.action_ids))
+    layout = []
+    cursor = 0
+    for field, array in fields:
+        cursor = -(-cursor // _ALIGN) * _ALIGN
+        layout.append((field, cursor, int(array.size), array.dtype.str))
+        cursor += int(array.nbytes)
+    total = max(1, cursor)
+    try:
+        segment = _shm.SharedMemory(create=True, size=total, name=name)
+    except FileExistsError:
+        stale = _shm.SharedMemory(name=name)
+        stale.close()
+        stale.unlink()
+        segment = _shm.SharedMemory(create=True, size=total, name=name)
+    try:
+        for (field, offset, length, dtype), (_, array) in zip(layout, fields):
+            view = _np.ndarray(length, dtype=dtype, buffer=segment.buf, offset=offset)
+            view[:] = array
+            del view
+    finally:
+        segment.close()
+    return FragmentHandle(fragment.lo, fragment.hi, name, total, tuple(layout))
+
+
+def import_fragment(handle: FragmentHandle):
+    """Map ``handle``'s segment and rebuild its fragment in place.
+
+    Runs in the parent. The returned fragment's arrays are views into
+    the mapped segment — zero copies — so the segment must stay open
+    until the merge has copied them out (merging two or more fragments
+    always concatenates). Returns ``(fragment, segment)``.
+    """
+    from repro.kernel.sweeps import Fragment
+
+    segment = _shm.SharedMemory(name=handle.name)
+    arrays = {}
+    for field, offset, length, dtype in handle.arrays:
+        arrays[field] = _np.ndarray(
+            length, dtype=dtype, buffer=segment.buf, offset=offset
+        )
+    fragment = Fragment(
+        handle.lo,
+        handle.hi,
+        arrays["s_mask"],
+        arrays.get("t_mask"),
+        arrays["offsets"],
+        arrays["targets"],
+        arrays["action_ids"],
+    )
+    return fragment, segment
+
+
+def release_segments(segments) -> int:
+    """Close and unlink mapped segments; the number actually unlinked.
+
+    Callers drop their array views first; if one leaks, ``close()`` is
+    skipped (the mapping dies with the process) but the segment is still
+    unlinked so nothing survives in ``/dev/shm``.
+    """
+    removed = 0
+    for segment in segments:
+        try:
+            segment.close()
+        except BufferError:  # a numpy view still references the buffer
+            pass
+        try:
+            segment.unlink()
+            removed += 1
+        except FileNotFoundError:
+            pass
+    return removed
+
+
+def unlink_segments(token: str, count: int) -> int:
+    """Unlink every segment of ``token`` that still exists.
+
+    The crash backstop: reconstructs the deterministic names and removes
+    whatever a dead worker left behind. Returns the number removed.
+    """
+    if _shm is None:
+        return 0
+    removed = 0
+    for index in range(count):
+        try:
+            segment = _shm.SharedMemory(name=segment_name(token, index))
+        except FileNotFoundError:
+            continue
+        except Exception:  # pragma: no cover - platform oddities
+            continue
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover
+            pass
+        try:
+            segment.unlink()
+            removed += 1
+        except FileNotFoundError:  # pragma: no cover - unlink race
+            pass
+    return removed

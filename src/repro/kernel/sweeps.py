@@ -54,6 +54,7 @@ except ImportError:  # pragma: no cover - exercised by the fallback CI leg
     _np = None
 
 __all__ = [
+    "FORCE_CODE_DTYPE",
     "HAVE_NUMPY",
     "MAX_ACTION_PROJECTION",
     "MAX_LEAF_PROJECTION",
@@ -62,9 +63,11 @@ __all__ = [
     "VECTOR_MIN_STATES",
     "bad_region_acyclic",
     "closure_scan",
+    "edge_list_acyclic",
     "first_bad_deadlock",
     "frontier_reach",
     "merge_fragments",
+    "peel_shard_edges",
     "vectorizable",
 ]
 
@@ -82,6 +85,13 @@ MAX_LEAF_PROJECTION = 1 << 16
 #: An action whose read projection exceeds this is not laid out as flat
 #: arrays (enumerating it would cost as much as the scalar sweep).
 MAX_ACTION_PROJECTION = 1 << 20
+
+#: Override the per-instance code dtype (``"int16"``/``"int32"``/
+#: ``"int64"`` or ``None`` for the codec's own width). The differential
+#: suite flips this to pin that narrow-dtype sweeps are bit-identical to
+#: the int64 baseline, and benchmarks use it to emulate the kernel v2
+#: memory profile.
+FORCE_CODE_DTYPE: str | None = None
 
 
 class SweepUnsupported(Exception):
@@ -112,10 +122,12 @@ class _RangeContext:
 
     __slots__ = ("lo", "hi", "codes", "_weights", "_radices", "_digits")
 
-    def __init__(self, codec, lo: int, hi: int) -> None:
+    def __init__(self, codec, lo: int, hi: int, dtype=None) -> None:
         self.lo = lo
         self.hi = hi
-        self.codes = _np.arange(lo, hi, dtype=_np.int64)
+        self.codes = _np.arange(
+            lo, hi, dtype=_np.int64 if dtype is None else dtype
+        )
         self._weights = codec.weights
         self._radices = codec.radices
         self._digits: dict[int, object] = {}
@@ -138,8 +150,10 @@ class _RangeContext:
         most significant first.
         """
         if not pairs:
-            return _np.zeros(self.hi - self.lo, dtype=_np.int64)
-        key = self.digit(pairs[0][0]).astype(_np.int64)
+            return _np.zeros(self.hi - self.lo, dtype=_np.int32)
+        # Projections are capped at 2^20 entries, so int32 keys always
+        # suffice regardless of the code dtype.
+        key = self.digit(pairs[0][0]).astype(_np.int32)
         for position, radix in pairs[1:]:
             key = key * radix + self.digit(position)
         return key
@@ -334,7 +348,7 @@ class _TableColumns:
 
     __slots__ = ("pairs", "enabled", "shift", "deltas")
 
-    def __init__(self, action, codec) -> None:
+    def __init__(self, action, codec, dtype) -> None:
         pairs = action._read_pairs
         projection = 1
         for _, radix in pairs:
@@ -351,12 +365,14 @@ class _TableColumns:
         ]
         shift_form = all(position in action._read_set for position, _ in written)
         enabled = _np.zeros(projection, dtype=bool)
-        shift = _np.zeros(projection, dtype=_np.int64) if shift_form else None
+        # Shifts (``successor - code``) range over ``(-size, size)`` and
+        # per-position deltas are digits, so both fit the code dtype.
+        shift = _np.zeros(projection, dtype=dtype) if shift_form else None
         deltas = (
             None
             if shift_form
             else [
-                (position, weight, _np.zeros(projection, dtype=_np.int64))
+                (position, weight, _np.zeros(projection, dtype=dtype))
                 for position, weight in written
             ]
         )
@@ -422,10 +438,11 @@ class _DirectColumns:
 
     def columns(self, kernel: PackedKernel, ctx: _RangeContext):
         n = ctx.hi - ctx.lo
+        dtype = ctx.codes.dtype
         results = {
             action_id: (
                 _np.zeros(n, dtype=bool),
-                _np.zeros(n, dtype=_np.int64),
+                _np.zeros(n, dtype=dtype),
             )
             for action_id, _ in self.members
         }
@@ -493,6 +510,16 @@ class SweepPlan:
         _require_numpy()
         self.kernel = kernel
         codec = kernel.codec
+        forced = FORCE_CODE_DTYPE
+        self.code_dtype = _np.dtype(
+            codec.code_dtype if forced is None else forced
+        )
+        # Offsets count edges, bounded by size * n_actions; int32 when
+        # that bound fits, int64 otherwise (or when the width is forced
+        # wide to emulate the v2 memory profile).
+        edge_bound = codec.size * max(1, len(kernel.actions))
+        wide_offsets = forced == "int64" or edge_bound > 2**31 - 1
+        self.offset_dtype = _np.dtype(_np.int64 if wide_offsets else _np.int32)
         battery = _BatteryCache(kernel.program)
         self.s_node = _compile_mask(invariant, codec, battery)
         # fault_span is None for the stabilizing span (T == TRUE).
@@ -505,7 +532,9 @@ class SweepPlan:
         direct_members: list[tuple[int, object]] = []
         for action_id, action in enumerate(kernel.actions):
             if action.mode == "table":
-                table_members.append((action_id, _TableColumns(action, codec)))
+                table_members.append(
+                    (action_id, _TableColumns(action, codec, self.code_dtype))
+                )
             else:
                 direct_members.append((action_id, action))
         self.table_members = table_members
@@ -514,9 +543,40 @@ class SweepPlan:
         )
         self.n_actions = len(kernel.actions)
 
+    def _context(self, lo: int, hi: int) -> _RangeContext:
+        return _RangeContext(self.kernel.codec, lo, hi, self.code_dtype)
+
+    def mask_range(self, lo: int, hi: int):
+        """Only the ``(s_mask, t_mask)`` of ``lo .. hi-1`` (no CSR).
+
+        The streaming verdict path sweeps masks first — one byte per
+        state — so closure, implication, and span classification never
+        require the materialized transition relation.
+        """
+        ctx = self._context(lo, hi)
+        s_mask = self.s_node.mask(ctx)
+        t_mask = None if self.t_node is None else self.t_node.mask(ctx)
+        return s_mask, t_mask
+
+    def column_range(self, lo: int, hi: int):
+        """The per-action ``(enabled, successors)`` columns of a range.
+
+        Returns ``(ctx, columns)`` where ``columns[action_id]`` is the
+        pair of arrays; nothing is interleaved into CSR form, so the
+        streaming path can reduce and free each column set shard by
+        shard.
+        """
+        ctx = self._context(lo, hi)
+        columns: dict[int, tuple] = {}
+        for action_id, member in self.table_members:
+            columns[action_id] = member.columns(ctx)
+        if self.direct is not None:
+            columns.update(self.direct.columns(self.kernel, ctx))
+        return ctx, columns
+
     def sweep_range(self, lo: int, hi: int) -> Fragment:
         """Sweep the codes ``lo .. hi-1`` into a :class:`Fragment`."""
-        ctx = _RangeContext(self.kernel.codec, lo, hi)
+        ctx = self._context(lo, hi)
         n = hi - lo
         s_mask = self.s_node.mask(ctx)
         t_mask = None if self.t_node is None else self.t_node.mask(ctx)
@@ -529,13 +589,13 @@ class SweepPlan:
 
         # Row-major CSR assembly in (state, action) order — the exact
         # edge order of the scalar sweep.
-        degrees = _np.zeros(n, dtype=_np.int64)
+        degrees = _np.zeros(n, dtype=_np.int16)
         for action_id in range(self.n_actions):
             degrees += columns[action_id][0]
-        offsets = _np.empty(n + 1, dtype=_np.int64)
+        offsets = _np.empty(n + 1, dtype=self.offset_dtype)
         offsets[0] = 0
-        _np.cumsum(degrees, out=offsets[1:])
-        targets = _np.empty(int(offsets[-1]), dtype=_np.int64)
+        _np.cumsum(degrees, dtype=self.offset_dtype, out=offsets[1:])
+        targets = _np.empty(int(offsets[-1]), dtype=self.code_dtype)
         action_ids = _np.empty(int(offsets[-1]), dtype=_np.int16)
         cursor = offsets[:-1].copy()
         for action_id in range(self.n_actions):
@@ -574,7 +634,7 @@ def merge_fragments(fragments: list[Fragment]):
         else _np.concatenate([fragment.t_mask for fragment in fragments])
     )
     sizes = [fragment.offsets.size - 1 for fragment in fragments]
-    offsets = _np.empty(sum(sizes) + 1, dtype=_np.int64)
+    offsets = _np.empty(sum(sizes) + 1, dtype=fragments[0].offsets.dtype)
     offsets[0] = 0
     base_state = 1
     base_edge = 0
@@ -698,6 +758,101 @@ def bad_region_acyclic(bad_mask, offsets, targets) -> bool:
             _np.subtract.at(outdegree, predecessors, 1)
         # Only states whose counter just hit zero can join the frontier;
         # filtering before the dedup keeps the unique() input tiny.
+        hit = predecessors[outdegree[predecessors] == 0]
+        frontier = _np.unique(hit)
+    return remaining == 0
+
+
+def peel_shard_edges(lo, hi, bad_slice, sources, sinks):
+    """Shard-local Kahn peel treating out-of-shard sinks as alive.
+
+    ``sources``/``sinks`` are the global codes of the bad→bad edges
+    whose source lies in ``lo .. hi-1``; ``bad_slice`` is the bad mask
+    over that range. Every in-shard chain that provably drains without
+    leaving the shard is peeled here (sound: a state peels only once all
+    its bad successors have, and boundary-crossing sinks never do), so
+    the streaming verdict path retains only the boundary frontier for
+    the global exchange.
+
+    Returns ``(resolved, sources, sinks)``: ``resolved`` marks the
+    locally-drained states over the range, and the returned edge arrays
+    keep only edges between still-unresolved endpoints (an out-of-shard
+    sink counts as unresolved here — the global exchange filters it once
+    its own shard has peeled).
+    """
+    _require_numpy()
+    n = hi - lo
+    resolved = _np.zeros(n, dtype=bool)
+    if sources.size == 0:
+        resolved |= bad_slice
+        return resolved, sources, sinks
+    local_src = sources - lo
+    in_shard = (sinks >= lo) & (sinks < hi)
+    outdegree = _np.bincount(local_src, minlength=n)
+    # Reverse adjacency over in-shard edges only: out-of-shard sinks
+    # never peel locally, so they never need predecessor lookups.
+    internal = _np.flatnonzero(in_shard)
+    r_sources = local_src[internal]
+    r_sinks = sinks[internal] - lo
+    order = _np.argsort(r_sinks, kind="stable")
+    by_sink_source = r_sources[order]
+    indptr = _np.empty(n + 1, dtype=_np.int64)
+    indptr[0] = 0
+    _np.cumsum(_np.bincount(r_sinks, minlength=n), out=indptr[1:])
+    frontier = _np.flatnonzero(bad_slice & (outdegree == 0))
+    while frontier.size:
+        resolved[frontier] = True
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        predecessors = by_sink_source[_gather_ranges(starts, counts)]
+        if predecessors.size == 0:
+            break
+        if predecessors.size * 16 >= n:
+            outdegree -= _np.bincount(predecessors, minlength=n)
+        else:
+            _np.subtract.at(outdegree, predecessors, 1)
+        hit = predecessors[outdegree[predecessors] == 0]
+        frontier = _np.unique(hit)
+    sink_resolved = _np.zeros(sinks.size, dtype=bool)
+    sink_resolved[internal] = resolved[r_sinks]
+    keep = ~resolved[local_src] & ~sink_resolved
+    return resolved, sources[keep], sinks[keep]
+
+
+def edge_list_acyclic(sources, sinks, bad_mask) -> bool:
+    """Kahn peel over an explicit global bad→bad edge list.
+
+    The streaming verdict path's boundary-frontier exchange: after the
+    shard-local peels (:func:`peel_shard_edges`) drained everything they
+    could, ``bad_mask`` marks the still-unresolved bad states and
+    ``sources``/``sinks`` the surviving edges between them. The region
+    is acyclic iff this global peel empties it — the same fixpoint
+    :func:`bad_region_acyclic` computes over a materialized CSR.
+    """
+    _require_numpy()
+    remaining = int(_np.count_nonzero(bad_mask))
+    if sources.size == 0:
+        # No surviving edges: every unresolved state peels in round one.
+        return True
+    n = bad_mask.size
+    outdegree = _np.bincount(sources, minlength=n)
+    order = _np.argsort(sinks, kind="stable")
+    by_sink_source = sources[order]
+    indptr = _np.empty(n + 1, dtype=_np.int64)
+    indptr[0] = 0
+    _np.cumsum(_np.bincount(sinks, minlength=n), out=indptr[1:])
+    frontier = _np.flatnonzero(bad_mask & (outdegree == 0))
+    while frontier.size:
+        remaining -= int(frontier.size)
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        predecessors = by_sink_source[_gather_ranges(starts, counts)]
+        if predecessors.size == 0:
+            break
+        if predecessors.size * 16 >= n:
+            outdegree -= _np.bincount(predecessors, minlength=n)
+        else:
+            _np.subtract.at(outdegree, predecessors, 1)
         hit = predecessors[outdegree[predecessors] == 0]
         frontier = _np.unique(hit)
     return remaining == 0

@@ -65,13 +65,20 @@ class _PackedGraph:
     code; entry ``-(k+1)`` is ``raws[k]``, a successor carrying an
     out-of-domain value (kept inline so escape/witness order is
     identical to the dict engine).
+
+    Buffers are 32-bit whenever ``size * n_actions`` fits (which bounds
+    codes, edge counts, and raw sentinels alike) and 64-bit otherwise —
+    int16 is never safe here because sentinels count *edges*, not codes.
     """
 
     __slots__ = ("offsets", "entries", "action_ids", "raws")
 
-    def __init__(self) -> None:
-        self.offsets = array("q", [0])
-        self.entries = array("q")
+    def __init__(self, edge_bound: int | None = None) -> None:
+        typecode = (
+            "i" if edge_bound is not None and edge_bound <= 2**31 - 1 else "q"
+        )
+        self.offsets = array(typecode, [0])
+        self.entries = array(typecode)
         self.action_ids = array("h")
         self.raws: list[State] = []
 
@@ -96,6 +103,7 @@ def check_tolerance_packed(
     fairness: str = "weak",
     max_states: int | None = None,
     shards: int | None = None,
+    memory_budget: int | None = None,
     tracer=None,
     metrics=None,
 ) -> ToleranceReport:
@@ -113,6 +121,14 @@ def check_tolerance_packed(
             (``None`` = auto heuristic, see
             :func:`~repro.kernel.shard.plan_shards`). Sharding never
             changes results; it is ignored on the scalar fallback paths.
+        memory_budget: Peak-bytes target for the vectorized full-space
+            sweep. When the materialized CSR estimate exceeds it, the
+            streaming count-only verdict path runs instead (peak memory
+            O(shard), not O(space)), falling back to the materialized
+            sweep the moment a witness must be decoded. Never changes
+            results — it is a memory/latency trade, so it is *not* part
+            of any cache key. ``None`` (the default) never streams;
+            scalar paths ignore it.
 
     Raises:
         PackedUnsupported: if the program or a supplied state cannot be
@@ -137,6 +153,7 @@ def check_tolerance_packed(
             fault_span,
             fairness=fairness,
             shards=shards,
+            memory_budget=memory_budget,
             tracer=tracer,
             metrics=metrics,
         )
@@ -154,7 +171,7 @@ def check_tolerance_packed(
         for action_id, action in enumerate(kernel.actions)
     )
     names = kernel.action_names
-    graph = _PackedGraph()
+    graph = _PackedGraph(codec.size * max(1, len(kernel.actions)))
     entries = graph.entries
     entries_append = entries.append
     ids_append = graph.action_ids.append
@@ -198,7 +215,10 @@ def check_tolerance_packed(
         s_memo = t_memo = None
     else:
         state_list = list(states)
-        codes = array("q", (codec.encode_state(state) for state in state_list))
+        codes = array(
+            codec.code_typecode,
+            (codec.encode_state(state) for state in state_list),
+        )
         count = len(codes)
         s_mask = bytearray(count)
         t_mask = bytearray(count)
@@ -313,7 +333,7 @@ def check_tolerance_packed(
         if span_count == count:
             span_of = None  # identity
         else:
-            span_of = array("q", [-1]) * count
+            span_of = array(codec.code_typecode, [-1]) * count
             for new_position, position in enumerate(span_positions):
                 span_of[position] = new_position
 
@@ -335,14 +355,17 @@ def check_tolerance_packed(
 
     if states is None and span_count == count and not raws:
         # Stabilizing full-space case: reuse the arrays wholesale.
-        span_codes = array("q", range(count))
+        span_codes = array(codec.code_typecode, range(count))
         span_offsets, span_targets, span_action_ids = offsets, entries, action_ids
         span_escapes: list[tuple[int, str, State]] = []
         span_states_preset = None
     else:
-        span_codes = array("q", (code_of(position) for position in span_positions))
-        span_offsets = array("q", [0])
-        span_targets = array("q")
+        span_codes = array(
+            codec.code_typecode,
+            (code_of(position) for position in span_positions),
+        )
+        span_offsets = array(graph.offsets.typecode, [0])
+        span_targets = array(codec.code_typecode)
         span_action_ids = array("h")
         span_escapes = []
         span_states_preset = (
@@ -423,6 +446,29 @@ def check_tolerance_packed(
     masking = s_mask == t_mask
     stabilizing = span_count == count
     _note_sweep_metrics(kernel, metrics, table_entries_before, count)
+    span_shared = span_offsets is offsets
+    peak_bytes = (
+        len(s_mask)
+        + len(t_mask)
+        + _buffer_bytes(offsets)
+        + _buffer_bytes(entries)
+        + _buffer_bytes(action_ids)
+        + _buffer_bytes(span_codes)
+        + (
+            0
+            if span_shared
+            else _buffer_bytes(span_offsets)
+            + _buffer_bytes(span_targets)
+            + _buffer_bytes(span_action_ids)
+        )
+    )
+    _note_memory_metrics(
+        metrics,
+        tracer,
+        path="scalar",
+        peak_bytes=peak_bytes,
+        code_bytes=entries.itemsize,
+    )
     return ToleranceReport(
         ok=implication_ok and s_closure.ok and t_closure.ok and convergence.ok,
         implication_ok=implication_ok,
@@ -458,6 +504,65 @@ def _note_sweep_metrics(
         metrics.counter("kernel.fallback_actions").add(modes["fallback"])
 
 
+def _buffer_bytes(buffer) -> int:
+    """Resident bytes of an ``array`` buffer."""
+    return buffer.itemsize * len(buffer)
+
+
+def _note_memory_metrics(
+    metrics,
+    tracer,
+    *,
+    path: str,
+    peak_bytes: int,
+    code_bytes: int,
+    streaming: bool = False,
+    transfer: str | None = None,
+) -> None:
+    """Fold one sweep's memory profile into ``kernel.mem.*``.
+
+    ``peak_bytes`` is deterministic accounting over the arrays the sweep
+    actually held (not process RSS, which the benchmarks measure
+    separately): masks + CSR/graph buffers on materialized paths, masks
+    + the largest shard's transients + retained boundary edges on the
+    streaming path. Counters accumulate across sweeps, like every other
+    ``kernel.*`` counter in a RunReport.
+    """
+    if metrics is not None:
+        metrics.counter("kernel.mem.peak_bytes").add(int(peak_bytes))
+        metrics.counter("kernel.mem.code_bytes").add(int(code_bytes))
+        if streaming:
+            metrics.counter("kernel.mem.streaming").add(1)
+    if tracer is not None:
+        from repro.observability.events import KERNEL_MEM
+
+        tracer.emit(
+            KERNEL_MEM,
+            path=path,
+            peak_bytes=int(peak_bytes),
+            code_bytes=int(code_bytes),
+            streaming=streaming,
+            transfer=transfer,
+        )
+
+
+def _materialized_bytes(plan, size: int) -> int:
+    """Upper bound on the materialized sweep's resident bytes.
+
+    Masks, offsets, and the worst-case edge arrays (every action enabled
+    on every state) at the plan's dtypes. The streaming decision
+    compares this against the memory budget *before* sweeping, so it
+    must not depend on anything the sweep would compute.
+    """
+    edges = size * max(1, plan.n_actions)
+    masks = size * (1 if plan.t_node is None else 2)
+    return (
+        masks
+        + (size + 1) * plan.offset_dtype.itemsize
+        + edges * (plan.code_dtype.itemsize + 2)
+    )
+
+
 def _vectorized_full_space(
     kernel: PackedKernel,
     program: Program,
@@ -466,6 +571,7 @@ def _vectorized_full_space(
     *,
     fairness: str,
     shards: int | None,
+    memory_budget: int | None = None,
     tracer=None,
     metrics=None,
 ) -> ToleranceReport | None:
@@ -478,6 +584,12 @@ def _vectorized_full_space(
     The produced report is bit-identical to the scalar sweep's — same
     verdicts, witness order, counterexamples and counts — which the
     differential suite pins.
+
+    When ``memory_budget`` is set and the materialized estimate exceeds
+    it, the streaming count-only path runs first; it returns ``None``
+    exactly when the verdict needs decoded witnesses (closure violations
+    or a bad cycle), in which case the materialized sweep below produces
+    them.
     """
     from repro.kernel import shard as sharding
     from repro.kernel import sweeps
@@ -494,10 +606,25 @@ def _vectorized_full_space(
             None if fault_span is TRUE else fault_span,
         )
         ranges = sharding.plan_shards(size, shards)
-        fragments = sharding.sweep_sharded(plan, ranges, metrics=metrics)
-        s_mask, t_mask, offsets, targets, action_ids = sweeps.merge_fragments(
-            fragments
-        )
+        if (
+            memory_budget is not None
+            and _materialized_bytes(plan, size) > memory_budget
+        ):
+            report = _streaming_full_space(
+                kernel,
+                program,
+                invariant,
+                fault_span,
+                plan,
+                ranges,
+                fairness=fairness,
+                tracer=tracer,
+                metrics=metrics,
+            )
+            if report is not None:
+                return report
+        merged, transfer = sharding.sweep_merged(plan, ranges, metrics=metrics)
+        s_mask, t_mask, offsets, targets, action_ids = merged
     except sweeps.SweepUnsupported:
         return None
     import numpy as np
@@ -520,6 +647,13 @@ def _vectorized_full_space(
         )
         if len(ranges) > 1:
             tracer.emit(KERNEL_SHARD_MERGED, shards=len(ranges))
+    mem_bytes = (
+        s_mask.nbytes
+        + (0 if t_mask is None else t_mask.nbytes)
+        + offsets.nbytes
+        + targets.nbytes
+        + action_ids.nbytes
+    )
 
     implication_ok = t_mask is None or not bool(np.any(s_mask & ~t_mask))
 
@@ -592,6 +726,12 @@ def _vectorized_full_space(
             span_offsets[0] = 0
             np.cumsum(degrees[span_rows], out=span_offsets[1:])
             bad_mask = ~s_mask[span_rows]
+            mem_bytes += (
+                span_of.nbytes
+                + span_targets.nbytes
+                + span_ids.nbytes
+                + span_offsets.nbytes
+            )
         bad_count = int(np.count_nonzero(bad_mask))
         deadlock = sweeps.first_bad_deadlock(bad_mask, span_offsets)
         if deadlock is not None:
@@ -654,6 +794,230 @@ def _vectorized_full_space(
                 fairness=fairness,
                 system=span_system,
             )
+
+    if t_mask is None:
+        masking = bool(s_mask.all())
+    else:
+        masking = bool(np.array_equal(s_mask, t_mask))
+    _note_memory_metrics(
+        metrics,
+        tracer,
+        path="vectorized",
+        peak_bytes=mem_bytes,
+        code_bytes=targets.dtype.itemsize,
+        transfer=transfer,
+    )
+    return ToleranceReport(
+        ok=implication_ok
+        and s_closure.ok
+        and t_closure.ok
+        and convergence.ok,
+        implication_ok=implication_ok,
+        s_closure=s_closure,
+        t_closure=t_closure,
+        convergence=convergence,
+        classification="masking" if masking else "nonmasking",
+        stabilizing=span_count == count,
+        total_states=count,
+    )
+
+
+def _streaming_full_space(
+    kernel: PackedKernel,
+    program: Program,
+    invariant: Predicate,
+    fault_span: Predicate,
+    plan,
+    ranges: list[tuple[int, int]],
+    *,
+    fairness: str,
+    tracer=None,
+    metrics=None,
+) -> ToleranceReport | None:
+    """The streaming count-only verdict path (kernel v3).
+
+    Sweeps shard-at-a-time and never materializes the CSR: a mask pass
+    answers implication, closure (ok case), span classification, and the
+    counts; a column pass reduces each shard's successor columns in
+    place — closure violations, span out-degrees, and the bad→bad edges
+    — then frees them before the next shard, so peak memory is O(shard)
+    plus the boundary edges the shard-local Kahn peels could not drain
+    (:func:`~repro.kernel.sweeps.peel_shard_edges`); a final
+    boundary-frontier exchange (:func:`~repro.kernel.sweeps.edge_list_acyclic`)
+    finishes the peel globally.
+
+    Every produced report is bit-identical to the materialized sweep's.
+    That is possible precisely because this path only runs to completion
+    when no witness must be decoded: the moment one is needed — a
+    closure violation (witness states) or a surviving bad cycle (the
+    exact SCC counterexample) — it returns ``None`` and the caller
+    materializes. The one decoded state it ever produces is a bad
+    deadlock, which is a single ``decode_state`` of the lowest bad
+    zero-degree code — the same state the materialized scan reports.
+    """
+    import numpy as np
+
+    from repro.kernel import sweeps
+
+    codec = kernel.codec
+    count = codec.size
+    code_dtype = plan.code_dtype
+
+    s_mask = np.empty(count, dtype=bool)
+    t_mask = None if plan.t_node is None else np.empty(count, dtype=bool)
+    for lo, hi in ranges:
+        s_part, t_part = plan.mask_range(lo, hi)
+        s_mask[lo:hi] = s_part
+        if t_mask is not None:
+            t_mask[lo:hi] = t_part
+
+    implication_ok = t_mask is None or not bool(np.any(s_mask & ~t_mask))
+    bad_full = ~s_mask if t_mask is None else (t_mask & ~s_mask)
+    span_count = count if t_mask is None else int(np.count_nonzero(t_mask))
+    bad_count = int(np.count_nonzero(bad_full))
+
+    resolved = np.zeros(count, dtype=bool)
+    kept_sources: list = []
+    kept_sinks: list = []
+    retained_bytes = 0
+    shard_peak = 0
+    total_edges = 0
+    deadlock_code: int | None = None
+
+    for lo, hi in ranges:
+        ctx, columns = plan.column_range(lo, hi)
+        n = hi - lo
+        degrees = np.zeros(n, dtype=np.int16)
+        s_src = s_mask[lo:hi]
+        t_src = None if t_mask is None else t_mask[lo:hi]
+        bad_src = bad_full[lo:hi]
+        shard_sources: list = []
+        shard_sinks: list = []
+        for action_id in range(plan.n_actions):
+            enabled, successors = columns[action_id]
+            # Any closure violation means decoded witnesses: materialize.
+            if bool(np.any(s_src & enabled & ~s_mask[successors])):
+                return None
+            if t_src is not None and bool(
+                np.any(t_src & enabled & ~t_mask[successors])
+            ):
+                return None
+            degrees += enabled
+            if deadlock_code is None:
+                edge_rows = np.flatnonzero(
+                    bad_src & enabled & bad_full[successors]
+                )
+                if edge_rows.size:
+                    shard_sources.append(ctx.codes[edge_rows])
+                    shard_sinks.append(successors[edge_rows])
+        total_edges += int(degrees.sum(dtype=np.int64))
+        if deadlock_code is None:
+            # T is closed on every success path, so a bad state's span
+            # out-degree is simply its enabled count; shards ascend, so
+            # the first candidate is the materialized scan's deadlock.
+            candidates = np.flatnonzero(bad_src & (degrees == 0))
+            if candidates.size:
+                deadlock_code = lo + int(candidates[0])
+                shard_sources = []
+                shard_sinks = []
+        if deadlock_code is None:
+            if shard_sources:
+                sources = np.concatenate(shard_sources)
+                sinks = np.concatenate(shard_sinks)
+            else:
+                sources = np.empty(0, dtype=code_dtype)
+                sinks = np.empty(0, dtype=code_dtype)
+            drained, sources, sinks = sweeps.peel_shard_edges(
+                lo, hi, bad_src, sources, sinks
+            )
+            resolved[lo:hi] = drained
+            kept_sources.append(sources)
+            kept_sinks.append(sinks)
+            retained_bytes += sources.nbytes + sinks.nbytes
+        shard_peak = max(
+            shard_peak, n * (2 + plan.n_actions * (1 + code_dtype.itemsize))
+        )
+        del ctx, columns
+
+    s_closure = ClosureResult(
+        predicate_name=invariant.name,
+        ok=True,
+        checked=int(np.count_nonzero(s_mask)),
+        witnesses=(),
+    )
+    t_closure = ClosureResult(
+        predicate_name=fault_span.name,
+        ok=True,
+        checked=count if t_mask is None else int(np.count_nonzero(t_mask)),
+        witnesses=(),
+    )
+
+    if deadlock_code is not None:
+        convergence = ConvergenceResult(
+            ok=False,
+            fairness=fairness,
+            span_states=span_count,
+            bad_states=bad_count,
+            counterexample=ConvergenceCounterexample(
+                kind="deadlock",
+                states=(codec.decode_state(deadlock_code),),
+            ),
+        )
+    else:
+        if kept_sources:
+            sources = np.concatenate(kept_sources)
+            sinks = np.concatenate(kept_sinks)
+        else:
+            sources = np.empty(0, dtype=code_dtype)
+            sinks = np.empty(0, dtype=code_dtype)
+        if sources.size:
+            # The exchange: a sink drained by its own shard's local peel
+            # deletes the edge (and with it the source's last obstacle).
+            alive = ~resolved[sinks]
+            sources = sources[alive]
+            sinks = sinks[alive]
+        if not sweeps.edge_list_acyclic(sources, sinks, bad_full & ~resolved):
+            return None  # a bad cycle survives: the SCC analysis needs CSR
+        convergence = ConvergenceResult(
+            ok=True,
+            fairness=fairness,
+            span_states=span_count,
+            bad_states=bad_count,
+        )
+
+    if tracer is not None:
+        from repro.observability.events import (
+            KERNEL_SHARD_MERGED,
+            KERNEL_SWEEP,
+        )
+
+        tracer.emit(
+            KERNEL_SWEEP,
+            program=program.name,
+            states=count,
+            shards=len(ranges),
+            edges=total_edges,
+        )
+        if len(ranges) > 1:
+            tracer.emit(KERNEL_SHARD_MERGED, shards=len(ranges))
+    if metrics is not None:
+        metrics.counter("kernel.sweep.vectorized").add(len(ranges))
+        if len(ranges) > 1:
+            metrics.counter("kernel.shard.merged").add(len(ranges))
+    mask_bytes = (
+        s_mask.nbytes
+        + (0 if t_mask is None else t_mask.nbytes)
+        + bad_full.nbytes
+        + resolved.nbytes
+    )
+    _note_memory_metrics(
+        metrics,
+        tracer,
+        path="streaming",
+        peak_bytes=mask_bytes + shard_peak + retained_bytes,
+        code_bytes=code_dtype.itemsize,
+        streaming=True,
+    )
 
     if t_mask is None:
         masking = bool(s_mask.all())

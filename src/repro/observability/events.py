@@ -23,7 +23,7 @@ Event kinds are plain strings, namespaced ``component.what``:
 - interference analysis: :data:`INTERFERENCE_DISCHARGED`,
   :data:`INTERFERENCE_FINISH`;
 - packed exploration kernel: :data:`KERNEL_BUILD`, :data:`KERNEL_SWEEP`,
-  :data:`KERNEL_SHARD_MERGED`;
+  :data:`KERNEL_SHARD_MERGED`, :data:`KERNEL_MEM`;
 - compositional certifier: :data:`COMPOSITIONAL_START`,
   :data:`COMPOSITIONAL_CERTIFIED`, :data:`COMPOSITIONAL_REFUSED`;
 - verification daemon: :data:`SERVICE_REQUEST_START`,
@@ -59,6 +59,7 @@ __all__ = [
     "INTERFERENCE_DISCHARGED",
     "INTERFERENCE_FINISH",
     "KERNEL_BUILD",
+    "KERNEL_MEM",
     "KERNEL_SHARD_MERGED",
     "KERNEL_SWEEP",
     "LINT_DIAGNOSTIC",
@@ -133,6 +134,9 @@ KERNEL_BUILD = "kernel.build"
 KERNEL_SWEEP = "kernel.sweep.vectorized"
 #: Per-shard CSR fragments were merged into one system (shard count).
 KERNEL_SHARD_MERGED = "kernel.shard.merged"
+#: A full-space sweep accounted its memory (path, peak bytes, code dtype
+#: width, streaming flag, transfer mode).
+KERNEL_MEM = "kernel.mem.sweep"
 #: The compositional certifier began on a design (design, fairness).
 COMPOSITIONAL_START = "compositional.start"
 #: Every obligation discharged: a certificate was emitted (theorem,
@@ -183,6 +187,7 @@ EVENT_KINDS: tuple[str, ...] = (
     KERNEL_BUILD,
     KERNEL_SWEEP,
     KERNEL_SHARD_MERGED,
+    KERNEL_MEM,
     COMPOSITIONAL_START,
     COMPOSITIONAL_CERTIFIED,
     COMPOSITIONAL_REFUSED,

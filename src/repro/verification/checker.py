@@ -88,6 +88,7 @@ def check_tolerance(
     engine: str = "auto",
     max_states: int | None = None,
     shards: int | None = None,
+    memory_budget: int | None = None,
     tracer=None,
     metrics=None,
 ) -> ToleranceReport:
@@ -112,6 +113,7 @@ def check_tolerance(
         engine=engine,
         max_states=max_states,
         shards=shards,
+        memory_budget=memory_budget,
         tracer=tracer,
         metrics=metrics,
     )
@@ -127,6 +129,7 @@ def _check_tolerance(
     engine: str = "auto",
     max_states: int | None = None,
     shards: int | None = None,
+    memory_budget: int | None = None,
     tracer=None,
     metrics=None,
 ) -> ToleranceReport:
@@ -149,6 +152,10 @@ def _check_tolerance(
             dict and packed agree — verdict or error — at the boundary.
         shards: Shard count for the packed engine's vectorized full-space
             sweep (``None`` = auto). Never changes results.
+        memory_budget: Peak-bytes target for the packed engine's
+            full-space sweep; above it the streaming count-only path
+            runs (see :func:`~repro.kernel.verify.check_tolerance_packed`).
+            Never changes results; ignored by the dict engine.
         engine: ``"packed"`` runs the flat-array kernel
             (:mod:`repro.kernel`) and raises
             :class:`~repro.kernel.codec.PackedUnsupported` when the
@@ -177,6 +184,7 @@ def _check_tolerance(
                 fairness=fairness,
                 max_states=max_states,
                 shards=shards,
+                memory_budget=memory_budget,
                 tracer=tracer,
                 metrics=metrics,
             )

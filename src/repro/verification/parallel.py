@@ -103,6 +103,9 @@ class VerificationTask:
     #: Dotted reference to a NonmaskingDesign builder (enables the
     #: compositional method on the worker).
     design_builder: str | None = field(default=None)
+    #: Peak-bytes target for the packed engine's full-space sweep
+    #: (None = never stream). Never changes verdicts.
+    memory_budget: int | None = field(default=None)
 
 
 def pack_states(program: Program, states: Sequence[State]) -> bytes:
@@ -182,6 +185,7 @@ def _execute(
         states_key=task.states_key,
         max_states=task.max_states,
         shards=task.shards,
+        memory_budget=task.memory_budget,
     )
     record = dict(verdict.record)
     record["cached"] = verdict.cached

@@ -907,6 +907,13 @@ class VerificationDaemon:
             "service": service_stats,
             "cache_hit_rate": (hits / lookups) if lookups else 0.0,
             "store": self.store.stats() if self.store is not None else None,
+            # kernel.mem.* gauges from in-process packed sweeps (pool
+            # workers report through their own registries, not this one).
+            "kernel_mem": {
+                name[len("kernel.mem."):]: counter.count
+                for name, counter in sorted(self.metrics.counters.items())
+                if name.startswith("kernel.mem.")
+            },
         }
 
     def report(self, **meta: Any) -> RunReport:

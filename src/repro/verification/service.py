@@ -475,6 +475,7 @@ class VerificationService:
         lint: bool = False,
         max_states: int | None = None,
         shards: int | None = None,
+        memory_budget: int | None = None,
     ) -> ServiceVerdict:
         """Cached tolerance verification (the engine behind :func:`repro.verify`).
 
@@ -523,6 +524,12 @@ class VerificationService:
                 until the space is large enough to amortize worker
                 startup). Sharded and unsharded runs are bit-identical,
                 so this is not part of the cache key either.
+            memory_budget: Peak-bytes target for the packed engine's
+                full-space sweep; above it the streaming count-only path
+                runs (see
+                :func:`~repro.kernel.verify.check_tolerance_packed`).
+                Like ``shards``, it is a memory/latency trade that never
+                changes verdicts, so it is not part of the cache key.
         """
         validate_engine(engine)
         validate_method(method)
@@ -615,6 +622,7 @@ class VerificationService:
                         engine="packed",
                         max_states=max_states,
                         shards=shards,
+                        memory_budget=memory_budget,
                         tracer=self.tracer,
                         metrics=self.metrics,
                     )
@@ -635,6 +643,7 @@ class VerificationService:
                     engine=resolved,
                     max_states=max_states,
                     shards=shards,
+                    memory_budget=memory_budget,
                     tracer=self.tracer,
                     metrics=self.metrics,
                 )

@@ -116,11 +116,12 @@ class TestVerifyJson:
         assert f"trace written to {trace}" in out
         assert "cache.miss" in out  # the --metrics report
         events = [json.loads(line) for line in trace.read_text().splitlines()]
-        # auto engine resolves to packed, so the kernel compilation event
-        # accompanies the cache miss.
+        # auto engine resolves to packed, so the kernel compilation and
+        # memory-accounting events accompany the cache miss.
         assert [event["kind"] for event in events] == [
             "cache.miss",
             "kernel.build",
+            "kernel.mem.sweep",
         ]
         assert all({"seq", "time", "kind"} <= set(event) for event in events)
 

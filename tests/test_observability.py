@@ -368,8 +368,11 @@ class TestServiceObservability:
         service.verify_tolerance(program, invariant, case="second")
         kinds = [event.kind for event in tracer.events]
         # The miss computes on the packed engine, so the one-time kernel
-        # compilation event lands between miss and hit.
-        assert kinds == ["cache.miss", "kernel.build", "cache.hit"]
+        # compilation and memory-accounting events land between miss and
+        # hit.
+        assert kinds == [
+            "cache.miss", "kernel.build", "kernel.mem.sweep", "cache.hit"
+        ]
         assert tracer.events[-1].fields["layer"] == "memory"
 
         # A fresh service sharing the disk cache hits the disk layer.
