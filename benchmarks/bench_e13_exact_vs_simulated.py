@@ -14,7 +14,8 @@ from the same stream, correlating the two and biasing the estimates by
 several percent. The fix (independent derived streams) is asserted here.
 """
 
-from repro.analysis import expected_convergence_steps, render_table
+from repro.analysis import render_table
+from repro.quantitative import hitting_times
 from repro.protocols.coloring import build_coloring_design, coloring_invariant
 from repro.protocols.diffusing import build_diffusing_design, diffusing_invariant
 from repro.protocols.mp_token_ring import build_mp_token_ring
@@ -49,12 +50,12 @@ def cases():
 def test_e13_exact_vs_simulated(benchmark, report):
     program, spec = build_dijkstra_ring(3, 4)
     states = list(program.state_space())
-    benchmark(lambda: expected_convergence_steps(program, states, spec))
+    benchmark(lambda: hitting_times(program, states, spec))
 
     rows = []
     for name, prog, invariant in cases():
         all_states = list(prog.state_space())
-        exact = expected_convergence_steps(prog, all_states, invariant)
+        exact = hitting_times(prog, all_states, invariant)
         stats = stabilization_trials(
             prog,
             invariant,

@@ -62,6 +62,7 @@ def run_quick() -> int:
 
     from bench_e16_kernel import run_quick as run_kernel_quick
     from bench_e17_compositional import run_quick as run_compositional_quick
+    from bench_e21_quantitative import run_quick as run_quantitative_quick
     from conftest import record_verification_timings
 
     # Packed-kernel parity first: identical verdicts, packed not slower.
@@ -70,6 +71,10 @@ def run_quick() -> int:
 
     # Compositional certifier: differential agreement plus the n=200 chain.
     compositional_status = run_compositional_quick()
+    print()
+
+    # Quantitative tolerance: CSR-vs-dense differential + cache keys.
+    quantitative_status = run_quantitative_quick()
     print()
 
     # Kernel v3: every packed sweep must account its memory — the
@@ -168,6 +173,8 @@ def run_quick() -> int:
         )
     if compositional_status != 0:
         failures.append("compositional perf smoke failed (see above)")
+    if quantitative_status != 0:
+        failures.append("quantitative perf smoke failed (see above)")
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)

@@ -20,6 +20,9 @@ fault-tolerant (including self-stabilizing) programs:
   protocols built with the same method.
 - :mod:`repro.topology` — trees, rings, graphs and generators.
 - :mod:`repro.analysis` — summary statistics and result tables.
+- :mod:`repro.quantitative` — *how* tolerant: expected, fault-weighted
+  and adversarial worst-case convergence times plus a
+  masking-distance-style score (``verify(..., quantify=True)``).
 
 Quickstart::
 
@@ -54,6 +57,7 @@ from repro.core import (
     State,
     Variable,
 )
+from repro.quantitative import QuantitativeReport, hitting_times, quantify
 
 __version__ = "1.0.0"
 
@@ -67,9 +71,12 @@ __all__ = [
     "NonmaskingDesign",
     "Predicate",
     "Program",
+    "QuantitativeReport",
     "State",
     "Variable",
     "Verdict",
     "__version__",
+    "hitting_times",
+    "quantify",
     "verify",
 ]

@@ -1,59 +1,36 @@
-"""Exact stabilization-time analysis via the random-daemon Markov chain.
+"""Deprecated home of the exact convergence-time analysis.
 
-Under the seeded random daemon, a program on a finite instance is a
-Markov chain: at each non-target state one enabled action is chosen
-uniformly. Convergence time to the (closed) target is then an absorbing
-hitting time with an exact solution:
+The dense hitting-time solver that used to live here grew into
+:mod:`repro.quantitative`, which solves the same absorbing-chain system
+by CSR-native value iteration (no dense matrix, no hard numpy
+dependency) and adds the fault-rate-weighted and adversarial variants
+plus the masking-distance score. This module remains as a deprecation
+shim:
 
-    E[s] = 0                                   if target(s)
-    E[s] = 1 + (1/|enabled(s)|) * sum E[s']    otherwise
+- :class:`HittingTimes` is re-exported from its new home unchanged.
+- :func:`expected_convergence_steps` delegates to
+  :func:`repro.quantitative.hitting_times` after a single
+  :class:`DeprecationWarning` (Python deduplicates it per call site),
+  returning the same ``HittingTimes`` with identical ``math.inf``
+  semantics and the same ``ValueError`` on a non-closed state set.
 
-This module computes the hitting times exactly (a dense linear solve via
-numpy over the transient states) and reports per-state and aggregate
-expectations — the *analytical* counterpart of what
-:func:`repro.simulation.stabilization_trials` estimates by sampling.
-Experiment E13 checks that the two agree, validating the simulator
-against the model.
-
-States that reach the target with probability < 1 (they can wander into
-a region from which the target is unreachable, or deadlock outside it)
-have infinite expected hitting time and are reported as ``math.inf``.
+Unlike its predecessor this module imports cleanly without numpy: the
+quantitative layer follows the kernel's ``HAVE_NUMPY`` gating and runs
+a bit-compatible pure-Python fallback when numpy is absent.
 """
 
 from __future__ import annotations
 
-import math
+import warnings
 from collections.abc import Iterable
-from dataclasses import dataclass
-
-import numpy
+from typing import Any
 
 from repro.core.predicates import Predicate
 from repro.core.program import Program
 from repro.core.state import State
-from repro.verification.explorer import TransitionSystem, build_transition_system
+from repro.quantitative import HittingTimes
 
 __all__ = ["HittingTimes", "expected_convergence_steps"]
-
-
-@dataclass(frozen=True)
-class HittingTimes:
-    """Exact expected steps-to-target per state, plus aggregates."""
-
-    #: Expected steps from each state, aligned with ``system.states``.
-    expectations: tuple[float, ...]
-    #: Mean over every state of the instance (uniform random start).
-    mean: float
-    #: Worst start state's expectation.
-    maximum: float
-    system: TransitionSystem
-
-    def expectation_of(self, state: State) -> float:
-        return self.expectations[self.system.index_of(state)]
-
-    @property
-    def all_finite(self) -> bool:
-        return all(not math.isinf(v) for v in self.expectations)
 
 
 def expected_convergence_steps(
@@ -61,83 +38,19 @@ def expected_convergence_steps(
     states: Iterable[State],
     target: Predicate,
     *,
-    system: TransitionSystem | None = None,
+    system: Any = None,
 ) -> HittingTimes:
-    """Solve the random-daemon hitting-time system exactly.
+    """Deprecated: use :func:`repro.quantitative.hitting_times`.
 
-    Args:
-        program: The program (its transition graph defines the chain).
-        states: A closed finite state set (typically the full space).
-        target: The closed target predicate (``S``).
-        system: Optional prebuilt transition system to share work.
-
-    Raises:
-        ValueError: if the supplied state set is not closed.
+    Same model and result type; the replacement solves the chain by
+    sparse value iteration instead of a dense ``numpy.linalg`` solve.
     """
-    ts = system if system is not None else build_transition_system(program, states)
-    if ts.escapes:
-        raise ValueError("the state set is not closed under the program")
-
-    n = len(ts)
-    is_target = numpy.array([target(state) for state in ts.states], dtype=bool)
-
-    predecessors: list[list[int]] = [[] for _ in range(n)]
-    for source in range(n):
-        if is_target[source]:
-            continue  # target states are absorbing for the hitting time
-        for _, destination in ts.edges[source]:
-            predecessors[destination].append(source)
-
-    # 1. Which states reach the target at all (through non-target paths)?
-    reaches = is_target.copy()
-    frontier = [i for i in range(n) if is_target[i]]
-    while frontier:
-        node = frontier.pop()
-        for back in predecessors[node]:
-            if not reaches[back]:
-                reaches[back] = True
-                frontier.append(back)
-
-    # 2. Which states can wander (without first being absorbed) into a
-    #    non-reaching state? Their hitting time is infinite.
-    doomed = ~reaches
-    frontier = [i for i in range(n) if doomed[i]]
-    while frontier:
-        node = frontier.pop()
-        for back in predecessors[node]:
-            if not doomed[back] and not is_target[back]:
-                doomed[back] = True
-                frontier.append(back)
-
-    transient = [
-        i for i in range(n) if not is_target[i] and not doomed[i]
-    ]
-    position = {state_index: k for k, state_index in enumerate(transient)}
-
-    values = numpy.zeros(n)
-    values[doomed] = math.inf
-
-    if transient:
-        m = len(transient)
-        matrix = numpy.eye(m)
-        rhs = numpy.ones(m)
-        for k, state_index in enumerate(transient):
-            edges = ts.edges[state_index]
-            weight = 1.0 / len(edges)
-            for _, destination in edges:
-                if destination in position:
-                    matrix[k, position[destination]] -= weight
-                # Destinations in the target contribute 0; doomed
-                # destinations are impossible here by construction.
-        solution = numpy.linalg.solve(matrix, rhs)
-        for k, state_index in enumerate(transient):
-            values[state_index] = solution[k]
-
-    expectations = tuple(float(v) for v in values)
-    has_inf = bool(numpy.isinf(values).any())
-    return HittingTimes(
-        expectations=expectations,
-        mean=math.inf if has_inf else float(values.mean()),
-        maximum=float(values.max()) if n else 0.0,
-        system=ts,
+    warnings.warn(
+        "expected_convergence_steps() is deprecated; use "
+        "repro.quantitative.hitting_times() (see docs/QUANTITATIVE.md)",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    from repro.quantitative import hitting_times
+
+    return hitting_times(program, states, target, system=system)

@@ -34,6 +34,7 @@ from repro.core.errors import ValidationError
 from repro.core.predicates import Predicate
 from repro.core.program import Program
 from repro.core.state import State
+from repro.quantitative import DEFAULT_FAULT_RATE
 from repro.verification.service import ServiceVerdict, VerificationService
 
 __all__ = ["Verdict", "verify"]
@@ -94,6 +95,8 @@ def verify(
     engine: str = "auto",
     method: str = "auto",
     lint: bool = False,
+    quantify: bool = False,
+    fault_rate: float = DEFAULT_FAULT_RATE,
     service: VerificationService | None = None,
 ) -> ServiceVerdict:
     """Verify that ``subject`` is ``t``-tolerant for ``s``.
@@ -119,6 +122,15 @@ def verify(
             refusal). See :mod:`repro.compositional`.
         lint: Run the :mod:`repro.staticcheck` passes first and fail
             fast on error-severity findings.
+        quantify: Also run the quantitative tolerance analysis
+            (:mod:`repro.quantitative`) and attach a
+            :class:`~repro.quantitative.QuantitativeReport` — itself a
+            :class:`Verdict` — to the returned verdict
+            (``verdict.quantitative``; the record gains
+            ``"quantitative"``). Needs state-space exploration, so it
+            cannot combine with ``method="compositional"``.
+        fault_rate: Relative fault-action weight for the quantitative
+            fault-weighted convergence expectation.
         service: The caching service to route through; defaults to the
             module-wide :func:`default_service`.
 
@@ -190,4 +202,6 @@ def verify(
         design=design,
         case=case,
         lint=lint,
+        quantify=quantify,
+        fault_rate=fault_rate,
     )

@@ -14,7 +14,10 @@ Exposes the library's protocol registry for quick exploration::
 protocol through the cached verification service (pass ``--cache DIR``
 to persist verdicts across invocations, ``--method compositional`` to
 certify from per-edge projections without building the product state
-space — sizes far beyond the exhaustive budget work); ``verify-all``
+space — sizes far beyond the exhaustive budget work, and ``--quantify``
+to additionally report expected/fault-weighted/worst-case convergence
+times and the masking-distance score — see docs/QUANTITATIVE.md);
+``verify-all``
 fans the whole case library out over a worker pool; ``lint`` runs the
 static side-condition checks of :mod:`repro.staticcheck` over the case
 library without touching any state space; ``simulate`` measures
@@ -53,6 +56,7 @@ from repro.observability import (
     Sink,
     Tracer,
 )
+from repro.quantitative import DEFAULT_FAULT_RATE
 from repro.scheduler import RandomScheduler
 from repro.simulation import stabilization_trials
 from repro.verification import VerificationService, batch_report, run_batch
@@ -312,6 +316,13 @@ def _command_verify(args: argparse.Namespace) -> int:
     size = args.size if args.size is not None else min(
         entry.default_size, entry.max_verify_size or entry.default_size
     )
+    if args.quantify and args.method == "compositional":
+        print(
+            "--quantify needs state-space exploration; it cannot be "
+            "combined with --method compositional",
+            file=sys.stderr,
+        )
+        return 2
     design = None
     if args.method != "full" and entry.build_design is not None:
         design = entry.build_design(size)
@@ -345,20 +356,28 @@ def _command_verify(args: argparse.Namespace) -> int:
     tracer = _open_tracer(args)
     metrics = MetricsRegistry() if args.metrics else None
     try:
+        from repro.quantitative import QuantitativeUnsupported
+
         service = VerificationService(
             cache_dir=args.cache, tracer=tracer, metrics=metrics
         )
-        verdict = service.verify_tolerance(
-            program,
-            invariant,
-            fairness=args.fairness,
-            engine=args.engine,
-            method=args.method,
-            design=design,
-            case=f"{entry.name} (n={size})",
-            shards=args.shards,
-            memory_budget=args.memory_budget,
-        )
+        try:
+            verdict = service.verify_tolerance(
+                program,
+                invariant,
+                fairness=args.fairness,
+                engine=args.engine,
+                method=args.method,
+                design=design,
+                case=f"{entry.name} (n={size})",
+                shards=args.shards,
+                memory_budget=args.memory_budget,
+                quantify=args.quantify,
+                fault_rate=args.fault_rate,
+            )
+        except QuantitativeUnsupported as error:
+            print(error, file=sys.stderr)
+            return 2
     finally:
         if tracer is not None:
             tracer.close()
@@ -378,6 +397,7 @@ def _command_verify(args: argparse.Namespace) -> int:
                 "fairness": args.fairness,
                 "engine": args.engine,
                 "method": args.method,
+                "quantify": args.quantify,
                 "record": verdict.record,
                 "cached": verdict.cached,
                 "cache_layer": verdict.cache_layer,
@@ -683,6 +703,19 @@ def build_parser() -> argparse.ArgumentParser:
         "compositional per-edge certification (repro.compositional; needs "
         "a protocol with a registered design), or auto (compositional "
         "when a design is available, falling back to full on refusal)",
+    )
+    verify.add_argument(
+        "--quantify", action="store_true",
+        help="also run the quantitative tolerance analysis "
+        "(repro.quantitative): expected, fault-weighted and adversarial "
+        "worst-case convergence times plus the masking-distance score; "
+        "incompatible with --method compositional",
+    )
+    verify.add_argument(
+        "--fault-rate", type=float, default=DEFAULT_FAULT_RATE,
+        metavar="RATE",
+        help="relative fault-action weight for the quantitative "
+        f"fault-weighted expectation (default {DEFAULT_FAULT_RATE})",
     )
     verify.add_argument(
         "--cache", default=None, metavar="DIR",

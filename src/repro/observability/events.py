@@ -24,6 +24,7 @@ Event kinds are plain strings, namespaced ``component.what``:
   :data:`INTERFERENCE_FINISH`;
 - packed exploration kernel: :data:`KERNEL_BUILD`, :data:`KERNEL_SWEEP`,
   :data:`KERNEL_SHARD_MERGED`, :data:`KERNEL_MEM`;
+- quantitative tolerance: :data:`QUANTITATIVE_SOLVE`;
 - compositional certifier: :data:`COMPOSITIONAL_START`,
   :data:`COMPOSITIONAL_CERTIFIED`, :data:`COMPOSITIONAL_REFUSED`;
 - verification daemon: :data:`SERVICE_REQUEST_START`,
@@ -65,6 +66,7 @@ __all__ = [
     "LINT_DIAGNOSTIC",
     "LINT_FINISH",
     "LINT_START",
+    "QUANTITATIVE_SOLVE",
     "RUN_FINISH",
     "RUN_START",
     "SCHEDULER_STEP",
@@ -137,6 +139,10 @@ KERNEL_SHARD_MERGED = "kernel.shard.merged"
 #: A full-space sweep accounted its memory (path, peak bytes, code dtype
 #: width, streaming flag, transfer mode).
 KERNEL_MEM = "kernel.mem.sweep"
+#: The quantitative analyzer solved one instance (case, states, span
+#: and doomed counts, value-iteration sweeps, execution path, engine,
+#: wall-clock).
+QUANTITATIVE_SOLVE = "quantitative.solve"
 #: The compositional certifier began on a design (design, fairness).
 COMPOSITIONAL_START = "compositional.start"
 #: Every obligation discharged: a certificate was emitted (theorem,
@@ -188,6 +194,7 @@ EVENT_KINDS: tuple[str, ...] = (
     KERNEL_SWEEP,
     KERNEL_SHARD_MERGED,
     KERNEL_MEM,
+    QUANTITATIVE_SOLVE,
     COMPOSITIONAL_START,
     COMPOSITIONAL_CERTIFIED,
     COMPOSITIONAL_REFUSED,

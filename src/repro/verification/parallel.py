@@ -38,6 +38,7 @@ from repro.observability import events as ev
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.report import RunReport
 from repro.observability.tracer import Tracer
+from repro.quantitative import DEFAULT_FAULT_RATE
 from repro.verification.service import VerificationService
 
 __all__ = [
@@ -106,6 +107,11 @@ class VerificationTask:
     #: Peak-bytes target for the packed engine's full-space sweep
     #: (None = never stream). Never changes verdicts.
     memory_budget: int | None = field(default=None)
+    #: Also run the quantitative analysis; the record gains
+    #: ``"quantitative"`` (incompatible with method="compositional").
+    quantify: bool = field(default=False)
+    #: Fault-action weight for the quantify weighted expectation.
+    fault_rate: float = field(default=DEFAULT_FAULT_RATE)
 
 
 def pack_states(program: Program, states: Sequence[State]) -> bytes:
@@ -186,6 +192,8 @@ def _execute(
         max_states=task.max_states,
         shards=task.shards,
         memory_budget=task.memory_budget,
+        quantify=task.quantify,
+        fault_rate=task.fault_rate,
     )
     record = dict(verdict.record)
     record["cached"] = verdict.cached

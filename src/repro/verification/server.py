@@ -57,6 +57,7 @@ from repro.observability import events as ev
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.report import RunReport
 from repro.observability.tracer import Tracer
+from repro.quantitative import DEFAULT_FAULT_RATE
 from repro.verification.explorer import validate_engine
 from repro.verification.parallel import VerificationTask, run_batch
 from repro.verification.service import (
@@ -182,11 +183,15 @@ class VerificationDaemon:
         self._open_requests = 0
         self._drained: asyncio.Event | None = None
         self._started_monotonic = time.monotonic()
-        #: (case, size, fairness, with_design) -> fingerprint dict.
-        self._key_cache: dict[tuple[str, int, str, bool], dict[str, str]] = {}
+        #: (case, size, fairness, with_design, quantify, fault_rate)
+        #: -> fingerprint dict.
+        self._key_cache: dict[
+            tuple[str, int, str, bool, bool, float], dict[str, str]
+        ] = {}
         self.requests = {
             "total": 0,
             "verify": 0,
+            "quantify": 0,
             "lint": 0,
             "simulate": 0,
             "healthz": 0,
@@ -452,7 +457,8 @@ class VerificationDaemon:
         return case, size
 
     def _normalize_verify(self, body: dict[str, Any]) -> dict[str, Any]:
-        allowed = {"case", "size", "fairness", "engine", "method", "shards"}
+        allowed = {"case", "size", "fairness", "engine", "method", "shards",
+                   "quantify", "fault_rate"}
         unknown = set(body) - allowed
         if unknown:
             raise RequestError(
@@ -475,6 +481,21 @@ class VerificationDaemon:
             raise RequestError(str(error)) from None
         if shards is not None and (not isinstance(shards, int) or shards < 1):
             raise RequestError(f'"shards" must be a positive integer, got {shards!r}')
+        quantify = body.get("quantify", False)
+        if not isinstance(quantify, bool):
+            raise RequestError(f'"quantify" must be a boolean, got {quantify!r}')
+        fault_rate = body.get("fault_rate", DEFAULT_FAULT_RATE)
+        if isinstance(fault_rate, bool) or not isinstance(
+            fault_rate, (int, float)
+        ) or not fault_rate > 0:
+            raise RequestError(
+                f'"fault_rate" must be a positive number, got {fault_rate!r}'
+            )
+        if quantify and method == "compositional":
+            raise RequestError(
+                '"quantify" needs state-space exploration; it cannot be '
+                'combined with method "compositional"'
+            )
         return {
             "case": case,
             "size": size,
@@ -482,6 +503,8 @@ class VerificationDaemon:
             "engine": engine,
             "method": method,
             "shards": shards,
+            "quantify": quantify,
+            "fault_rate": float(fault_rate),
         }
 
     def _verify_keys(self, params: dict[str, Any]) -> dict[str, str]:
@@ -494,11 +517,18 @@ class VerificationDaemon:
         from repro.protocols.library import CASES, build_case
 
         entry = CASES[params["case"]]
+        quantify = params["quantify"]
+        fault_rate = params["fault_rate"]
+        # Quantification composes with full exploration only, so a
+        # quantify request never probes (or certifies) compositionally.
         with_design = (
-            params["method"] != "full" and entry.build_design is not None
+            not quantify
+            and params["method"] != "full"
+            and entry.build_design is not None
         )
         memo_key = (
             params["case"], params["size"], params["fairness"], with_design,
+            quantify, fault_rate,
         )
         keys = self._key_cache.get(memo_key)
         if keys is not None:
@@ -510,7 +540,8 @@ class VerificationDaemon:
             program, invariant = build_case(params["case"], params["size"])
         keys = {
             "full": tolerance_fingerprint(
-                program, invariant, fairness=params["fairness"], method="full"
+                program, invariant, fairness=params["fairness"], method="full",
+                quantify=quantify, fault_rate=fault_rate,
             )
         }
         if with_design:
@@ -536,6 +567,10 @@ class VerificationDaemon:
     async def _handle_verify(self, body: dict[str, Any]) -> dict[str, Any]:
         started = time.perf_counter()
         params = self._normalize_verify(body)
+        if params["quantify"]:
+            self.requests["quantify"] += 1
+            if self.metrics is not None:
+                self.metrics.counter("quantitative.requests").add()
         if params["method"] == "compositional":
             from repro.protocols.library import CASES
 
@@ -595,7 +630,11 @@ class VerificationDaemon:
                 "repro.protocols.library:build_case_design"
                 if entry_design else None
             ),
+            quantify=params["quantify"],
+            fault_rate=params["fault_rate"],
         )
+        if params["quantify"] and self.metrics is not None:
+            self.metrics.counter("quantitative.computed").add()
         future: asyncio.Future = loop.create_future()
         self._inflight[request_key] = future
         self._pending.append(
@@ -913,6 +952,14 @@ class VerificationDaemon:
                 name[len("kernel.mem."):]: counter.count
                 for name, counter in sorted(self.metrics.counters.items())
                 if name.startswith("kernel.mem.")
+            },
+            # quantitative.* counters: requests/computed tracked by the
+            # daemon, plus any solve counters from in-process quantify
+            # runs routed through this registry.
+            "quantitative": {
+                name[len("quantitative."):]: counter.count
+                for name, counter in sorted(self.metrics.counters.items())
+                if name.startswith("quantitative.")
             },
         }
 

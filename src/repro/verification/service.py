@@ -46,6 +46,7 @@ from repro.observability import events as ev
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.report import RunReport
 from repro.observability.tracer import Tracer
+from repro.quantitative import DEFAULT_FAULT_RATE, QuantitativeReport
 from repro.verification.checker import ToleranceReport, _check_tolerance
 from repro.verification.explorer import (
     TransitionSystem,
@@ -101,19 +102,27 @@ def tolerance_fingerprint(
     fairness: str = "weak",
     method: str = "full",
     states_extra: tuple[str, ...] = ("states=full",),
+    quantify: bool = False,
+    fault_rate: float = DEFAULT_FAULT_RATE,
 ) -> str:
     """The cache key of one tolerance verdict, as the service computes it.
 
     Exposed so out-of-process callers (the daemon, pool orchestration)
     can address the same cache entries the service reads and writes —
     ``method`` must be the *resolved* method (``"full"`` or
-    ``"compositional"``), never ``"auto"``.
+    ``"compositional"``), never ``"auto"``. A quantify-carrying record
+    embeds the quantitative report, so ``quantify`` (and the
+    ``fault_rate`` it was computed under) are part of the key: plain and
+    quantitative verdicts of the same instance never collide.
     """
+    extra = states_extra + (f"method={method}",)
+    if quantify:
+        extra = extra + (f"quantify=rate{fault_rate!r}",)
     return fingerprint_instance(
         program, invariant,
         fault_span if fault_span is not None else TRUE,
         fairness=fairness,
-        extra=states_extra + (f"method={method}",),
+        extra=extra,
     )
 
 
@@ -147,6 +156,18 @@ class ServiceVerdict:
     @property
     def ok(self) -> bool:
         return bool(self.record["ok"])
+
+    @property
+    def quantitative(self) -> QuantitativeReport | None:
+        """The attached quantitative report (``quantify=True`` verdicts).
+
+        Rebuilt from the cached record, so it is available whether the
+        verdict was computed now or answered from any cache layer.
+        """
+        data = self.record.get("quantitative")
+        if data is None:
+            return None
+        return QuantitativeReport.from_record(data)
 
     def __bool__(self) -> bool:
         return self.ok
@@ -192,7 +213,7 @@ class ServiceVerdict:
             )
             return "\n".join(lines)
         if self.report is not None:
-            return self.report.describe() + suffix
+            return self.report.describe() + suffix + self._quantitative_suffix()
         r = self.record
         verdict = "T-tolerant for S" if r["ok"] else "NOT T-tolerant for S"
         kind = r["classification"] + (" (stabilizing)" if r["stabilizing"] else "")
@@ -208,7 +229,13 @@ class ServiceVerdict:
                 f"({r['span_states']} span states, "
                 f"{r['bad_states']} outside target)",
             ]
-        )
+        ) + self._quantitative_suffix()
+
+    def _quantitative_suffix(self) -> str:
+        quantitative = self.quantitative
+        if quantitative is None:
+            return ""
+        return "\n" + quantitative.describe()
 
 
 def _tolerance_record(
@@ -476,6 +503,8 @@ class VerificationService:
         max_states: int | None = None,
         shards: int | None = None,
         memory_budget: int | None = None,
+        quantify: bool = False,
+        fault_rate: float = DEFAULT_FAULT_RATE,
     ) -> ServiceVerdict:
         """Cached tolerance verification (the engine behind :func:`repro.verify`).
 
@@ -530,9 +559,29 @@ class VerificationService:
                 :func:`~repro.kernel.verify.check_tolerance_packed`).
                 Like ``shards``, it is a memory/latency trade that never
                 changes verdicts, so it is not part of the cache key.
+            quantify: Also run the quantitative tolerance analysis
+                (:func:`repro.quantitative.quantify`) over the instance
+                and attach its report under ``record["quantitative"]``
+                (surfaced as :attr:`ServiceVerdict.quantitative`).
+                Quantification needs the explored state space, so it
+                composes with full exploration only: ``method="auto"``
+                resolves to ``"full"`` and an explicit
+                ``method="compositional"`` is a
+                :class:`~repro.core.errors.ValidationError`. Quantified
+                records carry strictly more than plain ones, so
+                ``quantify`` (with its ``fault_rate``) **is** part of
+                the cache key.
+            fault_rate: Relative fault-action weight for the weighted
+                convergence expectation (quantify only).
         """
         validate_engine(engine)
         validate_method(method)
+        if quantify and method == "compositional":
+            raise ValidationError(
+                "quantify=True requires state-space exploration; it cannot "
+                "be combined with method='compositional' (use method='full' "
+                "or 'auto')"
+            )
         if method == "compositional" and design is None:
             raise ValidationError(
                 "method='compositional' requires the design= argument; "
@@ -577,7 +626,7 @@ class VerificationService:
             )
         name = case if case is not None else program.name
 
-        if method != "full" and design is not None:
+        if method != "full" and design is not None and not quantify:
             verdict = self._verify_compositional(
                 program,
                 invariant,
@@ -597,6 +646,7 @@ class VerificationService:
         key = tolerance_fingerprint(
             program, invariant, span, fairness=fairness,
             method="full", states_extra=extra,
+            quantify=quantify, fault_rate=fault_rate,
         )
 
         def compute() -> dict[str, Any]:
@@ -647,12 +697,32 @@ class VerificationService:
                     tracer=self.tracer,
                     metrics=self.metrics,
                 )
+            quantitative = None
+            if quantify:
+                from repro.quantitative import quantify as run_quantify
+
+                quantitative = run_quantify(
+                    program,
+                    invariant,
+                    span,
+                    state_list,
+                    engine=engine,
+                    fault_rate=fault_rate,
+                    shards=shards,
+                    memory_budget=memory_budget,
+                    case=name,
+                    tracer=self.tracer,
+                    metrics=self.metrics,
+                ).to_json()
             seconds = time.perf_counter() - compute_started
             self._reports[key] = report
-            return _tolerance_record(
+            record = _tolerance_record(
                 report, case=name, fairness=fairness, engine=resolved,
                 seconds=seconds,
             )
+            if quantitative is not None:
+                record["quantitative"] = quantitative
+            return record
 
         record, layer = self.memo("tolerance", key, compute)
         elapsed = time.perf_counter() - started

@@ -201,9 +201,30 @@ class TestDeprecationShims:
 
         assert _validate_engine is validate_engine
 
+    def test_expected_convergence_steps_warns_once_and_delegates(self):
+        from repro.analysis.markov import expected_convergence_steps
+        from repro.quantitative import hitting_times
+
+        program, invariant = build_case("coloring-chain", SIZE)
+        states = list(program.state_space())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = expected_convergence_steps(program, states, invariant)
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "hitting_times" in str(deprecations[0].message)
+        assert result.expectations == hitting_times(
+            program, states, invariant
+        ).expectations
+
     def test_facade_is_warning_free(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             verdict = repro.verify("diffusing-chain", size=SIZE,
                                    service=VerificationService())
+            quantified = repro.verify("coloring-chain", size=SIZE,
+                                      quantify=True,
+                                      service=VerificationService())
         assert verdict.ok
+        assert quantified.ok and quantified.quantitative.ok

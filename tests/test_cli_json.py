@@ -24,6 +24,28 @@ VERIFY_RECORD_KEYS = {
     "bad_states",
 }
 
+QUANTITATIVE_KEYS = {
+    "case",
+    "ok",
+    "engine",
+    "path",
+    "states",
+    "target_states",
+    "span_states",
+    "doomed_states",
+    "escape_probability",
+    "mean_steps",
+    "max_steps",
+    "worst_case_steps",
+    "weighted_mean_steps",
+    "fault_rate",
+    "score",
+    "iterations",
+    "converged",
+    "tol",
+    "seconds",
+}
+
 COMPOSITIONAL_RECORD_KEYS = {
     "case",
     "method",
@@ -62,6 +84,7 @@ class TestVerifyJson:
             "fairness",
             "method",
             "protocol",
+            "quantify",
             "record",
             "size",
         }
@@ -71,12 +94,41 @@ class TestVerifyJson:
         assert payload["fairness"] == "weak"
         assert payload["engine"] == "auto"
         assert payload["method"] == "auto"
+        assert payload["quantify"] is False
+        assert "quantitative" not in payload["record"]
         assert payload["cached"] is False
         assert payload["cache_layer"] == ""  # a miss has no cache layer
         assert payload["call_seconds"] > 0.0
         assert VERIFY_RECORD_KEYS <= set(payload["record"])
         assert payload["record"]["ok"] is True
         assert payload["record"]["stabilizing"] is True
+
+    def test_quantify_record_schema_is_stable(self, tmp_path):
+        path = tmp_path / "verdict.json"
+        assert main(["verify", "dijkstra-ring", "--size", "3",
+                     "--quantify", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["quantify"] is True
+        quantitative = payload["record"]["quantitative"]
+        assert set(quantitative) == QUANTITATIVE_KEYS
+        assert quantitative["ok"] is True
+        assert quantitative["converged"] is True
+        assert quantitative["doomed_states"] == 0
+        assert 0.0 <= quantitative["score"] < 1.0
+        assert quantitative["worst_case_steps"] >= quantitative["mean_steps"]
+
+    def test_quantify_rejects_compositional(self, capsys):
+        assert main(["verify", "diffusing", "--size", "4", "--quantify",
+                     "--method", "compositional"]) == 2
+        assert "quantify" in capsys.readouterr().err
+
+    def test_quantify_over_budget_is_a_friendly_refusal(self, capsys):
+        # The boolean verify streams under a tiny budget; the value
+        # iteration has no streaming variant and must refuse cleanly,
+        # not traceback.
+        assert main(["verify", "dijkstra-ring", "--size", "5", "--quantify",
+                     "--engine", "packed", "--memory-budget", "1K"]) == 2
+        assert "memory_budget" in capsys.readouterr().err
 
     def test_compositional_record_schema_is_stable(self, tmp_path):
         path = tmp_path / "verdict.json"
@@ -320,6 +372,16 @@ class TestVerdictToJson:
         report = lint_case("diffusing-chain")
         assert report.to_json() == report.as_dict()
         assert set(report.to_json()) == LINT_CASE_KEYS
+
+    def test_quantitative_report(self):
+        from repro.quantitative import quantify
+        from repro.protocols.library import build_case
+
+        program, invariant = build_case("coloring-chain", 3)
+        report = quantify(program, invariant)
+        payload = report.to_json()
+        assert set(payload) == QUANTITATIVE_KEYS
+        assert payload == json.loads(json.dumps(payload))
 
     def test_service_verdict(self):
         import repro

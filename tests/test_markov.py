@@ -1,10 +1,15 @@
-"""Tests for the exact Markov-chain stabilization analysis."""
+"""Tests for the exact convergence-time analysis (random-daemon chain).
+
+Historically computed by ``repro.analysis.markov``; these exercise its
+successor, :func:`repro.quantitative.hitting_times`, against the same
+closed-form answers (the shim itself is covered in ``test_api.py``).
+"""
 
 import math
 
 import pytest
 
-from repro.analysis import expected_convergence_steps
+from repro.quantitative import hitting_times
 from repro.core import (
     Action,
     Assignment,
@@ -43,7 +48,7 @@ def jump() -> Action:
 class TestExactValues:
     def test_deterministic_countdown(self):
         program = program_with([dec()])
-        result = expected_convergence_steps(program, program.state_space(), TARGET)
+        result = hitting_times(program, program.state_space(), TARGET)
         # From n, exactly n steps.
         for n in range(4):
             assert result.expectation_of(State({"n": n})) == pytest.approx(n)
@@ -53,7 +58,7 @@ class TestExactValues:
     def test_uniform_choice_halves(self):
         # With dec and jump both enabled: E[n] = 1 + (E[n-1] + 0)/2.
         program = program_with([dec(), jump()])
-        result = expected_convergence_steps(program, program.state_space(), TARGET)
+        result = hitting_times(program, program.state_space(), TARGET)
         expected = {0: 0.0, 1: 1.0, 2: 1.5, 3: 1.75}
         for n, value in expected.items():
             assert result.expectation_of(State({"n": n})) == pytest.approx(value)
@@ -73,14 +78,14 @@ class TestExactValues:
             reads=("n",),
         )
         program = program_with([spin, exit_action], hi=1)
-        result = expected_convergence_steps(program, program.state_space(), TARGET)
+        result = hitting_times(program, program.state_space(), TARGET)
         assert result.expectation_of(State({"n": 1})) == pytest.approx(2.0)
 
 
 class TestInfiniteExpectations:
     def test_deadlock_outside_target_is_infinite(self):
         program = program_with([])  # nothing moves
-        result = expected_convergence_steps(program, program.state_space(), TARGET)
+        result = hitting_times(program, program.state_space(), TARGET)
         assert math.isinf(result.expectation_of(State({"n": 2})))
         assert result.expectation_of(State({"n": 0})) == 0.0
         assert math.isinf(result.mean)
@@ -101,7 +106,7 @@ class TestInfiniteExpectations:
             reads=("n",),
         )
         program = program_with([split, down])
-        result = expected_convergence_steps(program, program.state_space(), TARGET)
+        result = hitting_times(program, program.state_space(), TARGET)
         assert math.isinf(result.expectation_of(State({"n": 3})))
         assert math.isinf(result.expectation_of(State({"n": 2})))
         # n = 1 only goes down: finite.
@@ -115,7 +120,7 @@ class TestAgainstSimulation:
         from repro.simulation import stabilization_trials
 
         program, spec = build_dijkstra_ring(3, 4)
-        exact = expected_convergence_steps(program, program.state_space(), spec)
+        exact = hitting_times(program, program.state_space(), spec)
         stats = stabilization_trials(
             program, spec, lambda s: RandomScheduler(s),
             trials=600, max_steps=5000, base_seed=3,
@@ -126,4 +131,4 @@ class TestAgainstSimulation:
     def test_non_closed_states_rejected(self):
         program = program_with([dec()])
         with pytest.raises(ValueError, match="not closed"):
-            expected_convergence_steps(program, [State({"n": 3})], TARGET)
+            hitting_times(program, [State({"n": 3})], TARGET)

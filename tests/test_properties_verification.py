@@ -22,7 +22,7 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.analysis import expected_convergence_steps
+from repro.quantitative import hitting_times
 from repro.core import (
     Action,
     Assignment,
@@ -138,7 +138,7 @@ def test_markov_consistency(case):
     states = list(program.state_space())
     ts = build_transition_system(program, states)
     unfair = check_convergence(program, states, target, fairness="none", system=ts)
-    hitting = expected_convergence_steps(program, states, target, system=ts)
+    hitting = hitting_times(program, states, target, system=ts)
     if unfair.ok:
         assert hitting.all_finite
         assert hitting.maximum <= len(states)  # acyclic: path-bounded

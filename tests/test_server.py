@@ -39,6 +39,7 @@ from repro.verification.store import VerdictStore
 from tests.test_cli_json import (
     COMPOSITIONAL_RECORD_KEYS,
     LINT_CASE_KEYS,
+    QUANTITATIVE_KEYS,
     VERIFY_RECORD_KEYS,
 )
 
@@ -152,6 +153,55 @@ class TestEndpointSchemas:
         status, payload = get(daemon, "/")
         assert status == 200
         assert "/verify" in payload["endpoints"]
+
+
+class TestQuantify:
+    def test_verify_quantify_attaches_report(self, daemon):
+        status, record = post(
+            daemon, "/verify",
+            {"case": "dijkstra-ring", "size": 3, "quantify": True},
+        )
+        assert status == 200
+        assert record["ok"] is True
+        assert set(record["quantitative"]) == QUANTITATIVE_KEYS
+        assert record["quantitative"]["ok"] is True
+
+    def test_quantify_key_is_distinct_and_cached(self, daemon):
+        plain = {"case": "dijkstra-ring", "size": 3}
+        post(daemon, "/verify", plain)
+        status, first = post(daemon, "/verify", {**plain, "quantify": True})
+        assert status == 200
+        assert first["cached"] is False  # no collision with the plain key
+        status, second = post(daemon, "/verify", {**plain, "quantify": True})
+        assert second["cached"] is True
+        assert second["quantitative"] == first["quantitative"]
+
+    def test_stats_grow_a_quantitative_section(self, daemon):
+        post(daemon, "/verify",
+             {"case": "dijkstra-ring", "size": 3, "quantify": True})
+        status, stats = get(daemon, "/stats")
+        assert status == 200
+        assert stats["requests"]["quantify"] == 1
+        assert stats["quantitative"]["requests"] == 1
+        assert stats["quantitative"]["computed"] == 1
+
+    def test_quantify_rejects_compositional(self, daemon):
+        status, payload = post(
+            daemon, "/verify",
+            {"case": "diffusing-chain", "size": 3,
+             "method": "compositional", "quantify": True},
+        )
+        assert status == 400
+        assert "quantify" in payload["error"]
+
+    def test_fault_rate_must_be_positive(self, daemon):
+        status, payload = post(
+            daemon, "/verify",
+            {"case": "dijkstra-ring", "size": 3, "quantify": True,
+             "fault_rate": 0},
+        )
+        assert status == 400
+        assert "fault_rate" in payload["error"]
 
 
 class TestRequestValidation:
